@@ -1,0 +1,89 @@
+//! Ablation benchmarks: fitting cost of each structural variant of the
+//! model, and simulator cost across the design dimensions the delta stacks
+//! attribute performance to (MSHRs, prefetch depth, predictor size).
+//!
+//! The *accuracy* side of these ablations is reported by
+//! `cargo run -p bench --bin ablations`; here we measure cost so the
+//! trade-off table has both axes.
+
+use bench::ablation::{fit_variant, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memodel::MicroarchParams;
+use oosim::machine::MachineConfig;
+use oosim::observer::NullObserver;
+use oosim::pipeline::simulate;
+use oosim::run::run_suite;
+use specgen::TraceGenerator;
+use std::hint::black_box;
+
+/// Fitting cost per structural variant.
+fn bench_variant_fits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fit_cost");
+    group.sample_size(10);
+    let machine = MachineConfig::core2();
+    let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(14).collect();
+    let records = run_suite(&machine, &suite, 15_000, 5);
+    let arch = MicroarchParams::from_machine(&machine);
+    for variant in [
+        Variant::Full,
+        Variant::AdditiveBranch,
+        Variant::ConstantMlp,
+        Variant::UndampedStall,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &v| b.iter(|| black_box(fit_variant(v, &arch, &records))),
+        );
+    }
+    group.finish();
+}
+
+/// Simulator cost vs MSHR count (does modeling more MLP cost time?).
+fn bench_mshr_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mshr_cost");
+    group.sample_size(10);
+    let profile = specgen::suites::by_name("libquantum.ref").expect("profile");
+    for mshrs in [1usize, 8, 32] {
+        let machine = MachineConfig::builder(MachineConfig::core2())
+            .mshrs(mshrs)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(mshrs), &machine, |b, m| {
+            b.iter(|| {
+                let trace = TraceGenerator::new(&profile, m.cracking, 1);
+                black_box(simulate(m, trace, 20_000, &mut NullObserver))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Simulator cost vs predictor size (table lookups scale?).
+fn bench_predictor_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_predictor_cost");
+    group.sample_size(10);
+    let profile = specgen::suites::by_name("gobmk.13x13").expect("profile");
+    for log2 in [10u32, 14, 18] {
+        let machine = MachineConfig::builder(MachineConfig::core2())
+            .predictor(oosim::machine::PredictorConfig {
+                log2_entries: log2,
+                history_bits: 10,
+            })
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(log2), &machine, |b, m| {
+            b.iter(|| {
+                let trace = TraceGenerator::new(&profile, m.cracking, 1);
+                black_box(simulate(m, trace, 20_000, &mut NullObserver))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_variant_fits,
+    bench_mshr_sweep,
+    bench_predictor_sweep
+);
+criterion_main!(benches);

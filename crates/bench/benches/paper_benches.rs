@@ -1,0 +1,156 @@
+//! Criterion benchmarks over the reproduction's hot paths: one group per
+//! experiment stage, so regressions in simulation or fitting speed are
+//! caught before they make the figure binaries unusable.
+//!
+//! (The *scientific* outputs — every table and figure — come from the
+//! `bench` crate's binaries; these benchmarks measure the machinery.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memodel::baselines::{BaselineKind, EmpiricalModel};
+use memodel::{FitOptions, InferredModel, MicroarchParams};
+use oosim::machine::MachineConfig;
+use oosim::observer::NullObserver;
+use oosim::pipeline::simulate;
+use oosim::run::run_suite;
+use pmu::RunRecord;
+use specgen::{Cracking, TraceGenerator};
+use std::hint::black_box;
+
+const BENCH_UOPS: u64 = 30_000;
+
+/// Table 2 machinery: one calibration measurement point.
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_calibration");
+    group.sample_size(10);
+    let machine = MachineConfig::core2();
+    group.bench_function("measure_chase_256KiB", |b| {
+        b.iter(|| black_box(calibrate::measure_chase(&machine, 256 * 1024)))
+    });
+    group.finish();
+}
+
+/// Fig. 2 machinery: simulator throughput per machine (the campaign cost).
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_UOPS));
+    let profile = specgen::suites::by_name("gcc.166").expect("profile");
+    for machine in MachineConfig::paper_machines() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(machine.id.name()),
+            &machine,
+            |b, m| {
+                b.iter(|| {
+                    let trace = TraceGenerator::new(&profile, m.cracking, 1);
+                    black_box(simulate(m, trace, BENCH_UOPS, &mut NullObserver))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn training_records() -> Vec<RunRecord> {
+    let machine = MachineConfig::core2();
+    let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(16).collect();
+    run_suite(&machine, &suite, 20_000, 3)
+}
+
+/// Fig. 2–4 machinery: model inference and prediction.
+fn bench_fitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_model_fitting");
+    group.sample_size(10);
+    let records = training_records();
+    let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+    group.bench_function("gray_box_fit_quick", |b| {
+        b.iter(|| {
+            black_box(
+                InferredModel::fit(&arch, &records, &FitOptions::quick()).expect("fit"),
+            )
+        })
+    });
+    group.bench_function("linear_fit", |b| {
+        b.iter(|| black_box(EmpiricalModel::fit(BaselineKind::Linear, &records).expect("fit")))
+    });
+    group.bench_function("ann_fit", |b| {
+        b.iter(|| {
+            black_box(
+                EmpiricalModel::fit(BaselineKind::NeuralNetwork, &records).expect("fit"),
+            )
+        })
+    });
+    let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).expect("fit");
+    group.bench_function("predict_record", |b| {
+        b.iter(|| {
+            for r in &records {
+                black_box(model.predict_record(r));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 5 machinery: ground-truth stack measurement.
+fn bench_truth_stacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_truth_stacks");
+    group.sample_size(10);
+    let machine = MachineConfig::core2();
+    let profile = specgen::suites::by_name("mcf.inp").expect("profile");
+    group.bench_function("measure_stack", |b| {
+        b.iter(|| black_box(cpicounters::measure_stack(&machine, &profile, BENCH_UOPS, 1)))
+    });
+    group.finish();
+}
+
+/// Fig. 6 machinery: delta-stack construction.
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_delta_stacks");
+    group.sample_size(10);
+    let p4 = MachineConfig::pentium4();
+    let c2 = MachineConfig::core2();
+    let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(16).collect();
+    let p4_records = run_suite(&p4, &suite, 20_000, 3);
+    let c2_records = run_suite(&c2, &suite, 20_000, 3);
+    let opts = FitOptions::quick();
+    let p4_model =
+        InferredModel::fit(&MicroarchParams::from_machine(&p4), &p4_records, &opts).unwrap();
+    let c2_model =
+        InferredModel::fit(&MicroarchParams::from_machine(&c2), &c2_records, &opts).unwrap();
+    group.bench_function("suite_delta_16", |b| {
+        b.iter(|| {
+            black_box(memodel::delta::suite_delta(
+                &p4_model,
+                &p4_records,
+                &c2_model,
+                &c2_records,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Workload generation alone (the trace side of the campaign cost).
+fn bench_tracegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(100_000));
+    let profile = specgen::suites::by_name("milc.ref").expect("profile");
+    group.bench_function("generate_100k_uops", |b| {
+        b.iter(|| {
+            let gen = TraceGenerator::new(&profile, Cracking::default(), 7);
+            black_box(gen.take(100_000).count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_simulation,
+    bench_fitting,
+    bench_truth_stacks,
+    bench_delta,
+    bench_tracegen
+);
+criterion_main!(benches);

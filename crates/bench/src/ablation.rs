@@ -1,0 +1,225 @@
+//! Ablations of the model's design choices (DESIGN.md §5).
+//!
+//! The paper argues for several specific structural choices without always
+//! evaluating the alternative; these ablations supply the missing
+//! comparisons on the simulated testbed:
+//!
+//! * **multiplicative vs additive** branch-resolution factors (paper §3.2
+//!   argues multiplicative),
+//! * **power-law vs constant** MLP correction (paper §3.3 argues the power
+//!   law),
+//! * **damped vs raw** resource stalls (Eq. 4's miss-pressure damping),
+//! * the **interval cap** value of Eq. 2,
+//! * **relative vs absolute** squared-error objective (Tofallis).
+//!
+//! Each variant is fitted with the same optimizer budget as the full model
+//! and compared on in-suite and cross-suite error.
+
+use memodel::equations;
+use memodel::{MicroarchParams, ModelInputs, ModelParams};
+use pmu::RunRecord;
+use regress::metrics::ErrorSummary;
+use regress::nelder_mead::{MultiStart, Options};
+
+/// Which structural variant to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The paper's full model (reference).
+    Full,
+    /// Additive instead of multiplicative branch-resolution factors.
+    AdditiveBranch,
+    /// Constant MLP (`MLP = b5`) instead of the power law.
+    ConstantMlp,
+    /// Raw resource stalls (no Eq. 4 damping).
+    UndampedStall,
+    /// Full model with a different interval cap.
+    IntervalCap(u32),
+}
+
+impl Variant {
+    /// Human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Full => "full model".into(),
+            Variant::AdditiveBranch => "additive branch resolution".into(),
+            Variant::ConstantMlp => "constant MLP".into(),
+            Variant::UndampedStall => "undamped resource stalls".into(),
+            Variant::IntervalCap(cap) => format!("interval cap {cap}"),
+        }
+    }
+}
+
+/// A fitted ablated model.
+#[derive(Debug, Clone)]
+pub struct AblatedModel {
+    variant: Variant,
+    arch: MicroarchParams,
+    params: ModelParams,
+}
+
+impl AblatedModel {
+    /// Predicted CPI under the variant's structure.
+    pub fn predict(&self, i: &ModelInputs) -> f64 {
+        predict_variant(self.variant, &self.arch, &self.params, i)
+    }
+
+    /// The variant this model implements.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+}
+
+fn branch_resolution_variant(
+    variant: Variant,
+    p: &ModelParams,
+    i: &ModelInputs,
+) -> f64 {
+    let cap = match variant {
+        Variant::IntervalCap(c) => c as f64,
+        _ => equations::INTERVAL_CAP,
+    };
+    match variant {
+        Variant::AdditiveBranch => {
+            let interval = (1.0 / i.mpu_br.max(1e-9)).min(cap);
+            p.get(1) * interval.powf(p.get(2)) + p.get(3) * i.fp + p.get(4) * i.mpu_dl1
+        }
+        _ => equations::branch_resolution_capped(p, i, cap),
+    }
+}
+
+fn mlp_variant(variant: Variant, p: &ModelParams, i: &ModelInputs) -> f64 {
+    match variant {
+        Variant::ConstantMlp => p.get(5).max(1.0),
+        _ => equations::mlp_correction(p, i),
+    }
+}
+
+fn predict_variant(
+    variant: Variant,
+    arch: &MicroarchParams,
+    p: &ModelParams,
+    i: &ModelInputs,
+) -> f64 {
+    let mlp = mlp_variant(variant, p, i);
+    let cbr = branch_resolution_variant(variant, p, i);
+    let mem = |rate: f64, latency: f64| {
+        if rate <= 0.0 {
+            0.0
+        } else {
+            rate * latency / mlp
+        }
+    };
+    let raw = equations::raw_stall(p, i);
+    let stall = match variant {
+        Variant::UndampedStall => raw,
+        _ => {
+            let miss = i.mpu_l1i * arch.c_l2
+                + i.mpu_llci * arch.c_mem
+                + i.mpu_itlb * arch.c_tlb
+                + i.mpu_br * (cbr + arch.fe_depth)
+                + mem(i.mpu_dl2, arch.c_mem)
+                + mem(i.mpu_dtlb, arch.c_tlb);
+            (1.0 - miss / (1.0 / arch.width + raw).max(1e-9)).max(0.0) * raw
+        }
+    };
+    1.0 / arch.width
+        + i.mpu_l1i * arch.c_l2
+        + i.mpu_llci * arch.c_mem
+        + i.mpu_itlb * arch.c_tlb
+        + i.mpu_br * (cbr + arch.fe_depth)
+        + mem(i.mpu_dl2, arch.c_mem)
+        + mem(i.mpu_dtlb, arch.c_tlb)
+        + stall
+}
+
+/// Fits an ablated variant with the same optimizer discipline as the full
+/// model.
+pub fn fit_variant(
+    variant: Variant,
+    arch: &MicroarchParams,
+    records: &[RunRecord],
+) -> AblatedModel {
+    let inputs: Vec<ModelInputs> = records.iter().map(ModelInputs::from_record).collect();
+    let arch = *arch;
+    let objective = move |b: &[f64]| -> f64 {
+        let p = ModelParams::from_slice(b);
+        inputs
+            .iter()
+            .map(|i| {
+                let e = predict_variant(variant, &arch, &p, i) - i.measured_cpi;
+                e * e / i.measured_cpi
+            })
+            .sum()
+    };
+    let best = MultiStart::new(12, 0x0AB1A7E).run(
+        objective,
+        &ModelParams::initial_guess().b,
+        &ModelParams::bounds(),
+        &Options {
+            max_evals: 30_000,
+            ..Options::default()
+        },
+    );
+    AblatedModel {
+        variant,
+        arch,
+        params: ModelParams::from_slice(&best.params),
+    }
+}
+
+/// Mean absolute relative error of a fitted variant over a record set.
+pub fn variant_error(model: &AblatedModel, records: &[RunRecord]) -> f64 {
+    let errors: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            let i = ModelInputs::from_record(r);
+            ((model.predict(&i) - i.measured_cpi) / i.measured_cpi).abs()
+        })
+        .collect();
+    ErrorSummary::from_errors(&errors).mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oosim::machine::MachineConfig;
+    use oosim::run::run_suite;
+
+    #[test]
+    fn variants_fit_and_predict() {
+        let machine = MachineConfig::core2();
+        let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(14).collect();
+        let records = run_suite(&machine, &suite, 40_000, 5);
+        let arch = MicroarchParams::from_machine(&machine);
+        for v in [
+            Variant::Full,
+            Variant::AdditiveBranch,
+            Variant::ConstantMlp,
+            Variant::UndampedStall,
+            Variant::IntervalCap(64),
+        ] {
+            let m = fit_variant(v, &arch, &records);
+            let err = variant_error(&m, &records);
+            assert!(err.is_finite() && err < 1.0, "{}: {err}", v.label());
+            assert_eq!(m.variant(), v);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            Variant::Full,
+            Variant::AdditiveBranch,
+            Variant::ConstantMlp,
+            Variant::UndampedStall,
+            Variant::IntervalCap(256),
+        ]
+        .iter()
+        .map(|v| v.label())
+        .collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+}

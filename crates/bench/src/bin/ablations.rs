@@ -1,0 +1,5 @@
+//! Ablation study of the model's structural choices (beyond the paper).
+fn main() {
+    let campaign = bench::Campaign::run_from_env();
+    println!("{}", bench::experiments::ablations(&campaign));
+}

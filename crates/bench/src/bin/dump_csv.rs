@@ -1,0 +1,33 @@
+//! Dumps the campaign's raw numbers as CSV files (predictions and CPI
+//! stacks per machine × suite, plus the counter records) into
+//! `./csv_out/`, for external plotting tools.
+use memodel::export::{predictions_csv, stacks_csv};
+use pmu::{MachineId, Suite};
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    let campaign = bench::Campaign::run_from_env();
+    let dir = std::path::Path::new("csv_out");
+    fs::create_dir_all(dir)?;
+    for suite in Suite::ALL {
+        for id in MachineId::ALL {
+            let records = campaign.records(id, suite);
+            let model = campaign.model(id, suite);
+            let stem = format!("{}_{}", id.name(), suite.name());
+            fs::write(
+                dir.join(format!("{stem}_predictions.csv")),
+                predictions_csv(model, records),
+            )?;
+            fs::write(
+                dir.join(format!("{stem}_stacks.csv")),
+                stacks_csv(model, records),
+            )?;
+            fs::write(
+                dir.join(format!("{stem}_counters.csv")),
+                pmu::csv::to_csv(records),
+            )?;
+        }
+    }
+    println!("wrote 18 CSV files to {}", dir.display());
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2: measured-vs-predicted CPI scatter plots.
+fn main() {
+    let campaign = bench::Campaign::run_from_env();
+    println!("{}", bench::experiments::fig2(&campaign));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: cross-suite robustness CDFs.
+fn main() {
+    let campaign = bench::Campaign::run_from_env();
+    println!("{}", bench::experiments::fig3(&campaign));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4: gray-box vs ANN vs linear regression.
+fn main() {
+    let campaign = bench::Campaign::run_from_env();
+    println!("{}", bench::experiments::fig4(&campaign));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5: CPI-component accuracy vs ground truth.
+fn main() {
+    let campaign = bench::Campaign::run_from_env();
+    println!("{}", bench::experiments::fig5(&campaign));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6: CPI-delta stacks across machine generations.
+fn main() {
+    let campaign = bench::Campaign::run_from_env();
+    println!("{}", bench::experiments::fig6(&campaign));
+}

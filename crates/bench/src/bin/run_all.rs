@@ -1,0 +1,19 @@
+//! Runs every experiment in sequence and prints the full reproduction
+//! report (the content EXPERIMENTS.md is distilled from).
+//!
+//! Scale with `CPISTACK_UOPS` (µops per benchmark; default one million).
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("{}", bench::experiments::table1());
+    println!("{}", bench::experiments::table2());
+    let campaign = bench::Campaign::run_from_env();
+    println!("{}", bench::experiments::fig2(&campaign));
+    println!("{}", bench::experiments::fig3(&campaign));
+    println!("{}", bench::experiments::fig4(&campaign));
+    println!("{}", bench::experiments::fig5(&campaign));
+    println!("{}", bench::experiments::fig6(&campaign));
+    println!("{}", bench::experiments::ablations(&campaign));
+    println!("total wall time: {:.0}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: the three simulated machine configurations.
+fn main() {
+    println!("{}", bench::experiments::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2: micro-architecture parameters, spec vs calibrated.
+fn main() {
+    println!("{}", bench::experiments::table2());
+}

@@ -1,0 +1,173 @@
+//! Shared experiment-campaign machinery for the per-figure binaries and
+//! benches.
+//!
+//! Every figure of the paper consumes the same raw material: all 48 + 55
+//! benchmark–input pairs run on all three machines, plus a fitted
+//! mechanistic-empirical model per (machine, suite). [`Campaign`] runs that
+//! measurement campaign once and hands out records and models.
+//!
+//! Binaries honour two environment variables:
+//!
+//! * `CPISTACK_UOPS` — µops simulated per benchmark (default
+//!   [`DEFAULT_CAMPAIGN_UOPS`]); lower it for quick smoke runs,
+//! * `CPISTACK_SEED` — campaign seed (default 12345).
+
+pub mod ablation;
+pub mod experiments;
+
+use memodel::{FitOptions, InferredModel, MicroarchParams};
+use oosim::machine::MachineConfig;
+use oosim::run::run_suite;
+use pmu::{MachineId, RunRecord, Suite};
+
+/// Default µops per benchmark for full experiment reproduction.
+pub const DEFAULT_CAMPAIGN_UOPS: u64 = 1_000_000;
+
+/// µops per benchmark read from `CPISTACK_UOPS` (or the default).
+pub fn campaign_uops() -> u64 {
+    std::env::var("CPISTACK_UOPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CAMPAIGN_UOPS)
+}
+
+/// Campaign seed read from `CPISTACK_SEED` (or 12345).
+pub fn campaign_seed() -> u64 {
+    std::env::var("CPISTACK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12345)
+}
+
+/// One full measurement + modeling campaign: every benchmark of both suites
+/// on every machine, and a fitted gray-box model per (machine, suite).
+#[derive(Debug)]
+pub struct Campaign {
+    machines: Vec<MachineConfig>,
+    /// `records[machine][suite]`, indexed by position in `machines` and
+    /// `Suite::ALL`.
+    records: Vec<[Vec<RunRecord>; 2]>,
+    models: Vec<[InferredModel; 2]>,
+    uops: u64,
+    seed: u64,
+}
+
+impl Campaign {
+    /// Runs the full campaign: simulate both suites on all three machines
+    /// and fit the six models. Takes a minute or two at full scale; scale
+    /// down with `CPISTACK_UOPS` for smoke runs.
+    pub fn run(uops: u64, seed: u64) -> Self {
+        let machines = MachineConfig::paper_machines();
+        let suites = [specgen::suites::cpu2000(), specgen::suites::cpu2006()];
+        let opts = FitOptions::default();
+        let mut records = Vec::new();
+        let mut models = Vec::new();
+        for machine in &machines {
+            let r2000 = run_suite(machine, &suites[0], uops, seed);
+            let r2006 = run_suite(machine, &suites[1], uops, seed);
+            let arch = MicroarchParams::from_machine(machine);
+            let m2000 = InferredModel::fit(&arch, &r2000, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+            let m2006 = InferredModel::fit(&arch, &r2006, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+            records.push([r2000, r2006]);
+            models.push([m2000, m2006]);
+        }
+        Self {
+            machines,
+            records,
+            models,
+            uops,
+            seed,
+        }
+    }
+
+    /// Runs with the environment-configured scale.
+    pub fn run_from_env() -> Self {
+        Self::run(campaign_uops(), campaign_seed())
+    }
+
+    /// The three machines, generation order.
+    pub fn machines(&self) -> &[MachineConfig] {
+        &self.machines
+    }
+
+    fn machine_index(&self, id: MachineId) -> usize {
+        self.machines
+            .iter()
+            .position(|m| m.id == id)
+            .expect("paper machine")
+    }
+
+    fn suite_index(suite: Suite) -> usize {
+        match suite {
+            Suite::Cpu2000 => 0,
+            Suite::Cpu2006 => 1,
+        }
+    }
+
+    /// The measured records for one machine and suite.
+    pub fn records(&self, machine: MachineId, suite: Suite) -> &[RunRecord] {
+        &self.records[self.machine_index(machine)][Self::suite_index(suite)]
+    }
+
+    /// The fitted model for one machine and suite (the "`suite` model" in
+    /// the paper's robustness terminology).
+    pub fn model(&self, machine: MachineId, suite: Suite) -> &InferredModel {
+        &self.models[self.machine_index(machine)][Self::suite_index(suite)]
+    }
+
+    /// The machine configuration for an id.
+    pub fn machine(&self, id: MachineId) -> &MachineConfig {
+        &self.machines[self.machine_index(id)]
+    }
+
+    /// µops per benchmark used in this campaign.
+    pub fn uops(&self) -> u64 {
+        self.uops
+    }
+
+    /// Campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Standard experiment banner for the binaries.
+    pub fn banner(&self, what: &str) -> String {
+        format!(
+            "== {what} ==\n   campaign: {} µops/benchmark, seed {}, {} benchmarks × {} machines\n",
+            self.uops,
+            self.seed,
+            self.records[0][0].len() + self.records[0][1].len(),
+            self.machines.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_is_complete() {
+        let c = Campaign::run(20_000, 7);
+        assert_eq!(c.machines().len(), 3);
+        for id in MachineId::ALL {
+            assert_eq!(c.records(id, Suite::Cpu2000).len(), 48);
+            assert_eq!(c.records(id, Suite::Cpu2006).len(), 55);
+            let _ = c.model(id, Suite::Cpu2000);
+        }
+        assert!(c.banner("t").contains("103"));
+    }
+
+    #[test]
+    fn env_defaults() {
+        // No env vars set in the test environment: defaults come back.
+        if std::env::var("CPISTACK_UOPS").is_err() {
+            assert_eq!(campaign_uops(), DEFAULT_CAMPAIGN_UOPS);
+        }
+        if std::env::var("CPISTACK_SEED").is_err() {
+            assert_eq!(campaign_seed(), 12345);
+        }
+    }
+}

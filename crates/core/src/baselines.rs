@@ -1,0 +1,143 @@
+//! The paper's purely empirical comparison models: linear regression and a
+//! one-hidden-layer artificial neural network, over *the exact same inputs*
+//! as the gray-box model (§4).
+//!
+//! These exist to reproduce Fig. 4's conclusion: on the training suite all
+//! three approaches look similar; under cross-suite validation the
+//! empirical models overfit and the mechanistic-empirical model does not.
+
+use crate::inputs::ModelInputs;
+use pmu::RunRecord;
+use regress::ann::{AnnModel, AnnOptions};
+use regress::linear::LinearModel;
+use std::fmt;
+
+/// Which empirical model family a baseline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Ordinary least squares on the raw counter rates.
+    Linear,
+    /// Multi-layer perceptron with one tanh hidden layer (paper §4).
+    NeuralNetwork,
+}
+
+impl fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineKind::Linear => f.write_str("linear regression"),
+            BaselineKind::NeuralNetwork => f.write_str("neural network"),
+        }
+    }
+}
+
+/// A fitted empirical baseline model.
+#[derive(Debug, Clone)]
+pub enum EmpiricalModel {
+    /// Fitted OLS model.
+    Linear(LinearModel),
+    /// Fitted MLP.
+    NeuralNetwork(AnnModel),
+}
+
+/// Error fitting a baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineFitError {
+    what: String,
+}
+
+impl fmt::Display for BaselineFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline fit failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for BaselineFitError {}
+
+impl EmpiricalModel {
+    /// Fits a baseline of the requested kind to a training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineFitError`] when the underlying regression cannot
+    /// be solved (degenerate training sets).
+    pub fn fit(kind: BaselineKind, records: &[RunRecord]) -> Result<Self, BaselineFitError> {
+        let features: Vec<Vec<f64>> = records
+            .iter()
+            .map(|r| ModelInputs::from_record(r).features())
+            .collect();
+        let targets: Vec<f64> = records.iter().map(|r| r.cpi()).collect();
+        match kind {
+            BaselineKind::Linear => LinearModel::fit(&features, &targets, 1e-8)
+                .map(EmpiricalModel::Linear)
+                .map_err(|e| BaselineFitError { what: e.to_string() }),
+            BaselineKind::NeuralNetwork => {
+                let opts = AnnOptions::default();
+                AnnModel::fit(&features, &targets, &opts)
+                    .map(EmpiricalModel::NeuralNetwork)
+                    .map_err(|e| BaselineFitError { what: e.to_string() })
+            }
+        }
+    }
+
+    /// Predicts CPI for one run record.
+    pub fn predict_record(&self, record: &RunRecord) -> f64 {
+        let features = ModelInputs::from_record(record).features();
+        match self {
+            EmpiricalModel::Linear(m) => m.predict(&features),
+            EmpiricalModel::NeuralNetwork(m) => m.predict(&features),
+        }
+    }
+
+    /// The family this model belongs to.
+    pub fn kind(&self) -> BaselineKind {
+        match self {
+            EmpiricalModel::Linear(_) => BaselineKind::Linear,
+            EmpiricalModel::NeuralNetwork(_) => BaselineKind::NeuralNetwork,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oosim::machine::MachineConfig;
+    use oosim::run::run_suite;
+
+    fn records() -> Vec<RunRecord> {
+        let machine = MachineConfig::core2();
+        let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(14).collect();
+        run_suite(&machine, &suite, 50_000, 3)
+    }
+
+    #[test]
+    fn linear_fits_training_set_reasonably() {
+        let rs = records();
+        let m = EmpiricalModel::fit(BaselineKind::Linear, &rs).unwrap();
+        let mean_err: f64 = rs
+            .iter()
+            .map(|r| ((m.predict_record(r) - r.cpi()) / r.cpi()).abs())
+            .sum::<f64>()
+            / rs.len() as f64;
+        assert!(mean_err < 0.35, "training error {mean_err}");
+        assert_eq!(m.kind(), BaselineKind::Linear);
+    }
+
+    #[test]
+    fn ann_fits_training_set_well() {
+        let rs = records();
+        let m = EmpiricalModel::fit(BaselineKind::NeuralNetwork, &rs).unwrap();
+        let mean_err: f64 = rs
+            .iter()
+            .map(|r| ((m.predict_record(r) - r.cpi()) / r.cpi()).abs())
+            .sum::<f64>()
+            / rs.len() as f64;
+        assert!(mean_err < 0.30, "training error {mean_err}");
+        assert_eq!(m.kind(), BaselineKind::NeuralNetwork);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(BaselineKind::Linear.to_string(), "linear regression");
+        assert_eq!(BaselineKind::NeuralNetwork.to_string(), "neural network");
+    }
+}

@@ -1,0 +1,372 @@
+//! CPI-delta stacks: where did the performance difference between two
+//! machines come from? (Fig. 6 of the paper.)
+//!
+//! A delta stack subtracts machine A's CPI stack from machine B's for the
+//! same program. Because the machines crack x86 instructions into different
+//! µop counts, deltas are computed in **cycles per macro-instruction**
+//! (CPI×µops-per-instruction), which is also what lets the "µop fusion"
+//! bar exist at all.
+//!
+//! Beyond the overall stack, the model's structure lets each interesting
+//! component be split into its factors (paper §6):
+//!
+//! * the **branch** component into misprediction *counts*, branch
+//!   *resolution time* and front-end *pipeline depth* — this is how the
+//!   paper shows the Core 2 beating the Pentium 4 on branches *despite
+//!   mispredicting more*,
+//! * the **last-level cache** component into miss *counts*, *MLP* and
+//!   memory *latency* — this is how the paper shows Core i7's extra cache
+//!   sometimes removing only misses that MLP had already hidden.
+//!
+//! Every split is an exact decomposition: the factor terms sum to the
+//! component's delta (a first-order "bridge" decomposition, old→new).
+
+use crate::fit::InferredModel;
+use crate::inputs::ModelInputs;
+use pmu::RunRecord;
+use std::fmt;
+
+/// One machine's fitted model plus one benchmark's measurement on it — the
+/// per-side ingredients of a delta.
+#[derive(Debug, Clone)]
+struct Side {
+    /// µops per macro-instruction.
+    upi: f64,
+    /// Per-instruction miss rates (mpµ × upi).
+    mpi_br: f64,
+    mpi_llcd: f64,
+    /// Stack pieces.
+    cbr: f64,
+    cfe: f64,
+    mlp: f64,
+    c_mem: f64,
+    width: f64,
+    /// Per-instruction CPI stack components.
+    icache_pi: f64,
+    memory_pi: f64,
+    branch_pi: f64,
+    other_pi: f64,
+}
+
+impl Side {
+    fn build(model: &InferredModel, record: &RunRecord) -> Side {
+        let inputs = ModelInputs::from_record(record);
+        let stack = model.stack_for(&inputs);
+        let upi = record.counters().uops_per_instr();
+        Side {
+            upi,
+            mpi_br: inputs.mpu_br * upi,
+            mpi_llcd: inputs.mpu_dl2 * upi,
+            cbr: stack.branch_resolution,
+            cfe: model.arch().fe_depth,
+            mlp: stack.mlp,
+            c_mem: model.arch().c_mem,
+            width: model.arch().width,
+            icache_pi: (stack.l1i + stack.llc_i + stack.itlb) * upi,
+            memory_pi: (stack.llc_d + stack.dtlb) * upi,
+            branch_pi: stack.branch * upi,
+            other_pi: stack.resource * upi,
+        }
+    }
+}
+
+/// The overall CPI-delta stack (Fig. 6, top row). Components are new-minus-
+/// old in cycles per macro-instruction: negative values are improvements.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverallDelta {
+    /// Change from dispatch width (`upi_new · (1/D_new − 1/D_old)`).
+    pub width: f64,
+    /// Change from µop cracking/fusion (`(upi_new − upi_old)/D_old`).
+    pub fusion: f64,
+    /// Change in the I-side components (L1I + LLC-I + I-TLB).
+    pub icache: f64,
+    /// Change in the branch misprediction component.
+    pub branch: f64,
+    /// Change in the memory components (LLC-D + D-TLB).
+    pub memory: f64,
+    /// Change in the resource-stall component ("other" in the paper).
+    pub other: f64,
+}
+
+impl OverallDelta {
+    /// Total CPI change per macro-instruction (sum of all components).
+    pub fn total(&self) -> f64 {
+        self.width + self.fusion + self.icache + self.branch + self.memory + self.other
+    }
+
+    /// Components as `(name, value)` pairs.
+    pub fn components(&self) -> [(&'static str, f64); 6] {
+        [
+            ("width", self.width),
+            ("uop_fusion", self.fusion),
+            ("icache", self.icache),
+            ("branch", self.branch),
+            ("memory", self.memory),
+            ("other", self.other),
+        ]
+    }
+}
+
+/// The branch component's factor split (Fig. 6, middle row).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BranchDelta {
+    /// Effect of the change in misprediction counts.
+    pub mispredictions: f64,
+    /// Effect of the change in branch resolution time.
+    pub resolution: f64,
+    /// Effect of the change in front-end pipeline depth.
+    pub pipeline_depth: f64,
+}
+
+impl BranchDelta {
+    /// Total branch-component change (equals the overall stack's branch
+    /// entry).
+    pub fn total(&self) -> f64 {
+        self.mispredictions + self.resolution + self.pipeline_depth
+    }
+
+    /// Components as `(name, value)` pairs.
+    pub fn components(&self) -> [(&'static str, f64); 3] {
+        [
+            ("mispredictions", self.mispredictions),
+            ("resolution_time", self.resolution),
+            ("pipeline_depth", self.pipeline_depth),
+        ]
+    }
+}
+
+/// The last-level-cache component's factor split (Fig. 6, bottom row).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryDelta {
+    /// Effect of the change in LLC miss counts.
+    pub misses: f64,
+    /// Effect of the change in memory-level parallelism.
+    pub mlp: f64,
+    /// Effect of the change in memory latency.
+    pub latency: f64,
+}
+
+impl MemoryDelta {
+    /// Total LLC-component change.
+    pub fn total(&self) -> f64 {
+        self.misses + self.mlp + self.latency
+    }
+
+    /// Components as `(name, value)` pairs.
+    pub fn components(&self) -> [(&'static str, f64); 3] {
+        [
+            ("miss_count", self.misses),
+            ("mlp", self.mlp),
+            ("latency", self.latency),
+        ]
+    }
+}
+
+/// All three delta views for one comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeltaStacks {
+    /// Overall component deltas.
+    pub overall: OverallDelta,
+    /// Branch factor split.
+    pub branch: BranchDelta,
+    /// LLC factor split.
+    pub memory: MemoryDelta,
+}
+
+impl fmt::Display for DeltaStacks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ{:+.3} cycles/instr:", self.overall.total())?;
+        for (name, v) in self.overall.components() {
+            write!(f, " {name}:{v:+.3}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the delta stacks for one benchmark measured on two machines.
+///
+/// `old`/`new` order matters: components are `new − old`, so negative means
+/// the new machine improved.
+///
+/// # Panics
+///
+/// Panics if the two records are for different benchmarks — a delta between
+/// different programs is meaningless.
+pub fn delta_stack(
+    old_model: &InferredModel,
+    old_record: &RunRecord,
+    new_model: &InferredModel,
+    new_record: &RunRecord,
+) -> DeltaStacks {
+    assert_eq!(
+        old_record.benchmark(),
+        new_record.benchmark(),
+        "delta stacks compare the same benchmark on two machines"
+    );
+    let a = Side::build(old_model, old_record);
+    let b = Side::build(new_model, new_record);
+
+    let overall = OverallDelta {
+        width: b.upi * (1.0 / b.width - 1.0 / a.width),
+        fusion: (b.upi - a.upi) / a.width,
+        icache: b.icache_pi - a.icache_pi,
+        branch: b.branch_pi - a.branch_pi,
+        memory: b.memory_pi - a.memory_pi,
+        other: b.other_pi - a.other_pi,
+    };
+    // Exact bridge decomposition of the branch component:
+    //   mpi·(cbr + cfe): counts at old costs, then each cost at new counts.
+    let branch = BranchDelta {
+        mispredictions: (b.mpi_br - a.mpi_br) * (a.cbr + a.cfe),
+        resolution: b.mpi_br * (b.cbr - a.cbr),
+        pipeline_depth: b.mpi_br * (b.cfe - a.cfe),
+    };
+    // Exact bridge decomposition of the LLC component: mpi·c_mem/MLP.
+    let memory = MemoryDelta {
+        misses: (b.mpi_llcd - a.mpi_llcd) * a.c_mem / a.mlp,
+        mlp: b.mpi_llcd * a.c_mem * (1.0 / b.mlp - 1.0 / a.mlp),
+        latency: b.mpi_llcd * (b.c_mem - a.c_mem) / b.mlp,
+    };
+    DeltaStacks {
+        overall,
+        branch,
+        memory,
+    }
+}
+
+/// Averages per-benchmark delta stacks over a suite (records paired by
+/// benchmark name; unpaired records are skipped).
+///
+/// # Panics
+///
+/// Panics if no benchmark names match between the two record sets.
+pub fn suite_delta(
+    old_model: &InferredModel,
+    old_records: &[RunRecord],
+    new_model: &InferredModel,
+    new_records: &[RunRecord],
+) -> DeltaStacks {
+    let mut acc = DeltaStacks::default();
+    let mut n = 0usize;
+    for old in old_records {
+        let Some(new) = new_records
+            .iter()
+            .find(|r| r.benchmark() == old.benchmark())
+        else {
+            continue;
+        };
+        let d = delta_stack(old_model, old, new_model, new);
+        acc.overall.width += d.overall.width;
+        acc.overall.fusion += d.overall.fusion;
+        acc.overall.icache += d.overall.icache;
+        acc.overall.branch += d.overall.branch;
+        acc.overall.memory += d.overall.memory;
+        acc.overall.other += d.overall.other;
+        acc.branch.mispredictions += d.branch.mispredictions;
+        acc.branch.resolution += d.branch.resolution;
+        acc.branch.pipeline_depth += d.branch.pipeline_depth;
+        acc.memory.misses += d.memory.misses;
+        acc.memory.mlp += d.memory.mlp;
+        acc.memory.latency += d.memory.latency;
+        n += 1;
+    }
+    assert!(n > 0, "no benchmarks in common between the two record sets");
+    let k = n as f64;
+    acc.overall.width /= k;
+    acc.overall.fusion /= k;
+    acc.overall.icache /= k;
+    acc.overall.branch /= k;
+    acc.overall.memory /= k;
+    acc.overall.other /= k;
+    acc.branch.mispredictions /= k;
+    acc.branch.resolution /= k;
+    acc.branch.pipeline_depth /= k;
+    acc.memory.misses /= k;
+    acc.memory.mlp /= k;
+    acc.memory.latency /= k;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{FitOptions, InferredModel};
+    use crate::params::MicroarchParams;
+    use oosim::machine::MachineConfig;
+    use oosim::run::run_suite;
+
+    fn fitted(machine: &MachineConfig, take: usize) -> (InferredModel, Vec<RunRecord>) {
+        let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(take).collect();
+        let records = run_suite(machine, &suite, 50_000, 11);
+        let arch = MicroarchParams::from_machine(machine);
+        let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
+        (model, records)
+    }
+
+    #[test]
+    fn branch_split_sums_to_branch_delta() {
+        let (m_old, r_old) = fitted(&MachineConfig::pentium4(), 12);
+        let (m_new, r_new) = fitted(&MachineConfig::core2(), 12);
+        for (a, b) in r_old.iter().zip(&r_new) {
+            let d = delta_stack(&m_old, a, &m_new, b);
+            assert!(
+                (d.branch.total() - d.overall.branch).abs() < 1e-9,
+                "{}: {} vs {}",
+                a.benchmark(),
+                d.branch.total(),
+                d.overall.branch
+            );
+        }
+    }
+
+    #[test]
+    fn width_plus_fusion_equals_base_delta() {
+        let (m_old, r_old) = fitted(&MachineConfig::pentium4(), 12);
+        let (m_new, r_new) = fitted(&MachineConfig::core2(), 12);
+        for (a, b) in r_old.iter().zip(&r_new) {
+            let d = delta_stack(&m_old, a, &m_new, b);
+            let base_old = a.counters().uops_per_instr() / 3.0;
+            let base_new = b.counters().uops_per_instr() / 4.0;
+            assert!(
+                (d.overall.width + d.overall.fusion - (base_new - base_old)).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn core2_improves_over_pentium4_overall() {
+        let (m_old, r_old) = fitted(&MachineConfig::pentium4(), 12);
+        let (m_new, r_new) = fitted(&MachineConfig::core2(), 12);
+        let d = suite_delta(&m_old, &r_old, &m_new, &r_new);
+        assert!(
+            d.overall.total() < 0.0,
+            "Core 2 should improve on P4: {d}"
+        );
+        // The pipeline-depth factor must be a big win (31 → 14 stages).
+        assert!(d.branch.pipeline_depth < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same benchmark")]
+    fn mismatched_benchmarks_panic() {
+        let (m, rs) = fitted(&MachineConfig::core2(), 12);
+        let _ = delta_stack(&m, &rs[0], &m, &rs[1]);
+    }
+
+    #[test]
+    fn suite_delta_averages() {
+        let (m_old, r_old) = fitted(&MachineConfig::core2(), 12);
+        // Same machine twice: all deltas must vanish.
+        let d = suite_delta(&m_old, &r_old, &m_old, &r_old);
+        assert!(d.overall.total().abs() < 1e-9);
+        assert!(d.branch.total().abs() < 1e-9);
+        assert!(d.memory.total().abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_has_signs() {
+        let (m, rs) = fitted(&MachineConfig::core2(), 12);
+        let d = suite_delta(&m, &rs, &m, &rs);
+        assert!(d.to_string().contains("Δ"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Evaluation harnesses: accuracy, robustness and baseline comparison —
+//! the machinery behind Fig. 2, 3 and 4.
+
+use crate::baselines::{BaselineKind, EmpiricalModel};
+use crate::fit::{FitError, FitOptions, InferredModel};
+use crate::params::MicroarchParams;
+use pmu::RunRecord;
+use regress::metrics::{error_cdf, relative_error, ErrorSummary};
+
+/// Per-benchmark prediction outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Benchmark–input name.
+    pub benchmark: String,
+    /// Measured CPI (hardware counters).
+    pub measured: f64,
+    /// Model-predicted CPI.
+    pub predicted: f64,
+}
+
+impl Prediction {
+    /// Absolute relative error of this prediction.
+    pub fn error(&self) -> f64 {
+        relative_error(self.predicted, self.measured)
+    }
+}
+
+/// Evaluates a fitted gray-box model over a record set.
+pub fn evaluate_model(model: &InferredModel, records: &[RunRecord]) -> Vec<Prediction> {
+    records
+        .iter()
+        .map(|r| Prediction {
+            benchmark: r.benchmark().to_owned(),
+            measured: r.cpi(),
+            predicted: model.predict_record(r),
+        })
+        .collect()
+}
+
+/// Evaluates a fitted empirical baseline over a record set.
+pub fn evaluate_baseline(model: &EmpiricalModel, records: &[RunRecord]) -> Vec<Prediction> {
+    records
+        .iter()
+        .map(|r| Prediction {
+            benchmark: r.benchmark().to_owned(),
+            measured: r.cpi(),
+            predicted: model.predict_record(r),
+        })
+        .collect()
+}
+
+/// Summarises predictions into the paper's error statistics.
+pub fn summarize(predictions: &[Prediction]) -> ErrorSummary {
+    let errors: Vec<f64> = predictions.iter().map(Prediction::error).collect();
+    ErrorSummary::from_errors(&errors)
+}
+
+/// Sorted error CDF over predictions — the curves of Fig. 3.
+pub fn prediction_cdf(predictions: &[Prediction]) -> Vec<(f64, f64)> {
+    let errors: Vec<f64> = predictions.iter().map(Prediction::error).collect();
+    error_cdf(&errors)
+}
+
+/// Fits on `train`, evaluates on `test` — one arm of the paper's
+/// cross-validation experiments (train CPU2000 / test CPU2006 etc.).
+///
+/// # Errors
+///
+/// Propagates [`FitError`] from the underlying fit.
+pub fn cross_validate_model(
+    arch: &MicroarchParams,
+    train: &[RunRecord],
+    test: &[RunRecord],
+    opts: &FitOptions,
+) -> Result<Vec<Prediction>, FitError> {
+    let model = InferredModel::fit(arch, train, opts)?;
+    Ok(evaluate_model(&model, test))
+}
+
+/// The three-way comparison of Fig. 4 for one machine and one train/test
+/// split: mechanistic-empirical vs ANN vs linear regression, mean absolute
+/// relative errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Mean error of the gray-box model.
+    pub mechanistic_empirical: f64,
+    /// Mean error of the ANN baseline.
+    pub neural_network: f64,
+    /// Mean error of the linear-regression baseline.
+    pub linear_regression: f64,
+}
+
+impl Comparison {
+    /// Runs the comparison: all three models fitted on `train`, evaluated
+    /// on `test` (pass the same slice twice for the no-cross-validation
+    /// arm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any model fails to fit — the experiment harness treats an
+    /// unfittable configuration as a setup bug.
+    pub fn run(
+        arch: &MicroarchParams,
+        train: &[RunRecord],
+        test: &[RunRecord],
+        opts: &FitOptions,
+    ) -> Self {
+        let me = InferredModel::fit(arch, train, opts).expect("gray-box fit");
+        let ann = EmpiricalModel::fit(BaselineKind::NeuralNetwork, train).expect("ann fit");
+        let lin = EmpiricalModel::fit(BaselineKind::Linear, train).expect("linear fit");
+        Self {
+            mechanistic_empirical: summarize(&evaluate_model(&me, test)).mean,
+            neural_network: summarize(&evaluate_baseline(&ann, test)).mean,
+            linear_regression: summarize(&evaluate_baseline(&lin, test)).mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oosim::machine::MachineConfig;
+    use oosim::run::run_suite;
+
+    fn records(take: usize, seed: u64) -> Vec<RunRecord> {
+        let machine = MachineConfig::core2();
+        let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(take).collect();
+        run_suite(&machine, &suite, 50_000, seed)
+    }
+
+    #[test]
+    fn predictions_carry_errors() {
+        let rs = records(12, 1);
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let model = InferredModel::fit(&arch, &rs, &FitOptions::quick()).unwrap();
+        let preds = evaluate_model(&model, &rs);
+        assert_eq!(preds.len(), rs.len());
+        let summary = summarize(&preds);
+        assert!(summary.mean < 0.5, "in-sample error {summary}");
+        let cdf = prediction_cdf(&preds);
+        assert_eq!(cdf.len(), preds.len());
+    }
+
+    #[test]
+    fn cross_validation_runs() {
+        let train = records(12, 1);
+        let test = records(12, 99);
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let preds = cross_validate_model(&arch, &train, &test, &FitOptions::quick()).unwrap();
+        assert_eq!(preds.len(), test.len());
+    }
+
+    #[test]
+    fn comparison_produces_three_numbers() {
+        let rs = records(12, 1);
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let c = Comparison::run(&arch, &rs, &rs, &FitOptions::quick());
+        assert!(c.mechanistic_empirical.is_finite());
+        assert!(c.neural_network.is_finite());
+        assert!(c.linear_regression.is_finite());
+    }
+}

@@ -1,0 +1,92 @@
+//! CSV export of model outputs for external plotting tools.
+//!
+//! The report crate renders figures as text; for publication-quality
+//! plotting, these exporters dump the same numbers as CSV: per-benchmark
+//! predictions (Fig. 2's points) and per-benchmark CPI stacks (the bar
+//! heights behind Fig. 6's aggregates).
+
+use crate::fit::InferredModel;
+use pmu::RunRecord;
+use std::fmt::Write as _;
+
+/// CSV of `benchmark, measured_cpi, predicted_cpi, rel_error` per record —
+/// the Fig. 2 scatter as data.
+pub fn predictions_csv(model: &InferredModel, records: &[RunRecord]) -> String {
+    let mut out = String::from("benchmark,measured_cpi,predicted_cpi,rel_error\n");
+    for r in records {
+        let measured = r.cpi();
+        let predicted = model.predict_record(r);
+        let _ = writeln!(
+            out,
+            "{},{measured},{predicted},{}",
+            r.benchmark(),
+            (predicted - measured).abs() / measured
+        );
+    }
+    out
+}
+
+/// CSV of the full per-benchmark CPI stack (component columns) per record.
+pub fn stacks_csv(model: &InferredModel, records: &[RunRecord]) -> String {
+    let mut out = String::from(
+        "benchmark,base,l1i_miss,llc_i_miss,itlb_miss,branch_mispredict,\
+         llc_d_miss,dtlb_miss,resource_stall,total,branch_resolution,mlp\n",
+    );
+    for r in records {
+        let s = model.cpi_stack(r);
+        let _ = write!(out, "{}", r.benchmark());
+        for (_, v) in s.components() {
+            let _ = write!(out, ",{v}");
+        }
+        let _ = writeln!(out, ",{},{},{}", s.total(), s.branch_resolution, s.mlp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::FitOptions;
+    use crate::params::MicroarchParams;
+    use oosim::machine::MachineConfig;
+    use oosim::run::run_suite;
+
+    fn fitted() -> (InferredModel, Vec<RunRecord>) {
+        let machine = MachineConfig::core2();
+        let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(12).collect();
+        let records = run_suite(&machine, &suite, 20_000, 4);
+        let arch = MicroarchParams::from_machine(&machine);
+        let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
+        (model, records)
+    }
+
+    #[test]
+    fn predictions_csv_has_row_per_record() {
+        let (model, records) = fitted();
+        let csv = predictions_csv(&model, &records);
+        assert_eq!(csv.lines().count(), records.len() + 1);
+        assert!(csv.starts_with("benchmark,measured_cpi"));
+        // Rows parse back to numbers.
+        for line in csv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 4);
+            assert!(fields[1].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn stacks_csv_components_sum_to_total() {
+        let (model, records) = fitted();
+        let csv = stacks_csv(&model, &records);
+        for line in csv.lines().skip(1) {
+            let fields: Vec<f64> = line
+                .split(',')
+                .skip(1)
+                .map(|f| f.parse().unwrap())
+                .collect();
+            let parts: f64 = fields[..8].iter().sum();
+            let total = fields[8];
+            assert!((parts - total).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Counter-derived model inputs: the per-µop rates of Eq. 1–6.
+
+use pmu::{Event, RunRecord};
+use std::fmt;
+
+/// The application×machine inputs of the model, all derived from one run's
+/// performance counters (the paper's §3.1 second parameter type).
+///
+/// Rates are per committed micro-operation, following the paper's `mpµ_x`
+/// notation. The measured CPI is carried along as the regression target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelInputs {
+    /// Branch mispredictions per µop (`mpµ_br`).
+    pub mpu_br: f64,
+    /// L1 I-cache misses per µop (`m_L1I$ / N`).
+    pub mpu_l1i: f64,
+    /// I-side last-level misses per µop (`m_L2I$ / N`).
+    pub mpu_llci: f64,
+    /// I-TLB misses per µop (`m_ITLB / N`).
+    pub mpu_itlb: f64,
+    /// L1 D-cache load misses that hit in L2, per µop (`mpµ_DL1`).
+    pub mpu_dl1: f64,
+    /// Last-level-cache load misses per µop (`mpµ_DL2` — the paper's "L2"
+    /// means the last on-chip level).
+    pub mpu_dl2: f64,
+    /// D-TLB misses per µop (`mpµ_DTLB`).
+    pub mpu_dtlb: f64,
+    /// Fraction of µops that are floating-point (`fp`).
+    pub fp: f64,
+    /// Measured cycles per µop — the regression target.
+    pub measured_cpi: f64,
+}
+
+impl ModelInputs {
+    /// Derives the inputs from a completed run record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record retired no µops (empty measurement).
+    pub fn from_record(record: &RunRecord) -> Self {
+        let c = record.counters();
+        assert!(
+            c.get(Event::UopsRetired) > 0,
+            "run record has no retired µops"
+        );
+        Self {
+            mpu_br: c.per_uop(Event::BranchMispredicts),
+            mpu_l1i: c.per_uop(Event::L1InstrMisses),
+            mpu_llci: c.per_uop(Event::LlcInstrMisses),
+            mpu_itlb: c.per_uop(Event::ItlbMisses),
+            mpu_dl1: c.per_uop(Event::L1DataMisses),
+            mpu_dl2: c.per_uop(Event::LlcDataMisses),
+            mpu_dtlb: c.per_uop(Event::DtlbMisses),
+            fp: c.per_uop(Event::FpOps),
+            measured_cpi: c.cpi(),
+        }
+    }
+
+    /// The feature vector handed to the *empirical* baseline models — "the
+    /// exact same input as mechanistic-empirical modeling" (paper §4).
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.mpu_br,
+            self.mpu_l1i,
+            self.mpu_llci,
+            self.mpu_itlb,
+            self.mpu_dl1,
+            self.mpu_dl2,
+            self.mpu_dtlb,
+            self.fp,
+        ]
+    }
+
+    /// Names of [`ModelInputs::features`] entries, for reports.
+    pub fn feature_names() -> [&'static str; 8] {
+        [
+            "mpu_br", "mpu_l1i", "mpu_llci", "mpu_itlb", "mpu_dl1", "mpu_dl2", "mpu_dtlb", "fp",
+        ]
+    }
+
+    /// Validates that every rate is finite and non-negative.
+    pub fn is_sane(&self) -> bool {
+        self.features()
+            .iter()
+            .chain([&self.measured_cpi])
+            .all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl fmt::Display for ModelInputs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpi={:.3} br={:.2e} l1i={:.2e} dl2={:.2e} dtlb={:.2e} fp={:.2}",
+            self.measured_cpi, self.mpu_br, self.mpu_l1i, self.mpu_dl2, self.mpu_dtlb, self.fp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu::{CounterSet, MachineId, Suite};
+
+    fn record() -> RunRecord {
+        let mut c = CounterSet::new();
+        c.add(Event::Cycles, 2_000);
+        c.add(Event::UopsRetired, 1_000);
+        c.add(Event::BranchMispredicts, 5);
+        c.add(Event::L1InstrMisses, 4);
+        c.add(Event::LlcInstrMisses, 1);
+        c.add(Event::ItlbMisses, 2);
+        c.add(Event::L1DataMisses, 30);
+        c.add(Event::LlcDataMisses, 10);
+        c.add(Event::DtlbMisses, 8);
+        c.add(Event::FpOps, 200);
+        RunRecord::new("x", Suite::Cpu2000, MachineId::Core2, c)
+    }
+
+    #[test]
+    fn rates_are_per_uop() {
+        let i = ModelInputs::from_record(&record());
+        assert!((i.measured_cpi - 2.0).abs() < 1e-12);
+        assert!((i.mpu_br - 0.005).abs() < 1e-12);
+        assert!((i.mpu_dl2 - 0.010).abs() < 1e-12);
+        assert!((i.fp - 0.2).abs() < 1e-12);
+        assert!(i.is_sane());
+    }
+
+    #[test]
+    fn features_align_with_names() {
+        let i = ModelInputs::from_record(&record());
+        assert_eq!(i.features().len(), ModelInputs::feature_names().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no retired µops")]
+    fn empty_record_panics() {
+        let r = RunRecord::new("y", Suite::Cpu2000, MachineId::Core2, CounterSet::new());
+        let _ = ModelInputs::from_record(&r);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let text = ModelInputs::from_record(&record()).to_string();
+        assert!(text.contains("cpi=2.000"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The mechanistic-empirical ("gray-box") processor performance model of
+//! Eyerman, Hoste and Eeckhout (ISPASS 2011) — the paper's contribution.
+//!
+//! The model estimates total cycles from performance-counter data through a
+//! parameterized formula derived from mechanistic interval modeling
+//! (Eq. 1), with three submodels whose ten parameters are inferred by
+//! nonlinear regression (Eq. 2–6): the branch resolution time, the
+//! memory-level-parallelism (MLP) correction factor, and the resource-stall
+//! component. Because every term of Eq. 1 is attributable to a cause, a
+//! fitted model yields **CPI stacks** on hardware that has no stack-capable
+//! counters — and **CPI-delta stacks** that explain where performance
+//! differences between machines come from (Fig. 6).
+//!
+//! Module map:
+//!
+//! * [`params`] — machine-level inputs (Table 2) and the ten `b`-parameters,
+//! * [`inputs`] — counter-derived per-benchmark rates (`mpµ_x`, `fp`, CPI),
+//! * [`equations`] — Eq. 1–6 as pure functions,
+//! * [`stack`] — model-estimated CPI stacks,
+//! * [`fit`] — model inference by relative-squared-error regression,
+//! * [`eval`] — accuracy/robustness evaluation harnesses (Fig. 2–4),
+//! * [`baselines`] — the purely empirical comparison models (linear
+//!   regression, ANN) over the same inputs,
+//! * [`delta`] — CPI-delta stacks between machines (Fig. 6),
+//! * [`stability`] — bootstrap parameter-stability diagnostics,
+//! * [`export`] — CSV dumps of predictions and stacks for external plots.
+//!
+//! # Examples
+//!
+//! ```
+//! use memodel::{FitOptions, InferredModel, MicroarchParams};
+//! use oosim::machine::MachineConfig;
+//! use oosim::run::run_suite;
+//!
+//! let machine = MachineConfig::core2();
+//! let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(12).collect();
+//! let records = run_suite(&machine, &suite, 40_000, 42);
+//! let arch = MicroarchParams::from_machine(&machine);
+//! let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
+//! for r in &records {
+//!     let stack = model.cpi_stack(r);
+//!     println!("{}: {}", r.benchmark(), stack);
+//! }
+//! ```
+
+pub mod baselines;
+pub mod delta;
+pub mod export;
+pub mod equations;
+pub mod eval;
+pub mod fit;
+pub mod inputs;
+pub mod params;
+pub mod stability;
+pub mod stack;
+
+pub use fit::{FitError, FitOptions, InferredModel};
+pub use inputs::ModelInputs;
+pub use params::{MicroarchParams, ModelParams};
+pub use stack::CpiStack;

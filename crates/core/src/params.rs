@@ -1,0 +1,200 @@
+//! Model parameters: machine-level constants and the ten regression
+//! parameters.
+
+use oosim::machine::MachineConfig;
+use std::fmt;
+
+/// The microarchitecture-only inputs of Eq. 1 (the paper's Table 2 row):
+/// dispatch width, front-end depth, and the cache/TLB/memory latencies.
+///
+/// These come either from processor specifications
+/// ([`MicroarchParams::from_machine`]) or from Calibrator-style
+/// microbenchmarks ([`MicroarchParams::new`] with estimates from the
+/// `calibrate` crate) — the paper does the latter for the latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroarchParams {
+    /// Dispatch width `D`.
+    pub width: f64,
+    /// Front-end pipeline depth `c_fe` (branch refill cycles).
+    pub fe_depth: f64,
+    /// L2 access time `c_L2` (the penalty of an L1 I-miss that hits L2).
+    pub c_l2: f64,
+    /// Memory access time `c_mem`.
+    pub c_mem: f64,
+    /// TLB miss penalty `c_TLB`.
+    pub c_tlb: f64,
+}
+
+impl MicroarchParams {
+    /// Builds parameters from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-positive.
+    pub fn new(width: f64, fe_depth: f64, c_l2: f64, c_mem: f64, c_tlb: f64) -> Self {
+        assert!(
+            width > 0.0 && fe_depth > 0.0 && c_l2 > 0.0 && c_mem > 0.0 && c_tlb > 0.0,
+            "microarchitecture parameters must be positive"
+        );
+        Self {
+            width,
+            fe_depth,
+            c_l2,
+            c_mem,
+            c_tlb,
+        }
+    }
+
+    /// Reads the parameters off a simulated machine's specification — the
+    /// equivalent of reading Intel's datasheets, as the paper does for the
+    /// width and pipeline depth.
+    pub fn from_machine(machine: &MachineConfig) -> Self {
+        Self::new(
+            machine.dispatch_width as f64,
+            machine.frontend_depth as f64,
+            machine.lat.l2 as f64,
+            machine.lat.mem as f64,
+            machine.lat.tlb as f64,
+        )
+    }
+}
+
+impl fmt::Display for MicroarchParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "D={}, c_fe={}, c_L2={}, c_mem={}, c_TLB={}",
+            self.width, self.fe_depth, self.c_l2, self.c_mem, self.c_tlb
+        )
+    }
+}
+
+/// The ten regression parameters `b1..b10` of Eq. 2–6.
+///
+/// | parameter | role |
+/// |---|---|
+/// | `b1`, `b2` | branch resolution: scale and interval-length power law |
+/// | `b3`, `b4` | branch resolution: FP and L1-D-miss chain factors |
+/// | `b5`–`b7` | MLP: scale and the two power-law exponents |
+/// | `b8`–`b10` | resource stalls: scale, FP and L1-D-miss factors |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// The raw parameter vector `[b1, …, b10]`.
+    pub b: [f64; 10],
+}
+
+impl ModelParams {
+    /// Number of regression parameters.
+    pub const COUNT: usize = 10;
+
+    /// A physically-plausible starting point for regression.
+    pub fn initial_guess() -> Self {
+        Self {
+            b: [1.0, 0.5, 1.0, 10.0, 8.0, 0.25, 0.05, 0.3, 2.0, 20.0],
+        }
+    }
+
+    /// Box bounds used during fitting: each parameter's physically
+    /// meaningful range (scales non-negative, exponents in `[-1, 1.5]`).
+    pub fn bounds() -> [(f64, f64); 10] {
+        [
+            (0.0, 100.0),  // b1: resolution scale
+            (0.0, 1.5),    // b2: interval power law
+            (0.0, 50.0),   // b3: fp factor
+            (0.0, 2000.0), // b4: L1D-miss factor
+            (0.05, 2000.0),// b5: MLP scale
+            (-1.0, 1.5),   // b6: MLP exponent on LLC misses
+            (-1.0, 1.5),   // b7: MLP exponent on DTLB misses
+            (0.0, 10.0),   // b8: stall scale
+            (0.0, 50.0),   // b9: stall fp factor
+            (0.0, 5000.0), // b10: stall L1D-miss factor
+        ]
+    }
+
+    /// Creates parameters from a slice (regression output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 10`.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert_eq!(values.len(), Self::COUNT, "expected 10 parameters");
+        let mut b = [0.0; 10];
+        b.copy_from_slice(values);
+        Self { b }
+    }
+
+    /// `b_i` with the paper's 1-based numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= i <= 10`.
+    pub fn get(&self, i: usize) -> f64 {
+        assert!((1..=10).contains(&i), "parameter index out of range");
+        self.b[i - 1]
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b = [")?;
+        for (i, v) in self.b.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_machine_matches_table_2() {
+        let p = MicroarchParams::from_machine(&MachineConfig::pentium4());
+        assert_eq!(p.width, 3.0);
+        assert_eq!(p.fe_depth, 31.0);
+        assert_eq!(p.c_l2, 31.0);
+        assert_eq!(p.c_mem, 313.0);
+        assert_eq!(p.c_tlb, 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        let _ = MicroarchParams::new(0.0, 14.0, 19.0, 169.0, 30.0);
+    }
+
+    #[test]
+    fn params_round_trip_slice() {
+        let p = ModelParams::initial_guess();
+        let q = ModelParams::from_slice(&p.b);
+        assert_eq!(p, q);
+        assert_eq!(p.get(1), p.b[0]);
+        assert_eq!(p.get(10), p.b[9]);
+    }
+
+    #[test]
+    fn bounds_contain_initial_guess() {
+        let p = ModelParams::initial_guess();
+        for (v, (lo, hi)) in p.b.iter().zip(ModelParams::bounds()) {
+            assert!(*v >= lo && *v <= hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_rejects_zero() {
+        let _ = ModelParams::initial_guess().get(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let text = ModelParams::initial_guess().to_string();
+        assert!(text.starts_with("b = ["));
+        let text = MicroarchParams::from_machine(&MachineConfig::core2()).to_string();
+        assert!(text.contains("D=4"));
+    }
+}

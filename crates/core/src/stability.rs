@@ -1,0 +1,157 @@
+//! Parameter-stability analysis by bootstrap — an extension beyond the
+//! paper's point estimates.
+//!
+//! §5.2's robustness experiment asks whether a fitted model transfers to a
+//! different suite; the dual question is how sensitive the ten fitted
+//! parameters are to the *composition* of the training suite. Resampling
+//! benchmarks with replacement and refitting answers it: parameters with
+//! wide bootstrap spreads are weakly identified (typically because few
+//! benchmarks exercise their term), a diagnostic worth running before
+//! trusting a per-parameter interpretation.
+
+use crate::fit::{FitOptions, InferredModel};
+use crate::inputs::ModelInputs;
+use crate::params::{MicroarchParams, ModelParams};
+use pmu::RunRecord;
+use regress::bootstrap::{bootstrap_params, ParamSpread};
+use std::fmt;
+
+/// Bootstrap spreads for all ten model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterStability {
+    /// Spread per parameter, `b1..b10` order.
+    pub spreads: Vec<ParamSpread>,
+    /// Resamples used.
+    pub resamples: usize,
+}
+
+impl ParameterStability {
+    /// Parameters whose 5–95% bootstrap band spans more than `factor`×
+    /// their mean magnitude — the weakly-identified ones.
+    pub fn weakly_identified(&self, factor: f64) -> Vec<usize> {
+        self.spreads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| (s.p95 - s.p5) > factor * s.mean.abs().max(1e-9))
+            .map(|(i, _)| i + 1) // 1-based, like the paper's b-numbers
+            .collect()
+    }
+}
+
+impl fmt::Display for ParameterStability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "parameter stability over {} resamples:", self.resamples)?;
+        for (i, s) in self.spreads.iter().enumerate() {
+            writeln!(
+                f,
+                "  b{:<2} mean {:>10.4}  sd {:>10.4}  [{:>10.4}, {:>10.4}]",
+                i + 1,
+                s.mean,
+                s.std_dev,
+                s.p5,
+                s.p95
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Bootstraps the model fit: `resamples` refits on benchmark sets drawn
+/// with replacement from `records`.
+///
+/// Each refit uses a reduced optimizer budget (this is a diagnostic, not a
+/// production fit); deterministic for fixed inputs and `seed`.
+///
+/// # Panics
+///
+/// Panics if `records` is too small to fit (≤ 10) or any refit fails.
+pub fn bootstrap_fit(
+    arch: &MicroarchParams,
+    records: &[RunRecord],
+    resamples: usize,
+    seed: u64,
+) -> ParameterStability {
+    let inputs: Vec<ModelInputs> = records.iter().map(ModelInputs::from_record).collect();
+    let opts = FitOptions {
+        extra_starts: 2,
+        max_evals: 8_000,
+        ..FitOptions::default()
+    };
+    let spreads = bootstrap_params(inputs.len(), resamples, seed, |idx| {
+        let sample: Vec<ModelInputs> = idx.iter().map(|&i| inputs[i]).collect();
+        let model = InferredModel::fit_from_inputs(arch, &sample, &opts)
+            .expect("bootstrap refit failed");
+        model.params().b.to_vec()
+    });
+    ParameterStability {
+        spreads,
+        resamples,
+    }
+}
+
+/// Convenience: spread check that every parameter stayed inside its bounds
+/// across the whole bootstrap (sanity for the fitting pipeline).
+pub fn spreads_within_bounds(stability: &ParameterStability) -> bool {
+    stability
+        .spreads
+        .iter()
+        .zip(ModelParams::bounds())
+        .all(|(s, (lo, hi))| s.p5 >= lo - 1e-9 && s.p95 <= hi + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oosim::machine::MachineConfig;
+    use oosim::run::run_suite;
+
+    fn setup() -> (MicroarchParams, Vec<RunRecord>) {
+        let machine = MachineConfig::core2();
+        let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(16).collect();
+        let records = run_suite(&machine, &suite, 40_000, 9);
+        (MicroarchParams::from_machine(&machine), records)
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_bounded() {
+        let (arch, records) = setup();
+        let a = bootstrap_fit(&arch, &records, 6, 11);
+        let b = bootstrap_fit(&arch, &records, 6, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.spreads.len(), ModelParams::COUNT);
+        assert!(spreads_within_bounds(&a));
+    }
+
+    #[test]
+    fn weakly_identified_uses_one_based_numbering() {
+        let stability = ParameterStability {
+            spreads: vec![
+                ParamSpread {
+                    mean: 1.0,
+                    std_dev: 0.01,
+                    p5: 0.99,
+                    p95: 1.01,
+                };
+                10
+            ],
+            resamples: 1,
+        };
+        assert!(stability.weakly_identified(0.5).is_empty());
+        let mut wide = stability.clone();
+        wide.spreads[4] = ParamSpread {
+            mean: 1.0,
+            std_dev: 2.0,
+            p5: 0.0,
+            p95: 5.0,
+        };
+        assert_eq!(wide.weakly_identified(0.5), vec![5]);
+    }
+
+    #[test]
+    fn display_lists_all_parameters() {
+        let (arch, records) = setup();
+        let s = bootstrap_fit(&arch, &records, 3, 2);
+        let text = s.to_string();
+        assert!(text.contains("b1 ") && text.contains("b10"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Model-estimated CPI stacks — the paper's headline capability: stacks on
+//! hardware whose counters cannot measure them directly.
+
+use std::fmt;
+
+/// A CPI stack estimated by the mechanistic-empirical model: each term of
+/// Eq. 1 divided by `N`, so the components sum to the predicted CPI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiStack {
+    /// Base component `1/D` — useful work.
+    pub base: f64,
+    /// L1 I-cache miss component (`mpµ_L1I · c_L2`).
+    pub l1i: f64,
+    /// I-side last-level miss component (`mpµ_L2I · c_mem`).
+    pub llc_i: f64,
+    /// I-TLB component (`mpµ_ITLB · c_TLB`).
+    pub itlb: f64,
+    /// Branch misprediction component (`mpµ_br · (c_br + c_fe)`).
+    pub branch: f64,
+    /// Long-latency load component (`mpµ_DL2 · c_mem / MLP`).
+    pub llc_d: f64,
+    /// D-TLB component (`mpµ_DTLB · c_TLB / MLP`).
+    pub dtlb: f64,
+    /// Resource stall component (Eq. 4).
+    pub resource: f64,
+    /// The fitted branch resolution time `c_br` behind the branch component
+    /// (exposed for delta stacks, which split the branch bar into counts,
+    /// resolution and pipeline depth).
+    pub branch_resolution: f64,
+    /// The fitted MLP correction behind the memory components (exposed for
+    /// delta stacks, which split the memory bar into counts, MLP and
+    /// latency).
+    pub mlp: f64,
+}
+
+impl CpiStack {
+    /// Sum of all components: the model's predicted CPI.
+    pub fn total(&self) -> f64 {
+        self.base
+            + self.l1i
+            + self.llc_i
+            + self.itlb
+            + self.branch
+            + self.llc_d
+            + self.dtlb
+            + self.resource
+    }
+
+    /// Components as `(name, value)` pairs in reporting order (the
+    /// auxiliary `branch_resolution`/`mlp` diagnostics are not components).
+    pub fn components(&self) -> [(&'static str, f64); 8] {
+        [
+            ("base", self.base),
+            ("l1i_miss", self.l1i),
+            ("llc_i_miss", self.llc_i),
+            ("itlb_miss", self.itlb),
+            ("branch_mispredict", self.branch),
+            ("llc_d_miss", self.llc_d),
+            ("dtlb_miss", self.dtlb),
+            ("resource_stall", self.resource),
+        ]
+    }
+
+    /// The fraction of predicted CPI lost to miss events (everything except
+    /// the base component).
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 - self.base / self.total()
+    }
+}
+
+impl fmt::Display for CpiStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CPI {:.3} =", self.total())?;
+        for (name, value) in self.components() {
+            if value > 0.0005 {
+                write!(f, " {name}:{value:.3}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> CpiStack {
+        CpiStack {
+            base: 0.25,
+            l1i: 0.02,
+            llc_i: 0.01,
+            itlb: 0.005,
+            branch: 0.15,
+            llc_d: 0.40,
+            dtlb: 0.03,
+            resource: 0.10,
+            branch_resolution: 12.0,
+            mlp: 2.5,
+        }
+    }
+
+    #[test]
+    fn total_sums_components() {
+        let s = stack();
+        let sum: f64 = s.components().iter().map(|(_, v)| v).sum();
+        assert!((s.total() - sum).abs() < 1e-12);
+        assert!((s.total() - 0.965).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let s = stack();
+        assert!((s.overhead_fraction() - (1.0 - 0.25 / 0.965)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_skips_negligible() {
+        let mut s = stack();
+        s.itlb = 0.0;
+        let text = s.to_string();
+        assert!(text.contains("llc_d_miss"));
+        assert!(!text.contains("itlb"));
+    }
+}

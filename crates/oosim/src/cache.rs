@@ -1,0 +1,255 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! The simulator only needs tag arrays — hit/miss decisions and replacement —
+//! never data. One [`Cache`] instance models one level; the
+//! [`hierarchy`](crate::memory) composes levels per machine.
+
+/// A set-associative, LRU, write-allocate tag array.
+///
+/// # Examples
+///
+/// ```
+/// use oosim::cache::Cache;
+///
+/// // 4 KiB, 64-byte lines, 2-way.
+/// let mut cache = Cache::new(4096, 64, 2);
+/// assert!(!cache.access(0x1000)); // cold miss
+/// assert!(cache.access(0x1000));  // hit
+/// assert!(cache.access(0x1038));  // same line hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    /// Tag per (set, way); `u64::MAX` marks invalid.
+    tags: Vec<u64>,
+    /// LRU stamp per (set, way); larger = more recent.
+    stamps: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `line_bytes` lines and
+    /// `ways`-way associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, `line_bytes` is not a power of two,
+    /// or the geometry is inconsistent (size not divisible into whole sets).
+    pub fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && ways > 0, "zero geometry");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_bytes;
+        assert!(
+            lines >= ways as u64 && lines.is_multiple_of(ways as u64),
+            "size/line/ways geometry inconsistent: {lines} lines, {ways} ways"
+        );
+        let sets = (lines / ways as u64) as usize;
+        Self {
+            sets,
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (self.sets * self.ways) as u64 * (1u64 << self.line_shift)
+    }
+
+    /// Looks up `addr`, updating LRU state and allocating on miss.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+        if let Some(way) = slots.iter().position(|&t| t == tag) {
+            self.stamps[base + way] = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        // Miss: replace the LRU way.
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.tick;
+        self.misses += 1;
+        false
+    }
+
+    /// Installs the line containing `addr` without touching hit/miss
+    /// statistics — used for prefetch fills, which are not demand accesses.
+    /// The installed line becomes most-recently-used.
+    pub fn install(&mut self, addr: u64) {
+        self.tick += 1;
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.ways;
+        if let Some(way) = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+        {
+            self.stamps[base + way] = self.tick;
+            return;
+        }
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.tick;
+    }
+
+    /// Probe without updating state: would `addr` hit?
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&tag)
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = Cache::new(32 * 1024, 64, 8);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.ways(), 8);
+        assert_eq!(c.capacity(), 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_lines() {
+        let _ = Cache::new(1024, 48, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry inconsistent")]
+    fn rejects_inconsistent_geometry() {
+        let _ = Cache::new(1024, 64, 3); // 16 lines do not divide into 3 ways
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = Cache::new(4096, 64, 2);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn same_line_different_offset_hits() {
+        let mut c = Cache::new(4096, 64, 2);
+        c.access(0x1000);
+        assert!(c.access(0x103F));
+        assert!(!c.access(0x1040), "next line is separate");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Direct-mapped-per-set behaviour: 2 ways, force 3 conflicting lines.
+        let mut c = Cache::new(4096, 64, 2);
+        let sets = c.sets() as u64;
+        let conflict = |i: u64| i * sets * 64; // same set, distinct tags
+        c.access(conflict(0));
+        c.access(conflict(1));
+        c.access(conflict(0)); // touch 0 so 1 is LRU
+        c.access(conflict(2)); // evicts 1
+        assert!(c.probe(conflict(0)));
+        assert!(!c.probe(conflict(1)));
+        assert!(c.probe(conflict(2)));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = Cache::new(4096, 64, 4);
+        // Two sweeps over 16 KiB: second sweep still misses everywhere (LRU).
+        for sweep in 0..2 {
+            for line in 0..256u64 {
+                c.access(line * 64);
+            }
+            if sweep == 0 {
+                assert_eq!(c.misses(), 256);
+            }
+        }
+        assert_eq!(c.misses(), 512, "LRU gets zero reuse from a cyclic sweep");
+    }
+
+    #[test]
+    fn working_set_smaller_than_capacity_fits() {
+        let mut c = Cache::new(32 * 1024, 64, 8);
+        for _ in 0..4 {
+            for line in 0..128u64 {
+                c.access(line * 64); // 8 KiB working set
+            }
+        }
+        assert_eq!(c.misses(), 128, "only cold misses");
+        assert_eq!(c.hits(), 3 * 128);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = Cache::new(4096, 64, 2);
+        c.access(0x40);
+        let before = (c.hits(), c.misses());
+        assert!(c.probe(0x40));
+        let _ = c.probe(0x4000_0040); // miss probe must not mutate either
+        assert_eq!((c.hits(), c.misses()), before);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Cache::new(4096, 64, 2);
+        c.access(0x40);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.probe(0x40));
+    }
+}

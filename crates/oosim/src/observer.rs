@@ -1,0 +1,107 @@
+//! Dispatch-stall observation hooks.
+//!
+//! The paper's Fig. 5 validates the model's CPI components against the
+//! hardware counter architecture of Eyerman et al. (ASPLOS 2006), which
+//! attributes every lost dispatch slot to its cause inside the simulator.
+//! The pipeline exposes that attribution through [`DispatchObserver`]; the
+//! `cpicounters` crate implements the accumulating observer that turns the
+//! callbacks into ground-truth CPI stacks.
+
+/// Why dispatch lost cycles at some point in the run.
+///
+/// The variants mirror the CPI components of the paper's Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallCause {
+    /// L1 I-cache miss serviced by L2.
+    L1InstrMiss,
+    /// Instruction fetch missing the last on-chip level (DRAM fetch).
+    LlcInstrMiss,
+    /// I-TLB miss (page walk in the fetch path).
+    ItlbMiss,
+    /// Branch misprediction (resolution + front-end refill).
+    BranchMispredict,
+    /// ROB full behind a load missing to DRAM.
+    LlcDataMiss,
+    /// ROB full behind a load whose access took a D-TLB page walk.
+    DtlbMiss,
+    /// ROB full behind a long-latency computation or an L1/L2-resident miss
+    /// chain: the paper's "resource stall" component.
+    ResourceStall,
+}
+
+impl StallCause {
+    /// All causes, in the order CPI stacks are reported.
+    pub const ALL: [StallCause; 7] = [
+        StallCause::L1InstrMiss,
+        StallCause::LlcInstrMiss,
+        StallCause::ItlbMiss,
+        StallCause::BranchMispredict,
+        StallCause::LlcDataMiss,
+        StallCause::DtlbMiss,
+        StallCause::ResourceStall,
+    ];
+
+    /// Stable lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::L1InstrMiss => "l1i_miss",
+            StallCause::LlcInstrMiss => "llc_i_miss",
+            StallCause::ItlbMiss => "itlb_miss",
+            StallCause::BranchMispredict => "branch_mispredict",
+            StallCause::LlcDataMiss => "llc_d_miss",
+            StallCause::DtlbMiss => "dtlb_miss",
+            StallCause::ResourceStall => "resource_stall",
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Receives dispatch-timeline events from the pipeline as a run progresses.
+///
+/// Implementations must be cheap: the pipeline calls
+/// [`DispatchObserver::on_stall`] for every dispatch gap.
+pub trait DispatchObserver {
+    /// `gap` dispatch cycles were lost to `cause` (gap ≥ 1).
+    fn on_stall(&mut self, gap: u64, cause: StallCause);
+
+    /// The run finished: `cycles` total, `uops` µops dispatched on a
+    /// machine of dispatch width `width`.
+    fn on_finish(&mut self, cycles: u64, uops: u64, width: u32) {
+        let _ = (cycles, uops, width);
+    }
+}
+
+/// An observer that ignores everything (the default for plain runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl DispatchObserver for NullObserver {
+    #[inline]
+    fn on_stall(&mut self, _gap: u64, _cause: StallCause) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut names: Vec<&str> = StallCause::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), StallCause::ALL.len());
+        assert_eq!(StallCause::LlcDataMiss.to_string(), "llc_d_miss");
+    }
+
+    #[test]
+    fn null_observer_is_usable() {
+        let mut o = NullObserver;
+        o.on_stall(3, StallCause::ResourceStall);
+        o.on_finish(100, 50, 4);
+    }
+}

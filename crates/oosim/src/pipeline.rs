@@ -1,0 +1,630 @@
+//! The out-of-order superscalar pipeline model.
+//!
+//! This is a *timestamp-based* out-of-order model in the tradition of
+//! interval simulation: instead of simulating every structure cycle by
+//! cycle, each µop's dispatch, issue, completion and commit times are
+//! computed from its constraints —
+//!
+//! * **front-end**: I-cache / I-TLB misses and branch-misprediction
+//!   redirects delay availability,
+//! * **dispatch bandwidth**: at most `D` µops enter the ROB per cycle,
+//! * **ROB occupancy**: a µop cannot dispatch until the µop `R` slots ahead
+//!   of it has committed (dispatch stalls on a full reorder buffer — the
+//!   paper's resource-stall mechanism),
+//! * **data flow**: a µop issues once its producers complete,
+//! * **functional units**: divide units are unpipelined, FP shares a
+//!   pipelined port, loads contend for load ports,
+//! * **memory**: loads walk the hierarchy; DRAM accesses contend for a
+//!   finite MSHR pool and DRAM bandwidth, so memory-level parallelism is an
+//!   emergent, bounded quantity — exactly the property the paper's MLP
+//!   correction factor (Eq. 3) exists to capture,
+//! * **commit**: in order, `D` per cycle.
+//!
+//! The model deliberately produces the second-order behaviours that the
+//! mechanistic-empirical model must *infer* through regression: variable
+//! branch resolution times, workload-dependent MLP, and dependence-chain
+//! resource stalls. Nothing in the simulator knows about Eq. 1–6.
+
+use crate::branch::Gshare;
+use crate::machine::MachineConfig;
+use crate::memory::{Hierarchy, HitLevel};
+use crate::observer::{DispatchObserver, StallCause};
+use pmu::{CounterSet, Event};
+use specgen::{MicroOp, UopKind};
+
+/// Why a committed µop might block the ROB head (stored per ROB slot for
+/// stall attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommitClass {
+    /// Completed promptly; a stall behind it is a plain resource stall.
+    Short,
+    /// Long-latency computation or on-chip cache miss.
+    LongLatency,
+    /// Load that took a D-TLB page walk.
+    DtlbLoad,
+    /// Load serviced by DRAM.
+    LlcLoad,
+}
+
+/// Result of simulating a workload on a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The collected performance counters (includes `Event::Cycles`).
+    pub counters: CounterSet,
+    /// Total cycles (same as `counters.get(Event::Cycles)`, for convenience).
+    pub cycles: u64,
+}
+
+impl SimResult {
+    /// Measured cycles per µop.
+    pub fn cpi(&self) -> f64 {
+        self.counters.cpi()
+    }
+}
+
+/// Maximum dependence distance the generator may emit; sizes the
+/// completion-time ring.
+const DEP_WINDOW: usize = 512;
+
+/// Simulates `uops` micro-operations of `trace` on `machine`, reporting
+/// dispatch stalls to `observer`. Equivalent to [`simulate_warmed`] with no
+/// warm-up: counters include all compulsory (cold) misses.
+///
+/// The trace is consumed lazily; if it ends early the simulation stops at
+/// the trace's end. All state (caches, TLBs, predictor) starts cold.
+///
+/// # Examples
+///
+/// ```
+/// use oosim::machine::MachineConfig;
+/// use oosim::observer::NullObserver;
+/// use oosim::pipeline::simulate;
+/// use pmu::Suite;
+/// use specgen::{TraceGenerator, WorkloadProfile};
+///
+/// let machine = MachineConfig::core2();
+/// let profile = WorkloadProfile::builder("demo", Suite::Cpu2000).build();
+/// let trace = TraceGenerator::new(&profile, machine.cracking, 1);
+/// let result = simulate(&machine, trace, 20_000, &mut NullObserver);
+/// assert!(result.cpi() > 0.25); // cannot beat the dispatch width
+/// ```
+///
+/// # Panics
+///
+/// Panics if `machine` fails [`MachineConfig::validate`].
+pub fn simulate<T>(
+    machine: &MachineConfig,
+    trace: T,
+    uops: u64,
+    observer: &mut dyn DispatchObserver,
+) -> SimResult
+where
+    T: IntoIterator<Item = MicroOp>,
+{
+    simulate_warmed(machine, trace, 0, uops, observer)
+}
+
+/// Simulates `warmup + uops` micro-operations, but counts events and cycles
+/// only over the final `uops` — the standard cache/predictor warm-up
+/// discipline.
+///
+/// Real SPEC runs execute for hundreds of billions of instructions, so
+/// compulsory misses are invisible in their counter rates; a short
+/// simulation without warm-up would instead be dominated by them. The
+/// observer is likewise only notified of post-warm-up stalls.
+///
+/// # Panics
+///
+/// Panics if `machine` fails [`MachineConfig::validate`].
+pub fn simulate_warmed<T>(
+    machine: &MachineConfig,
+    trace: T,
+    warmup: u64,
+    uops: u64,
+    observer: &mut dyn DispatchObserver,
+) -> SimResult
+where
+    T: IntoIterator<Item = MicroOp>,
+{
+    if let Err(e) = machine.validate() {
+        panic!("invalid machine configuration: {e}");
+    }
+    let width = machine.dispatch_width as u64;
+    let rob = machine.rob_size;
+    let lat = machine.lat;
+
+    let mut hierarchy = Hierarchy::new(machine);
+    let mut predictor = Gshare::new(
+        machine.predictor.log2_entries,
+        machine.predictor.history_bits,
+    );
+    let mut counters = CounterSet::new();
+
+    // Completion times of the last DEP_WINDOW µops (data-flow lookups).
+    let mut done_ring = vec![0u64; DEP_WINDOW];
+    // Commit time and class per ROB slot (indexed i % rob): entry i holds
+    // µop i - rob's values until overwritten, which is exactly what the
+    // ROB-occupancy constraint needs.
+    let mut commit_ring = vec![0u64; rob];
+    let mut class_ring = vec![CommitClass::Short; rob];
+
+    // Dispatch bandwidth state.
+    let mut cur_cycle = 0u64;
+    let mut slots_left = width;
+    // Front-end availability floor and its cause.
+    let mut fe_ready = 0u64;
+    let mut fe_cause = StallCause::L1InstrMiss;
+    // Commit frontier.
+    let mut last_commit = 0u64;
+    let mut commit_slots = width;
+    // Memory subsystem timing state.
+    let mut mshr = vec![0u64; machine.mshrs];
+    let mut last_dram_start = 0u64;
+    // DRAM row-buffer state: accesses to the recently-open row are faster,
+    // row conflicts slower. This makes *effective* memory latency a
+    // workload-dependent quantity — one of the paper's §3.3 reasons why
+    // "memory access time is not constant" that the fitted MLP correction
+    // factor must absorb.
+    let mut open_row = u64::MAX;
+    // Functional-unit availability.
+    let mut load_ports = vec![0u64; machine.fu.load_ports];
+    let mut fp_port_free = 0u64;
+    let mut int_div_free = 0u64;
+    let mut fp_div_free = 0u64;
+    // Instruction-side fetch tracking.
+    let mut last_line = u64::MAX;
+
+    let total = warmup.saturating_add(uops);
+    let mut cycle_offset = 0u64;
+    let mut n = 0u64;
+    for op in trace {
+        if n >= total {
+            break;
+        }
+        if n == warmup && warmup > 0 {
+            // Warm-up ends: forget everything counted so far, but keep all
+            // microarchitectural state (caches, TLBs, predictor, timing).
+            counters.reset();
+            cycle_offset = last_commit;
+        }
+        let measuring = n >= warmup;
+        let i = n as usize;
+
+        // --- Front end: I-cache / I-TLB on line change. -------------------
+        let line = op.pc >> 6;
+        if line != last_line {
+            last_line = line;
+            let fetch = hierarchy.fetch(op.pc);
+            let mut penalty = 0u64;
+            if fetch.tlb_miss {
+                counters.inc(Event::ItlbMisses);
+                penalty += lat.tlb;
+            }
+            match fetch.level {
+                HitLevel::L1 => {}
+                HitLevel::L2 => {
+                    counters.inc(Event::L1InstrMisses);
+                    penalty += lat.l2;
+                }
+                HitLevel::L3 => {
+                    counters.inc(Event::L1InstrMisses);
+                    penalty += lat.l3;
+                }
+                HitLevel::Memory => {
+                    counters.inc(Event::L1InstrMisses);
+                    counters.inc(Event::LlcInstrMisses);
+                    penalty += lat.mem;
+                }
+            }
+            if penalty > 0 {
+                fe_ready = fe_ready.max(cur_cycle) + penalty;
+                fe_cause = if fetch.level == HitLevel::Memory {
+                    StallCause::LlcInstrMiss
+                } else if fetch.level != HitLevel::L1 {
+                    StallCause::L1InstrMiss
+                } else {
+                    StallCause::ItlbMiss
+                };
+            }
+        }
+
+        // --- Dispatch: bandwidth, front-end, ROB occupancy. ----------------
+        let rob_free = commit_ring[i % rob];
+        let rob_cause = match class_ring[i % rob] {
+            CommitClass::LlcLoad => StallCause::LlcDataMiss,
+            CommitClass::DtlbLoad => StallCause::DtlbMiss,
+            CommitClass::LongLatency | CommitClass::Short => StallCause::ResourceStall,
+        };
+        let earliest = fe_ready.max(rob_free);
+
+        let mut slot_cycle = cur_cycle;
+        if slots_left == 0 {
+            slot_cycle += 1;
+        }
+        if earliest > slot_cycle {
+            // Only fully-lost cycles are attributed: the partially-used
+            // current cycle is already charged to the base component.
+            let gap = earliest.saturating_sub(cur_cycle + 1);
+            if gap > 0 && measuring {
+                let cause = if fe_ready >= rob_free { fe_cause } else { rob_cause };
+                observer.on_stall(gap, cause);
+            }
+            slot_cycle = earliest;
+        }
+        if slot_cycle != cur_cycle {
+            cur_cycle = slot_cycle;
+            slots_left = width;
+        }
+        slots_left -= 1;
+        let dispatch = cur_cycle;
+
+        // --- Data-flow readiness. ------------------------------------------
+        let mut ready = dispatch + 1;
+        for dep in [op.dep1, op.dep2].into_iter().flatten() {
+            let d = dep.get() as usize;
+            if d <= i && d <= DEP_WINDOW {
+                ready = ready.max(done_ring[(i - d) % DEP_WINDOW]);
+            }
+        }
+
+        // --- Issue + execute. ----------------------------------------------
+        let mut class = CommitClass::Short;
+        let exec_done = match op.kind {
+            UopKind::IntAlu => ready + 1,
+            UopKind::IntMul => ready + machine.fu.int_mul,
+            UopKind::IntDiv => {
+                let issue = ready.max(int_div_free);
+                int_div_free = issue + machine.fu.int_div;
+                class = CommitClass::LongLatency;
+                int_div_free
+            }
+            UopKind::FpAdd | UopKind::FpMul => {
+                counters.inc(Event::FpOps);
+                let issue = ready.max(fp_port_free);
+                fp_port_free = issue + 1;
+                let l = if op.kind == UopKind::FpAdd {
+                    machine.fu.fp_add
+                } else {
+                    machine.fu.fp_mul
+                };
+                if l > 3 {
+                    class = CommitClass::LongLatency;
+                }
+                issue + l
+            }
+            UopKind::FpDiv => {
+                counters.inc(Event::FpOps);
+                let issue = ready.max(fp_div_free);
+                fp_div_free = issue + machine.fu.fp_div;
+                class = CommitClass::LongLatency;
+                fp_div_free
+            }
+            UopKind::Store => {
+                counters.inc(Event::Stores);
+                if let Some(addr) = op.addr {
+                    let outcome = hierarchy.store(addr);
+                    if outcome.tlb_miss {
+                        counters.inc(Event::DtlbMisses);
+                    }
+                }
+                ready + 1
+            }
+            UopKind::Load => {
+                counters.inc(Event::Loads);
+                let port = load_ports
+                    .iter_mut()
+                    .min_by_key(|t| **t)
+                    .expect("at least one load port");
+                let issue = ready.max(*port);
+                *port = issue + 1;
+                let addr = op.addr.unwrap_or(0);
+                let outcome = hierarchy.load(addr);
+                if outcome.tlb_miss {
+                    counters.inc(Event::DtlbMisses);
+                }
+                match outcome.level {
+                    HitLevel::L1 => {
+                        let mut done = issue + lat.l1d;
+                        if outcome.tlb_miss {
+                            done += lat.tlb;
+                            class = CommitClass::DtlbLoad;
+                        }
+                        done
+                    }
+                    HitLevel::L2 => {
+                        counters.inc(Event::L1DataMisses);
+                        class = if outcome.tlb_miss {
+                            CommitClass::DtlbLoad
+                        } else {
+                            CommitClass::LongLatency
+                        };
+                        issue + lat.l2 + if outcome.tlb_miss { lat.tlb } else { 0 }
+                    }
+                    HitLevel::L3 => {
+                        counters.inc(Event::L2DataMisses);
+                        class = if outcome.tlb_miss {
+                            CommitClass::DtlbLoad
+                        } else {
+                            CommitClass::LongLatency
+                        };
+                        issue + lat.l3 + if outcome.tlb_miss { lat.tlb } else { 0 }
+                    }
+                    HitLevel::Memory => {
+                        counters.inc(Event::L2DataMisses);
+                        counters.inc(Event::LlcDataMisses);
+                        class = CommitClass::LlcLoad;
+                        // Page walk precedes the DRAM request.
+                        let request = issue + if outcome.tlb_miss { lat.tlb } else { 0 };
+                        // MSHR: wait for a free miss register.
+                        let slot = mshr
+                            .iter_mut()
+                            .min_by_key(|t| **t)
+                            .expect("at least one MSHR");
+                        // DRAM bandwidth: bursts cannot start back-to-back.
+                        let start = request.max(*slot).max(last_dram_start + machine.dram_gap);
+                        last_dram_start = start;
+                        // Row-buffer locality: hits shave latency, conflicts
+                        // add a precharge+activate penalty.
+                        let row = addr >> 14; // 16 KiB DRAM row
+                        let effective = if row == open_row {
+                            lat.mem - lat.mem / 4
+                        } else {
+                            lat.mem + lat.mem / 8
+                        };
+                        open_row = row;
+                        let complete = start + effective;
+                        *slot = complete;
+                        complete
+                    }
+                }
+            }
+            UopKind::Branch => {
+                counters.inc(Event::Branches);
+                let done = ready + 1;
+                if let Some(info) = op.branch {
+                    let predicted = predictor.predict_and_update(op.pc, info.taken);
+                    if predicted != info.taken {
+                        counters.inc(Event::BranchMispredicts);
+                        // Redirect: fetch restarts after resolution plus the
+                        // front-end refill depth.
+                        fe_ready = fe_ready.max(done + machine.frontend_depth as u64);
+                        fe_cause = StallCause::BranchMispredict;
+                    }
+                }
+                done
+            }
+        };
+
+        // --- Commit: in order, `width` per cycle. --------------------------
+        let mut commit = exec_done + 1;
+        if commit < last_commit {
+            commit = last_commit;
+        }
+        if commit == last_commit {
+            if commit_slots == 0 {
+                commit += 1;
+                commit_slots = width - 1;
+            } else {
+                commit_slots -= 1;
+            }
+        } else {
+            commit_slots = width - 1;
+        }
+        last_commit = commit;
+
+        done_ring[i % DEP_WINDOW] = exec_done;
+        commit_ring[i % rob] = commit;
+        class_ring[i % rob] = class;
+
+        counters.inc(Event::UopsRetired);
+        if op.macro_first {
+            counters.inc(Event::InstrRetired);
+        }
+        n += 1;
+    }
+
+    let cycles = last_commit.saturating_sub(cycle_offset);
+    counters.set(Event::Cycles, cycles);
+    observer.on_finish(cycles, n.saturating_sub(warmup.min(n)), machine.dispatch_width);
+    SimResult { cycles, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use pmu::Suite;
+    use specgen::{AccessPattern, MemRegion, TraceGenerator, WorkloadProfile};
+
+    fn run(machine: &MachineConfig, profile: &WorkloadProfile, uops: u64) -> SimResult {
+        let trace = TraceGenerator::new(profile, machine.cracking, 0xBEEF);
+        simulate(machine, trace, uops, &mut NullObserver)
+    }
+
+    fn small_profile() -> WorkloadProfile {
+        WorkloadProfile::builder("pipe-test", Suite::Cpu2000).build()
+    }
+
+    #[test]
+    fn cpi_is_at_least_inverse_width() {
+        let m = MachineConfig::core2();
+        let r = run(&m, &small_profile(), 50_000);
+        assert!(r.cpi() >= 1.0 / m.dispatch_width as f64);
+        assert!(r.cpi() < 20.0, "CPI should be sane: {}", r.cpi());
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = MachineConfig::core_i7();
+        let a = run(&m, &small_profile(), 20_000);
+        let b = run(&m, &small_profile(), 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let m = MachineConfig::core2();
+        let r = run(&m, &small_profile(), 30_000);
+        let c = &r.counters;
+        assert_eq!(c.get(Event::UopsRetired), 30_000);
+        assert!(c.get(Event::InstrRetired) <= c.get(Event::UopsRetired));
+        assert!(c.get(Event::BranchMispredicts) <= c.get(Event::Branches));
+        assert!(c.get(Event::LlcDataMisses) <= c.get(Event::Loads));
+        assert!(c.get(Event::LlcInstrMisses) <= c.get(Event::L1InstrMisses));
+        assert_eq!(c.get(Event::Cycles), r.cycles);
+    }
+
+    #[test]
+    fn pointer_chase_is_slower_than_streaming() {
+        // Same footprint, same mix; only the access pattern differs. The
+        // chaser serialises DRAM accesses (MLP ≈ 1) and must be much slower.
+        let m = MachineConfig::core2();
+        let chase = WorkloadProfile::builder("chase", Suite::Cpu2000)
+            .regions(vec![MemRegion::kib(32 * 1024, 1.0, AccessPattern::PointerChase)])
+            .build();
+        let stream = WorkloadProfile::builder("stream", Suite::Cpu2000)
+            .regions(vec![MemRegion::kib(32 * 1024, 1.0, AccessPattern::Sequential {
+                stride: 64,
+            })])
+            .build();
+        let slow = run(&m, &chase, 40_000);
+        let fast = run(&m, &stream, 40_000);
+        assert!(
+            slow.cpi() > fast.cpi() * 1.8,
+            "chase {} vs stream {}",
+            slow.cpi(),
+            fast.cpi()
+        );
+    }
+
+    #[test]
+    fn bigger_cache_removes_misses() {
+        // 2 MiB working set: P4's 1 MiB LLC thrashes, Core 2's 4 MiB holds it.
+        let profile = WorkloadProfile::builder("ws2m", Suite::Cpu2000)
+            .regions(vec![MemRegion::kib(2048, 1.0, AccessPattern::Sequential {
+                stride: 64,
+            })])
+            .build();
+        let p4 = run(&MachineConfig::pentium4(), &profile, 400_000);
+        let c2 = run(&MachineConfig::core2(), &profile, 400_000);
+        // Compare per-load miss *rates*: the machines crack µops differently,
+        // so absolute load counts differ for the same µop budget.
+        let rate = |r: &SimResult| {
+            r.counters.get(Event::LlcDataMisses) as f64 / r.counters.get(Event::Loads) as f64
+        };
+        assert!(
+            rate(&p4) > rate(&c2) * 2.0,
+            "P4 rate {} vs Core 2 rate {}",
+            rate(&p4),
+            rate(&c2)
+        );
+    }
+
+    #[test]
+    fn deep_pipeline_pays_more_per_mispredict() {
+        // Branch-heavy, unpredictable workload; everything else cached.
+        let profile = WorkloadProfile::builder("branchy", Suite::Cpu2000)
+            .branches(0.20)
+            .branch_behaviour(0.5, 0.5, 0.1)
+            .regions(vec![MemRegion::kib(8, 1.0, AccessPattern::Sequential {
+                stride: 8,
+            })])
+            .build();
+        let p4 = run(&MachineConfig::pentium4(), &profile, 40_000);
+        let c2 = run(&MachineConfig::core2(), &profile, 40_000);
+        // Penalty per mispredict ≈ lost cycles / mispredict count; the P4's
+        // 31-stage refill must show up.
+        let per = |r: &SimResult, m: &MachineConfig| {
+            let base = r.counters.get(Event::UopsRetired) as f64 / m.dispatch_width as f64;
+            (r.cycles as f64 - base) / r.counters.get(Event::BranchMispredicts) as f64
+        };
+        let p4_pen = per(&p4, &MachineConfig::pentium4());
+        let c2_pen = per(&c2, &MachineConfig::core2());
+        assert!(
+            p4_pen > c2_pen + 10.0,
+            "P4 {p4_pen:.1} vs Core 2 {c2_pen:.1} cycles per mispredict"
+        );
+    }
+
+    #[test]
+    fn mshr_count_bounds_mlp() {
+        // Streaming misses: with 1 MSHR, misses serialise.
+        let profile = WorkloadProfile::builder("mlp", Suite::Cpu2000)
+            .regions(vec![MemRegion::kib(64 * 1024, 1.0, AccessPattern::Sequential {
+                stride: 64,
+            })])
+            .build();
+        let base = MachineConfig::core2();
+        let serial = MachineConfig::builder(base.clone()).mshrs(1).build();
+        let fast = run(&base, &profile, 30_000);
+        let slow = run(&serial, &profile, 30_000);
+        assert!(
+            slow.cpi() > fast.cpi() * 1.5,
+            "serialised {} vs parallel {}",
+            slow.cpi(),
+            fast.cpi()
+        );
+    }
+
+    #[test]
+    fn big_code_stresses_the_front_end() {
+        let small = WorkloadProfile::builder("smallcode", Suite::Cpu2000)
+            .code(16, 0.95, 0.5)
+            .build();
+        let big = WorkloadProfile::builder("bigcode", Suite::Cpu2000)
+            .code(1024, 0.5, 0.05)
+            .build();
+        let m = MachineConfig::core2();
+        let a = run(&m, &small, 300_000);
+        let b = run(&m, &big, 300_000);
+        assert!(
+            b.counters.get(Event::L1InstrMisses) > a.counters.get(Event::L1InstrMisses) * 3,
+            "big-code {} vs small-code {}",
+            b.counters.get(Event::L1InstrMisses),
+            a.counters.get(Event::L1InstrMisses)
+        );
+        assert!(b.cpi() > a.cpi());
+    }
+
+    #[test]
+    fn trace_shorter_than_budget_is_handled() {
+        let m = MachineConfig::core2();
+        let profile = small_profile();
+        let trace: Vec<MicroOp> = TraceGenerator::new(&profile, m.cracking, 1)
+            .take(500)
+            .collect();
+        let r = simulate(&m, trace, 10_000, &mut NullObserver);
+        assert_eq!(r.counters.get(Event::UopsRetired), 500);
+    }
+
+    #[test]
+    fn observer_receives_stalls() {
+        struct Counting {
+            stalls: u64,
+            cycles: u64,
+            finished: bool,
+        }
+        impl DispatchObserver for Counting {
+            fn on_stall(&mut self, gap: u64, _cause: StallCause) {
+                self.stalls += gap;
+            }
+            fn on_finish(&mut self, cycles: u64, _uops: u64, _width: u32) {
+                self.cycles = cycles;
+                self.finished = true;
+            }
+        }
+        let m = MachineConfig::pentium4();
+        let profile = small_profile();
+        let mut obs = Counting {
+            stalls: 0,
+            cycles: 0,
+            finished: false,
+        };
+        let trace = TraceGenerator::new(&profile, m.cracking, 2);
+        let r = simulate(&m, trace, 20_000, &mut obs);
+        assert!(obs.finished);
+        assert_eq!(obs.cycles, r.cycles);
+        assert!(obs.stalls > 0, "a real workload stalls somewhere");
+        assert!(obs.stalls < r.cycles, "stalls are a subset of cycles");
+    }
+}

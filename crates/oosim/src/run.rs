@@ -1,0 +1,122 @@
+//! High-level entry points: run one benchmark (or a whole suite) on a
+//! machine and get back [`RunRecord`]s — the simulated equivalent of the
+//! paper's perfex measurement campaign.
+
+use crate::machine::MachineConfig;
+use crate::observer::{DispatchObserver, NullObserver};
+use crate::pipeline::{simulate_warmed, SimResult};
+use pmu::RunRecord;
+use specgen::{TraceGenerator, WorkloadProfile};
+
+/// Default µop budget per benchmark run used by the experiment harness.
+///
+/// Real SPEC runs execute for hundreds of billions of instructions; the
+/// synthetic workloads are statistically stationary, so a few million µops
+/// give stable counter rates (see the stability test below).
+pub const DEFAULT_UOPS: u64 = 2_000_000;
+
+/// Runs `profile` on `machine` for `uops` micro-operations and packages the
+/// counters as a [`RunRecord`].
+///
+/// `seed` controls workload generation; experiments use a fixed global seed
+/// so every machine sees the same macro-instruction stream (cracked
+/// per-machine, as on real hardware).
+///
+/// # Examples
+///
+/// ```
+/// use oosim::machine::MachineConfig;
+/// use oosim::run::run_workload;
+/// use pmu::Suite;
+/// use specgen::WorkloadProfile;
+///
+/// let profile = WorkloadProfile::builder("quick", Suite::Cpu2000).build();
+/// let record = run_workload(&MachineConfig::core2(), &profile, 10_000, 42);
+/// assert_eq!(record.benchmark(), "quick");
+/// assert!(record.cpi() > 0.0);
+/// ```
+pub fn run_workload(
+    machine: &MachineConfig,
+    profile: &WorkloadProfile,
+    uops: u64,
+    seed: u64,
+) -> RunRecord {
+    run_workload_observed(machine, profile, uops, seed, &mut NullObserver)
+}
+
+/// Like [`run_workload`] but reports dispatch stalls to `observer` (used by
+/// the ground-truth CPI-stack accounting in `cpicounters`).
+///
+/// A warm-up phase of `uops` further micro-operations precedes the
+/// measured region, so counter rates reflect steady-state behaviour rather
+/// than compulsory misses — mirroring how real SPEC measurements, running
+/// for hundreds of billions of instructions, never see their cold start.
+pub fn run_workload_observed(
+    machine: &MachineConfig,
+    profile: &WorkloadProfile,
+    uops: u64,
+    seed: u64,
+    observer: &mut dyn DispatchObserver,
+) -> RunRecord {
+    let trace = TraceGenerator::new(profile, machine.cracking, seed);
+    let result: SimResult = simulate_warmed(machine, trace, uops, uops, observer);
+    RunRecord::new(profile.name.clone(), profile.suite, machine.id, result.counters)
+}
+
+/// Runs every profile in `suite` on `machine`; one [`RunRecord`] each.
+pub fn run_suite(
+    machine: &MachineConfig,
+    suite: &[WorkloadProfile],
+    uops: u64,
+    seed: u64,
+) -> Vec<RunRecord> {
+    suite
+        .iter()
+        .map(|p| run_workload(machine, p, uops, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu::{Event, Suite};
+
+    #[test]
+    fn record_carries_identity() {
+        let m = MachineConfig::pentium4();
+        let p = WorkloadProfile::builder("idcheck", Suite::Cpu2006).build();
+        let r = run_workload(&m, &p, 5_000, 7);
+        assert_eq!(r.benchmark(), "idcheck");
+        assert_eq!(r.suite(), Suite::Cpu2006);
+        assert_eq!(r.machine(), m.id);
+        assert_eq!(r.counters().get(Event::UopsRetired), 5_000);
+    }
+
+    #[test]
+    fn rates_stabilise_with_length() {
+        // CPI at 400k µops should be close to CPI at 800k µops: the
+        // synthetic workloads are stationary enough for counter-rate use.
+        let m = MachineConfig::core2();
+        let p = WorkloadProfile::builder("stability", Suite::Cpu2000).build();
+        let short = run_workload(&m, &p, 400_000, 3).cpi();
+        let long = run_workload(&m, &p, 800_000, 3).cpi();
+        assert!(
+            (short - long).abs() / long < 0.12,
+            "short {short} vs long {long}"
+        );
+    }
+
+    #[test]
+    fn run_suite_covers_all_profiles() {
+        let m = MachineConfig::core2();
+        let suite: Vec<WorkloadProfile> = specgen::suites::cpu2000()
+            .into_iter()
+            .take(4)
+            .collect();
+        let records = run_suite(&m, &suite, 2_000, 1);
+        assert_eq!(records.len(), 4);
+        for (r, p) in records.iter().zip(&suite) {
+            assert_eq!(r.benchmark(), p.name);
+        }
+    }
+}

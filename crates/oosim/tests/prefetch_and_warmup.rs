@@ -1,0 +1,174 @@
+//! Focused integration tests for the stream prefetcher and the warm-up
+//! measurement discipline — the two machine behaviours added beyond the
+//! textbook OoO model (see DESIGN.md §2).
+
+use oosim::machine::MachineConfig;
+use oosim::observer::NullObserver;
+use oosim::pipeline::{simulate, simulate_warmed};
+use pmu::{Event, Suite};
+use specgen::{AccessPattern, MemRegion, TraceGenerator, WorkloadProfile};
+
+fn stream_profile(kib: u64) -> WorkloadProfile {
+    // Load-dominated so the demand miss stream is cleanly ascending
+    // (interleaved store misses would perturb the stream detector's deltas,
+    // as they do in real front-side-bus traffic).
+    WorkloadProfile::builder("stream", Suite::Cpu2000)
+        .mem_mix(0.30, 0.02)
+        .branches(0.05)
+        .branch_behaviour(0.005, 0.9, 0.05)
+        .regions(vec![MemRegion::kib(kib, 1.0, AccessPattern::Sequential {
+            stride: 64,
+        })])
+        .build()
+}
+
+fn chase_profile(kib: u64) -> WorkloadProfile {
+    WorkloadProfile::builder("chase", Suite::Cpu2000)
+        .branches(0.05)
+        .branch_behaviour(0.005, 0.9, 0.05)
+        .regions(vec![MemRegion::kib(kib, 1.0, AccessPattern::PointerChase)])
+        .build()
+}
+
+#[test]
+fn prefetcher_rescues_streams_not_chases() {
+    // An ascending stream benefits from prefetch; a pointer chase cannot.
+    let base = MachineConfig::core2();
+    let no_pf = MachineConfig::builder(base.clone()).prefetch_depth(0).build();
+    let run = |machine: &MachineConfig, profile: &WorkloadProfile| {
+        let trace = TraceGenerator::new(profile, machine.cracking, 5);
+        simulate(machine, trace, 150_000, &mut NullObserver)
+    };
+    let stream = stream_profile(32 * 1024);
+    let stream_speedup =
+        run(&no_pf, &stream).cpi() / run(&base, &stream).cpi();
+    assert!(
+        stream_speedup > 1.3,
+        "prefetching should speed streams: {stream_speedup:.2}x"
+    );
+    let chase = chase_profile(32 * 1024);
+    let chase_speedup = run(&no_pf, &chase).cpi() / run(&base, &chase).cpi();
+    assert!(
+        chase_speedup < 1.1,
+        "prefetching cannot chase pointers: {chase_speedup:.2}x"
+    );
+}
+
+#[test]
+fn prefetch_converts_llc_misses_into_l2_hits() {
+    let machine = MachineConfig::core2();
+    let no_pf = MachineConfig::builder(machine.clone()).prefetch_depth(0).build();
+    let profile = stream_profile(64 * 1024);
+    let run = |m: &MachineConfig| {
+        let trace = TraceGenerator::new(&profile, m.cracking, 2);
+        simulate(m, trace, 150_000, &mut NullObserver)
+    };
+    let with = run(&machine);
+    let without = run(&no_pf);
+    assert!(
+        with.counters.get(Event::LlcDataMisses) * 2
+            < without.counters.get(Event::LlcDataMisses),
+        "prefetch should absorb most demand LLC misses: {} vs {}",
+        with.counters.get(Event::LlcDataMisses),
+        without.counters.get(Event::LlcDataMisses)
+    );
+    // The lines still get fetched: L1 misses that hit L2 go *up*.
+    assert!(
+        with.counters.get(Event::L1DataMisses) > without.counters.get(Event::L1DataMisses)
+    );
+}
+
+#[test]
+fn warmup_removes_compulsory_misses_for_resident_sets() {
+    // A 256 KiB random set fits the Core 2's L2: after warm-up, LLC misses
+    // almost vanish; without it, thousands of compulsory misses pollute.
+    let machine = MachineConfig::core2();
+    let profile = WorkloadProfile::builder("resident", Suite::Cpu2000)
+        .regions(vec![MemRegion::kib(256, 1.0, AccessPattern::Random)])
+        .build();
+    let uops = 200_000;
+    let cold = simulate(
+        &machine,
+        TraceGenerator::new(&profile, machine.cracking, 3),
+        uops,
+        &mut NullObserver,
+    );
+    let warm = simulate_warmed(
+        &machine,
+        TraceGenerator::new(&profile, machine.cracking, 3),
+        uops,
+        uops,
+        &mut NullObserver,
+    );
+    let cold_misses = cold.counters.get(Event::LlcDataMisses);
+    let warm_misses = warm.counters.get(Event::LlcDataMisses);
+    assert!(
+        warm_misses * 10 < cold_misses,
+        "warm {warm_misses} vs cold {cold_misses}"
+    );
+    assert!(warm.cpi() < cold.cpi());
+}
+
+#[test]
+fn warmup_measures_the_same_uop_count() {
+    let machine = MachineConfig::core_i7();
+    let profile = stream_profile(512);
+    let r = simulate_warmed(
+        &machine,
+        TraceGenerator::new(&profile, machine.cracking, 1),
+        40_000,
+        25_000,
+        &mut NullObserver,
+    );
+    assert_eq!(r.counters.get(Event::UopsRetired), 25_000);
+    assert_eq!(r.counters.get(Event::Cycles), r.cycles);
+    assert!(r.cpi() >= 0.25);
+}
+
+#[test]
+fn zero_warmup_equals_plain_simulate() {
+    let machine = MachineConfig::pentium4();
+    let profile = chase_profile(2048);
+    let a = simulate(
+        &machine,
+        TraceGenerator::new(&profile, machine.cracking, 9),
+        30_000,
+        &mut NullObserver,
+    );
+    let b = simulate_warmed(
+        &machine,
+        TraceGenerator::new(&profile, machine.cracking, 9),
+        0,
+        30_000,
+        &mut NullObserver,
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn row_buffer_rewards_spatial_locality() {
+    // Dense sequential DRAM traffic reuses open rows; page-hopping random
+    // traffic conflicts every time. Effective per-miss latency must differ.
+    let machine = MachineConfig::builder(MachineConfig::core2())
+        .prefetch_depth(0) // isolate the row-buffer effect
+        .build();
+    let run = |profile: &WorkloadProfile| {
+        let trace = TraceGenerator::new(profile, machine.cracking, 4);
+        let r = simulate(&machine, trace, 120_000, &mut NullObserver);
+        let misses = r.counters.get(Event::LlcDataMisses).max(1);
+        // Cycles beyond the dispatch floor, per miss.
+        (r.cycles as f64 - 30_000.0) / misses as f64
+    };
+    let dense = stream_profile(64 * 1024); // sequential: row hits
+    let sparse = WorkloadProfile::builder("sparse", Suite::Cpu2000)
+        .branches(0.05)
+        .branch_behaviour(0.005, 0.9, 0.05)
+        .regions(vec![MemRegion::kib(128 * 1024, 1.0, AccessPattern::Random)])
+        .build();
+    let dense_penalty = run(&dense);
+    let sparse_penalty = run(&sparse);
+    assert!(
+        dense_penalty < sparse_penalty,
+        "row hits should be cheaper: dense {dense_penalty:.0} vs sparse {sparse_penalty:.0}"
+    );
+}

@@ -1,0 +1,247 @@
+//! A bank of 64-bit performance counters.
+
+use crate::event::Event;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A full bank of counters, one 64-bit counter per [`Event`].
+///
+/// Unlike real PMUs (which multiplex a handful of physical counters), the
+/// simulated PMU counts every event simultaneously and exactly — the paper's
+/// authors ran each benchmark multiple times to cover the event set, which we
+/// do not need to replicate.
+///
+/// # Examples
+///
+/// ```
+/// use pmu::{CounterSet, Event};
+///
+/// let mut c = CounterSet::new();
+/// c.add(Event::UopsRetired, 100);
+/// c.add(Event::Loads, 30);
+/// assert_eq!(c.get(Event::Loads), 30);
+/// assert!((c.per_uop(Event::Loads) - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct CounterSet {
+    values: [u64; Event::COUNT],
+}
+
+impl CounterSet {
+    /// Creates an all-zero counter bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of `event`.
+    #[inline]
+    pub fn get(&self, event: Event) -> u64 {
+        self.values[event.index()]
+    }
+
+    /// Adds `amount` to `event`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&mut self, event: Event, amount: u64) {
+        let v = &mut self.values[event.index()];
+        *v = v.saturating_add(amount);
+    }
+
+    /// Increments `event` by one.
+    #[inline]
+    pub fn inc(&mut self, event: Event) {
+        self.add(event, 1);
+    }
+
+    /// Sets `event` to an absolute value, overwriting the previous count.
+    #[inline]
+    pub fn set(&mut self, event: Event, value: u64) {
+        self.values[event.index()] = value;
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.values = [0; Event::COUNT];
+    }
+
+    /// Iterates over `(event, value)` pairs in dense-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
+        Event::ALL.iter().map(move |&e| (e, self.get(e)))
+    }
+
+    /// Cycles per committed micro-operation — the quantity the model predicts.
+    ///
+    /// Returns `f64::NAN` when no µops retired, so callers notice an empty
+    /// measurement instead of silently reading `0.0`.
+    pub fn cpi(&self) -> f64 {
+        let uops = self.get(Event::UopsRetired);
+        if uops == 0 {
+            return f64::NAN;
+        }
+        self.get(Event::Cycles) as f64 / uops as f64
+    }
+
+    /// `event` count per committed micro-operation (the `mpµ_x` rates of
+    /// Eq. 2–3). Returns `f64::NAN` when no µops retired.
+    pub fn per_uop(&self, event: Event) -> f64 {
+        let uops = self.get(Event::UopsRetired);
+        if uops == 0 {
+            return f64::NAN;
+        }
+        self.get(event) as f64 / uops as f64
+    }
+
+    /// `event` count per thousand committed macro-instructions (MPKI), the
+    /// rate the paper quotes when discussing branch predictors (§6).
+    /// Returns `f64::NAN` when no instructions retired.
+    pub fn mpki(&self, event: Event) -> f64 {
+        let instr = self.get(Event::InstrRetired);
+        if instr == 0 {
+            return f64::NAN;
+        }
+        self.get(event) as f64 * 1000.0 / instr as f64
+    }
+
+    /// Returns a new bank holding the componentwise sum of `self` and `other`.
+    ///
+    /// Useful for aggregating per-phase counters into a whole-run total.
+    pub fn merged(&self, other: &CounterSet) -> CounterSet {
+        let mut out = self.clone();
+        out += other.clone();
+        out
+    }
+
+    /// Micro-operations per macro-instruction — the CISC cracking/fusion
+    /// ratio; its change between machines feeds the "µop fusion" bar of the
+    /// CPI-delta stacks (Fig. 6).
+    pub fn uops_per_instr(&self) -> f64 {
+        let instr = self.get(Event::InstrRetired);
+        if instr == 0 {
+            return f64::NAN;
+        }
+        self.get(Event::UopsRetired) as f64 / instr as f64
+    }
+}
+
+impl AddAssign for CounterSet {
+    fn add_assign(&mut self, rhs: CounterSet) {
+        for (a, b) in self.values.iter_mut().zip(rhs.values.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (e, v) in self.iter() {
+            if v != 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}={v}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(all zero)")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(Event, u64)> for CounterSet {
+    fn from_iter<I: IntoIterator<Item = (Event, u64)>>(iter: I) -> Self {
+        let mut c = CounterSet::new();
+        for (e, v) in iter {
+            c.add(e, v);
+        }
+        c
+    }
+}
+
+impl Extend<(Event, u64)> for CounterSet {
+    fn extend<I: IntoIterator<Item = (Event, u64)>>(&mut self, iter: I) {
+        for (e, v) in iter {
+            self.add(e, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let c = CounterSet::new();
+        for e in Event::ALL {
+            assert_eq!(c.get(e), 0);
+        }
+    }
+
+    #[test]
+    fn add_and_inc() {
+        let mut c = CounterSet::new();
+        c.add(Event::Cycles, 5);
+        c.inc(Event::Cycles);
+        assert_eq!(c.get(Event::Cycles), 6);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut c = CounterSet::new();
+        c.add(Event::Cycles, u64::MAX);
+        c.inc(Event::Cycles);
+        assert_eq!(c.get(Event::Cycles), u64::MAX);
+    }
+
+    #[test]
+    fn cpi_and_rates() {
+        let mut c = CounterSet::new();
+        c.add(Event::Cycles, 400);
+        c.add(Event::UopsRetired, 200);
+        c.add(Event::InstrRetired, 100);
+        c.add(Event::BranchMispredicts, 3);
+        assert!((c.cpi() - 2.0).abs() < 1e-12);
+        assert!((c.per_uop(Event::BranchMispredicts) - 0.015).abs() < 1e-12);
+        assert!((c.mpki(Event::BranchMispredicts) - 30.0).abs() < 1e-12);
+        assert!((c.uops_per_instr() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_nan() {
+        let c = CounterSet::new();
+        assert!(c.cpi().is_nan());
+        assert!(c.per_uop(Event::Loads).is_nan());
+        assert!(c.mpki(Event::Loads).is_nan());
+        assert!(c.uops_per_instr().is_nan());
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = CounterSet::new();
+        a.add(Event::Cycles, 10);
+        let mut b = CounterSet::new();
+        b.add(Event::Cycles, 5);
+        b.add(Event::Loads, 7);
+        let c = a.merged(&b);
+        assert_eq!(c.get(Event::Cycles), 15);
+        assert_eq!(c.get(Event::Loads), 7);
+        a += b;
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn collect_from_pairs() {
+        let c: CounterSet = [(Event::Loads, 4), (Event::Loads, 6)].into_iter().collect();
+        assert_eq!(c.get(Event::Loads), 10);
+    }
+
+    #[test]
+    fn display_skips_zeroes() {
+        let mut c = CounterSet::new();
+        c.add(Event::Stores, 2);
+        assert_eq!(c.to_string(), "stores=2");
+        assert_eq!(CounterSet::new().to_string(), "(all zero)");
+    }
+}

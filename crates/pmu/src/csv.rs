@@ -1,0 +1,230 @@
+//! CSV round-tripping for [`RunRecord`]s.
+//!
+//! The paper's workflow separates measurement (running SPEC with perfex /
+//! perfmon, hours of machine time) from modeling (seconds of regression).
+//! We keep the same separation: experiment binaries can dump all simulator
+//! measurements to a CSV file and the modeling side can reload them without
+//! re-simulating. The format is a plain header + rows, no quoting needed
+//! because benchmark names contain no commas.
+
+use crate::counters::CounterSet;
+use crate::event::Event;
+use crate::record::{MachineId, RunRecord, Suite};
+use std::fmt::Write as _;
+
+/// Error produced when parsing a CSV dump of run records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCsvError {
+    /// The header row is missing or does not match the expected columns.
+    BadHeader(String),
+    /// A data row has the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields found.
+        found: usize,
+        /// Number of fields expected.
+        expected: usize,
+    },
+    /// A field failed to parse as its expected type.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseCsvError::BadHeader(h) => write!(f, "unexpected csv header `{h}`"),
+            ParseCsvError::FieldCount {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line}: expected {expected} fields, found {found}"
+            ),
+            ParseCsvError::BadField { line, column, text } => {
+                write!(f, "line {line}: cannot parse `{text}` for column `{column}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// The canonical header: identification columns followed by every event.
+fn header() -> String {
+    let mut h = String::from("benchmark,suite,machine");
+    for e in Event::ALL {
+        let _ = write!(h, ",{}", e.name());
+    }
+    h
+}
+
+/// Serializes records to CSV text (header + one row per record).
+///
+/// # Examples
+///
+/// ```
+/// use pmu::{CounterSet, Event, MachineId, RunRecord, Suite};
+/// use pmu::csv::{to_csv, from_csv};
+///
+/// let mut c = CounterSet::new();
+/// c.add(Event::Cycles, 10);
+/// c.add(Event::UopsRetired, 4);
+/// let records = vec![RunRecord::new("art.110", Suite::Cpu2000, MachineId::CoreI7, c)];
+/// let text = to_csv(&records);
+/// let back = from_csv(&text).unwrap();
+/// assert_eq!(back, records);
+/// ```
+pub fn to_csv(records: &[RunRecord]) -> String {
+    let mut out = header();
+    out.push('\n');
+    for r in records {
+        let _ = write!(
+            out,
+            "{},{},{}",
+            r.benchmark(),
+            r.suite().name(),
+            r.machine().name()
+        );
+        for e in Event::ALL {
+            let _ = write!(out, ",{}", r.counters().get(e));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] if the header is unrecognized, a row has the
+/// wrong arity, or any field fails to parse. Blank lines are skipped.
+pub fn from_csv(text: &str) -> Result<Vec<RunRecord>, ParseCsvError> {
+    let expected_header = header();
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| ParseCsvError::BadHeader(String::new()))?;
+    if first.trim() != expected_header {
+        return Err(ParseCsvError::BadHeader(first.to_owned()));
+    }
+    let expected_fields = 3 + Event::COUNT;
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected_fields {
+            return Err(ParseCsvError::FieldCount {
+                line: lineno,
+                found: fields.len(),
+                expected: expected_fields,
+            });
+        }
+        let suite: Suite = fields[1].parse().map_err(|_| ParseCsvError::BadField {
+            line: lineno,
+            column: "suite".into(),
+            text: fields[1].into(),
+        })?;
+        let machine: MachineId = fields[2].parse().map_err(|_| ParseCsvError::BadField {
+            line: lineno,
+            column: "machine".into(),
+            text: fields[2].into(),
+        })?;
+        let mut counters = CounterSet::new();
+        for (e, raw) in Event::ALL.iter().zip(&fields[3..]) {
+            let v: u64 = raw.parse().map_err(|_| ParseCsvError::BadField {
+                line: lineno,
+                column: e.name().into(),
+                text: (*raw).into(),
+            })?;
+            counters.set(*e, v);
+        }
+        records.push(RunRecord::new(fields[0], suite, machine, counters));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<RunRecord> {
+        let mut c1 = CounterSet::new();
+        c1.add(Event::Cycles, 123);
+        c1.add(Event::UopsRetired, 45);
+        c1.add(Event::LlcDataMisses, 6);
+        let mut c2 = CounterSet::new();
+        c2.add(Event::Cycles, 999);
+        c2.add(Event::UopsRetired, 500);
+        vec![
+            RunRecord::new("swim", Suite::Cpu2000, MachineId::Pentium4, c1),
+            RunRecord::new("lbm", Suite::Cpu2006, MachineId::Core2, c2),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = sample_records();
+        let text = to_csv(&records);
+        assert_eq!(from_csv(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            from_csv("nope\n"),
+            Err(ParseCsvError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_short_rows() {
+        let text = format!("{}\nfoo,cpu2000,core2,1,2\n", super::header());
+        assert!(matches!(
+            from_csv(&text),
+            Err(ParseCsvError::FieldCount { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let records = sample_records();
+        let text = to_csv(&records).replace("123", "xyz");
+        assert!(matches!(
+            from_csv(&text),
+            Err(ParseCsvError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let records = sample_records();
+        let mut text = to_csv(&records);
+        text.push('\n');
+        assert_eq!(from_csv(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ParseCsvError::BadField {
+            line: 7,
+            column: "cycles".into(),
+            text: "NaN".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line 7") && msg.contains("cycles") && msg.contains("NaN"));
+    }
+}

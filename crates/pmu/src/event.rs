@@ -1,0 +1,198 @@
+//! The closed set of performance events the model consumes.
+//!
+//! These mirror the counters collected in the paper (§4): cycles, committed
+//! micro-operations, committed x86 macro-instructions, branch mispredictions,
+//! L1 I-cache misses, L2 misses, L3 misses (Core i7 only), D-TLB and I-TLB
+//! misses, and floating-point operation counts. We additionally split L2/L3
+//! misses by instruction/data side — real PMUs expose that split too (e.g.
+//! `L2_RQSTS.IFETCH_MISS` vs `L2_RQSTS.LD_MISS` on Intel machines) and the
+//! model formula (Eq. 1) needs it.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A countable hardware performance event.
+///
+/// The set is closed: the model of Eyerman et al. needs exactly these inputs,
+/// and the simulated PMU produces exactly these. `Event` is a dense index
+/// (`0..Event::COUNT`) so a [`CounterSet`](crate::CounterSet) can be a flat
+/// array.
+///
+/// # Examples
+///
+/// ```
+/// use pmu::Event;
+///
+/// assert_eq!(Event::Cycles.name(), "cycles");
+/// assert_eq!("l2d_misses".parse::<Event>().unwrap(), Event::L2DataMisses);
+/// assert_eq!(Event::ALL.len(), Event::COUNT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Event {
+    /// Elapsed core clock cycles for the measured region.
+    Cycles,
+    /// Committed (retired) micro-operations. `N` in Eq. 1.
+    UopsRetired,
+    /// Committed x86 macro-instructions (CISC instructions before cracking).
+    InstrRetired,
+    /// Committed mispredicted branches. `m_br` in Eq. 1.
+    BranchMispredicts,
+    /// Committed branches (all, predicted correctly or not).
+    Branches,
+    /// L1 instruction-cache misses (fetches that went to L2). `m_L1I$`.
+    L1InstrMisses,
+    /// Instruction fetches that also missed the last on-chip level and went
+    /// to memory. `m_L2I$` in Eq. 1 (for the Core i7 this means L3 I misses).
+    LlcInstrMisses,
+    /// I-TLB misses. `m_ITLB`.
+    ItlbMisses,
+    /// L1 data-cache load misses that hit in the L2 (`mpµ_DL1` in Eq. 2/5).
+    L1DataMisses,
+    /// L2 data load misses. On two-level machines this equals
+    /// [`Event::LlcDataMisses`]; on the Core i7 these are fills from L3.
+    L2DataMisses,
+    /// Load misses in the last on-chip cache level that go to DRAM.
+    /// `m_L2D$` in Eq. 1 / `mpµ_DL2` in Eq. 3 (the paper's "L2" is the LLC).
+    LlcDataMisses,
+    /// D-TLB misses. `m_DTLB`.
+    DtlbMisses,
+    /// Committed floating-point micro-operations (`fp` fraction in Eq. 2/5).
+    FpOps,
+    /// Committed load micro-operations.
+    Loads,
+    /// Committed store micro-operations.
+    Stores,
+}
+
+impl Event {
+    /// Number of distinct events.
+    pub const COUNT: usize = 15;
+
+    /// Every event, in dense-index order.
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::Cycles,
+        Event::UopsRetired,
+        Event::InstrRetired,
+        Event::BranchMispredicts,
+        Event::Branches,
+        Event::L1InstrMisses,
+        Event::LlcInstrMisses,
+        Event::ItlbMisses,
+        Event::L1DataMisses,
+        Event::L2DataMisses,
+        Event::LlcDataMisses,
+        Event::DtlbMisses,
+        Event::FpOps,
+        Event::Loads,
+        Event::Stores,
+    ];
+
+    /// Dense index of this event, in `0..Event::COUNT`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable, lowercase mnemonic used in CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::Cycles => "cycles",
+            Event::UopsRetired => "uops",
+            Event::InstrRetired => "instructions",
+            Event::BranchMispredicts => "br_mispredicts",
+            Event::Branches => "branches",
+            Event::L1InstrMisses => "l1i_misses",
+            Event::LlcInstrMisses => "llc_i_misses",
+            Event::ItlbMisses => "itlb_misses",
+            Event::L1DataMisses => "l1d_misses",
+            Event::L2DataMisses => "l2d_misses",
+            Event::LlcDataMisses => "llc_d_misses",
+            Event::DtlbMisses => "dtlb_misses",
+            Event::FpOps => "fp_ops",
+            Event::Loads => "loads",
+            Event::Stores => "stores",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown event mnemonic.
+///
+/// # Examples
+///
+/// ```
+/// use pmu::event::ParseEventError;
+/// let err: ParseEventError = "not_an_event".parse::<pmu::Event>().unwrap_err();
+/// assert!(err.to_string().contains("not_an_event"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventError {
+    unknown: String,
+}
+
+impl fmt::Display for ParseEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown performance event mnemonic `{}`", self.unknown)
+    }
+}
+
+impl std::error::Error for ParseEventError {}
+
+impl FromStr for Event {
+    type Err = ParseEventError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Event::ALL
+            .iter()
+            .copied()
+            .find(|e| e.name() == s)
+            .ok_or_else(|| ParseEventError {
+                unknown: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Event::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Event::COUNT);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for e in Event::ALL {
+            assert_eq!(e.name().parse::<Event>().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("bogus".parse::<Event>().is_err());
+        let msg = "bogus".parse::<Event>().unwrap_err().to_string();
+        assert!(msg.contains("bogus"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Event::LlcDataMisses.to_string(), "llc_d_misses");
+    }
+}

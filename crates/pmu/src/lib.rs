@@ -1,0 +1,40 @@
+//! Hardware performance-counter taxonomy and event collection.
+//!
+//! The ISPASS 2011 mechanistic-empirical model is driven entirely by hardware
+//! performance counter data: cycle counts, committed micro-operation and
+//! macro-instruction counts, cache/TLB miss counts at each level, branch
+//! mispredictions and floating-point operation counts (paper §4). On real
+//! hardware these are collected with `perfex`/`perfmon`; in this reproduction
+//! they are collected by the `oosim` simulator, which increments the same
+//! event set while simulating.
+//!
+//! This crate defines:
+//!
+//! * [`Event`] — the closed set of countable events,
+//! * [`CounterSet`] — a bank of 64-bit counters indexed by [`Event`],
+//! * [`RunRecord`] — one benchmark run on one machine: identification plus a
+//!   finished [`CounterSet`], with the derived per-µop rates the model needs,
+//! * CSV import/export so records can round-trip to disk like the perfex logs
+//!   the paper's authors kept.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmu::{CounterSet, Event};
+//!
+//! let mut counters = CounterSet::new();
+//! counters.add(Event::Cycles, 1_000);
+//! counters.add(Event::UopsRetired, 800);
+//! counters.inc(Event::BranchMispredicts);
+//! assert_eq!(counters.get(Event::Cycles), 1_000);
+//! assert!((counters.cpi() - 1.25).abs() < 1e-12);
+//! ```
+
+pub mod counters;
+pub mod csv;
+pub mod event;
+pub mod record;
+
+pub use counters::CounterSet;
+pub use event::Event;
+pub use record::{MachineId, RunRecord, Suite};

@@ -1,0 +1,259 @@
+//! Benchmark-run records: one benchmark, one machine, one counter bank.
+
+use crate::counters::CounterSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which benchmark suite a workload belongs to.
+///
+/// The paper fits one model per suite per machine, and uses cross-suite
+/// transfer (fit on CPU2000, evaluate on CPU2006 and vice versa) to probe
+/// overfitting, so suite membership is first-class in a run record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Suite {
+    /// SPEC CPU2000 (48 benchmark–input pairs in the paper).
+    Cpu2000,
+    /// SPEC CPU2006 (55 benchmark–input pairs in the paper).
+    Cpu2006,
+}
+
+impl Suite {
+    /// Stable lowercase identifier used in CSV files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Cpu2000 => "cpu2000",
+            Suite::Cpu2006 => "cpu2006",
+        }
+    }
+
+    /// Both suites, in chronological order.
+    pub const ALL: [Suite; 2] = [Suite::Cpu2000, Suite::Cpu2006];
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`Suite`] or [`MachineId`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNameError {
+    kind: &'static str,
+    unknown: String,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} name `{}`", self.kind, self.unknown)
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+impl FromStr for Suite {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Suite::ALL
+            .iter()
+            .copied()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| ParseNameError {
+                kind: "suite",
+                unknown: s.to_owned(),
+            })
+    }
+}
+
+/// The three commercial machines the paper models (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MachineId {
+    /// Intel Pentium 4 (Netburst, Prescott): deep 31-stage pipeline, 3-wide.
+    Pentium4,
+    /// Intel Core 2 (Conroe): 14-stage pipeline, 4-wide, 4 MiB L2.
+    Core2,
+    /// Intel Core i7 (Nehalem, Bloomfield): 4-wide, 256 KiB L2 + 8 MiB L3.
+    CoreI7,
+}
+
+impl MachineId {
+    /// Stable lowercase identifier used in CSV files.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineId::Pentium4 => "pentium4",
+            MachineId::Core2 => "core2",
+            MachineId::CoreI7 => "corei7",
+        }
+    }
+
+    /// Marketing name, matching Table 1's header row.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            MachineId::Pentium4 => "Pentium 4",
+            MachineId::Core2 => "Core 2",
+            MachineId::CoreI7 => "Core i7",
+        }
+    }
+
+    /// All three machines, in generation order (the order Fig. 2–6 use).
+    pub const ALL: [MachineId; 3] = [MachineId::Pentium4, MachineId::Core2, MachineId::CoreI7];
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+impl FromStr for MachineId {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        MachineId::ALL
+            .iter()
+            .copied()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| ParseNameError {
+                kind: "machine",
+                unknown: s.to_owned(),
+            })
+    }
+}
+
+/// A completed measurement: one benchmark–input pair run to completion on one
+/// machine, with the full counter bank.
+///
+/// This is the unit of data flowing into model inference (Fig. 1 of the
+/// paper): a set of `RunRecord`s for a suite on a machine is exactly the
+/// training set for one model.
+///
+/// # Examples
+///
+/// ```
+/// use pmu::{CounterSet, Event, MachineId, RunRecord, Suite};
+///
+/// let mut counters = CounterSet::new();
+/// counters.add(Event::Cycles, 2_000);
+/// counters.add(Event::UopsRetired, 1_000);
+/// let record = RunRecord::new("gzip.graphic", Suite::Cpu2000, MachineId::Core2, counters);
+/// assert_eq!(record.benchmark(), "gzip.graphic");
+/// assert!((record.counters().cpi() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    benchmark: String,
+    suite: Suite,
+    machine: MachineId,
+    counters: CounterSet,
+}
+
+impl RunRecord {
+    /// Creates a record from its parts.
+    pub fn new(
+        benchmark: impl Into<String>,
+        suite: Suite,
+        machine: MachineId,
+        counters: CounterSet,
+    ) -> Self {
+        Self {
+            benchmark: benchmark.into(),
+            suite,
+            machine,
+            counters,
+        }
+    }
+
+    /// Benchmark–input pair name, e.g. `"gcc.200"`.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// The suite this benchmark belongs to.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The machine the run executed on.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The collected counter bank.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Mutable access to the counter bank (used by the simulator while the
+    /// run is in flight).
+    pub fn counters_mut(&mut self) -> &mut CounterSet {
+        &mut self.counters
+    }
+
+    /// Measured cycles per µop — the regression target.
+    pub fn cpi(&self) -> f64 {
+        self.counters.cpi()
+    }
+}
+
+impl fmt::Display for RunRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] on {}: CPI={:.3}",
+            self.benchmark,
+            self.suite,
+            self.machine,
+            self.cpi()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample() -> RunRecord {
+        let mut c = CounterSet::new();
+        c.add(Event::Cycles, 300);
+        c.add(Event::UopsRetired, 100);
+        RunRecord::new("mcf", Suite::Cpu2000, MachineId::Pentium4, c)
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.benchmark(), "mcf");
+        assert_eq!(r.suite(), Suite::Cpu2000);
+        assert_eq!(r.machine(), MachineId::Pentium4);
+        assert!((r.cpi() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_and_machine_parse_round_trip() {
+        for s in Suite::ALL {
+            assert_eq!(s.name().parse::<Suite>().unwrap(), s);
+        }
+        for m in MachineId::ALL {
+            assert_eq!(m.name().parse::<MachineId>().unwrap(), m);
+        }
+        assert!("cpu99".parse::<Suite>().is_err());
+        assert!("core9".parse::<MachineId>().is_err());
+    }
+
+    #[test]
+    fn counters_mut_updates_cpi() {
+        let mut r = sample();
+        r.counters_mut().add(Event::Cycles, 300);
+        assert!((r.cpi() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let text = sample().to_string();
+        assert!(text.contains("mcf"));
+        assert!(text.contains("cpu2000"));
+        assert!(text.contains("Pentium 4"));
+    }
+}

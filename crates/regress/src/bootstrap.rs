@@ -1,0 +1,161 @@
+//! Bootstrap resampling for parameter-stability analysis.
+//!
+//! The paper reports point estimates for the fitted `b`-parameters; a
+//! natural question it leaves open is how *stable* those parameters are
+//! across benchmark populations — which bears directly on the robustness
+//! claims of §5.2. Resampling the training suite with replacement and
+//! refitting yields an empirical distribution per parameter.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Summary of one parameter's bootstrap distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamSpread {
+    /// Mean over resamples.
+    pub mean: f64,
+    /// Standard deviation over resamples.
+    pub std_dev: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+/// Draws `resamples` bootstrap index sets of size `n` (sampling with
+/// replacement), deterministically from `seed`, and hands each to `fit`,
+/// which returns a parameter vector. Returns one [`ParamSpread`] per
+/// parameter position.
+///
+/// # Panics
+///
+/// Panics if `n` or `resamples` is zero, or if `fit` returns vectors of
+/// inconsistent length.
+///
+/// # Examples
+///
+/// ```
+/// use regress::bootstrap::bootstrap_params;
+///
+/// // "Fitting" = the mean of the resampled values: spread shrinks with n.
+/// let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let spreads = bootstrap_params(data.len(), 100, 42, |idx| {
+///     vec![idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64]
+/// });
+/// assert!((spreads[0].mean - 24.5).abs() < 2.0);
+/// assert!(spreads[0].std_dev < 4.0);
+/// ```
+pub fn bootstrap_params<F>(
+    n: usize,
+    resamples: usize,
+    seed: u64,
+    mut fit: F,
+) -> Vec<ParamSpread>
+where
+    F: FnMut(&[usize]) -> Vec<f64>,
+{
+    assert!(n > 0, "need a non-empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut per_param: Vec<Vec<f64>> = Vec::new();
+    let mut indices = vec![0usize; n];
+    for _ in 0..resamples {
+        for slot in indices.iter_mut() {
+            *slot = rng.gen_range(0..n);
+        }
+        let params = fit(&indices);
+        if per_param.is_empty() {
+            per_param = vec![Vec::with_capacity(resamples); params.len()];
+        }
+        assert_eq!(
+            params.len(),
+            per_param.len(),
+            "fit returned inconsistent parameter counts"
+        );
+        for (bucket, v) in per_param.iter_mut().zip(params) {
+            bucket.push(v);
+        }
+    }
+    per_param
+        .into_iter()
+        .map(|mut values| {
+            values.sort_by(f64::total_cmp);
+            let k = values.len();
+            let mean = values.iter().sum::<f64>() / k as f64;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / k as f64;
+            let q = |p: f64| values[((p * (k - 1) as f64).round() as usize).min(k - 1)];
+            ParamSpread {
+                mean,
+                std_dev: var.sqrt(),
+                p5: q(0.05),
+                p95: q(0.95),
+            }
+        })
+        .collect()
+}
+
+/// Coefficient of determination `R²` of predictions against measurements.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or the measurements
+/// have zero variance.
+pub fn r_squared(predicted: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), measured.len(), "length mismatch");
+    assert!(!measured.is_empty(), "need at least one point");
+    let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+    let ss_tot: f64 = measured.iter().map(|y| (y - mean) * (y - mean)).sum();
+    assert!(ss_tot > 0.0, "measurements have zero variance");
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(measured)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_is_deterministic() {
+        let fit = |idx: &[usize]| vec![idx.iter().sum::<usize>() as f64];
+        let a = bootstrap_params(10, 20, 7, fit);
+        let b = bootstrap_params(10, 20, 7, fit);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_fit_has_zero_spread() {
+        let s = bootstrap_params(10, 50, 1, |_| vec![3.25]);
+        assert_eq!(s[0].mean, 3.25);
+        assert_eq!(s[0].std_dev, 0.0);
+        assert_eq!(s[0].p5, 3.25);
+        assert_eq!(s[0].p95, 3.25);
+    }
+
+    #[test]
+    fn percentiles_bracket_mean() {
+        let s = bootstrap_params(30, 200, 5, |idx| {
+            vec![idx.iter().map(|&i| i as f64).sum::<f64>() / idx.len() as f64]
+        });
+        assert!(s[0].p5 <= s[0].mean);
+        assert!(s[0].mean <= s[0].p95);
+        assert!(s[0].p5 < s[0].p95, "resampled means must vary");
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&mean_pred, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero variance")]
+    fn r_squared_rejects_constant_measurements() {
+        let _ = r_squared(&[1.0, 1.0], &[2.0, 2.0]);
+    }
+}

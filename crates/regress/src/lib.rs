@@ -1,0 +1,48 @@
+//! Numerics for gray-box performance modeling.
+//!
+//! The ISPASS 2011 paper infers its ten unknown model parameters with
+//! nonlinear regression (the authors used SPSS), and compares the resulting
+//! gray-box model against two purely empirical baselines: linear regression
+//! and a one-hidden-layer artificial neural network (paper §4–5). This crate
+//! provides all three fitting engines plus the shared error metrics:
+//!
+//! * [`nelder_mead`] — bounded derivative-free simplex minimisation with
+//!   deterministic multi-start, used to fit the mechanistic-empirical model
+//!   under the paper's relative-squared-error criterion (Tofallis),
+//! * [`linear`] — ordinary least squares (optionally ridge-stabilised),
+//! * [`ann`] — a multi-layer perceptron with one tanh hidden layer trained
+//!   with Adam, matching the paper's ANN description (§4),
+//! * [`metrics`] — mean/max absolute relative error, error quantiles and
+//!   sorted error CDFs (the units of Figures 2–4),
+//! * [`matrix`] — the small dense linear-algebra kernel backing OLS.
+//!
+//! Everything is deterministic: stochastic components (ANN initialisation,
+//! multi-start jitter) take explicit seeds.
+//!
+//! # Examples
+//!
+//! Fit a 1-D quadratic with Nelder–Mead:
+//!
+//! ```
+//! use regress::nelder_mead::{minimize, Options};
+//!
+//! let objective = |p: &[f64]| (p[0] - 3.0).powi(2) + 1.0;
+//! let result = minimize(objective, &[0.0], &Options::default());
+//! assert!((result.params[0] - 3.0).abs() < 1e-6);
+//! assert!((result.value - 1.0).abs() < 1e-10);
+//! ```
+
+pub mod ann;
+pub mod bootstrap;
+pub mod linear;
+pub mod lm;
+pub mod matrix;
+pub mod metrics;
+pub mod nelder_mead;
+
+pub use ann::{AnnModel, AnnOptions};
+pub use bootstrap::{bootstrap_params, r_squared, ParamSpread};
+pub use linear::LinearModel;
+pub use lm::{levenberg_marquardt, LmOptions, LmResult};
+pub use metrics::ErrorSummary;
+pub use nelder_mead::{minimize, minimize_bounded, MultiStart, Options};

@@ -1,0 +1,232 @@
+//! Ordinary least squares — the paper's first purely empirical baseline.
+//!
+//! The baseline regresses CPI on the same counter-derived rates the gray-box
+//! model consumes (paper §4: "Both linear regression and ANNs use the exact
+//! same input as mechanistic-empirical modeling"). Features are standardised
+//! to zero mean / unit variance before solving the normal equations, and a
+//! small ridge term keeps the solve well-posed when two rates are nearly
+//! collinear across a suite (common: L2 and L3 miss rates track each other).
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// A fitted linear model `y ≈ w·standardize(x) + b`.
+///
+/// # Examples
+///
+/// ```
+/// use regress::LinearModel;
+///
+/// // y = 2*x0 + 1 exactly.
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys = vec![1.0, 3.0, 5.0, 7.0];
+/// let model = LinearModel::fit(&xs, &ys, 0.0).unwrap();
+/// assert!((model.predict(&[10.0]) - 21.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    intercept: f64,
+    feature_means: Vec<f64>,
+    feature_scales: Vec<f64>,
+}
+
+/// Error returned by [`LinearModel::fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// No training rows were supplied.
+    Empty,
+    /// Rows have inconsistent feature counts.
+    RaggedRows,
+    /// Number of targets differs from number of rows.
+    TargetMismatch,
+    /// The (ridge-damped) normal equations were still singular.
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Empty => f.write_str("no training data"),
+            FitError::RaggedRows => f.write_str("feature rows have inconsistent lengths"),
+            FitError::TargetMismatch => f.write_str("target count differs from row count"),
+            FitError::Singular => f.write_str("normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl LinearModel {
+    /// Fits by least squares with ridge damping `ridge >= 0` on the
+    /// standardised features (the intercept is never penalised).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when the data is empty, ragged, mismatched with
+    /// the targets, or (for `ridge == 0`) exactly collinear.
+    pub fn fit(features: &[Vec<f64>], targets: &[f64], ridge: f64) -> Result<Self, FitError> {
+        if features.is_empty() {
+            return Err(FitError::Empty);
+        }
+        if targets.len() != features.len() {
+            return Err(FitError::TargetMismatch);
+        }
+        let dim = features[0].len();
+        if features.iter().any(|row| row.len() != dim) {
+            return Err(FitError::RaggedRows);
+        }
+        let rows = features.len();
+
+        // Standardise features; constant columns get scale 1 (their weight
+        // is then absorbed by the intercept).
+        let mut means = vec![0.0; dim];
+        for row in features {
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x / rows as f64;
+            }
+        }
+        let mut scales = vec![0.0; dim];
+        for row in features {
+            for ((s, x), m) in scales.iter_mut().zip(row).zip(&means) {
+                *s += (x - m) * (x - m) / rows as f64;
+            }
+        }
+        for s in &mut scales {
+            *s = s.sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+
+        // Design matrix with a trailing intercept column of ones.
+        let mut design = Matrix::zeros(rows, dim + 1);
+        for (r, row) in features.iter().enumerate() {
+            for c in 0..dim {
+                design[(r, c)] = (row[c] - means[c]) / scales[c];
+            }
+            design[(r, dim)] = 1.0;
+        }
+        let dt = design.transposed();
+        let mut normal = dt.matmul(&design);
+        for c in 0..dim {
+            normal[(c, c)] += ridge;
+        }
+        let rhs = dt.matvec(targets);
+        let solution = normal.solve(&rhs).map_err(|_| FitError::Singular)?;
+
+        Ok(Self {
+            weights: solution[..dim].to_vec(),
+            intercept: solution[dim],
+            feature_means: means,
+            feature_scales: scales,
+        })
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.weights.len(),
+            "feature dimensionality mismatch"
+        );
+        let mut y = self.intercept;
+        for ((w, x), (m, s)) in self
+            .weights
+            .iter()
+            .zip(x)
+            .zip(self.feature_means.iter().zip(&self.feature_scales))
+        {
+            y += w * (x - m) / s;
+        }
+        y
+    }
+
+    /// Predicts every row of `xs`.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Weights on the standardised features (useful for significance
+    /// eyeballing, as the paper does when discussing which rates matter).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 3*x0 - 2*x1 + 5
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        let model = LinearModel::fit(&xs, &ys, 0.0).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((model.predict(x) - y).abs() < 1e-8);
+        }
+        assert!((model.predict(&[100.0, 3.0]) - 299.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_feature_is_tolerated() {
+        let xs = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
+        let ys = vec![2.0, 4.0, 6.0];
+        let model = LinearModel::fit(&xs, &ys, 1e-9).unwrap();
+        assert!((model.predict(&[4.0, 5.0]) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_handles_collinearity() {
+        // Second feature is an exact copy of the first.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        assert_eq!(LinearModel::fit(&xs, &ys, 0.0), Err(FitError::Singular));
+        let model = LinearModel::fit(&xs, &ys, 1e-6).unwrap();
+        assert!((model.predict(&[5.0, 5.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(LinearModel::fit(&[], &[], 0.0), Err(FitError::Empty));
+        assert_eq!(
+            LinearModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.0),
+            Err(FitError::RaggedRows)
+        );
+        assert_eq!(
+            LinearModel::fit(&[vec![1.0]], &[1.0, 2.0], 0.0),
+            Err(FitError::TargetMismatch)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn predict_rejects_wrong_arity() {
+        let model = LinearModel::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], 0.0).unwrap();
+        let _ = model.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        let model = LinearModel::fit(&xs, &ys, 0.0).unwrap();
+        let all = model.predict_all(&xs);
+        for (row, y) in xs.iter().zip(all) {
+            assert_eq!(model.predict(row), y);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Prediction-error metrics used throughout the paper's evaluation.
+//!
+//! The paper reports: the *average absolute relative error* (Fig. 2 and 4),
+//! the maximum error, the fraction of benchmarks under a threshold ("90% of
+//! all benchmarks have a prediction error below 20%"), and sorted error
+//! CDFs (Fig. 3). The regression objective itself is the sum of relative
+//! squared errors following Tofallis — [`relative_squared_error_sum`].
+
+use std::fmt;
+
+/// Absolute relative error `|pred - meas| / meas` of one prediction.
+///
+/// # Panics
+///
+/// Panics if `measured` is zero (a benchmark cannot have measured CPI 0).
+#[inline]
+pub fn relative_error(predicted: f64, measured: f64) -> f64 {
+    assert!(measured != 0.0, "measured value must be nonzero");
+    ((predicted - measured) / measured).abs()
+}
+
+/// The paper's regression criterion: `Σ (ŷᵢ − yᵢ)² / yᵢ` (sum of squared
+/// errors, each normalised by the measured value), which "minimizes the
+/// average absolute value of the relative error, as suggested by Tofallis"
+/// (paper §4).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any measured value is zero.
+pub fn relative_squared_error_sum(predicted: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), measured.len(), "length mismatch");
+    predicted
+        .iter()
+        .zip(measured)
+        .map(|(&p, &m)| {
+            assert!(m != 0.0, "measured value must be nonzero");
+            (p - m) * (p - m) / m
+        })
+        .sum()
+}
+
+/// Summary statistics over a set of per-benchmark relative errors.
+///
+/// # Examples
+///
+/// ```
+/// use regress::ErrorSummary;
+///
+/// let s = ErrorSummary::from_predictions(&[1.1, 2.0, 2.7], &[1.0, 2.0, 3.0]);
+/// assert!((s.mean - 0.0667).abs() < 1e-3);
+/// assert!((s.max - 0.1).abs() < 1e-12);
+/// assert_eq!(s.count, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Mean absolute relative error.
+    pub mean: f64,
+    /// Maximum absolute relative error.
+    pub max: f64,
+    /// Median absolute relative error.
+    pub median: f64,
+    /// 90th-percentile absolute relative error.
+    pub p90: f64,
+    /// Number of predictions summarised.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Builds a summary from raw per-benchmark relative errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors` is empty or contains non-finite values.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "need at least one error value");
+        assert!(
+            errors.iter().all(|e| e.is_finite()),
+            "errors must be finite"
+        );
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            mean,
+            max: *sorted.last().expect("non-empty"),
+            median: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+            count: sorted.len(),
+        }
+    }
+
+    /// Builds a summary directly from prediction/measurement pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`relative_error`] and
+    /// [`ErrorSummary::from_errors`].
+    pub fn from_predictions(predicted: &[f64], measured: &[f64]) -> Self {
+        assert_eq!(predicted.len(), measured.len(), "length mismatch");
+        let errors: Vec<f64> = predicted
+            .iter()
+            .zip(measured)
+            .map(|(&p, &m)| relative_error(p, m))
+            .collect();
+        Self::from_errors(&errors)
+    }
+
+    /// Fraction of benchmarks with error strictly below `threshold` — the
+    /// paper's "90% of all benchmarks have a prediction error below 20%".
+    pub fn fraction_below(errors: &[f64], threshold: f64) -> f64 {
+        if errors.is_empty() {
+            return f64::NAN;
+        }
+        errors.iter().filter(|&&e| e < threshold).count() as f64 / errors.len() as f64
+    }
+}
+
+impl fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.1}%, median {:.1}%, p90 {:.1}%, max {:.1}% over {} benchmarks",
+            self.mean * 100.0,
+            self.median * 100.0,
+            self.p90 * 100.0,
+            self.max * 100.0,
+            self.count
+        )
+    }
+}
+
+/// Sorted error curve for CDF plots: returns `(fraction, error)` points,
+/// errors ascending — exactly the axes of Fig. 3 ("a point (x, y) says that
+/// x% of the benchmarks have a prediction error below y%").
+pub fn error_cdf(errors: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = errors.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| ((i + 1) as f64 / n as f64, e))
+        .collect()
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn relative_error_rejects_zero_measured() {
+        let _ = relative_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn tofallis_criterion() {
+        // (1.5-1)^2/1 + (3-4)^2/4 = 0.25 + 0.25
+        let s = relative_squared_error_sum(&[1.5, 3.0], &[1.0, 4.0]);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let errors = [0.05, 0.10, 0.20, 0.01, 0.30];
+        let s = ErrorSummary::from_errors(&errors);
+        assert!((s.mean - 0.132).abs() < 1e-12);
+        assert!((s.max - 0.30).abs() < 1e-12);
+        assert!((s.median - 0.10).abs() < 1e-12);
+        assert_eq!(s.count, 5);
+        assert!(s.p90 > 0.2 && s.p90 <= 0.3);
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        let errors = [0.05, 0.15, 0.25, 0.35];
+        assert!((ErrorSummary::fraction_below(&errors, 0.20) - 0.5).abs() < 1e-12);
+        assert_eq!(ErrorSummary::fraction_below(&errors, 1.0), 1.0);
+        assert!(ErrorSummary::fraction_below(&[], 0.2).is_nan());
+    }
+
+    #[test]
+    fn cdf_is_sorted_and_complete() {
+        let cdf = error_cdf(&[0.3, 0.1, 0.2]);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0].1 - 0.1).abs() < 1e-12);
+        assert!((cdf[2].1 - 0.3).abs() < 1e-12);
+        assert!((cdf[2].0 - 1.0).abs() < 1e-12);
+        for pair in cdf.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 1.0];
+        assert!((quantile_sorted(&sorted, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_summary_panics() {
+        let _ = ErrorSummary::from_errors(&[]);
+    }
+
+    #[test]
+    fn display_is_percent_formatted() {
+        let s = ErrorSummary::from_errors(&[0.097]);
+        let text = s.to_string();
+        assert!(text.contains("9.7%"), "{text}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the numerics kernel.
+
+use proptest::prelude::*;
+use regress::matrix::Matrix;
+use regress::metrics::{error_cdf, ErrorSummary};
+use regress::nelder_mead::{minimize_bounded, Options};
+
+proptest! {
+    /// Solving a diagonally-dominant system recovers the planted solution.
+    #[test]
+    fn solve_recovers_planted_solution(
+        truth in prop::collection::vec(-100.0f64..100.0, 2..8),
+        offdiag in prop::collection::vec(-0.9f64..0.9, 64),
+    ) {
+        let n = truth.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = if i == j {
+                    n as f64 + 1.0
+                } else {
+                    offdiag[(i * n + j) % offdiag.len()]
+                };
+            }
+        }
+        let b = m.matvec(&truth);
+        let x = m.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&truth) {
+            prop_assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_is_involutive(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        data in prop::collection::vec(-1e6f64..1e6, 36),
+    ) {
+        let m = Matrix::from_rows(rows, cols, &data[..rows * cols]);
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    /// Error summaries are internally consistent for any error set.
+    #[test]
+    fn summary_orderings_hold(errors in prop::collection::vec(0.0f64..10.0, 1..64)) {
+        let s = ErrorSummary::from_errors(&errors);
+        prop_assert!(s.median <= s.max + 1e-12);
+        prop_assert!(s.p90 <= s.max + 1e-12);
+        prop_assert!(s.median <= s.p90 + 1e-12);
+        prop_assert!(s.mean <= s.max + 1e-12);
+        prop_assert_eq!(s.count, errors.len());
+    }
+
+    /// CDFs are monotone in both coordinates and end at fraction 1.
+    #[test]
+    fn cdf_is_monotone(errors in prop::collection::vec(0.0f64..5.0, 1..64)) {
+        let cdf = error_cdf(&errors);
+        prop_assert_eq!(cdf.len(), errors.len());
+        prop_assert!((cdf.last().unwrap().0 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// Nelder–Mead never reports a point outside its box.
+    #[test]
+    fn nelder_mead_respects_bounds(
+        lo in -10.0f64..0.0,
+        span in 0.1f64..10.0,
+        x0 in -20.0f64..20.0,
+        target in -30.0f64..30.0,
+    ) {
+        let hi = lo + span;
+        let m = minimize_bounded(
+            |p| (p[0] - target).powi(2),
+            &[x0],
+            &[(lo, hi)],
+            &Options { max_evals: 2_000, ..Options::default() },
+        );
+        prop_assert!(m.params[0] >= lo - 1e-12 && m.params[0] <= hi + 1e-12);
+        // And it finds the constrained optimum.
+        let best = target.clamp(lo, hi);
+        prop_assert!((m.params[0] - best).abs() < 1e-3,
+            "got {}, expected {best}", m.params[0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Bar charts: grouped bars (Fig. 4–5's error comparisons) and signed
+//! horizontal bars (Fig. 6's CPI-delta stacks, where bars go negative for
+//! improvements).
+
+use std::fmt::Write as _;
+
+/// Renders grouped vertical values as horizontal bars, one line per
+/// (group, series) pair — the text equivalent of Fig. 4's grouped columns.
+///
+/// # Examples
+///
+/// ```
+/// use report::bars::grouped_bars;
+///
+/// let fig = grouped_bars(
+///     "avg error",
+///     &["Pentium 4"],
+///     &[("ME", vec![0.10]), ("ANN", vec![0.20])],
+///     40,
+/// );
+/// assert!(fig.contains("ME"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any series' length differs from the group count, or any value
+/// is negative or non-finite (use [`signed_bars`] for signed data).
+pub fn grouped_bars(
+    title: &str,
+    groups: &[&str],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+) -> String {
+    assert!(!groups.is_empty() && !series.is_empty(), "empty chart");
+    for (name, values) in series {
+        assert_eq!(values.len(), groups.len(), "series `{name}` arity mismatch");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "series `{name}` must be non-negative"
+        );
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (gi, group) in groups.iter().enumerate() {
+        let _ = writeln!(out, "  {group}:");
+        for (name, values) in series {
+            let v = values[gi];
+            let len = ((v / max) * width as f64).round() as usize;
+            let _ = writeln!(out, "    {name:<name_w$} |{} {v:.3}", "#".repeat(len));
+        }
+    }
+    out
+}
+
+/// Renders signed values as horizontal bars around a zero axis: negative
+/// bars (improvements, in the paper's delta-stack convention) extend left,
+/// positive bars right.
+///
+/// # Examples
+///
+/// ```
+/// use report::bars::signed_bars;
+///
+/// let fig = signed_bars("delta", &[("branch", -0.2), ("mlp", 0.05)], 20);
+/// assert!(fig.contains("branch"));
+/// assert!(fig.contains('<'));
+/// assert!(fig.contains('>'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `items` is empty or a value is non-finite.
+pub fn signed_bars(title: &str, items: &[(&str, f64)], half_width: usize) -> String {
+    assert!(!items.is_empty(), "empty chart");
+    assert!(
+        items.iter().all(|(_, v)| v.is_finite()),
+        "values must be finite"
+    );
+    let max = items
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let name_w = items.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (bars left of | are improvements)");
+    for (name, v) in items {
+        let len = ((v.abs() / max) * half_width as f64).round() as usize;
+        let (left, right) = if *v < 0.0 {
+            (format!("{:>half_width$}", "<".repeat(len)), String::new())
+        } else {
+            (format!("{:>half_width$}", ""), ">".repeat(len))
+        };
+        let _ = writeln!(out, "  {name:<name_w$} {left}|{right:<half_width$} {v:+.4}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_bars_scale_to_max() {
+        let fig = grouped_bars(
+            "t",
+            &["g1", "g2"],
+            &[("a", vec![1.0, 0.5]), ("b", vec![0.25, 0.0])],
+            20,
+        );
+        // The max value gets the full width.
+        assert!(fig.contains(&"#".repeat(20)));
+        assert!(fig.contains("g2"));
+    }
+
+    #[test]
+    fn signed_bars_direction() {
+        let fig = signed_bars("t", &[("worse", 0.5), ("better", -1.0)], 10);
+        let better_line = fig.lines().find(|l| l.contains("better")).unwrap();
+        assert!(better_line.contains("<<<<<<<<<<"));
+        let worse_line = fig.lines().find(|l| l.contains("worse")).unwrap();
+        assert!(worse_line.contains(">>>>>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn grouped_checks_arity() {
+        let _ = grouped_bars("t", &["a", "b"], &[("s", vec![1.0])], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn signed_rejects_empty() {
+        let _ = signed_bars("t", &[], 10);
+    }
+}

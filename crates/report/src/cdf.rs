@@ -1,0 +1,98 @@
+//! ASCII CDF plots — Fig. 3's sorted-error curves, multiple series per
+//! panel.
+
+/// Renders one or more CDF series (`(fraction, value)` points, fractions
+/// ascending in `[0, 1]`) on a shared grid. Each series gets its own glyph,
+/// shown in the legend.
+///
+/// # Examples
+///
+/// ```
+/// use report::cdf::cdf_plot;
+///
+/// let series = [("modelA", vec![(0.5, 0.05), (1.0, 0.2)])];
+/// let fig = cdf_plot("errors", &series, 40, 10);
+/// assert!(fig.contains("modelA"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if no series are given, any series is empty, or dimensions are
+/// below 8×4.
+pub fn cdf_plot(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    assert!(width >= 8 && height >= 4, "plot too small to render");
+    const GLYPHS: [char; 6] = ['o', 'x', '+', '#', '@', '%'];
+    let y_max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(_, y)| y))
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.05;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        assert!(!pts.is_empty(), "series must be non-empty");
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(frac, y) in pts {
+            let col = ((frac.clamp(0.0, 1.0)) * (width - 1) as f64) as usize;
+            let row = ((1.0 - y / y_max) * height as f64) as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, line) in grid.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("{:>6.2} |", y_max));
+        } else {
+            out.push_str("       |");
+        }
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("        0");
+    out.push_str(&" ".repeat(width.saturating_sub(10)));
+    out.push_str("1.0  (x = fraction of benchmarks, y = prediction error)\n");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("        {} = {}\n", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series_with_legend() {
+        let a = vec![(0.25, 0.02), (0.5, 0.05), (1.0, 0.3)];
+        let b = vec![(0.25, 0.04), (0.5, 0.10), (1.0, 0.5)];
+        let fig = cdf_plot("robustness", &[("cpu2006 model", a), ("cpu2000 model", b)], 40, 12);
+        assert!(fig.contains('o') && fig.contains('x'));
+        assert!(fig.contains("cpu2006 model"));
+        assert!(fig.contains("cpu2000 model"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_list_panics() {
+        let _ = cdf_plot("t", &[], 20, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_series_panics() {
+        let _ = cdf_plot("t", &[("s", vec![])], 20, 8);
+    }
+}

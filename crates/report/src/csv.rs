@@ -1,0 +1,94 @@
+//! Generic CSV export so every figure's numbers can be re-plotted with
+//! external tools.
+
+/// Serializes a header plus rows of numbers to CSV text.
+///
+/// # Examples
+///
+/// ```
+/// use report::csv::to_csv;
+///
+/// let text = to_csv(&["x", "y"], &[vec![1.0, 2.0], vec![3.0, 4.5]]);
+/// assert_eq!(text.lines().count(), 3);
+/// assert!(text.contains("3,4.5"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row's arity differs from the header's.
+pub fn to_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = header.join(",");
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes labelled rows: a leading string column plus numeric columns.
+///
+/// # Panics
+///
+/// Panics if any row's numeric arity differs from `value_header`'s.
+pub fn to_csv_labelled(
+    label_header: &str,
+    value_header: &[&str],
+    rows: &[(String, Vec<f64>)],
+) -> String {
+    let mut out = String::from(label_header);
+    for h in value_header {
+        out.push(',');
+        out.push_str(h);
+    }
+    out.push('\n');
+    for (label, values) in rows {
+        assert_eq!(values.len(), value_header.len(), "row arity mismatch");
+        out.push_str(label);
+        for v in values {
+            out.push(',');
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_render_without_decimals() {
+        let text = to_csv(&["a"], &[vec![42.0]]);
+        assert!(text.contains("\n42\n"));
+    }
+
+    #[test]
+    fn labelled_rows() {
+        let text = to_csv_labelled(
+            "bench",
+            &["measured", "predicted"],
+            &[("mcf".into(), vec![3.0, 3.1])],
+        );
+        assert!(text.starts_with("bench,measured,predicted"));
+        assert!(text.contains("mcf,3,3.1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let _ = to_csv(&["a", "b"], &[vec![1.0]]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure and table rendering for the experiment harness.
+//!
+//! Every figure of the paper is regenerated as text: scatter plots
+//! (Fig. 2), error CDFs (Fig. 3), grouped bars (Fig. 4–5) and signed
+//! delta-stack bars (Fig. 6), plus aligned tables (Tables 1–2) and CSV
+//! export for external plotting.
+//!
+//! # Examples
+//!
+//! ```
+//! use report::scatter::scatter_plot;
+//!
+//! let points = [(1.0, 1.1), (2.0, 1.9), (3.0, 3.2)];
+//! let fig = scatter_plot("demo", &points, 40, 12);
+//! assert!(fig.contains("demo"));
+//! ```
+
+pub mod bars;
+pub mod cdf;
+pub mod csv;
+pub mod scatter;
+pub mod table;
+
+pub use bars::{grouped_bars, signed_bars};
+pub use cdf::cdf_plot;
+pub use csv::to_csv;
+pub use scatter::scatter_plot;
+pub use table::Table;

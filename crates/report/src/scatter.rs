@@ -1,0 +1,105 @@
+//! ASCII scatter plots — Fig. 2's measured-vs-predicted panels.
+
+/// Renders an `width × height` character scatter plot of `points`
+/// (x = measured, y = predicted), with the bisector drawn as `/` where no
+/// point covers it. Both axes share the same range so the bisector is the
+/// visual accuracy reference, exactly like the paper's Fig. 2.
+///
+/// # Examples
+///
+/// ```
+/// use report::scatter::scatter_plot;
+///
+/// let fig = scatter_plot("perfect", &[(1.0, 1.0), (2.0, 2.0)], 30, 10);
+/// assert!(fig.contains('*'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `points` is empty, dimensions are below 8×4, or any coordinate
+/// is non-finite.
+pub fn scatter_plot(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+    assert!(!points.is_empty(), "need at least one point");
+    assert!(width >= 8 && height >= 4, "plot too small to render");
+    assert!(
+        points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+        "coordinates must be finite"
+    );
+    let max = points
+        .iter()
+        .flat_map(|&(x, y)| [x, y])
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.05;
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Bisector first, points overwrite.
+    for (col, frac) in (0..width).map(|c| (c, (c as f64 + 0.5) / width as f64)) {
+        let row = ((1.0 - frac) * height as f64) as usize;
+        if row < height {
+            grid[row][col] = '/';
+        }
+    }
+    for &(x, y) in points {
+        let col = ((x / max) * width as f64) as usize;
+        let row = ((1.0 - y / max) * height as f64) as usize;
+        let col = col.min(width - 1);
+        let row = row.min(height - 1);
+        grid[row][col] = '*';
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, line) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max:>6.1} |")
+        } else {
+            "       |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "        0{}{max:.1}   (x = measured CPI, y = predicted CPI, / = bisector)\n",
+        " ".repeat(width.saturating_sub(8)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_points_and_bisector() {
+        let fig = scatter_plot("t", &[(0.5, 0.5), (1.0, 2.0)], 40, 12);
+        assert!(fig.contains('*'));
+        assert!(fig.contains('/'));
+        assert!(fig.lines().count() >= 14);
+    }
+
+    #[test]
+    fn accurate_points_sit_on_bisector_row() {
+        // A single exact point at the extreme: its '*' replaces the '/'.
+        let fig = scatter_plot("t", &[(1.0, 1.0)], 20, 10);
+        let stars = fig.matches('*').count();
+        assert_eq!(stars, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panic() {
+        let _ = scatter_plot("t", &[], 20, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_points_panic() {
+        let _ = scatter_plot("t", &[(f64::NAN, 1.0)], 20, 10);
+    }
+}

@@ -1,0 +1,240 @@
+//! The micro-operation vocabulary shared between the workload generator and
+//! the simulator.
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+/// Functional class of a micro-operation.
+///
+/// The class determines which functional unit executes the µop and its base
+/// execution latency (set by the machine configuration, not here — a P4
+/// multiply is not a Core 2 multiply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UopKind {
+    /// Simple integer ALU operation (add, logic, compare, shift).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/subtract.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+}
+
+impl UopKind {
+    /// True for the floating-point classes (the `fp` fraction in Eq. 2/5 of
+    /// the paper counts these).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, UopKind::FpAdd | UopKind::FpMul | UopKind::FpDiv)
+    }
+
+    /// True for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::Store)
+    }
+
+    /// All kinds, for exhaustive iteration in tests.
+    pub const ALL: [UopKind; 9] = [
+        UopKind::IntAlu,
+        UopKind::IntMul,
+        UopKind::IntDiv,
+        UopKind::FpAdd,
+        UopKind::FpMul,
+        UopKind::FpDiv,
+        UopKind::Load,
+        UopKind::Store,
+        UopKind::Branch,
+    ];
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UopKind::IntAlu => "int_alu",
+            UopKind::IntMul => "int_mul",
+            UopKind::IntDiv => "int_div",
+            UopKind::FpAdd => "fp_add",
+            UopKind::FpMul => "fp_mul",
+            UopKind::FpDiv => "fp_div",
+            UopKind::Load => "load",
+            UopKind::Store => "store",
+            UopKind::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How predictable a branch's outcome stream is.
+///
+/// The generator labels each static branch with a class; the simulator's
+/// *predictor* decides whether it actually mispredicts, so misprediction
+/// rates are emergent and differ between the Pentium 4, Core 2 and Core i7
+/// predictor configurations (the paper's §6 hinges on exactly that
+/// difference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// Heavily biased (e.g. error-check branches): almost always one way.
+    Biased,
+    /// Loop back-edge: taken for every iteration except the exit.
+    Loop,
+    /// Short repeating pattern: predictable with enough local history.
+    Patterned,
+    /// Data-dependent: outcome is effectively a biased coin flip.
+    DataDependent,
+}
+
+/// Branch behaviour attached to a branch µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Actual outcome of this dynamic instance.
+    pub taken: bool,
+    /// Target PC if taken (the fall-through is `pc + 4`).
+    pub target: u64,
+    /// Predictability class of the static branch.
+    pub class: BranchClass,
+}
+
+/// One dynamic micro-operation of a workload trace.
+///
+/// Register dependences are encoded positionally: `dep1`/`dep2` are
+/// *backward distances* in µops ("this µop reads the result of the µop
+/// `d` slots earlier"), which is how trace-driven models such as interval
+/// simulation encode data flow without full register renaming.
+///
+/// # Examples
+///
+/// ```
+/// use specgen::{MicroOp, UopKind};
+///
+/// let op = MicroOp::new(UopKind::IntAlu, 0x1000);
+/// assert_eq!(op.kind, UopKind::IntAlu);
+/// assert!(op.addr.is_none());
+/// assert!(!op.kind.is_fp());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroOp {
+    /// Functional class.
+    pub kind: UopKind,
+    /// Program counter of the parent macro-instruction.
+    pub pc: u64,
+    /// Backward distance to the producer of the first source operand.
+    pub dep1: Option<NonZeroU32>,
+    /// Backward distance to the producer of the second source operand.
+    pub dep2: Option<NonZeroU32>,
+    /// Effective (virtual) address for loads and stores.
+    pub addr: Option<u64>,
+    /// True for the first µop cracked from a macro-instruction; the count of
+    /// these is the retired macro-instruction count.
+    pub macro_first: bool,
+    /// Branch outcome, for branch µops.
+    pub branch: Option<BranchInfo>,
+}
+
+impl MicroOp {
+    /// Creates a plain (non-memory, non-branch, dependence-free) µop.
+    pub fn new(kind: UopKind, pc: u64) -> Self {
+        Self {
+            kind,
+            pc,
+            dep1: None,
+            dep2: None,
+            addr: None,
+            macro_first: true,
+            branch: None,
+        }
+    }
+
+    /// Sets the first dependence distance (`0` is treated as "no dependence").
+    pub fn with_dep1(mut self, distance: u32) -> Self {
+        self.dep1 = NonZeroU32::new(distance);
+        self
+    }
+
+    /// Sets the second dependence distance (`0` is treated as "no dependence").
+    pub fn with_dep2(mut self, distance: u32) -> Self {
+        self.dep2 = NonZeroU32::new(distance);
+        self
+    }
+
+    /// Sets the effective address (for loads/stores).
+    pub fn with_addr(mut self, addr: u64) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Attaches branch behaviour (for branch µops).
+    pub fn with_branch(mut self, info: BranchInfo) -> Self {
+        self.branch = Some(info);
+        self
+    }
+
+    /// Marks whether this is the first µop of its macro-instruction.
+    pub fn with_macro_first(mut self, first: bool) -> Self {
+        self.macro_first = first;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(UopKind::FpMul.is_fp());
+        assert!(!UopKind::Load.is_fp());
+        assert!(UopKind::Store.is_mem());
+        assert!(!UopKind::Branch.is_mem());
+        // Exactly three FP classes and two memory classes.
+        assert_eq!(UopKind::ALL.iter().filter(|k| k.is_fp()).count(), 3);
+        assert_eq!(UopKind::ALL.iter().filter(|k| k.is_mem()).count(), 2);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let op = MicroOp::new(UopKind::Load, 0x40)
+            .with_dep1(3)
+            .with_dep2(0)
+            .with_addr(0xdead_beef)
+            .with_macro_first(false);
+        assert_eq!(op.dep1.map(NonZeroU32::get), Some(3));
+        assert!(op.dep2.is_none(), "zero distance means no dependence");
+        assert_eq!(op.addr, Some(0xdead_beef));
+        assert!(!op.macro_first);
+    }
+
+    #[test]
+    fn branch_info_round_trips() {
+        let info = BranchInfo {
+            taken: true,
+            target: 0x100,
+            class: BranchClass::Loop,
+        };
+        let op = MicroOp::new(UopKind::Branch, 0x0).with_branch(info);
+        assert_eq!(op.branch, Some(info));
+    }
+
+    #[test]
+    fn microop_is_compact() {
+        // The simulator touches millions of these; keep them cache-friendly.
+        assert!(std::mem::size_of::<MicroOp>() <= 64);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(UopKind::FpDiv.to_string(), "fp_div");
+        assert_eq!(UopKind::IntAlu.to_string(), "int_alu");
+    }
+}

@@ -1,0 +1,439 @@
+//! Workload profiles: the statistical description of one benchmark–input
+//! pair, from which the generator synthesises a trace.
+
+use pmu::Suite;
+use std::fmt;
+
+/// Memory access pattern of one data region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Streaming access with a fixed byte stride. Successive misses are
+    /// independent → high memory-level parallelism (the `libquantum`/`lbm`
+    /// style the paper's MLP discussion needs).
+    Sequential {
+        /// Byte distance between successive accesses.
+        stride: u32,
+    },
+    /// Uniformly random accesses within the footprint; independent misses,
+    /// moderate MLP, heavy TLB pressure for large footprints.
+    Random,
+    /// Pointer chasing: each load's address depends on the previous load in
+    /// the region, serialising misses → MLP ≈ 1 (the `mcf` style).
+    PointerChase,
+}
+
+/// One region of a workload's data working set.
+///
+/// Regions are the knob that makes a profile's cache behaviour *emergent*:
+/// the same region set produces different miss counts on a 16 KiB L1 /
+/// 1 MiB L2 (Pentium 4) than on a 32 KiB L1 / 4 MiB L2 (Core 2) than with
+/// an 8 MiB L3 behind a 256 KiB L2 (Core i7) — which is exactly the effect
+/// the CPI-delta stacks of Fig. 6 decompose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemRegion {
+    /// Footprint in bytes.
+    pub footprint: u64,
+    /// Fraction of all memory accesses that touch this region.
+    pub access_fraction: f64,
+    /// Access pattern within the region.
+    pub pattern: AccessPattern,
+}
+
+impl MemRegion {
+    /// Convenience constructor with the footprint given in KiB.
+    pub fn kib(kib: u64, access_fraction: f64, pattern: AccessPattern) -> Self {
+        Self {
+            footprint: kib * 1024,
+            access_fraction,
+            pattern,
+        }
+    }
+}
+
+/// Machine-dependent CISC cracking/fusion configuration.
+///
+/// The same x86 instruction stream cracks into different µop counts on
+/// different machines: Netburst (Pentium 4) cracks aggressively, while the
+/// Core microarchitectures fuse µops (macro-fusion, micro-fusion). The
+/// paper's delta stacks carry an explicit "µop fusion" component for this.
+/// `factor` scales each profile's baseline µops-per-instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cracking {
+    /// Multiplier on the profile's baseline µop expansion (1.0 = neutral).
+    pub factor: f64,
+}
+
+impl Cracking {
+    /// Creates a cracking configuration with the given expansion factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 <= factor <= 3.0` (outside this the synthetic
+    /// cracking model is meaningless).
+    pub fn new(factor: f64) -> Self {
+        assert!(
+            (0.5..=3.0).contains(&factor),
+            "cracking factor {factor} outside sane range"
+        );
+        Self { factor }
+    }
+}
+
+impl Default for Cracking {
+    /// Neutral cracking (factor 1.0).
+    fn default() -> Self {
+        Self { factor: 1.0 }
+    }
+}
+
+/// Statistical description of one benchmark–input pair.
+///
+/// Build profiles with [`WorkloadProfile::builder`]; the 103 SPEC-like
+/// profiles live in [`crate::suites`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark–input name, e.g. `"gcc.200"`.
+    pub name: String,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Fraction of µops that are loads.
+    pub load_frac: f64,
+    /// Fraction of µops that are stores.
+    pub store_frac: f64,
+    /// Fraction of µops that are branches.
+    pub branch_frac: f64,
+    /// Fraction of µops that are floating-point (split across add/mul/div).
+    pub fp_frac: f64,
+    /// Fraction of µops that are integer multiplies.
+    pub int_mul_frac: f64,
+    /// Fraction of µops that are integer divides.
+    pub int_div_frac: f64,
+    /// Baseline µops per macro-instruction (before machine cracking).
+    pub uop_expansion: f64,
+    /// Mean register dependence distance in µops (larger → more ILP).
+    pub mean_dep_distance: f64,
+    /// Probability that an FP µop extends the previous FP µop's chain
+    /// (long chains → resource stalls and long branch resolution).
+    pub fp_chain: f64,
+    /// Static code footprint in bytes.
+    pub code_footprint: u64,
+    /// Fraction of dynamic instructions from the hot portion of the code.
+    pub code_hot_frac: f64,
+    /// Fraction of the code footprint considered hot.
+    pub code_hot_size_frac: f64,
+    /// Data regions; access fractions must sum to 1.
+    pub regions: Vec<MemRegion>,
+    /// Fraction of dynamic branches that are data-dependent (hard).
+    pub br_random_frac: f64,
+    /// Taken-probability of data-dependent branches (0.5 = hardest).
+    pub br_bias: f64,
+    /// Fraction of dynamic branches that follow short repeating patterns.
+    pub br_pattern_frac: f64,
+}
+
+impl WorkloadProfile {
+    /// Starts building a profile with workload-neutral defaults.
+    pub fn builder(name: impl Into<String>, suite: Suite) -> WorkloadProfileBuilder {
+        WorkloadProfileBuilder::new(name, suite)
+    }
+
+    /// Fraction of µops that are plain integer ALU operations (the
+    /// remainder after all the explicit classes).
+    pub fn int_alu_frac(&self) -> f64 {
+        1.0 - self.load_frac
+            - self.store_frac
+            - self.branch_frac
+            - self.fp_frac
+            - self.int_mul_frac
+            - self.int_div_frac
+    }
+
+    /// Validates the profile's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: fractions out
+    /// of `[0, 1]` or summing past 1, region fractions not summing to 1,
+    /// zero footprints, or an empty region list.
+    pub fn validate(&self) -> Result<(), InvalidProfileError> {
+        let fracs = [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("fp_frac", self.fp_frac),
+            ("int_mul_frac", self.int_mul_frac),
+            ("int_div_frac", self.int_div_frac),
+            ("fp_chain", self.fp_chain),
+            ("code_hot_frac", self.code_hot_frac),
+            ("code_hot_size_frac", self.code_hot_size_frac),
+            ("br_random_frac", self.br_random_frac),
+            ("br_bias", self.br_bias),
+            ("br_pattern_frac", self.br_pattern_frac),
+        ];
+        for (field, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(InvalidProfileError {
+                    profile: self.name.clone(),
+                    reason: format!("{field} = {v} outside [0, 1]"),
+                });
+            }
+        }
+        if self.int_alu_frac() < 0.0 {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: format!(
+                    "µop class fractions sum to {:.3} > 1",
+                    1.0 - self.int_alu_frac()
+                ),
+            });
+        }
+        if self.br_random_frac + self.br_pattern_frac > 1.0 {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: "branch class fractions sum past 1".into(),
+            });
+        }
+        if !(1.0..=8.0).contains(&self.uop_expansion) {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: format!("uop_expansion = {} outside [1, 8]", self.uop_expansion),
+            });
+        }
+        if self.mean_dep_distance < 1.0 {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: "mean_dep_distance below 1".into(),
+            });
+        }
+        if self.code_footprint == 0 {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: "code footprint is zero".into(),
+            });
+        }
+        if self.regions.is_empty() {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: "no data regions".into(),
+            });
+        }
+        let total: f64 = self.regions.iter().map(|r| r.access_fraction).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: format!("region access fractions sum to {total:.4}, expected 1"),
+            });
+        }
+        if self.regions.iter().any(|r| r.footprint == 0) {
+            return Err(InvalidProfileError {
+                profile: self.name.clone(),
+                reason: "region with zero footprint".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.suite)
+    }
+}
+
+/// Error describing why a [`WorkloadProfile`] is internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidProfileError {
+    profile: String,
+    reason: String,
+}
+
+impl fmt::Display for InvalidProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid profile `{}`: {}", self.profile, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidProfileError {}
+
+/// Builder for [`WorkloadProfile`] (see `C-BUILDER`): profiles have a dozen
+/// knobs, most of which want per-benchmark defaults.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    fn new(name: impl Into<String>, suite: Suite) -> Self {
+        Self {
+            profile: WorkloadProfile {
+                name: name.into(),
+                suite,
+                load_frac: 0.24,
+                store_frac: 0.10,
+                branch_frac: 0.12,
+                fp_frac: 0.0,
+                int_mul_frac: 0.01,
+                int_div_frac: 0.001,
+                uop_expansion: 1.35,
+                mean_dep_distance: 6.0,
+                fp_chain: 0.3,
+                code_footprint: 64 * 1024,
+                code_hot_frac: 0.92,
+                code_hot_size_frac: 0.12,
+                regions: vec![MemRegion::kib(64, 1.0, AccessPattern::Sequential { stride: 16 })],
+                br_random_frac: 0.08,
+                br_bias: 0.65,
+                br_pattern_frac: 0.25,
+            },
+        }
+    }
+
+    /// Sets the load/store µop fractions.
+    pub fn mem_mix(mut self, load: f64, store: f64) -> Self {
+        self.profile.load_frac = load;
+        self.profile.store_frac = store;
+        self
+    }
+
+    /// Sets the branch µop fraction.
+    pub fn branches(mut self, frac: f64) -> Self {
+        self.profile.branch_frac = frac;
+        self
+    }
+
+    /// Sets the floating-point µop fraction.
+    pub fn fp(mut self, frac: f64) -> Self {
+        self.profile.fp_frac = frac;
+        self
+    }
+
+    /// Sets integer multiply/divide fractions.
+    pub fn int_muldiv(mut self, mul: f64, div: f64) -> Self {
+        self.profile.int_mul_frac = mul;
+        self.profile.int_div_frac = div;
+        self
+    }
+
+    /// Sets the baseline µop expansion (µops per macro-instruction).
+    pub fn expansion(mut self, uops_per_instr: f64) -> Self {
+        self.profile.uop_expansion = uops_per_instr;
+        self
+    }
+
+    /// Sets the mean dependence distance (ILP knob) and FP chain probability.
+    pub fn ilp(mut self, mean_dep_distance: f64, fp_chain: f64) -> Self {
+        self.profile.mean_dep_distance = mean_dep_distance;
+        self.profile.fp_chain = fp_chain;
+        self
+    }
+
+    /// Sets the code footprint (KiB) and hotness structure.
+    pub fn code(mut self, footprint_kib: u64, hot_frac: f64, hot_size_frac: f64) -> Self {
+        self.profile.code_footprint = footprint_kib * 1024;
+        self.profile.code_hot_frac = hot_frac;
+        self.profile.code_hot_size_frac = hot_size_frac;
+        self
+    }
+
+    /// Replaces the data region set.
+    pub fn regions(mut self, regions: Vec<MemRegion>) -> Self {
+        self.profile.regions = regions;
+        self
+    }
+
+    /// Sets branch predictability: fraction of data-dependent branches,
+    /// their taken-bias, and the fraction of patterned branches.
+    pub fn branch_behaviour(mut self, random_frac: f64, bias: f64, pattern_frac: f64) -> Self {
+        self.profile.br_random_frac = random_frac;
+        self.profile.br_bias = bias;
+        self.profile.br_pattern_frac = pattern_frac;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled profile fails [`WorkloadProfile::validate`] —
+    /// profiles are static data authored in this crate, so an invalid one is
+    /// a programming error, not a runtime condition.
+    pub fn build(self) -> WorkloadProfile {
+        if let Err(e) = self.profile.validate() {
+            panic!("{e}");
+        }
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let p = WorkloadProfile::builder("test", Suite::Cpu2000).build();
+        assert!(p.validate().is_ok());
+        assert!(p.int_alu_frac() > 0.0);
+    }
+
+    #[test]
+    fn int_alu_frac_is_remainder() {
+        let p = WorkloadProfile::builder("t", Suite::Cpu2006)
+            .mem_mix(0.3, 0.1)
+            .branches(0.1)
+            .fp(0.2)
+            .int_muldiv(0.05, 0.01)
+            .build();
+        assert!((p.int_alu_frac() - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn overfull_mix_panics_on_build() {
+        let _ = WorkloadProfile::builder("t", Suite::Cpu2000)
+            .mem_mix(0.5, 0.4)
+            .branches(0.2)
+            .build();
+    }
+
+    #[test]
+    fn validate_rejects_bad_regions() {
+        let mut p = WorkloadProfile::builder("t", Suite::Cpu2000).build();
+        p.regions = vec![MemRegion::kib(64, 0.5, AccessPattern::Random)];
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("region access fractions"));
+        p.regions.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_scalars() {
+        let mut p = WorkloadProfile::builder("t", Suite::Cpu2000).build();
+        p.br_bias = 1.5;
+        assert!(p.validate().is_err());
+        p.br_bias = 0.6;
+        p.mean_dep_distance = 0.2;
+        assert!(p.validate().is_err());
+        p.mean_dep_distance = 4.0;
+        p.uop_expansion = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cracking_guards_range() {
+        assert_eq!(Cracking::new(1.2).factor, 1.2);
+        assert_eq!(Cracking::default().factor, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sane range")]
+    fn cracking_rejects_extremes() {
+        let _ = Cracking::new(10.0);
+    }
+
+    #[test]
+    fn region_kib_constructor() {
+        let r = MemRegion::kib(4, 1.0, AccessPattern::PointerChase);
+        assert_eq!(r.footprint, 4096);
+    }
+}

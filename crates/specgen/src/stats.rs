@@ -1,0 +1,185 @@
+//! Aggregate statistics over a µop stream — used by tests and examples to
+//! check that generated traces actually carry the statistical properties
+//! their profiles promise.
+
+use crate::op::{MicroOp, UopKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Aggregate statistics of a finite µop stream.
+///
+/// # Examples
+///
+/// ```
+/// use pmu::Suite;
+/// use specgen::{Cracking, TraceGenerator, TraceStats, WorkloadProfile};
+///
+/// let p = WorkloadProfile::builder("stat-demo", Suite::Cpu2000).build();
+/// let gen = TraceGenerator::new(&p, Cracking::default(), 1);
+/// let stats = TraceStats::collect(gen.take(10_000));
+/// assert_eq!(stats.uops, 10_000);
+/// assert!(stats.load_frac() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total µops seen.
+    pub uops: u64,
+    /// Macro-instructions (µops with `macro_first`).
+    pub macros: u64,
+    /// Count per [`UopKind`], indexed by position in [`UopKind::ALL`].
+    pub kind_counts: [u64; 9],
+    /// Dynamic branches.
+    pub branches: u64,
+    /// Dynamic taken branches.
+    pub taken_branches: u64,
+    /// Distinct 4 KiB data pages touched.
+    pub data_pages: u64,
+    /// Distinct 64-byte code lines touched.
+    pub code_lines: u64,
+    /// Sum of first dependence distances (for the mean).
+    pub dep1_sum: u64,
+    /// Number of µops with a first dependence.
+    pub dep1_count: u64,
+}
+
+impl TraceStats {
+    /// Consumes a stream and accumulates statistics.
+    pub fn collect<I: IntoIterator<Item = MicroOp>>(ops: I) -> Self {
+        let mut stats = TraceStats::default();
+        let mut pages = BTreeSet::new();
+        let mut lines = BTreeSet::new();
+        for op in ops {
+            stats.uops += 1;
+            if op.macro_first {
+                stats.macros += 1;
+            }
+            let kind_idx = UopKind::ALL
+                .iter()
+                .position(|&k| k == op.kind)
+                .expect("kind in ALL");
+            stats.kind_counts[kind_idx] += 1;
+            if let Some(b) = op.branch {
+                stats.branches += 1;
+                if b.taken {
+                    stats.taken_branches += 1;
+                }
+            }
+            if let Some(a) = op.addr {
+                pages.insert(a >> 12);
+            }
+            lines.insert(op.pc >> 6);
+            if let Some(d) = op.dep1 {
+                stats.dep1_sum += d.get() as u64;
+                stats.dep1_count += 1;
+            }
+        }
+        stats.data_pages = pages.len() as u64;
+        stats.code_lines = lines.len() as u64;
+        stats
+    }
+
+    fn count(&self, kind: UopKind) -> u64 {
+        let idx = UopKind::ALL.iter().position(|&k| k == kind).expect("kind");
+        self.kind_counts[idx]
+    }
+
+    /// Fraction of µops that are loads.
+    pub fn load_frac(&self) -> f64 {
+        self.count(UopKind::Load) as f64 / self.uops.max(1) as f64
+    }
+
+    /// Fraction of µops that are stores.
+    pub fn store_frac(&self) -> f64 {
+        self.count(UopKind::Store) as f64 / self.uops.max(1) as f64
+    }
+
+    /// Fraction of µops that are floating-point.
+    pub fn fp_frac(&self) -> f64 {
+        (self.count(UopKind::FpAdd) + self.count(UopKind::FpMul) + self.count(UopKind::FpDiv))
+            as f64
+            / self.uops.max(1) as f64
+    }
+
+    /// Fraction of µops that are branches.
+    pub fn branch_frac(&self) -> f64 {
+        self.count(UopKind::Branch) as f64 / self.uops.max(1) as f64
+    }
+
+    /// Observed µops per macro-instruction.
+    pub fn uops_per_macro(&self) -> f64 {
+        self.uops as f64 / self.macros.max(1) as f64
+    }
+
+    /// Mean first-dependence distance.
+    pub fn mean_dep1(&self) -> f64 {
+        self.dep1_sum as f64 / self.dep1_count.max(1) as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} µops / {} macros (exp {:.2}); load {:.1}%, store {:.1}%, \
+             branch {:.1}%, fp {:.1}%; {} data pages, {} code lines",
+            self.uops,
+            self.macros,
+            self.uops_per_macro(),
+            self.load_frac() * 100.0,
+            self.store_frac() * 100.0,
+            self.branch_frac() * 100.0,
+            self.fp_frac() * 100.0,
+            self.data_pages,
+            self.code_lines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use crate::profile::{Cracking, WorkloadProfile};
+    use pmu::Suite;
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let stats = TraceStats::collect(std::iter::empty());
+        assert_eq!(stats.uops, 0);
+        assert_eq!(stats.load_frac(), 0.0);
+        assert_eq!(stats.uops_per_macro(), 0.0);
+    }
+
+    #[test]
+    fn counts_sum_to_total() {
+        let p = WorkloadProfile::builder("sum", Suite::Cpu2000).fp(0.1).build();
+        let stats =
+            TraceStats::collect(TraceGenerator::new(&p, Cracking::default(), 1).take(5_000));
+        assert_eq!(stats.kind_counts.iter().sum::<u64>(), stats.uops);
+        assert_eq!(stats.uops, 5_000);
+        assert!(stats.macros > 0 && stats.macros <= stats.uops);
+    }
+
+    #[test]
+    fn footprint_counts_reflect_region_size() {
+        use crate::profile::{AccessPattern, MemRegion};
+        let small = WorkloadProfile::builder("small", Suite::Cpu2000)
+            .regions(vec![MemRegion::kib(8, 1.0, AccessPattern::Random)])
+            .build();
+        let large = WorkloadProfile::builder("large", Suite::Cpu2000)
+            .regions(vec![MemRegion::kib(8192, 1.0, AccessPattern::Random)])
+            .build();
+        let s = TraceStats::collect(TraceGenerator::new(&small, Cracking::default(), 1).take(50_000));
+        let l = TraceStats::collect(TraceGenerator::new(&large, Cracking::default(), 1).take(50_000));
+        assert!(s.data_pages <= 2, "8 KiB is at most 2 pages, saw {}", s.data_pages);
+        assert!(l.data_pages > 100, "8 MiB random should touch many pages");
+    }
+
+    #[test]
+    fn display_mentions_uops() {
+        let p = WorkloadProfile::builder("disp", Suite::Cpu2006).build();
+        let stats =
+            TraceStats::collect(TraceGenerator::new(&p, Cracking::default(), 1).take(1_000));
+        assert!(stats.to_string().contains("1000 µops"));
+    }
+}

@@ -1,0 +1,505 @@
+//! The 103 SPEC-like benchmark–input profiles: 48 CPU2000 pairs and 55
+//! CPU2006 pairs, matching the population sizes of the paper (§4).
+//!
+//! Each profile's parameters are calibrated to the published character of
+//! its namesake (instruction mix, code and data footprints, branch
+//! behaviour, pointer-chasing vs. streaming) so that the synthetic
+//! population reproduces the paper's landscape:
+//!
+//! * memory-hungry CPU2006 codes (`mcf`, `lbm`, `milc`, `soplex`,
+//!   `libquantum`, `GemsFDTD`) whose footprints straddle the Pentium 4 /
+//!   Core 2 / Core i7 cache-size ladder,
+//! * compute-bound FP outliers with tiny miss and misprediction rates
+//!   (`calculix`, `gromacs`, `gamess`, `namd`, `povray`) that the paper
+//!   singles out as hardest to predict,
+//! * branchy integer codes (`crafty`, `gobmk`, `sjeng`, `astar`),
+//! * big-code front-end-stressing workloads (`gcc`, `perlbmk`/`perlbench`,
+//!   `vortex`, `xalancbmk`, `eon`).
+//!
+//! The footprint numbers are scaled down from the real suites (which run
+//! hundreds of billions of instructions over GiB-scale data) so that a few
+//! million simulated µops traverse a proportionate working set, but the
+//! *ordering* of pressure between benchmarks — and critically, where each
+//! footprint falls relative to each machine's cache sizes — follows the
+//! real suites.
+
+use crate::profile::{AccessPattern, MemRegion, WorkloadProfile};
+use pmu::Suite;
+
+/// Region pattern shorthand used by the static tables.
+#[derive(Debug, Clone, Copy)]
+enum Pat {
+    /// Sequential, dense (8-byte stride): high spatial locality.
+    Dense,
+    /// Sequential with a 16-byte stride: streaming array traversal
+    /// (a handful of accesses per cache line, as real array codes do).
+    Stream,
+    /// Uniform random within the footprint.
+    Rand,
+    /// Pointer chasing (dependent loads).
+    Chase,
+}
+
+/// One row of the static benchmark tables.
+struct Row {
+    name: &'static str,
+    /// FP µop fraction.
+    fp: f64,
+    /// Load / store / branch macro fractions.
+    load: f64,
+    store: f64,
+    branch: f64,
+    /// Mean dependence distance (ILP) and FP chain probability.
+    dep: f64,
+    chain: f64,
+    /// Code footprint (KiB), hot dynamic fraction, hot size fraction.
+    code_kib: u64,
+    hot: f64,
+    hot_sz: f64,
+    /// Branch behaviour: data-dependent fraction, its bias, patterned fraction.
+    rnd: f64,
+    bias: f64,
+    pat: f64,
+    /// Baseline µop expansion.
+    exp: f64,
+    /// Data regions: (KiB, access fraction, pattern).
+    regions: &'static [(u64, f64, Pat)],
+}
+
+impl Row {
+    fn build(&self, suite: Suite) -> WorkloadProfile {
+        let regions = self
+            .regions
+            .iter()
+            .map(|&(kib, frac, pat)| {
+                let pattern = match pat {
+                    Pat::Dense => AccessPattern::Sequential { stride: 8 },
+                    Pat::Stream => AccessPattern::Sequential { stride: 16 },
+                    Pat::Rand => AccessPattern::Random,
+                    Pat::Chase => AccessPattern::PointerChase,
+                };
+                MemRegion::kib(kib, frac, pattern)
+            })
+            .collect();
+        WorkloadProfile::builder(self.name, suite)
+            .fp(self.fp)
+            .mem_mix(self.load, self.store)
+            .branches(self.branch)
+            .ilp(self.dep, self.chain)
+            .code(self.code_kib, self.hot, self.hot_sz)
+            .branch_behaviour(self.rnd, self.bias, self.pat)
+            .expansion(self.exp)
+            .regions(regions)
+            .build()
+    }
+}
+
+/// SPEC CPU2000: 48 benchmark–input pairs.
+///
+/// # Examples
+///
+/// ```
+/// let suite = specgen::suites::cpu2000();
+/// assert_eq!(suite.len(), 48);
+/// assert!(suite.iter().any(|p| p.name == "mcf.inp"));
+/// ```
+pub fn cpu2000() -> Vec<WorkloadProfile> {
+    CPU2000_ROWS
+        .iter()
+        .map(|r| r.build(Suite::Cpu2000))
+        .collect()
+}
+
+/// SPEC CPU2006: 55 benchmark–input pairs.
+///
+/// # Examples
+///
+/// ```
+/// let suite = specgen::suites::cpu2006();
+/// assert_eq!(suite.len(), 55);
+/// assert!(suite.iter().any(|p| p.name == "calculix.hyperviscoplastic"));
+/// ```
+pub fn cpu2006() -> Vec<WorkloadProfile> {
+    CPU2006_ROWS
+        .iter()
+        .map(|r| r.build(Suite::Cpu2006))
+        .collect()
+}
+
+/// Looks a profile up by name across both suites.
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    cpu2000()
+        .into_iter()
+        .chain(cpu2006())
+        .find(|p| p.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// CPU2000 — 33 integer pairs + 15 floating-point pairs.
+// ---------------------------------------------------------------------------
+
+#[rustfmt::skip]
+const CPU2000_ROWS: [Row; 48] = [
+    // --- gzip: compression; small hot loops, dense buffers, few misses.
+    Row { name: "gzip.source",  fp: 0.0, load: 0.25, store: 0.11, branch: 0.15, dep: 4.0, chain: 0.2, code_kib: 40, hot: 0.96, hot_sz: 0.20, rnd: 0.050, bias: 0.72, pat: 0.30, exp: 1.35,
+          regions: &[(24, 0.55, Pat::Dense), (192, 0.35, Pat::Rand), (384, 0.10, Pat::Stream)] },
+    Row { name: "gzip.log",     fp: 0.0, load: 0.25, store: 0.11, branch: 0.15, dep: 4.2, chain: 0.2, code_kib: 40, hot: 0.96, hot_sz: 0.20, rnd: 0.040, bias: 0.75, pat: 0.30, exp: 1.35,
+          regions: &[(24, 0.60, Pat::Dense), (128, 0.32, Pat::Rand), (384, 0.08, Pat::Stream)] },
+    Row { name: "gzip.graphic", fp: 0.0, load: 0.26, store: 0.12, branch: 0.14, dep: 4.1, chain: 0.2, code_kib: 40, hot: 0.96, hot_sz: 0.20, rnd: 0.060, bias: 0.68, pat: 0.28, exp: 1.35,
+          regions: &[(24, 0.50, Pat::Dense), (256, 0.38, Pat::Rand), (384, 0.12, Pat::Stream)] },
+    Row { name: "gzip.random",  fp: 0.0, load: 0.26, store: 0.12, branch: 0.15, dep: 3.9, chain: 0.2, code_kib: 40, hot: 0.96, hot_sz: 0.20, rnd: 0.080, bias: 0.60, pat: 0.26, exp: 1.35,
+          regions: &[(24, 0.50, Pat::Dense), (256, 0.40, Pat::Rand), (384, 0.10, Pat::Stream)] },
+    Row { name: "gzip.program", fp: 0.0, load: 0.25, store: 0.11, branch: 0.15, dep: 4.0, chain: 0.2, code_kib: 40, hot: 0.96, hot_sz: 0.20, rnd: 0.050, bias: 0.70, pat: 0.30, exp: 1.35,
+          regions: &[(24, 0.55, Pat::Dense), (192, 0.35, Pat::Rand), (384, 0.10, Pat::Stream)] },
+    // --- vpr: place & route; branchy, pointer-ish graphs.
+    Row { name: "vpr.place",    fp: 0.02, load: 0.27, store: 0.10, branch: 0.16, dep: 3.6, chain: 0.2, code_kib: 64, hot: 0.93, hot_sz: 0.15, rnd: 0.110, bias: 0.62, pat: 0.22, exp: 1.35,
+          regions: &[(32, 0.45, Pat::Dense), (384, 0.40, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    Row { name: "vpr.route",    fp: 0.02, load: 0.29, store: 0.09, branch: 0.15, dep: 3.7, chain: 0.2, code_kib: 64, hot: 0.92, hot_sz: 0.15, rnd: 0.090, bias: 0.64, pat: 0.22, exp: 1.35,
+          regions: &[(32, 0.40, Pat::Dense), (384, 0.40, Pat::Rand), (384, 0.20, Pat::Chase)] },
+    // --- gcc: huge code footprint, front-end bound, modest data.
+    Row { name: "gcc.166",      fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 640, hot: 0.70, hot_sz: 0.08, rnd: 0.070, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    Row { name: "gcc.200",      fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 704, hot: 0.68, hot_sz: 0.08, rnd: 0.070, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.48, Pat::Dense), (384, 0.36, Pat::Rand), (384, 0.16, Pat::Chase)] },
+    Row { name: "gcc.expr",     fp: 0.0, load: 0.27, store: 0.13, branch: 0.18, dep: 4.2, chain: 0.2, code_kib: 576, hot: 0.72, hot_sz: 0.09, rnd: 0.075, bias: 0.65, pat: 0.25, exp: 1.40,
+          regions: &[(48, 0.52, Pat::Dense), (384, 0.34, Pat::Rand), (384, 0.14, Pat::Chase)] },
+    Row { name: "gcc.integrate",fp: 0.0, load: 0.26, store: 0.12, branch: 0.18, dep: 4.2, chain: 0.2, code_kib: 576, hot: 0.74, hot_sz: 0.09, rnd: 0.070, bias: 0.66, pat: 0.25, exp: 1.40,
+          regions: &[(48, 0.54, Pat::Dense), (384, 0.32, Pat::Rand), (384, 0.14, Pat::Chase)] },
+    Row { name: "gcc.scilab",   fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 640, hot: 0.70, hot_sz: 0.08, rnd: 0.075, bias: 0.65, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    // --- mcf: the canonical pointer chaser; giant sparse working set, MLP ~ 1.
+    Row { name: "mcf.inp",      fp: 0.0, load: 0.34, store: 0.09, branch: 0.13, dep: 3.2, chain: 0.2, code_kib: 24, hot: 0.97, hot_sz: 0.35, rnd: 0.090, bias: 0.62, pat: 0.20, exp: 1.30,
+          regions: &[(16, 0.25, Pat::Dense), (3072, 0.30, Pat::Rand), (8192, 0.45, Pat::Chase)] },
+    // --- crafty: chess; very branchy, fits in cache.
+    Row { name: "crafty.inp",   fp: 0.0, load: 0.26, store: 0.08, branch: 0.18, dep: 3.8, chain: 0.2, code_kib: 160, hot: 0.90, hot_sz: 0.18, rnd: 0.120, bias: 0.58, pat: 0.24, exp: 1.35,
+          regions: &[(40, 0.60, Pat::Dense), (384, 0.30, Pat::Rand), (384, 0.10, Pat::Rand)] },
+    // --- parser: dictionary walking, pointer heavy, medium code.
+    Row { name: "parser.inp",   fp: 0.0, load: 0.28, store: 0.10, branch: 0.16, dep: 3.6, chain: 0.2, code_kib: 128, hot: 0.88, hot_sz: 0.14, rnd: 0.080, bias: 0.64, pat: 0.24, exp: 1.35,
+          regions: &[(32, 0.45, Pat::Dense), (384, 0.35, Pat::Chase), (384, 0.20, Pat::Rand)] },
+    // --- eon: C++ ray tracer; some FP, biggish code, tiny data.
+    Row { name: "eon.cook",     fp: 0.12, load: 0.26, store: 0.12, branch: 0.11, dep: 5.0, chain: 0.35, code_kib: 256, hot: 0.85, hot_sz: 0.12, rnd: 0.030, bias: 0.72, pat: 0.24, exp: 1.40,
+          regions: &[(24, 0.65, Pat::Dense), (256, 0.30, Pat::Rand), (384, 0.05, Pat::Stream)] },
+    Row { name: "eon.kajiya",   fp: 0.13, load: 0.26, store: 0.12, branch: 0.11, dep: 5.0, chain: 0.35, code_kib: 256, hot: 0.85, hot_sz: 0.12, rnd: 0.030, bias: 0.72, pat: 0.24, exp: 1.40,
+          regions: &[(24, 0.65, Pat::Dense), (256, 0.30, Pat::Rand), (384, 0.05, Pat::Stream)] },
+    Row { name: "eon.rushmeier",fp: 0.12, load: 0.26, store: 0.12, branch: 0.11, dep: 5.0, chain: 0.35, code_kib: 256, hot: 0.86, hot_sz: 0.12, rnd: 0.030, bias: 0.72, pat: 0.24, exp: 1.40,
+          regions: &[(24, 0.66, Pat::Dense), (224, 0.29, Pat::Rand), (384, 0.05, Pat::Stream)] },
+    // --- perlbmk: interpreter; big code, indirect-ish branches, hash tables.
+    Row { name: "perlbmk.diffmail",    fp: 0.0, load: 0.28, store: 0.13, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 512, hot: 0.78, hot_sz: 0.10, rnd: 0.065, bias: 0.66, pat: 0.27, exp: 1.40,
+          regions: &[(40, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    Row { name: "perlbmk.makerand",    fp: 0.0, load: 0.27, store: 0.13, branch: 0.15, dep: 4.2, chain: 0.2, code_kib: 448, hot: 0.82, hot_sz: 0.10, rnd: 0.060, bias: 0.68, pat: 0.28, exp: 1.40,
+          regions: &[(40, 0.58, Pat::Dense), (384, 0.32, Pat::Rand), (384, 0.10, Pat::Chase)] },
+    Row { name: "perlbmk.perfect",     fp: 0.0, load: 0.28, store: 0.13, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 512, hot: 0.80, hot_sz: 0.10, rnd: 0.065, bias: 0.66, pat: 0.27, exp: 1.40,
+          regions: &[(40, 0.52, Pat::Dense), (384, 0.34, Pat::Rand), (384, 0.14, Pat::Chase)] },
+    Row { name: "perlbmk.splitmail.535", fp: 0.0, load: 0.28, store: 0.14, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 512, hot: 0.78, hot_sz: 0.10, rnd: 0.065, bias: 0.66, pat: 0.27, exp: 1.40,
+          regions: &[(40, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    Row { name: "perlbmk.splitmail.704", fp: 0.0, load: 0.28, store: 0.14, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 512, hot: 0.78, hot_sz: 0.10, rnd: 0.065, bias: 0.66, pat: 0.27, exp: 1.40,
+          regions: &[(40, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    Row { name: "perlbmk.splitmail.850", fp: 0.0, load: 0.28, store: 0.14, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 512, hot: 0.78, hot_sz: 0.10, rnd: 0.065, bias: 0.66, pat: 0.27, exp: 1.40,
+          regions: &[(40, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    Row { name: "perlbmk.splitmail.957", fp: 0.0, load: 0.28, store: 0.14, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 512, hot: 0.78, hot_sz: 0.10, rnd: 0.065, bias: 0.66, pat: 0.27, exp: 1.40,
+          regions: &[(40, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Chase)] },
+    // --- gap: group theory; dense math over medium heaps.
+    Row { name: "gap.inp",      fp: 0.0, load: 0.27, store: 0.12, branch: 0.14, dep: 4.5, chain: 0.2, code_kib: 192, hot: 0.88, hot_sz: 0.12, rnd: 0.050, bias: 0.70, pat: 0.28, exp: 1.35,
+          regions: &[(32, 0.50, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.15, Pat::Stream)] },
+    // --- vortex: OO database; large code, allocation heavy.
+    Row { name: "vortex.lendian1", fp: 0.0, load: 0.29, store: 0.15, branch: 0.15, dep: 4.2, chain: 0.2, code_kib: 384, hot: 0.80, hot_sz: 0.10, rnd: 0.040, bias: 0.70, pat: 0.28, exp: 1.40,
+          regions: &[(40, 0.45, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.20, Pat::Chase)] },
+    Row { name: "vortex.lendian2", fp: 0.0, load: 0.29, store: 0.15, branch: 0.15, dep: 4.2, chain: 0.2, code_kib: 384, hot: 0.80, hot_sz: 0.10, rnd: 0.040, bias: 0.70, pat: 0.28, exp: 1.40,
+          regions: &[(40, 0.45, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.20, Pat::Chase)] },
+    Row { name: "vortex.lendian3", fp: 0.0, load: 0.29, store: 0.15, branch: 0.15, dep: 4.2, chain: 0.2, code_kib: 384, hot: 0.80, hot_sz: 0.10, rnd: 0.040, bias: 0.70, pat: 0.28, exp: 1.40,
+          regions: &[(40, 0.45, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.20, Pat::Chase)] },
+    // --- bzip2: block compression; dense hot arrays, some big-buffer misses.
+    Row { name: "bzip2.source",  fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 32, hot: 0.97, hot_sz: 0.25, rnd: 0.070, bias: 0.64, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.45, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.20, Pat::Stream)] },
+    Row { name: "bzip2.graphic", fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 32, hot: 0.97, hot_sz: 0.25, rnd: 0.080, bias: 0.62, pat: 0.26, exp: 1.30,
+          regions: &[(64, 0.42, Pat::Dense), (384, 0.38, Pat::Rand), (384, 0.20, Pat::Stream)] },
+    Row { name: "bzip2.program", fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 32, hot: 0.97, hot_sz: 0.25, rnd: 0.070, bias: 0.64, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.45, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.20, Pat::Stream)] },
+    // --- twolf: place/route; random small-struct accesses, branchy.
+    Row { name: "twolf.inp",    fp: 0.01, load: 0.28, store: 0.09, branch: 0.16, dep: 3.5, chain: 0.2, code_kib: 96, hot: 0.90, hot_sz: 0.15, rnd: 0.100, bias: 0.60, pat: 0.24, exp: 1.35,
+          regions: &[(32, 0.50, Pat::Dense), (384, 0.40, Pat::Rand), (384, 0.10, Pat::Chase)] },
+    // --- CPU2000 floating point ------------------------------------------
+    // wupwise: lattice QCD-ish; streaming with good ILP.
+    Row { name: "wupwise.inp",  fp: 0.34, load: 0.28, store: 0.10, branch: 0.05, dep: 9.0, chain: 0.35, code_kib: 48, hot: 0.95, hot_sz: 0.25, rnd: 0.015, bias: 0.80, pat: 0.20, exp: 1.25,
+          regions: &[(32, 0.30, Pat::Dense), (384, 0.55, Pat::Stream), (384, 0.15, Pat::Rand)] },
+    // swim: shallow-water stencil; pure streaming, very memory bound.
+    Row { name: "swim.inp",     fp: 0.36, load: 0.30, store: 0.12, branch: 0.03, dep: 12.0, chain: 0.25, code_kib: 24, hot: 0.98, hot_sz: 0.40, rnd: 0.010, bias: 0.85, pat: 0.15, exp: 1.20,
+          regions: &[(16, 0.15, Pat::Dense), (3840, 0.70, Pat::Stream), (3840, 0.15, Pat::Stream)] },
+    // mgrid: multigrid stencil; streaming + blocked reuse.
+    Row { name: "mgrid.inp",    fp: 0.38, load: 0.31, store: 0.09, branch: 0.03, dep: 11.0, chain: 0.28, code_kib: 24, hot: 0.98, hot_sz: 0.40, rnd: 0.010, bias: 0.85, pat: 0.15, exp: 1.20,
+          regions: &[(24, 0.25, Pat::Dense), (3584, 0.60, Pat::Stream), (3584, 0.15, Pat::Rand)] },
+    // applu: PDE solver; streaming with some reuse.
+    Row { name: "applu.inp",    fp: 0.37, load: 0.29, store: 0.11, branch: 0.04, dep: 10.0, chain: 0.30, code_kib: 40, hot: 0.96, hot_sz: 0.30, rnd: 0.010, bias: 0.85, pat: 0.16, exp: 1.20,
+          regions: &[(32, 0.25, Pat::Dense), (3072, 0.60, Pat::Stream), (3072, 0.15, Pat::Rand)] },
+    // mesa: software rasteriser; FP but cache resident.
+    Row { name: "mesa.inp",     fp: 0.22, load: 0.25, store: 0.13, branch: 0.08, dep: 6.0, chain: 0.35, code_kib: 128, hot: 0.92, hot_sz: 0.15, rnd: 0.025, bias: 0.75, pat: 0.24, exp: 1.30,
+          regions: &[(32, 0.55, Pat::Dense), (384, 0.35, Pat::Rand), (384, 0.10, Pat::Stream)] },
+    // galgel: fluid dynamics; blocked linear algebra, L1-resident kernels.
+    Row { name: "galgel.inp",   fp: 0.40, load: 0.30, store: 0.07, branch: 0.04, dep: 8.0, chain: 0.40, code_kib: 48, hot: 0.96, hot_sz: 0.30, rnd: 0.010, bias: 0.85, pat: 0.16, exp: 1.20,
+          regions: &[(28, 0.60, Pat::Dense), (384, 0.30, Pat::Stream), (384, 0.10, Pat::Rand)] },
+    // art: neural net scan; tiny code, repeated sweeps over ~4 MiB.
+    Row { name: "art.110",      fp: 0.28, load: 0.33, store: 0.08, branch: 0.08, dep: 7.0, chain: 0.30, code_kib: 16, hot: 0.99, hot_sz: 0.50, rnd: 0.020, bias: 0.78, pat: 0.18, exp: 1.20,
+          regions: &[(16, 0.15, Pat::Dense), (1792, 0.75, Pat::Stream), (1792, 0.10, Pat::Rand)] },
+    Row { name: "art.470",      fp: 0.28, load: 0.33, store: 0.08, branch: 0.08, dep: 7.0, chain: 0.30, code_kib: 16, hot: 0.99, hot_sz: 0.50, rnd: 0.020, bias: 0.78, pat: 0.18, exp: 1.20,
+          regions: &[(16, 0.15, Pat::Dense), (1920, 0.75, Pat::Stream), (1920, 0.10, Pat::Rand)] },
+    // equake: earthquake FEM; sparse matrix-vector, irregular.
+    Row { name: "equake.inp",   fp: 0.30, load: 0.32, store: 0.09, branch: 0.06, dep: 6.5, chain: 0.35, code_kib: 32, hot: 0.96, hot_sz: 0.30, rnd: 0.015, bias: 0.80, pat: 0.18, exp: 1.25,
+          regions: &[(24, 0.25, Pat::Dense), (2560, 0.45, Pat::Rand), (2560, 0.30, Pat::Stream)] },
+    // facerec: image matching; streaming with FFT-ish phases.
+    Row { name: "facerec.inp",  fp: 0.32, load: 0.29, store: 0.09, branch: 0.05, dep: 8.5, chain: 0.32, code_kib: 40, hot: 0.95, hot_sz: 0.28, rnd: 0.015, bias: 0.80, pat: 0.18, exp: 1.22,
+          regions: &[(32, 0.35, Pat::Dense), (384, 0.50, Pat::Stream), (384, 0.15, Pat::Rand)] },
+    // ammp: molecular dynamics; neighbour lists, some chasing.
+    Row { name: "ammp.inp",     fp: 0.31, load: 0.30, store: 0.10, branch: 0.06, dep: 6.0, chain: 0.45, code_kib: 48, hot: 0.94, hot_sz: 0.25, rnd: 0.020, bias: 0.78, pat: 0.18, exp: 1.25,
+          regions: &[(32, 0.30, Pat::Dense), (384, 0.40, Pat::Rand), (384, 0.30, Pat::Chase)] },
+    // lucas: FFT primality; large-stride streaming.
+    Row { name: "lucas.inp",    fp: 0.38, load: 0.28, store: 0.11, branch: 0.03, dep: 10.0, chain: 0.35, code_kib: 24, hot: 0.98, hot_sz: 0.40, rnd: 0.010, bias: 0.85, pat: 0.14, exp: 1.20,
+          regions: &[(16, 0.20, Pat::Dense), (3072, 0.65, Pat::Stream), (3072, 0.15, Pat::Rand)] },
+    // fma3d: crash simulation; mixed element kernels.
+    Row { name: "fma3d.inp",    fp: 0.33, load: 0.29, store: 0.12, branch: 0.05, dep: 7.5, chain: 0.38, code_kib: 192, hot: 0.88, hot_sz: 0.15, rnd: 0.020, bias: 0.78, pat: 0.18, exp: 1.25,
+          regions: &[(40, 0.35, Pat::Dense), (384, 0.45, Pat::Stream), (384, 0.20, Pat::Rand)] },
+    // sixtrack: particle tracking; tiny resident working set, chained FP.
+    Row { name: "sixtrack.inp", fp: 0.42, load: 0.26, store: 0.08, branch: 0.04, dep: 5.5, chain: 0.55, code_kib: 96, hot: 0.94, hot_sz: 0.20, rnd: 0.010, bias: 0.85, pat: 0.14, exp: 1.22,
+          regions: &[(48, 0.70, Pat::Dense), (384, 0.25, Pat::Stream), (384, 0.05, Pat::Rand)] },
+    // apsi: weather; blocked stencils.
+    Row { name: "apsi.inp",     fp: 0.36, load: 0.28, store: 0.10, branch: 0.04, dep: 9.0, chain: 0.32, code_kib: 64, hot: 0.95, hot_sz: 0.25, rnd: 0.015, bias: 0.82, pat: 0.16, exp: 1.22,
+          regions: &[(40, 0.30, Pat::Dense), (384, 0.55, Pat::Stream), (384, 0.15, Pat::Rand)] },
+];
+
+// ---------------------------------------------------------------------------
+// CPU2006 — 35 integer pairs + 20 floating-point pairs. Bigger footprints
+// than CPU2000 across the board (the paper leans on CPU2006 being more
+// memory-intensive when explaining the Core i7's last-level-cache wins).
+// ---------------------------------------------------------------------------
+
+#[rustfmt::skip]
+const CPU2006_ROWS: [Row; 55] = [
+    // --- perlbench: interpreter, big code.
+    Row { name: "perlbench.checkspam",  fp: 0.0, load: 0.28, store: 0.13, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 768, hot: 0.74, hot_sz: 0.08, rnd: 0.060, bias: 0.67, pat: 0.28, exp: 1.40,
+          regions: &[(48, 0.48, Pat::Dense), (768, 0.36, Pat::Rand), (768, 0.16, Pat::Chase)] },
+    Row { name: "perlbench.diffmail",   fp: 0.0, load: 0.28, store: 0.13, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 768, hot: 0.75, hot_sz: 0.08, rnd: 0.060, bias: 0.67, pat: 0.28, exp: 1.40,
+          regions: &[(48, 0.50, Pat::Dense), (768, 0.35, Pat::Rand), (768, 0.15, Pat::Chase)] },
+    Row { name: "perlbench.splitmail",  fp: 0.0, load: 0.28, store: 0.14, branch: 0.16, dep: 4.1, chain: 0.2, code_kib: 768, hot: 0.74, hot_sz: 0.08, rnd: 0.060, bias: 0.67, pat: 0.28, exp: 1.40,
+          regions: &[(48, 0.48, Pat::Dense), (768, 0.36, Pat::Rand), (768, 0.16, Pat::Chase)] },
+    // --- bzip2 (6 inputs).
+    Row { name: "bzip2.source",   fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 40, hot: 0.97, hot_sz: 0.25, rnd: 0.070, bias: 0.64, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.42, Pat::Dense), (768, 0.38, Pat::Rand), (512, 0.20, Pat::Stream)] },
+    Row { name: "bzip2.chicken",  fp: 0.0, load: 0.26, store: 0.11, branch: 0.13, dep: 4.1, chain: 0.2, code_kib: 40, hot: 0.97, hot_sz: 0.25, rnd: 0.060, bias: 0.66, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.45, Pat::Dense), (768, 0.35, Pat::Rand), (512, 0.20, Pat::Stream)] },
+    Row { name: "bzip2.liberty",  fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 40, hot: 0.97, hot_sz: 0.25, rnd: 0.070, bias: 0.64, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.42, Pat::Dense), (768, 0.38, Pat::Rand), (512, 0.20, Pat::Stream)] },
+    Row { name: "bzip2.program",  fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 40, hot: 0.97, hot_sz: 0.25, rnd: 0.070, bias: 0.64, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.44, Pat::Dense), (768, 0.36, Pat::Rand), (512, 0.20, Pat::Stream)] },
+    Row { name: "bzip2.text",     fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 40, hot: 0.97, hot_sz: 0.25, rnd: 0.065, bias: 0.65, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.44, Pat::Dense), (768, 0.36, Pat::Rand), (512, 0.20, Pat::Stream)] },
+    Row { name: "bzip2.combined", fp: 0.0, load: 0.26, store: 0.11, branch: 0.14, dep: 4.0, chain: 0.2, code_kib: 40, hot: 0.97, hot_sz: 0.25, rnd: 0.070, bias: 0.64, pat: 0.28, exp: 1.30,
+          regions: &[(64, 0.42, Pat::Dense), (768, 0.38, Pat::Rand), (512, 0.20, Pat::Stream)] },
+    // --- gcc (9 inputs): still the big-code champion.
+    Row { name: "gcc.166",     fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 1024, hot: 0.66, hot_sz: 0.07, rnd: 0.070, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.46, Pat::Dense), (768, 0.36, Pat::Rand), (768, 0.18, Pat::Chase)] },
+    Row { name: "gcc.200",     fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 1024, hot: 0.65, hot_sz: 0.07, rnd: 0.070, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.45, Pat::Dense), (768, 0.37, Pat::Rand), (768, 0.18, Pat::Chase)] },
+    Row { name: "gcc.c-typeck",fp: 0.0, load: 0.27, store: 0.13, branch: 0.18, dep: 4.2, chain: 0.2, code_kib: 960, hot: 0.68, hot_sz: 0.07, rnd: 0.075, bias: 0.65, pat: 0.25, exp: 1.40,
+          regions: &[(48, 0.48, Pat::Dense), (768, 0.36, Pat::Rand), (768, 0.16, Pat::Chase)] },
+    Row { name: "gcc.cp-decl", fp: 0.0, load: 0.27, store: 0.13, branch: 0.18, dep: 4.2, chain: 0.2, code_kib: 960, hot: 0.68, hot_sz: 0.07, rnd: 0.075, bias: 0.65, pat: 0.25, exp: 1.40,
+          regions: &[(48, 0.48, Pat::Dense), (768, 0.36, Pat::Rand), (768, 0.16, Pat::Chase)] },
+    Row { name: "gcc.expr",    fp: 0.0, load: 0.27, store: 0.13, branch: 0.18, dep: 4.2, chain: 0.2, code_kib: 896, hot: 0.70, hot_sz: 0.08, rnd: 0.075, bias: 0.65, pat: 0.25, exp: 1.40,
+          regions: &[(48, 0.50, Pat::Dense), (768, 0.34, Pat::Rand), (768, 0.16, Pat::Chase)] },
+    Row { name: "gcc.expr2",   fp: 0.0, load: 0.27, store: 0.13, branch: 0.18, dep: 4.2, chain: 0.2, code_kib: 896, hot: 0.70, hot_sz: 0.08, rnd: 0.075, bias: 0.65, pat: 0.25, exp: 1.40,
+          regions: &[(48, 0.50, Pat::Dense), (768, 0.34, Pat::Rand), (768, 0.16, Pat::Chase)] },
+    Row { name: "gcc.g23",     fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 1024, hot: 0.66, hot_sz: 0.07, rnd: 0.070, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.45, Pat::Dense), (768, 0.37, Pat::Rand), (768, 0.18, Pat::Chase)] },
+    Row { name: "gcc.s04",     fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 1024, hot: 0.66, hot_sz: 0.07, rnd: 0.070, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.45, Pat::Dense), (768, 0.37, Pat::Rand), (768, 0.18, Pat::Chase)] },
+    Row { name: "gcc.scilab",  fp: 0.0, load: 0.27, store: 0.13, branch: 0.17, dep: 4.3, chain: 0.2, code_kib: 1024, hot: 0.67, hot_sz: 0.07, rnd: 0.070, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.46, Pat::Dense), (768, 0.36, Pat::Rand), (768, 0.18, Pat::Chase)] },
+    // --- mcf: even bigger than 2000; the LLC/DTLB stress test.
+    Row { name: "mcf.inp",     fp: 0.0, load: 0.35, store: 0.09, branch: 0.13, dep: 3.1, chain: 0.2, code_kib: 24, hot: 0.97, hot_sz: 0.35, rnd: 0.090, bias: 0.62, pat: 0.20, exp: 1.30,
+          regions: &[(16, 0.20, Pat::Dense), (65536, 0.32, Pat::Rand), (131072, 0.48, Pat::Chase)] },
+    // --- gobmk (5 inputs): Go engine; the branch-misprediction stress test.
+    Row { name: "gobmk.13x13",   fp: 0.0, load: 0.26, store: 0.10, branch: 0.19, dep: 3.6, chain: 0.2, code_kib: 256, hot: 0.86, hot_sz: 0.14, rnd: 0.130, bias: 0.57, pat: 0.22, exp: 1.35,
+          regions: &[(40, 0.55, Pat::Dense), (768, 0.35, Pat::Rand), (768, 0.10, Pat::Rand)] },
+    Row { name: "gobmk.nngs",    fp: 0.0, load: 0.26, store: 0.10, branch: 0.19, dep: 3.6, chain: 0.2, code_kib: 256, hot: 0.86, hot_sz: 0.14, rnd: 0.135, bias: 0.56, pat: 0.22, exp: 1.35,
+          regions: &[(40, 0.55, Pat::Dense), (768, 0.35, Pat::Rand), (768, 0.10, Pat::Rand)] },
+    Row { name: "gobmk.score2",  fp: 0.0, load: 0.26, store: 0.10, branch: 0.19, dep: 3.6, chain: 0.2, code_kib: 256, hot: 0.86, hot_sz: 0.14, rnd: 0.130, bias: 0.57, pat: 0.22, exp: 1.35,
+          regions: &[(40, 0.56, Pat::Dense), (768, 0.34, Pat::Rand), (768, 0.10, Pat::Rand)] },
+    Row { name: "gobmk.trevorc", fp: 0.0, load: 0.26, store: 0.10, branch: 0.19, dep: 3.6, chain: 0.2, code_kib: 256, hot: 0.86, hot_sz: 0.14, rnd: 0.125, bias: 0.58, pat: 0.22, exp: 1.35,
+          regions: &[(40, 0.55, Pat::Dense), (704, 0.35, Pat::Rand), (768, 0.10, Pat::Rand)] },
+    Row { name: "gobmk.trevord", fp: 0.0, load: 0.26, store: 0.10, branch: 0.19, dep: 3.6, chain: 0.2, code_kib: 256, hot: 0.86, hot_sz: 0.14, rnd: 0.125, bias: 0.58, pat: 0.22, exp: 1.35,
+          regions: &[(40, 0.55, Pat::Dense), (736, 0.35, Pat::Rand), (768, 0.10, Pat::Rand)] },
+    // --- hmmer (2): profile HMM search; dense tables, superb locality.
+    Row { name: "hmmer.nph3",  fp: 0.0, load: 0.30, store: 0.12, branch: 0.08, dep: 5.5, chain: 0.2, code_kib: 48, hot: 0.98, hot_sz: 0.30, rnd: 0.020, bias: 0.78, pat: 0.26, exp: 1.28,
+          regions: &[(48, 0.75, Pat::Dense), (512, 0.20, Pat::Stream), (768, 0.05, Pat::Rand)] },
+    Row { name: "hmmer.retro", fp: 0.0, load: 0.30, store: 0.12, branch: 0.08, dep: 5.5, chain: 0.2, code_kib: 48, hot: 0.98, hot_sz: 0.30, rnd: 0.020, bias: 0.78, pat: 0.26, exp: 1.28,
+          regions: &[(48, 0.75, Pat::Dense), (448, 0.20, Pat::Stream), (768, 0.05, Pat::Rand)] },
+    // --- sjeng: chess; branchy with big hash tables.
+    Row { name: "sjeng.ref",   fp: 0.0, load: 0.25, store: 0.09, branch: 0.18, dep: 3.7, chain: 0.2, code_kib: 128, hot: 0.90, hot_sz: 0.16, rnd: 0.120, bias: 0.58, pat: 0.24, exp: 1.35,
+          regions: &[(40, 0.50, Pat::Dense), (768, 0.40, Pat::Rand), (768, 0.10, Pat::Rand)] },
+    // --- libquantum: the streaming/MLP poster child.
+    Row { name: "libquantum.ref", fp: 0.0, load: 0.31, store: 0.12, branch: 0.12, dep: 8.0, chain: 0.2, code_kib: 16, hot: 0.99, hot_sz: 0.50, rnd: 0.015, bias: 0.85, pat: 0.20, exp: 1.25,
+          regions: &[(16, 0.10, Pat::Dense), (32768, 0.80, Pat::Stream), (32768, 0.10, Pat::Stream)] },
+    // --- h264ref (3): video encoder; dense motion search.
+    Row { name: "h264ref.foreman_baseline", fp: 0.01, load: 0.29, store: 0.12, branch: 0.10, dep: 5.0, chain: 0.2, code_kib: 192, hot: 0.92, hot_sz: 0.14, rnd: 0.040, bias: 0.70, pat: 0.28, exp: 1.32,
+          regions: &[(48, 0.60, Pat::Dense), (768, 0.30, Pat::Rand), (512, 0.10, Pat::Stream)] },
+    Row { name: "h264ref.foreman_main",     fp: 0.01, load: 0.29, store: 0.12, branch: 0.10, dep: 5.0, chain: 0.2, code_kib: 192, hot: 0.92, hot_sz: 0.14, rnd: 0.040, bias: 0.70, pat: 0.28, exp: 1.32,
+          regions: &[(48, 0.60, Pat::Dense), (768, 0.30, Pat::Rand), (512, 0.10, Pat::Stream)] },
+    Row { name: "h264ref.sss_main",         fp: 0.01, load: 0.29, store: 0.12, branch: 0.10, dep: 5.0, chain: 0.2, code_kib: 192, hot: 0.92, hot_sz: 0.14, rnd: 0.040, bias: 0.70, pat: 0.28, exp: 1.32,
+          regions: &[(48, 0.58, Pat::Dense), (768, 0.30, Pat::Rand), (512, 0.12, Pat::Stream)] },
+    // --- omnetpp: discrete-event sim; pointer soup, big heap.
+    Row { name: "omnetpp.ref", fp: 0.0, load: 0.30, store: 0.13, branch: 0.15, dep: 3.4, chain: 0.2, code_kib: 384, hot: 0.82, hot_sz: 0.10, rnd: 0.070, bias: 0.64, pat: 0.24, exp: 1.38,
+          regions: &[(40, 0.35, Pat::Dense), (12288, 0.35, Pat::Chase), (24576, 0.30, Pat::Rand)] },
+    // --- astar (2): path finding; branchy and miss heavy.
+    Row { name: "astar.biglakes", fp: 0.0, load: 0.30, store: 0.10, branch: 0.15, dep: 3.4, chain: 0.2, code_kib: 32, hot: 0.96, hot_sz: 0.25, rnd: 0.100, bias: 0.60, pat: 0.22, exp: 1.30,
+          regions: &[(24, 0.30, Pat::Dense), (10240, 0.40, Pat::Chase), (20480, 0.30, Pat::Rand)] },
+    Row { name: "astar.rivers",   fp: 0.0, load: 0.30, store: 0.10, branch: 0.16, dep: 3.4, chain: 0.2, code_kib: 32, hot: 0.96, hot_sz: 0.25, rnd: 0.110, bias: 0.59, pat: 0.22, exp: 1.30,
+          regions: &[(24, 0.30, Pat::Dense), (8192, 0.40, Pat::Chase), (16384, 0.30, Pat::Rand)] },
+    // --- xalancbmk: XSLT; large code, pointer heavy.
+    Row { name: "xalancbmk.ref", fp: 0.0, load: 0.31, store: 0.12, branch: 0.16, dep: 3.8, chain: 0.2, code_kib: 896, hot: 0.72, hot_sz: 0.08, rnd: 0.060, bias: 0.66, pat: 0.26, exp: 1.40,
+          regions: &[(48, 0.40, Pat::Dense), (768, 0.35, Pat::Chase), (768, 0.25, Pat::Rand)] },
+    // --- CPU2006 floating point ------------------------------------------
+    // bwaves: blast waves; huge streaming.
+    Row { name: "bwaves.ref",  fp: 0.40, load: 0.29, store: 0.09, branch: 0.03, dep: 12.0, chain: 0.25, code_kib: 32, hot: 0.98, hot_sz: 0.35, rnd: 0.010, bias: 0.85, pat: 0.14, exp: 1.20,
+          regions: &[(24, 0.15, Pat::Dense), (49152, 0.70, Pat::Stream), (49152, 0.15, Pat::Rand)] },
+    // gamess (3): quantum chemistry; compute bound, cache resident.
+    Row { name: "gamess.cytosine",   fp: 0.44, load: 0.27, store: 0.08, branch: 0.05, dep: 5.0, chain: 0.55, code_kib: 256, hot: 0.92, hot_sz: 0.15, rnd: 0.007, bias: 0.85, pat: 0.12, exp: 1.22,
+          regions: &[(40, 0.70, Pat::Dense), (384, 0.25, Pat::Stream), (768, 0.05, Pat::Rand)] },
+    Row { name: "gamess.gradient",   fp: 0.44, load: 0.27, store: 0.08, branch: 0.05, dep: 5.0, chain: 0.55, code_kib: 256, hot: 0.92, hot_sz: 0.15, rnd: 0.007, bias: 0.85, pat: 0.12, exp: 1.22,
+          regions: &[(40, 0.70, Pat::Dense), (448, 0.25, Pat::Stream), (768, 0.05, Pat::Rand)] },
+    Row { name: "gamess.triazolium", fp: 0.44, load: 0.27, store: 0.08, branch: 0.05, dep: 5.0, chain: 0.55, code_kib: 256, hot: 0.92, hot_sz: 0.15, rnd: 0.007, bias: 0.85, pat: 0.12, exp: 1.22,
+          regions: &[(40, 0.70, Pat::Dense), (512, 0.25, Pat::Stream), (768, 0.05, Pat::Rand)] },
+    // milc: lattice QCD; big streaming + random, LLC/DTLB heavy.
+    Row { name: "milc.ref",    fp: 0.36, load: 0.31, store: 0.11, branch: 0.03, dep: 10.0, chain: 0.30, code_kib: 40, hot: 0.97, hot_sz: 0.30, rnd: 0.010, bias: 0.85, pat: 0.14, exp: 1.20,
+          regions: &[(24, 0.10, Pat::Dense), (40960, 0.55, Pat::Stream), (81920, 0.35, Pat::Rand)] },
+    // zeusmp: astrophysics CFD; streaming.
+    Row { name: "zeusmp.ref",  fp: 0.38, load: 0.29, store: 0.11, branch: 0.03, dep: 11.0, chain: 0.28, code_kib: 64, hot: 0.96, hot_sz: 0.25, rnd: 0.010, bias: 0.85, pat: 0.14, exp: 1.20,
+          regions: &[(32, 0.20, Pat::Dense), (24576, 0.65, Pat::Stream), (24576, 0.15, Pat::Rand)] },
+    // gromacs: molecular dynamics; the paper's low-miss outlier.
+    Row { name: "gromacs.ref", fp: 0.45, load: 0.28, store: 0.09, branch: 0.04, dep: 5.2, chain: 0.60, code_kib: 96, hot: 0.95, hot_sz: 0.20, rnd: 0.006, bias: 0.88, pat: 0.10, exp: 1.22,
+          regions: &[(32, 0.75, Pat::Dense), (256, 0.20, Pat::Stream), (768, 0.05, Pat::Rand)] },
+    // cactusADM: numerical relativity; stencil streaming.
+    Row { name: "cactusADM.ref", fp: 0.41, load: 0.30, store: 0.11, branch: 0.02, dep: 11.5, chain: 0.30, code_kib: 96, hot: 0.96, hot_sz: 0.22, rnd: 0.007, bias: 0.85, pat: 0.12, exp: 1.20,
+          regions: &[(32, 0.15, Pat::Dense), (28672, 0.70, Pat::Stream), (28672, 0.15, Pat::Rand)] },
+    // leslie3d: combustion CFD; streaming.
+    Row { name: "leslie3d.ref", fp: 0.39, load: 0.30, store: 0.10, branch: 0.03, dep: 11.0, chain: 0.28, code_kib: 48, hot: 0.97, hot_sz: 0.28, rnd: 0.010, bias: 0.85, pat: 0.14, exp: 1.20,
+          regions: &[(24, 0.15, Pat::Dense), (22528, 0.70, Pat::Stream), (22528, 0.15, Pat::Rand)] },
+    // namd: molecular dynamics; compute bound.
+    Row { name: "namd.ref",    fp: 0.43, load: 0.28, store: 0.08, branch: 0.04, dep: 6.0, chain: 0.50, code_kib: 96, hot: 0.95, hot_sz: 0.18, rnd: 0.007, bias: 0.86, pat: 0.12, exp: 1.22,
+          regions: &[(40, 0.65, Pat::Dense), (512, 0.25, Pat::Stream), (768, 0.10, Pat::Rand)] },
+    // dealII: FEM library; C++ with decent locality.
+    Row { name: "dealII.ref",  fp: 0.32, load: 0.29, store: 0.11, branch: 0.08, dep: 5.5, chain: 0.40, code_kib: 512, hot: 0.84, hot_sz: 0.10, rnd: 0.025, bias: 0.76, pat: 0.22, exp: 1.32,
+          regions: &[(40, 0.50, Pat::Dense), (768, 0.32, Pat::Rand), (512, 0.18, Pat::Stream)] },
+    // soplex (2): LP solver; sparse matrices, LLC + DTLB heavy, high fp.
+    Row { name: "soplex.pds-50", fp: 0.30, load: 0.32, store: 0.09, branch: 0.08, dep: 5.8, chain: 0.35, code_kib: 256, hot: 0.88, hot_sz: 0.12, rnd: 0.030, bias: 0.72, pat: 0.20, exp: 1.28,
+          regions: &[(32, 0.20, Pat::Dense), (30720, 0.45, Pat::Rand), (30720, 0.35, Pat::Stream)] },
+    Row { name: "soplex.ref",    fp: 0.30, load: 0.32, store: 0.09, branch: 0.08, dep: 5.8, chain: 0.35, code_kib: 256, hot: 0.88, hot_sz: 0.12, rnd: 0.030, bias: 0.72, pat: 0.20, exp: 1.28,
+          regions: &[(32, 0.20, Pat::Dense), (24576, 0.45, Pat::Rand), (24576, 0.35, Pat::Stream)] },
+    // povray: ray tracer; compute bound, tiny data.
+    Row { name: "povray.ref",  fp: 0.38, load: 0.27, store: 0.10, branch: 0.09, dep: 5.0, chain: 0.50, code_kib: 384, hot: 0.88, hot_sz: 0.12, rnd: 0.020, bias: 0.80, pat: 0.18, exp: 1.30,
+          regions: &[(32, 0.75, Pat::Dense), (256, 0.20, Pat::Rand), (512, 0.05, Pat::Stream)] },
+    // calculix: the paper's hardest outlier: minimal misses everywhere.
+    Row { name: "calculix.hyperviscoplastic", fp: 0.46, load: 0.27, store: 0.08, branch: 0.03, dep: 5.5, chain: 0.58, code_kib: 192, hot: 0.95, hot_sz: 0.15, rnd: 0.005, bias: 0.90, pat: 0.10, exp: 1.20,
+          regions: &[(36, 0.75, Pat::Dense), (320, 0.20, Pat::Stream), (768, 0.05, Pat::Rand)] },
+    // GemsFDTD: electromagnetics; giant streaming.
+    Row { name: "GemsFDTD.ref", fp: 0.39, load: 0.30, store: 0.11, branch: 0.02, dep: 11.0, chain: 0.28, code_kib: 64, hot: 0.96, hot_sz: 0.25, rnd: 0.007, bias: 0.85, pat: 0.12, exp: 1.20,
+          regions: &[(32, 0.12, Pat::Dense), (36864, 0.68, Pat::Stream), (36864, 0.20, Pat::Rand)] },
+    // tonto: quantum crystallography; compute with medium data.
+    Row { name: "tonto.ref",   fp: 0.40, load: 0.28, store: 0.10, branch: 0.05, dep: 5.5, chain: 0.48, code_kib: 384, hot: 0.90, hot_sz: 0.12, rnd: 0.010, bias: 0.84, pat: 0.14, exp: 1.24,
+          regions: &[(40, 0.60, Pat::Dense), (512, 0.30, Pat::Stream), (768, 0.10, Pat::Rand)] },
+    // lbm: lattice Boltzmann; the purest stream in the suite.
+    Row { name: "lbm.ref",     fp: 0.36, load: 0.29, store: 0.14, branch: 0.01, dep: 13.0, chain: 0.22, code_kib: 16, hot: 0.99, hot_sz: 0.60, rnd: 0.005, bias: 0.90, pat: 0.10, exp: 1.18,
+          regions: &[(16, 0.08, Pat::Dense), (57344, 0.77, Pat::Stream), (57344, 0.15, Pat::Stream)] },
+    // wrf: weather; mixed stencils.
+    Row { name: "wrf.ref",     fp: 0.37, load: 0.29, store: 0.11, branch: 0.05, dep: 9.0, chain: 0.32, code_kib: 768, hot: 0.85, hot_sz: 0.10, rnd: 0.015, bias: 0.82, pat: 0.16, exp: 1.24,
+          regions: &[(40, 0.30, Pat::Dense), (512, 0.50, Pat::Stream), (768, 0.20, Pat::Rand)] },
+    // sphinx3: speech recognition; streaming scores + random lexicon.
+    Row { name: "sphinx3.an4", fp: 0.30, load: 0.31, store: 0.08, branch: 0.08, dep: 7.0, chain: 0.32, code_kib: 128, hot: 0.93, hot_sz: 0.15, rnd: 0.025, bias: 0.75, pat: 0.20, exp: 1.26,
+          regions: &[(32, 0.25, Pat::Dense), (512, 0.55, Pat::Stream), (768, 0.20, Pat::Rand)] },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        assert_eq!(cpu2000().len(), 48, "48 CPU2000 benchmark-input pairs");
+        assert_eq!(cpu2006().len(), 55, "55 CPU2006 benchmark-input pairs");
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in cpu2000().iter().chain(cpu2006().iter()) {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_within_suite() {
+        for suite in [cpu2000(), cpu2006()] {
+            let mut names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+            let n = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), n);
+        }
+    }
+
+    #[test]
+    fn suite_fields_are_set() {
+        assert!(cpu2000().iter().all(|p| p.suite == Suite::Cpu2000));
+        assert!(cpu2006().iter().all(|p| p.suite == Suite::Cpu2006));
+    }
+
+    #[test]
+    fn by_name_finds_profiles() {
+        assert!(by_name("lbm.ref").is_some());
+        assert!(by_name("swim.inp").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn population_is_diverse() {
+        // The model-fitting story needs spread in every input dimension.
+        let all: Vec<_> = cpu2000().into_iter().chain(cpu2006()).collect();
+        let fps: Vec<f64> = all.iter().map(|p| p.fp_frac).collect();
+        assert!(fps.iter().cloned().fold(0.0, f64::max) > 0.4);
+        assert!(fps.iter().cloned().fold(1.0, f64::min) == 0.0);
+        let code: Vec<u64> = all.iter().map(|p| p.code_footprint).collect();
+        assert!(code.iter().max().unwrap() >= &(896 * 1024));
+        assert!(code.iter().min().unwrap() <= &(24 * 1024));
+        let biggest_region: u64 = all
+            .iter()
+            .flat_map(|p| p.regions.iter().map(|r| r.footprint))
+            .max()
+            .unwrap();
+        assert!(biggest_region >= 128 * 1024 * 1024 / 2, "needs > LLC footprints");
+    }
+
+    #[test]
+    fn cpu2006_is_more_memory_intensive_on_average() {
+        // The paper's Fig. 6 discussion depends on this suite-level contrast.
+        let mean_big_region = |suite: Vec<WorkloadProfile>| -> f64 {
+            let sum: f64 = suite
+                .iter()
+                .map(|p| {
+                    p.regions
+                        .iter()
+                        .map(|r| r.footprint as f64 * r.access_fraction)
+                        .sum::<f64>()
+                })
+                .sum();
+            sum / 1e6
+        };
+        assert!(mean_big_region(cpu2006()) > mean_big_region(cpu2000()) * 1.3);
+    }
+
+    #[test]
+    fn outliers_have_outlier_character() {
+        let calculix = by_name("calculix.hyperviscoplastic").unwrap();
+        let mcf2006 = cpu2006().into_iter().find(|p| p.name == "mcf.inp").unwrap();
+        // calculix: tiny branch-misprediction exposure and tiny footprint.
+        assert!(calculix.br_random_frac <= 0.02);
+        let calculix_fp: u64 = calculix.regions.iter().map(|r| r.footprint).max().unwrap();
+        let mcf_fp: u64 = mcf2006.regions.iter().map(|r| r.footprint).max().unwrap();
+        assert!(mcf_fp > calculix_fp * 50);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests: every valid profile yields a well-formed trace.
+
+use pmu::Suite;
+use proptest::prelude::*;
+use specgen::{AccessPattern, Cracking, MemRegion, TraceGenerator, WorkloadProfile};
+
+/// Strategy: a random but always-valid workload profile.
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        (
+            0.05f64..0.35,          // load
+            0.02f64..0.15,          // store
+            0.01f64..0.20,          // branch
+            0.0f64..0.40,           // fp
+            1.5f64..14.0,           // dep distance
+            0.0f64..0.9,            // fp chain
+        ),
+        (
+            4u64..512,              // code KiB
+            0.5f64..0.99,           // hot frac
+            0.05f64..0.9,           // hot size frac
+            0.0f64..0.25,           // rnd branches
+            0.5f64..0.95,           // bias
+            0.0f64..0.4,            // patterned
+            1.0f64..2.5,            // expansion
+            1u64..30_000,           // region KiB
+            0u8..4,                 // pattern selector
+        ),
+    )
+        .prop_map(
+            |((load, store, branch, fp, dep, chain), (code, hot, hotsz, rnd, bias, pat, exp, kib, psel))| {
+                let pattern = match psel {
+                    0 => AccessPattern::Sequential { stride: 8 },
+                    1 => AccessPattern::Sequential { stride: 64 },
+                    2 => AccessPattern::Random,
+                    _ => AccessPattern::PointerChase,
+                };
+                WorkloadProfile::builder("prop", Suite::Cpu2000)
+                    .mem_mix(load, store)
+                    .branches(branch)
+                    .fp(fp * (1.0 - load - store - branch).clamp(0.0, 1.0))
+                    .int_muldiv(0.005, 0.0005)
+                    .ilp(dep, chain)
+                    .code(code, hot, hotsz)
+                    .branch_behaviour(rnd, bias, pat)
+                    .expansion(exp)
+                    .regions(vec![
+                        MemRegion::kib(16, 0.5, AccessPattern::Sequential { stride: 8 }),
+                        MemRegion::kib(kib, 0.5, pattern),
+                    ])
+                    .build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The generator never emits malformed µops: dependence distances stay
+    /// within the trace prefix, memory ops carry addresses, branches carry
+    /// outcomes, and addresses stay inside their declared regions.
+    #[test]
+    fn traces_are_well_formed(profile in arb_profile(), seed in 0u64..1000) {
+        let ops: Vec<_> = TraceGenerator::new(&profile, Cracking::default(), seed)
+            .take(3_000)
+            .collect();
+        prop_assert_eq!(ops.len(), 3_000);
+        for (i, op) in ops.iter().enumerate() {
+            if let Some(d) = op.dep1 {
+                prop_assert!((d.get() as usize) <= i.max(1));
+            }
+            if let Some(d) = op.dep2 {
+                prop_assert!((d.get() as usize) <= i.max(1));
+            }
+            if op.kind.is_mem() && op.macro_first {
+                prop_assert!(op.addr.is_some());
+            }
+            if op.kind == specgen::UopKind::Branch && op.macro_first {
+                prop_assert!(op.branch.is_some());
+            }
+        }
+    }
+
+    /// Determinism: the same (profile, cracking, seed) triple regenerates
+    /// the identical stream.
+    #[test]
+    fn traces_are_deterministic(profile in arb_profile(), seed in 0u64..1000) {
+        let a: Vec<_> = TraceGenerator::new(&profile, Cracking::new(1.3), seed)
+            .take(500)
+            .collect();
+        let b: Vec<_> = TraceGenerator::new(&profile, Cracking::new(1.3), seed)
+            .take(500)
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Macro-instruction counts scale inversely with the cracking factor.
+    #[test]
+    fn cracking_monotonicity(profile in arb_profile(), seed in 0u64..100) {
+        let macros = |factor: f64| {
+            TraceGenerator::new(&profile, Cracking::new(factor), seed)
+                .take(20_000)
+                .filter(|o| o.macro_first)
+                .count() as f64
+        };
+        let fused = macros(0.9);
+        let cracked = macros(1.8);
+        prop_assert!(cracked < fused, "cracked {cracked} vs fused {fused}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Latency calibration: reproduce Table 2's microbenchmark methodology —
+//! pointer-chase a growing footprint and read the cache hierarchy off the
+//! latency staircase.
+//!
+//! Run with `cargo run --release --example calibrate_latencies`.
+
+use cpistack::latency::{calibrate_machine, default_footprints, sweep};
+use cpistack::sim::machine::MachineConfig;
+
+fn main() {
+    for machine in MachineConfig::paper_machines() {
+        println!("=== {} ===", machine.name);
+        let curve = sweep(&machine, &default_footprints());
+        println!("{:>12}  {:>12}", "footprint", "cycles/load");
+        for (footprint, latency) in &curve {
+            let bar = "#".repeat((latency / 4.0) as usize);
+            println!("{:>9} KiB  {latency:>12.1}  {bar}", footprint / 1024);
+        }
+        let estimates = calibrate_machine(&machine);
+        println!("\ncalibrated: {estimates}");
+        println!(
+            "configured: L1 {}, L2 {}, {}mem {}, TLB {} cycles\n",
+            machine.lat.l1d,
+            machine.lat.l2,
+            machine
+                .l3
+                .map(|_| format!("L3 {}, ", machine.lat.l3))
+                .unwrap_or_default(),
+            machine.lat.mem,
+            machine.lat.tlb
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! CPI-delta stacks: explain where the Core 2's advantage over the
+//! Pentium 4 comes from, benchmark by benchmark (the paper's Fig. 6
+//! analysis, §6).
+//!
+//! Run with `cargo run --release --example cpi_delta_stacks`.
+
+use cpistack::figures::signed_bars;
+use cpistack::model::delta::{delta_stack, suite_delta};
+use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::sim::run::run_suite;
+
+fn main() {
+    let old_machine = MachineConfig::pentium4();
+    let new_machine = MachineConfig::core2();
+    let suite = cpistack::workloads::suites::cpu2000();
+    let uops = 200_000;
+
+    // Measure the same programs on both machines and fit a model for each.
+    let old_records = run_suite(&old_machine, &suite, uops, 42);
+    let new_records = run_suite(&new_machine, &suite, uops, 42);
+    let opts = FitOptions::default();
+    let old_model = InferredModel::fit(
+        &MicroarchParams::from_machine(&old_machine),
+        &old_records,
+        &opts,
+    )
+    .expect("fit old machine");
+    let new_model = InferredModel::fit(
+        &MicroarchParams::from_machine(&new_machine),
+        &new_records,
+        &opts,
+    )
+    .expect("fit new machine");
+
+    // Suite-level view: the aggregate delta stack.
+    let agg = suite_delta(&old_model, &old_records, &new_model, &new_records);
+    println!(
+        "{}",
+        signed_bars(
+            &format!(
+                "Core 2 vs Pentium 4, CPU2000 suite average (Δ {:+.3} cycles/instr)",
+                agg.overall.total()
+            ),
+            &agg.overall.components(),
+            30,
+        )
+    );
+    println!(
+        "{}",
+        signed_bars(
+            "branch component split (the paper's §6 surprise: Core 2 mispredicts MORE)",
+            &agg.branch.components(),
+            30,
+        )
+    );
+
+    // Per-benchmark view for a few interesting programs.
+    for name in ["mcf.inp", "crafty.inp", "swim.inp"] {
+        let (old_r, new_r) = match (
+            old_records.iter().find(|r| r.benchmark() == name),
+            new_records.iter().find(|r| r.benchmark() == name),
+        ) {
+            (Some(a), Some(b)) => (a, b),
+            _ => continue,
+        };
+        let d = delta_stack(&old_model, old_r, &new_model, new_r);
+        println!("{name}: {d}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Design-space exploration with the machine builder: what would the
+//! Core 2 gain from a larger ROB, more MSHRs, or a deeper prefetcher?
+//! The fitted model's CPI stacks say *where* each variant's time goes —
+//! the kind of what-if analysis the paper positions CPI stacks for
+//! ("opportunities for software and hardware optimization", §1).
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::sim::run::run_suite;
+
+fn main() {
+    let base = MachineConfig::core2();
+    let variants = vec![
+        ("baseline Core 2", base.clone()),
+        (
+            "2x ROB (192)",
+            MachineConfig::builder(base.clone()).rob_size(192).build(),
+        ),
+        (
+            "2x MSHRs (32)",
+            MachineConfig::builder(base.clone()).mshrs(32).build(),
+        ),
+        (
+            "no prefetcher",
+            MachineConfig::builder(base.clone()).prefetch_depth(0).build(),
+        ),
+        (
+            "6-wide dispatch",
+            MachineConfig::builder(base.clone()).dispatch_width(6).build(),
+        ),
+    ];
+
+    // A memory-and-branch heavy subset keeps the contrast visible.
+    let suite: Vec<_> = cpistack::workloads::suites::cpu2006()
+        .into_iter()
+        .filter(|p| {
+            ["mcf.inp", "lbm.ref", "milc.ref", "gobmk.13x13", "libquantum.ref",
+             "soplex.ref", "sjeng.ref", "omnetpp.ref", "astar.rivers",
+             "gcc.166", "calculix.hyperviscoplastic", "namd.ref"]
+                .contains(&p.name.as_str())
+        })
+        .collect();
+
+    println!(
+        "{:<18} {:>8}  average CPI stack (per µop)",
+        "variant", "avg CPI"
+    );
+    for (name, machine) in variants {
+        let records = run_suite(&machine, &suite, 150_000, 42);
+        let arch = MicroarchParams::from_machine(&machine);
+        let model = InferredModel::fit(&arch, &records, &FitOptions::quick());
+        let avg_cpi: f64 =
+            records.iter().map(|r| r.cpi()).sum::<f64>() / records.len() as f64;
+        match model {
+            Ok(model) => {
+                // Average the component estimates over the subset.
+                let mut acc = [0.0f64; 8];
+                for r in &records {
+                    for (k, (_, v)) in model.cpi_stack(r).components().iter().enumerate() {
+                        acc[k] += v / records.len() as f64;
+                    }
+                }
+                let named: Vec<String> = model
+                    .cpi_stack(&records[0])
+                    .components()
+                    .iter()
+                    .zip(acc)
+                    .filter(|(_, v)| *v > 0.01)
+                    .map(|((n, _), v)| format!("{n}:{v:.2}"))
+                    .collect();
+                println!("{name:<18} {avg_cpi:>8.3}  {}", named.join(" "));
+            }
+            Err(e) => println!("{name:<18} {avg_cpi:>8.3}  (model: {e})"),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `cpistack` — fit the ISPASS 2011 gray-box model to performance-counter
+//! CSVs and print CPI stacks. See `cpistack::cli` for the full story.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cpistack::cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cpistack::cli::run(&command) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # cpistack — mechanistic-empirical CPI stacks on (simulated) hardware
+//!
+//! A full reproduction of *"Mechanistic-empirical processor performance
+//! modeling for constructing CPI stacks on real hardware"* (Eyerman, Hoste,
+//! Eeckhout — ISPASS 2011), as a Rust workspace. This facade crate
+//! re-exports every sub-crate under one roof:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`model`] | `memodel` | the paper's contribution: Eq. 1–6, inference, CPI stacks, delta stacks |
+//! | [`sim`] | `oosim` | out-of-order superscalar simulator (the "real hardware") |
+//! | [`workloads`] | `specgen` | synthetic SPEC CPU2000/2006 workload population |
+//! | [`counters`] | `pmu` | performance events, counter banks, run records |
+//! | [`truth`] | `cpicounters` | ASPLOS'06 ground-truth CPI stack accounting |
+//! | [`latency`] | `calibrate` | Calibrator-style latency microbenchmarks |
+//! | [`fitting`] | `regress` | Nelder–Mead, OLS and ANN fitting engines |
+//! | [`figures`] | `report` | ASCII figures, CSV and table rendering |
+//!
+//! # Quickstart
+//!
+//! Fit a gray-box model for a machine from simulated counter data and read
+//! off a CPI stack:
+//!
+//! ```
+//! use cpistack::model::{InferredModel, MicroarchParams};
+//! use cpistack::sim::machine::MachineConfig;
+//! use cpistack::sim::run::run_suite;
+//!
+//! let machine = MachineConfig::core2();
+//! // Measure a (sub)suite. Real experiments use all 48/55 benchmarks and
+//! // millions of µops; keep it small for a doc example.
+//! let suite: Vec<_> = cpistack::workloads::suites::cpu2000()
+//!     .into_iter()
+//!     .take(12)
+//!     .collect();
+//! let records = run_suite(&machine, &suite, 50_000, 42);
+//! let params = MicroarchParams::from_machine(&machine);
+//! let model = InferredModel::fit(&params, &records, &Default::default()).unwrap();
+//! let stack = model.cpi_stack(&records[0]);
+//! println!("{}: {}", records[0].benchmark(), stack);
+//! assert!(stack.total() > 0.0);
+//! ```
+
+pub mod cli;
+
+pub use calibrate as latency;
+pub use cpicounters as truth;
+pub use memodel as model;
+pub use oosim as sim;
+pub use pmu as counters;
+pub use regress as fitting;
+pub use report as figures;
+pub use specgen as workloads;

@@ -1,0 +1,133 @@
+//! End-to-end integration: measurement → inference → stacks, across crates.
+
+use cpistack::model::eval::{evaluate_model, summarize};
+use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::sim::run::run_suite;
+
+/// µop budget for integration tests: enough for stable rates, cheap enough
+/// for debug builds.
+const UOPS: u64 = 60_000;
+
+fn subset(n: usize) -> Vec<cpistack::workloads::WorkloadProfile> {
+    cpistack::workloads::suites::cpu2000()
+        .into_iter()
+        .take(n)
+        .collect()
+}
+
+#[test]
+fn measure_fit_predict_loop_closes() {
+    let machine = MachineConfig::core2();
+    let records = run_suite(&machine, &subset(16), UOPS, 42);
+    let arch = MicroarchParams::from_machine(&machine);
+    let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
+    let summary = summarize(&evaluate_model(&model, &records));
+    assert!(
+        summary.mean < 0.20,
+        "in-sample error should be well under 20%: {summary}"
+    );
+}
+
+#[test]
+fn stacks_sum_to_predictions_everywhere() {
+    let machine = MachineConfig::core_i7();
+    let records = run_suite(&machine, &subset(14), UOPS, 9);
+    let arch = MicroarchParams::from_machine(&machine);
+    let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
+    for r in &records {
+        let stack = model.cpi_stack(r);
+        assert!((stack.total() - model.predict_record(r)).abs() < 1e-9);
+        for (name, v) in stack.components() {
+            assert!(v >= 0.0, "{}: component {name} negative ({v})", r.benchmark());
+        }
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let machine = MachineConfig::pentium4();
+    let arch = MicroarchParams::from_machine(&machine);
+    let run = || {
+        let records = run_suite(&machine, &subset(12), UOPS, 1234);
+        let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
+        records
+            .iter()
+            .map(|r| model.predict_record(r))
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn counter_records_round_trip_through_csv() {
+    let machine = MachineConfig::core2();
+    let records = run_suite(&machine, &subset(6), 10_000, 5);
+    let text = cpistack::counters::csv::to_csv(&records);
+    let back = cpistack::counters::csv::from_csv(&text).unwrap();
+    assert_eq!(back, records);
+    // And the reloaded records fit identically.
+    let arch = MicroarchParams::from_machine(&machine);
+    let records_full = run_suite(&machine, &subset(12), 10_000, 5);
+    let text = cpistack::counters::csv::to_csv(&records_full);
+    let reloaded = cpistack::counters::csv::from_csv(&text).unwrap();
+    let a = InferredModel::fit(&arch, &records_full, &FitOptions::quick()).unwrap();
+    let b = InferredModel::fit(&arch, &reloaded, &FitOptions::quick()).unwrap();
+    assert_eq!(a.params(), b.params());
+}
+
+#[test]
+fn ground_truth_stack_matches_measured_cpi() {
+    let machine = MachineConfig::core2();
+    for profile in subset(5) {
+        let (record, truth) =
+            cpistack::truth::measure_stack(&machine, &profile, 30_000, 777);
+        assert!(
+            (truth.total() - record.cpi()).abs() < 1e-9,
+            "{}: {} vs {}",
+            profile.name,
+            truth.total(),
+            record.cpi()
+        );
+    }
+}
+
+#[test]
+fn model_tracks_machine_differences() {
+    // The same workload population must produce distinguishable fitted
+    // behaviour across machines: P4's CPI stack has a deeper branch
+    // component (31-stage refill) than Core 2's for the same benchmark.
+    let suite = subset(16);
+    let p4 = MachineConfig::pentium4();
+    let c2 = MachineConfig::core2();
+    let p4_records = run_suite(&p4, &suite, UOPS, 3);
+    let c2_records = run_suite(&c2, &suite, UOPS, 3);
+    let p4_model = InferredModel::fit(
+        &MicroarchParams::from_machine(&p4),
+        &p4_records,
+        &FitOptions::quick(),
+    )
+    .unwrap();
+    let c2_model = InferredModel::fit(
+        &MicroarchParams::from_machine(&c2),
+        &c2_records,
+        &FitOptions::quick(),
+    )
+    .unwrap();
+    // Compare per-instruction branch components on a branchy benchmark.
+    let pick = |records: &[cpistack::counters::RunRecord]| {
+        records
+            .iter()
+            .position(|r| r.benchmark() == "crafty.inp")
+            .expect("crafty in subset")
+    };
+    let i = pick(&p4_records);
+    let p4_branch = p4_model.cpi_stack(&p4_records[i]).branch
+        * p4_records[i].counters().uops_per_instr();
+    let c2_branch = c2_model.cpi_stack(&c2_records[i]).branch
+        * c2_records[i].counters().uops_per_instr();
+    assert!(
+        p4_branch > c2_branch,
+        "P4 branch component {p4_branch} should exceed Core 2's {c2_branch}"
+    );
+}

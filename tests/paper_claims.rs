@@ -1,0 +1,194 @@
+//! The paper's qualitative claims, verified at reduced scale: these are the
+//! load-bearing shapes EXPERIMENTS.md reports at full scale.
+
+use cpistack::counters::{Event, Suite};
+use cpistack::model::baselines::{BaselineKind, EmpiricalModel};
+use cpistack::model::delta::suite_delta;
+use cpistack::model::eval::{evaluate_baseline, evaluate_model, summarize};
+use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::sim::run::run_suite;
+use pmu::RunRecord;
+
+const UOPS: u64 = 80_000;
+const SEED: u64 = 12345;
+
+fn suite_records(machine: &MachineConfig, suite: Suite) -> Vec<RunRecord> {
+    // Full suites: the paper's claims are population-level statements and
+    // do not survive arbitrary sub-sampling.
+    let profiles = match suite {
+        Suite::Cpu2000 => cpistack::workloads::suites::cpu2000(),
+        Suite::Cpu2006 => cpistack::workloads::suites::cpu2006(),
+    };
+    run_suite(machine, &profiles, UOPS, SEED)
+}
+
+fn fit(machine: &MachineConfig, records: &[RunRecord]) -> InferredModel {
+    InferredModel::fit(
+        &MicroarchParams::from_machine(machine),
+        records,
+        &FitOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn claim_generation_over_generation_speedup() {
+    // §6: overall CPI improves P4 → Core 2 (strongly) → Core i7.
+    let mean_cpi = |machine: &MachineConfig| {
+        let records = suite_records(machine, Suite::Cpu2006);
+        // Per macro-instruction, so cracking differences do not flatter P4.
+        records
+            .iter()
+            .map(|r| r.cpi() * r.counters().uops_per_instr())
+            .sum::<f64>()
+            / records.len() as f64
+    };
+    let p4 = mean_cpi(&MachineConfig::pentium4());
+    let c2 = mean_cpi(&MachineConfig::core2());
+    let i7 = mean_cpi(&MachineConfig::core_i7());
+    assert!(p4 > c2 * 1.2, "P4 {p4} vs Core 2 {c2}");
+    assert!(c2 > i7, "Core 2 {c2} vs i7 {i7}");
+}
+
+#[test]
+fn claim_pentium4_predicts_branches_better_than_core2() {
+    // §6: "MPKI is 4.1 for Pentium 4 and 5.8 for Core 2" — the older
+    // machine has the better predictor. Suite-mean comparison.
+    let mpki = |machine: &MachineConfig| {
+        let records = suite_records(machine, Suite::Cpu2006);
+        records
+            .iter()
+            .map(|r| r.counters().mpki(Event::BranchMispredicts))
+            .sum::<f64>()
+            / records.len() as f64
+    };
+    let p4 = mpki(&MachineConfig::pentium4());
+    let c2 = mpki(&MachineConfig::core2());
+    assert!(p4 < c2, "P4 MPKI {p4} should be below Core 2's {c2}");
+}
+
+#[test]
+fn claim_core2_wins_branches_despite_more_mispredictions() {
+    // Fig. 6 middle row: the misprediction-count factor moves against the
+    // Core 2, but resolution + pipeline depth dominate.
+    let p4 = MachineConfig::pentium4();
+    let c2 = MachineConfig::core2();
+    let p4_records = suite_records(&p4, Suite::Cpu2006);
+    let c2_records = suite_records(&c2, Suite::Cpu2006);
+    let d = suite_delta(
+        &fit(&p4, &p4_records),
+        &p4_records,
+        &fit(&c2, &c2_records),
+        &c2_records,
+    );
+    assert!(
+        d.branch.pipeline_depth < 0.0,
+        "14 vs 31 stages must help: {:?}",
+        d.branch
+    );
+    assert!(
+        d.overall.branch < 0.0,
+        "net branch component should improve: {:?}",
+        d.overall
+    );
+}
+
+#[test]
+fn claim_fusion_and_width_help_core2() {
+    // Fig. 6 top row: wider dispatch and µop fusion are improvement bars
+    // for Core 2 over Pentium 4.
+    let p4 = MachineConfig::pentium4();
+    let c2 = MachineConfig::core2();
+    let p4_records = suite_records(&p4, Suite::Cpu2000);
+    let c2_records = suite_records(&c2, Suite::Cpu2000);
+    let d = suite_delta(
+        &fit(&p4, &p4_records),
+        &p4_records,
+        &fit(&c2, &c2_records),
+        &c2_records,
+    );
+    assert!(d.overall.width < 0.0, "width: {:?}", d.overall);
+    assert!(d.overall.fusion < 0.0, "fusion: {:?}", d.overall);
+    assert!(d.overall.total() < 0.0, "overall: {:?}", d.overall);
+}
+
+#[test]
+fn claim_empirical_models_overfit_gray_box_does_not() {
+    // Fig. 4's conclusion, on one machine at reduced scale: under
+    // cross-suite validation the gray-box model beats linear regression,
+    // and the ANN's train→test degradation factor is far larger.
+    let machine = MachineConfig::core_i7();
+    let train = suite_records(&machine, Suite::Cpu2000);
+    let test = suite_records(&machine, Suite::Cpu2006);
+    let gray = fit(&machine, &train);
+    let lin = EmpiricalModel::fit(BaselineKind::Linear, &train).unwrap();
+    let ann = EmpiricalModel::fit(BaselineKind::NeuralNetwork, &train).unwrap();
+
+    let gray_test = summarize(&evaluate_model(&gray, &test)).mean;
+    let lin_test = summarize(&evaluate_baseline(&lin, &test)).mean;
+    let ann_train = summarize(&evaluate_baseline(&ann, &train)).mean;
+    let ann_test = summarize(&evaluate_baseline(&ann, &test)).mean;
+
+    assert!(
+        gray_test < lin_test,
+        "gray-box {gray_test:.3} should beat linear {lin_test:.3} cross-suite"
+    );
+    let gray_train = summarize(&evaluate_model(&gray, &train)).mean;
+    let gray_degradation = gray_test / gray_train.max(1e-6);
+    let ann_degradation = ann_test / ann_train.max(1e-6);
+    assert!(
+        ann_degradation > gray_degradation * 2.0,
+        "ANN should degrade far more: ANN {ann_degradation:.1}x vs gray {gray_degradation:.1}x"
+    );
+}
+
+#[test]
+fn claim_cpu2006_is_more_memory_intensive() {
+    // §6 rests on CPU2006 stressing the memory hierarchy harder than
+    // CPU2000 (on the same machine).
+    let machine = MachineConfig::core2();
+    let r2000 = suite_records(&machine, Suite::Cpu2000);
+    let r2006 = suite_records(&machine, Suite::Cpu2006);
+    let llc_rate = |records: &[RunRecord]| {
+        records
+            .iter()
+            .map(|r| r.counters().per_uop(Event::LlcDataMisses))
+            .sum::<f64>()
+            / records.len() as f64
+    };
+    assert!(
+        llc_rate(&r2006) > llc_rate(&r2000) * 1.3,
+        "2006 {:.2e} vs 2000 {:.2e}",
+        llc_rate(&r2006),
+        llc_rate(&r2000)
+    );
+}
+
+#[test]
+fn claim_i7_memory_hierarchy_helps_cpu2006() {
+    // Fig. 6: Core i7's gains on CPU2006 are memory-led (bigger LLC +
+    // prefetch + TLB).
+    let c2 = MachineConfig::core2();
+    let i7 = MachineConfig::core_i7();
+    let c2_records = suite_records(&c2, Suite::Cpu2006);
+    let i7_records = suite_records(&i7, Suite::Cpu2006);
+    let d = suite_delta(
+        &fit(&c2, &c2_records),
+        &c2_records,
+        &fit(&i7, &i7_records),
+        &i7_records,
+    );
+    assert!(
+        d.overall.memory < 0.0,
+        "i7's memory component should improve: {:?}",
+        d.overall
+    );
+    let total = d.overall.total();
+    assert!(
+        d.overall.memory <= total * 0.4,
+        "memory should be a leading contributor: memory {} of total {}",
+        d.overall.memory,
+        total
+    );
+}
