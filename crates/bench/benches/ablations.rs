@@ -7,12 +7,12 @@
 //! trade-off table has both axes.
 
 use bench::ablation::{fit_variant, Variant};
+use bench::measure_suite;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memodel::MicroarchParams;
 use oosim::machine::MachineConfig;
 use oosim::observer::NullObserver;
 use oosim::pipeline::simulate;
-use oosim::run::run_suite;
 use specgen::TraceGenerator;
 use std::hint::black_box;
 
@@ -22,7 +22,7 @@ fn bench_variant_fits(c: &mut Criterion) {
     group.sample_size(10);
     let machine = MachineConfig::core2();
     let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(14).collect();
-    let records = run_suite(&machine, &suite, 15_000, 5);
+    let records = measure_suite(&machine, &suite, 15_000, 5);
     let arch = MicroarchParams::from_machine(&machine);
     for variant in [
         Variant::Full,

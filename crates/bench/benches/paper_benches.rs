@@ -5,13 +5,13 @@
 //! (The *scientific* outputs — every table and figure — come from the
 //! `bench` crate's binaries; these benchmarks measure the machinery.)
 
+use bench::measure_suite;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use memodel::baselines::{BaselineKind, EmpiricalModel};
 use memodel::{FitOptions, InferredModel, MicroarchParams};
 use oosim::machine::MachineConfig;
 use oosim::observer::NullObserver;
 use oosim::pipeline::simulate;
-use oosim::run::run_suite;
 use pmu::RunRecord;
 use specgen::{Cracking, TraceGenerator};
 use std::hint::black_box;
@@ -53,7 +53,7 @@ fn bench_simulation(c: &mut Criterion) {
 fn training_records() -> Vec<RunRecord> {
     let machine = MachineConfig::core2();
     let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(16).collect();
-    run_suite(&machine, &suite, 20_000, 3)
+    measure_suite(&machine, &suite, 20_000, 3)
 }
 
 /// Fig. 2–4 machinery: model inference and prediction.
@@ -64,9 +64,7 @@ fn bench_fitting(c: &mut Criterion) {
     let arch = MicroarchParams::from_machine(&MachineConfig::core2());
     group.bench_function("gray_box_fit_quick", |b| {
         b.iter(|| {
-            black_box(
-                InferredModel::fit(&arch, &records, &FitOptions::quick()).expect("fit"),
-            )
+            black_box(InferredModel::fit(&arch, &records, &FitOptions::quick()).expect("fit"))
         })
     });
     group.bench_function("linear_fit", |b| {
@@ -74,9 +72,7 @@ fn bench_fitting(c: &mut Criterion) {
     });
     group.bench_function("ann_fit", |b| {
         b.iter(|| {
-            black_box(
-                EmpiricalModel::fit(BaselineKind::NeuralNetwork, &records).expect("fit"),
-            )
+            black_box(EmpiricalModel::fit(BaselineKind::NeuralNetwork, &records).expect("fit"))
         })
     });
     let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).expect("fit");
@@ -97,7 +93,11 @@ fn bench_truth_stacks(c: &mut Criterion) {
     let machine = MachineConfig::core2();
     let profile = specgen::suites::by_name("mcf.inp").expect("profile");
     group.bench_function("measure_stack", |b| {
-        b.iter(|| black_box(cpicounters::measure_stack(&machine, &profile, BENCH_UOPS, 1)))
+        b.iter(|| {
+            black_box(cpicounters::measure_stack(
+                &machine, &profile, BENCH_UOPS, 1,
+            ))
+        })
     });
     group.finish();
 }
@@ -109,8 +109,8 @@ fn bench_delta(c: &mut Criterion) {
     let p4 = MachineConfig::pentium4();
     let c2 = MachineConfig::core2();
     let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(16).collect();
-    let p4_records = run_suite(&p4, &suite, 20_000, 3);
-    let c2_records = run_suite(&c2, &suite, 20_000, 3);
+    let p4_records = measure_suite(&p4, &suite, 20_000, 3);
+    let c2_records = measure_suite(&c2, &suite, 20_000, 3);
     let opts = FitOptions::quick();
     let p4_model =
         InferredModel::fit(&MicroarchParams::from_machine(&p4), &p4_records, &opts).unwrap();

@@ -1,0 +1,80 @@
+//! Benchmark guard for the pipeline's thread fan-out: multi-machine
+//! `Workbench::collect()` must never be slower than the sequential path
+//! (and on multicore hardware should approach a machines-fold speedup).
+//!
+//! Two machines × 12 workloads, minimum-of-three timing per mode, with a
+//! correctness cross-check (byte-identical CSV) before timing. Exits
+//! non-zero if the parallel path regresses beyond the tolerance, so this
+//! doubles as an assertion, not just a report.
+//!
+//! Run with `cargo bench -p bench --bench workbench_scaling`.
+
+use memodel::workbench::{SimSource, Workbench};
+use oosim::machine::MachineConfig;
+use std::time::{Duration, Instant};
+
+const WORKLOADS: usize = 12;
+const UOPS: u64 = 30_000;
+const SEED: u64 = 4242;
+const RUNS: usize = 3;
+
+/// Tolerance for "not slower": thread spawn overhead is microseconds
+/// against tens of milliseconds of simulation, but a single-core machine
+/// gives the parallel path no wins to offset scheduler noise, so allow a
+/// modest margin before calling it a regression.
+const MAX_SLOWDOWN: f64 = 1.25;
+
+fn collect(parallel: bool) -> (String, Duration) {
+    let suite: Vec<_> = specgen::suites::cpu2000()
+        .into_iter()
+        .take(WORKLOADS)
+        .collect();
+    let start = Instant::now();
+    let collected = Workbench::new()
+        .machine(MachineConfig::pentium4())
+        .machine(MachineConfig::core2())
+        .source(SimSource::new().suite(suite).uops(UOPS).seed(SEED))
+        .parallel(parallel)
+        .collect()
+        .expect("simulator collection cannot fail");
+    let elapsed = start.elapsed();
+    (collected.to_csv(), elapsed)
+}
+
+fn best_of(parallel: bool) -> (String, Duration) {
+    let mut best = Duration::MAX;
+    let mut csv = String::new();
+    for _ in 0..RUNS {
+        let (text, t) = collect(parallel);
+        best = best.min(t);
+        csv = text;
+    }
+    (csv, best)
+}
+
+fn main() {
+    println!(
+        "workbench_scaling: 2 machines x {WORKLOADS} workloads, {UOPS} µops, \
+         best of {RUNS} ({} hardware threads)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let (seq_csv, seq) = best_of(false);
+    let (par_csv, par) = best_of(true);
+    assert_eq!(
+        seq_csv, par_csv,
+        "parallel collect must be byte-identical to sequential"
+    );
+    let ratio = par.as_secs_f64() / seq.as_secs_f64();
+    println!("sequential collect: {:>8.1} ms", seq.as_secs_f64() * 1e3);
+    println!(
+        "parallel   collect: {:>8.1} ms  ({ratio:.2}x sequential)",
+        par.as_secs_f64() * 1e3
+    );
+    assert!(
+        ratio <= MAX_SLOWDOWN,
+        "parallel collect is {ratio:.2}x sequential (tolerance {MAX_SLOWDOWN}x)"
+    );
+    println!("OK: parallel path within tolerance and byte-identical");
+}

@@ -69,11 +69,7 @@ impl AblatedModel {
     }
 }
 
-fn branch_resolution_variant(
-    variant: Variant,
-    p: &ModelParams,
-    i: &ModelInputs,
-) -> f64 {
+fn branch_resolution_variant(variant: Variant, p: &ModelParams, i: &ModelInputs) -> f64 {
     let cap = match variant {
         Variant::IntervalCap(c) => c as f64,
         _ => equations::INTERVAL_CAP,
@@ -182,14 +178,14 @@ pub fn variant_error(model: &AblatedModel, records: &[RunRecord]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measure_suite;
     use oosim::machine::MachineConfig;
-    use oosim::run::run_suite;
 
     #[test]
     fn variants_fit_and_predict() {
         let machine = MachineConfig::core2();
         let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(14).collect();
-        let records = run_suite(&machine, &suite, 40_000, 5);
+        let records = measure_suite(&machine, &suite, 40_000, 5);
         let arch = MicroarchParams::from_machine(&machine);
         for v in [
             Variant::Full,

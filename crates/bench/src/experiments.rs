@@ -6,9 +6,9 @@ use crate::ablation::{fit_variant, variant_error, Variant};
 use crate::Campaign;
 use calibrate::try_calibrate_machine;
 use cpicounters::measure_stack;
+use memodel::baselines::{BaselineKind, EmpiricalModel};
 use memodel::delta::suite_delta;
 use memodel::eval::{evaluate_baseline, evaluate_model, prediction_cdf, summarize, Prediction};
-use memodel::baselines::{BaselineKind, EmpiricalModel};
 use memodel::{MicroarchParams, ModelInputs};
 use oosim::machine::MachineConfig;
 use pmu::{MachineId, Suite};
@@ -17,12 +17,7 @@ use std::fmt::Write as _;
 
 /// Table 1: the three machines' identity and cache organisation.
 pub fn table1() -> String {
-    let mut t = Table::new(&[
-        "",
-        "Pentium 4",
-        "Core 2",
-        "Core i7",
-    ]);
+    let mut t = Table::new(&["", "Pentium 4", "Core 2", "Core i7"]);
     let machines = MachineConfig::paper_machines();
     let cache = |g: Option<oosim::machine::CacheGeometry>| match g {
         Some(g) => format!("{} KiB", g.size / 1024),
@@ -61,9 +56,7 @@ pub fn table1() -> String {
 /// microbenchmark-calibrated estimates, reproducing the Calibrator
 /// methodology.
 pub fn table2() -> String {
-    let mut out = String::from(
-        "== Table 2: width, depth and latencies (spec vs calibrated) ==\n",
-    );
+    let mut out = String::from("== Table 2: width, depth and latencies (spec vs calibrated) ==\n");
     let mut t = Table::new(&[
         "platform", "width", "depth", "L2", "L3", "mem", "TLB", "L2*", "L3*", "mem*", "TLB*",
     ]);
@@ -111,8 +104,7 @@ pub fn fig2(campaign: &Campaign) -> String {
             let records = campaign.records(id, suite);
             let model = campaign.model(id, suite);
             let preds = evaluate_model(model, records);
-            let points: Vec<(f64, f64)> =
-                preds.iter().map(|p| (p.measured, p.predicted)).collect();
+            let points: Vec<(f64, f64)> = preds.iter().map(|p| (p.measured, p.predicted)).collect();
             let summary = summarize(&preds);
             all_errors.extend(preds.iter().map(Prediction::error));
             let _ = writeln!(
@@ -179,15 +171,30 @@ pub fn fig3(campaign: &Campaign) -> String {
 /// Fig. 4: mechanistic-empirical vs ANN vs linear regression, with and
 /// without cross-validation, per machine.
 pub fn fig4(campaign: &Campaign) -> String {
-    let mut out = campaign.banner(
-        "Figure 4: gray-box vs purely empirical models (ANN, linear regression)",
-    );
+    let mut out =
+        campaign.banner("Figure 4: gray-box vs purely empirical models (ANN, linear regression)");
     let groups: Vec<&str> = MachineId::ALL.iter().map(|m| m.display_name()).collect();
     let arms: [(&str, Suite, Suite); 4] = [
-        ("(a) CPU2000 model on CPU2000 (no cross-validation)", Suite::Cpu2000, Suite::Cpu2000),
-        ("(a) CPU2006 model on CPU2006 (no cross-validation)", Suite::Cpu2006, Suite::Cpu2006),
-        ("(b) CPU2006 model on CPU2000 (cross-validation)", Suite::Cpu2006, Suite::Cpu2000),
-        ("(b) CPU2000 model on CPU2006 (cross-validation)", Suite::Cpu2000, Suite::Cpu2006),
+        (
+            "(a) CPU2000 model on CPU2000 (no cross-validation)",
+            Suite::Cpu2000,
+            Suite::Cpu2000,
+        ),
+        (
+            "(a) CPU2006 model on CPU2006 (no cross-validation)",
+            Suite::Cpu2006,
+            Suite::Cpu2006,
+        ),
+        (
+            "(b) CPU2006 model on CPU2000 (cross-validation)",
+            Suite::Cpu2006,
+            Suite::Cpu2000,
+        ),
+        (
+            "(b) CPU2000 model on CPU2006 (cross-validation)",
+            Suite::Cpu2000,
+            Suite::Cpu2006,
+        ),
     ];
     for (label, train, test) in arms {
         let mut me = Vec::new();
@@ -198,8 +205,8 @@ pub fn fig4(campaign: &Campaign) -> String {
             let test_records = campaign.records(id, test);
             let model = campaign.model(id, train);
             me.push(summarize(&evaluate_model(model, test_records)).mean);
-            let ann_model = EmpiricalModel::fit(BaselineKind::NeuralNetwork, train_records)
-                .expect("ann fit");
+            let ann_model =
+                EmpiricalModel::fit(BaselineKind::NeuralNetwork, train_records).expect("ann fit");
             ann.push(summarize(&evaluate_baseline(&ann_model, test_records)).mean);
             let lin_model =
                 EmpiricalModel::fit(BaselineKind::Linear, train_records).expect("ols fit");
@@ -223,9 +230,8 @@ pub fn fig4(campaign: &Campaign) -> String {
 /// Fig. 5: per-component CPI accuracy against the ASPLOS'06 ground-truth
 /// counter architecture inside the simulator.
 pub fn fig5(campaign: &Campaign) -> String {
-    let mut out = campaign.banner(
-        "Figure 5: CPI-component accuracy vs the ASPLOS'06 counter architecture",
-    );
+    let mut out =
+        campaign.banner("Figure 5: CPI-component accuracy vs the ASPLOS'06 counter architecture");
     // Re-run CPU2000 on Core 2 with stack accounting attached; compare the
     // model's component estimates against the measured attribution.
     let id = MachineId::Core2;
@@ -278,7 +284,12 @@ pub fn fig5(campaign: &Campaign) -> String {
         .iter()
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("non-empty");
-    let _ = writeln!(out, "Worst component: {} ({:.1}%)", worst.0, worst.1 * 100.0);
+    let _ = writeln!(
+        out,
+        "Worst component: {} ({:.1}%)",
+        worst.0,
+        worst.1 * 100.0
+    );
     out.push_str(
         "Paper reference: highest error on the L2 D$ component (9.2%), because MLP\n\
          cannot be measured on hardware; resource stalls second hardest.\n",
@@ -307,7 +318,10 @@ pub fn fig6(campaign: &Campaign) -> String {
                 out,
                 "{}",
                 signed_bars(
-                    &format!("[{suite}] {label} — overall (Δ {:+.3} cycles/instr)", d.overall.total()),
+                    &format!(
+                        "[{suite}] {label} — overall (Δ {:+.3} cycles/instr)",
+                        d.overall.total()
+                    ),
                     &overall,
                     26,
                 )
@@ -372,15 +386,17 @@ pub fn ablations(campaign: &Campaign) -> String {
 
     // Optimizer comparison: the same objective fitted by Nelder-Mead
     // multi-start (our default) and Levenberg-Marquardt (what SPSS used).
-    let _ = writeln!(out, "Optimizer comparison (CPU2000 fit, in-suite / cross-suite error):");
+    let _ = writeln!(
+        out,
+        "Optimizer comparison (CPU2000 fit, in-suite / cross-suite error):"
+    );
     let mut t2 = Table::new(&["machine", "Nelder-Mead", "", "Levenberg-Marquardt", ""]);
     for id in MachineId::ALL {
         let arch = MicroarchParams::from_machine(campaign.machine(id));
         let train = campaign.records(id, Suite::Cpu2000);
         let test = campaign.records(id, Suite::Cpu2006);
         let nm = campaign.model(id, Suite::Cpu2000);
-        let lm = memodel::InferredModel::fit_lm(&arch, train, &Default::default())
-            .expect("lm fit");
+        let lm = memodel::InferredModel::fit_lm(&arch, train, &Default::default()).expect("lm fit");
         let err = |m: &memodel::InferredModel, rs: &[pmu::RunRecord]| {
             summarize(&evaluate_model(m, rs)).mean
         };

@@ -4,7 +4,9 @@
 //! Every figure of the paper consumes the same raw material: all 48 + 55
 //! benchmark–input pairs run on all three machines, plus a fitted
 //! mechanistic-empirical model per (machine, suite). [`Campaign`] runs that
-//! measurement campaign once and hands out records and models.
+//! measurement campaign once — through the unified
+//! [`memodel::workbench::Workbench`] pipeline, machines fanned out on
+//! parallel threads — and hands out records and models.
 //!
 //! Binaries honour two environment variables:
 //!
@@ -15,10 +17,11 @@
 pub mod ablation;
 pub mod experiments;
 
-use memodel::{FitOptions, InferredModel, MicroarchParams};
+use memodel::workbench::{Fitted, SimSource, Workbench};
+use memodel::{FitOptions, InferredModel};
 use oosim::machine::MachineConfig;
-use oosim::run::run_suite;
 use pmu::{MachineId, RunRecord, Suite};
+use specgen::WorkloadProfile;
 
 /// Default µops per benchmark for full experiment reproduction.
 pub const DEFAULT_CAMPAIGN_UOPS: u64 = 1_000_000;
@@ -39,44 +42,49 @@ pub fn campaign_seed() -> u64 {
         .unwrap_or(12345)
 }
 
+/// Measures one suite on one machine through the pipeline's simulator
+/// source — the single-machine building block the benches time.
+pub fn measure_suite(
+    machine: &MachineConfig,
+    profiles: &[WorkloadProfile],
+    uops: u64,
+    seed: u64,
+) -> Vec<RunRecord> {
+    SimSource::new()
+        .suite(profiles.to_vec())
+        .uops(uops)
+        .seed(seed)
+        .collect_config(machine)
+}
+
 /// One full measurement + modeling campaign: every benchmark of both suites
 /// on every machine, and a fitted gray-box model per (machine, suite).
 #[derive(Debug)]
 pub struct Campaign {
     machines: Vec<MachineConfig>,
-    /// `records[machine][suite]`, indexed by position in `machines` and
-    /// `Suite::ALL`.
-    records: Vec<[Vec<RunRecord>; 2]>,
-    models: Vec<[InferredModel; 2]>,
+    fitted: Fitted,
     uops: u64,
     seed: u64,
 }
 
 impl Campaign {
     /// Runs the full campaign: simulate both suites on all three machines
-    /// and fit the six models. Takes a minute or two at full scale; scale
-    /// down with `CPISTACK_UOPS` for smoke runs.
+    /// (one thread per machine, suites chunked within it) and fit the six
+    /// models. Takes a minute or two at full scale; scale down with
+    /// `CPISTACK_UOPS` for smoke runs.
     pub fn run(uops: u64, seed: u64) -> Self {
         let machines = MachineConfig::paper_machines();
-        let suites = [specgen::suites::cpu2000(), specgen::suites::cpu2006()];
-        let opts = FitOptions::default();
-        let mut records = Vec::new();
-        let mut models = Vec::new();
-        for machine in &machines {
-            let r2000 = run_suite(machine, &suites[0], uops, seed);
-            let r2006 = run_suite(machine, &suites[1], uops, seed);
-            let arch = MicroarchParams::from_machine(machine);
-            let m2000 = InferredModel::fit(&arch, &r2000, &opts)
-                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
-            let m2006 = InferredModel::fit(&arch, &r2006, &opts)
-                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
-            records.push([r2000, r2006]);
-            models.push([m2000, m2006]);
-        }
+        let fitted = Workbench::new()
+            .machines(machines.iter())
+            .source(SimSource::paper_suites().uops(uops).seed(seed))
+            .fit_options(FitOptions::default())
+            .collect()
+            .unwrap_or_else(|e| panic!("campaign collect: {e}"))
+            .fit()
+            .unwrap_or_else(|e| panic!("campaign fit: {e}"));
         Self {
             machines,
-            records,
-            models,
+            fitted,
             uops,
             seed,
         }
@@ -92,34 +100,33 @@ impl Campaign {
         &self.machines
     }
 
-    fn machine_index(&self, id: MachineId) -> usize {
-        self.machines
-            .iter()
-            .position(|m| m.id == id)
-            .expect("paper machine")
-    }
-
-    fn suite_index(suite: Suite) -> usize {
-        match suite {
-            Suite::Cpu2000 => 0,
-            Suite::Cpu2006 => 1,
-        }
+    /// The fitted pipeline output, for callers that want the workbench
+    /// API directly (groups, deltas, exports).
+    pub fn fitted(&self) -> &Fitted {
+        &self.fitted
     }
 
     /// The measured records for one machine and suite.
     pub fn records(&self, machine: MachineId, suite: Suite) -> &[RunRecord] {
-        &self.records[self.machine_index(machine)][Self::suite_index(suite)]
+        self.fitted
+            .records(machine, suite)
+            .expect("paper machine and suite")
     }
 
     /// The fitted model for one machine and suite (the "`suite` model" in
     /// the paper's robustness terminology).
     pub fn model(&self, machine: MachineId, suite: Suite) -> &InferredModel {
-        &self.models[self.machine_index(machine)][Self::suite_index(suite)]
+        self.fitted
+            .model(machine, suite)
+            .expect("paper machine and suite")
     }
 
     /// The machine configuration for an id.
     pub fn machine(&self, id: MachineId) -> &MachineConfig {
-        &self.machines[self.machine_index(id)]
+        self.machines
+            .iter()
+            .find(|m| m.id == id)
+            .expect("paper machine")
     }
 
     /// µops per benchmark used in this campaign.
@@ -134,11 +141,14 @@ impl Campaign {
 
     /// Standard experiment banner for the binaries.
     pub fn banner(&self, what: &str) -> String {
+        let first = self.machines[0].id;
+        let benchmarks =
+            self.records(first, Suite::Cpu2000).len() + self.records(first, Suite::Cpu2006).len();
         format!(
             "== {what} ==\n   campaign: {} µops/benchmark, seed {}, {} benchmarks × {} machines\n",
             self.uops,
             self.seed,
-            self.records[0][0].len() + self.records[0][1].len(),
+            benchmarks,
             self.machines.len()
         )
     }
@@ -157,6 +167,7 @@ mod tests {
             assert_eq!(c.records(id, Suite::Cpu2006).len(), 55);
             let _ = c.model(id, Suite::Cpu2000);
         }
+        assert_eq!(c.fitted().groups().len(), 6);
         assert!(c.banner("t").contains("103"));
     }
 
@@ -169,5 +180,15 @@ mod tests {
         if std::env::var("CPISTACK_SEED").is_err() {
             assert_eq!(campaign_seed(), 12345);
         }
+    }
+
+    #[test]
+    fn measure_suite_matches_campaign_records() {
+        let machine = MachineConfig::core2();
+        let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(3).collect();
+        let a = measure_suite(&machine, &suite, 5_000, 7);
+        let b = measure_suite(&machine, &suite, 5_000, 7);
+        assert_eq!(a, b, "simulator source is deterministic");
+        assert_eq!(a.len(), 3);
     }
 }

@@ -131,10 +131,7 @@ mod tests {
     #[test]
     fn visits_every_line_once_per_lap() {
         let mut t = ChaseTrace::lines(4096);
-        let lines: BTreeSet<u64> = (&mut t)
-            .take(64)
-            .map(|op| op.addr.unwrap() >> 6)
-            .collect();
+        let lines: BTreeSet<u64> = (&mut t).take(64).map(|op| op.addr.unwrap() >> 6).collect();
         assert_eq!(lines.len(), 64, "a full lap covers all 64 lines");
     }
 

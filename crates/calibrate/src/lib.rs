@@ -262,8 +262,7 @@ mod tests {
         // DRAM chases also pay TLB walks at this footprint on the P4's tiny
         // TLB; accept the configured latency plus up to one walk.
         assert!(
-            per_load >= m.lat.mem as f64 * 0.9
-                && per_load <= (m.lat.mem + m.lat.tlb) as f64 * 1.15,
+            per_load >= m.lat.mem as f64 * 0.9 && per_load <= (m.lat.mem + m.lat.tlb) as f64 * 1.15,
             "measured {per_load} vs configured {}",
             m.lat.mem
         );

@@ -69,12 +69,16 @@ impl EmpiricalModel {
         match kind {
             BaselineKind::Linear => LinearModel::fit(&features, &targets, 1e-8)
                 .map(EmpiricalModel::Linear)
-                .map_err(|e| BaselineFitError { what: e.to_string() }),
+                .map_err(|e| BaselineFitError {
+                    what: e.to_string(),
+                }),
             BaselineKind::NeuralNetwork => {
                 let opts = AnnOptions::default();
                 AnnModel::fit(&features, &targets, &opts)
                     .map(EmpiricalModel::NeuralNetwork)
-                    .map_err(|e| BaselineFitError { what: e.to_string() })
+                    .map_err(|e| BaselineFitError {
+                        what: e.to_string(),
+                    })
             }
         }
     }
@@ -100,13 +104,17 @@ impl EmpiricalModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workbench::SimSource;
     use oosim::machine::MachineConfig;
-    use oosim::run::run_suite;
 
     fn records() -> Vec<RunRecord> {
         let machine = MachineConfig::core2();
         let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(14).collect();
-        run_suite(&machine, &suite, 50_000, 3)
+        SimSource::new()
+            .suite(suite)
+            .uops(50_000)
+            .seed(3)
+            .collect_config(&machine)
     }
 
     #[test]

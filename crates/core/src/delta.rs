@@ -292,12 +292,16 @@ mod tests {
     use super::*;
     use crate::fit::{FitOptions, InferredModel};
     use crate::params::MicroarchParams;
+    use crate::workbench::SimSource;
     use oosim::machine::MachineConfig;
-    use oosim::run::run_suite;
 
     fn fitted(machine: &MachineConfig, take: usize) -> (InferredModel, Vec<RunRecord>) {
         let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(take).collect();
-        let records = run_suite(machine, &suite, 50_000, 11);
+        let records = SimSource::new()
+            .suite(suite)
+            .uops(50_000)
+            .seed(11)
+            .collect_config(machine);
         let arch = MicroarchParams::from_machine(machine);
         let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
         (model, records)
@@ -327,9 +331,7 @@ mod tests {
             let d = delta_stack(&m_old, a, &m_new, b);
             let base_old = a.counters().uops_per_instr() / 3.0;
             let base_new = b.counters().uops_per_instr() / 4.0;
-            assert!(
-                (d.overall.width + d.overall.fusion - (base_new - base_old)).abs() < 1e-9
-            );
+            assert!((d.overall.width + d.overall.fusion - (base_new - base_old)).abs() < 1e-9);
         }
     }
 
@@ -338,10 +340,7 @@ mod tests {
         let (m_old, r_old) = fitted(&MachineConfig::pentium4(), 12);
         let (m_new, r_new) = fitted(&MachineConfig::core2(), 12);
         let d = suite_delta(&m_old, &r_old, &m_new, &r_new);
-        assert!(
-            d.overall.total() < 0.0,
-            "Core 2 should improve on P4: {d}"
-        );
+        assert!(d.overall.total() < 0.0, "Core 2 should improve on P4: {d}");
         // The pipeline-depth factor must be a big win (31 → 14 stages).
         assert!(d.branch.pipeline_depth < 0.0);
     }

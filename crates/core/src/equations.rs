@@ -149,7 +149,10 @@ mod tests {
         assert!(c2 > c1, "longer interval → longer resolution");
         let mut capped = inputs();
         capped.mpu_br = 1.0 / 128.0;
-        assert!((c3 - branch_resolution(&p, &capped)).abs() < 1e-9, "cap binds");
+        assert!(
+            (c3 - branch_resolution(&p, &capped)).abs() < 1e-9,
+            "cap binds"
+        );
     }
 
     #[test]
@@ -214,7 +217,10 @@ mod tests {
             stormy_stall < calm_stall,
             "more misses → fewer resource stalls ({stormy_stall} vs {calm_stall})"
         );
-        assert!(stormy_stall >= 0.0, "max(0, ·) keeps the component positive");
+        assert!(
+            stormy_stall >= 0.0,
+            "max(0, ·) keeps the component positive"
+        );
     }
 
     #[test]

@@ -119,13 +119,17 @@ impl Comparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workbench::SimSource;
     use oosim::machine::MachineConfig;
-    use oosim::run::run_suite;
 
     fn records(take: usize, seed: u64) -> Vec<RunRecord> {
         let machine = MachineConfig::core2();
         let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(take).collect();
-        run_suite(&machine, &suite, 50_000, seed)
+        SimSource::new()
+            .suite(suite)
+            .uops(50_000)
+            .seed(seed)
+            .collect_config(&machine)
     }
 
     #[test]

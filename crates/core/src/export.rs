@@ -48,13 +48,17 @@ mod tests {
     use super::*;
     use crate::fit::FitOptions;
     use crate::params::MicroarchParams;
+    use crate::workbench::SimSource;
     use oosim::machine::MachineConfig;
-    use oosim::run::run_suite;
 
     fn fitted() -> (InferredModel, Vec<RunRecord>) {
         let machine = MachineConfig::core2();
         let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(12).collect();
-        let records = run_suite(&machine, &suite, 20_000, 4);
+        let records = SimSource::new()
+            .suite(suite)
+            .uops(20_000)
+            .seed(4)
+            .collect_config(&machine);
         let arch = MicroarchParams::from_machine(&machine);
         let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
         (model, records)

@@ -14,7 +14,19 @@ use regress::nelder_mead::{MultiStart, Options};
 use std::fmt;
 
 /// Options controlling model inference.
+///
+/// Marked `#[non_exhaustive]`: construct via [`Default`] (or
+/// [`FitOptions::quick`]) and refine with the `with_*` setters, so new
+/// knobs can be added without breaking downstream code:
+///
+/// ```
+/// use memodel::FitOptions;
+///
+/// let opts = FitOptions::default().with_extra_starts(4).with_seed(7);
+/// assert_eq!(opts.extra_starts, 4);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct FitOptions {
     /// Jittered restarts beyond the canonical initial guess.
     pub extra_starts: usize,
@@ -50,10 +62,44 @@ impl FitOptions {
             ..Self::default()
         }
     }
+
+    /// Sets the number of jittered restarts beyond the canonical guess.
+    pub fn with_extra_starts(mut self, extra_starts: usize) -> Self {
+        self.extra_starts = extra_starts;
+        self
+    }
+
+    /// Sets the restart-jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the objective-evaluation budget per start.
+    pub fn with_max_evals(mut self, max_evals: usize) -> Self {
+        self.max_evals = max_evals;
+        self
+    }
+
+    /// Switches to the absolute squared-error criterion (ablation only).
+    pub fn with_absolute_objective(mut self, absolute: bool) -> Self {
+        self.absolute_objective = absolute;
+        self
+    }
+
+    /// Sets the interval cap of Eq. 2.
+    pub fn with_interval_cap(mut self, cap: f64) -> Self {
+        self.interval_cap = cap;
+        self
+    }
 }
 
 /// Error returned by [`InferredModel::fit`].
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm, so
+/// new failure modes can be reported without a breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FitError {
     /// Fewer than [`ModelParams::COUNT`] + 1 training records: the fit
     /// would be underdetermined.
@@ -330,13 +376,18 @@ fn predict_with_cap(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workbench::{CounterSource, SimSource};
     use oosim::machine::MachineConfig;
-    use oosim::run::run_suite;
 
     fn training_records() -> Vec<RunRecord> {
         let machine = MachineConfig::core2();
         let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(16).collect();
-        run_suite(&machine, &suite, 60_000, 7)
+        SimSource::new()
+            .suite(suite)
+            .uops(60_000)
+            .seed(7)
+            .collect(&machine.into(), 1)
+            .expect("simulation cannot fail")
     }
 
     #[test]
@@ -354,8 +405,7 @@ mod tests {
         let records = training_records();
         let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
         // Naive comparison: predict the training-set mean CPI for everyone.
-        let mean: f64 =
-            records.iter().map(|r| r.cpi()).sum::<f64>() / records.len() as f64;
+        let mean: f64 = records.iter().map(|r| r.cpi()).sum::<f64>() / records.len() as f64;
         let model_err: f64 = records
             .iter()
             .map(|r| ((model.predict_record(r) - r.cpi()) / r.cpi()).abs())

@@ -23,38 +23,52 @@
 //!   regression, ANN) over the same inputs,
 //! * [`delta`] — CPI-delta stacks between machines (Fig. 6),
 //! * [`stability`] — bootstrap parameter-stability diagnostics,
-//! * [`export`] — CSV dumps of predictions and stacks for external plots.
+//! * [`export`] — CSV dumps of predictions and stacks for external plots,
+//! * [`workbench`] — the unified collect → fit → stacks/delta → export
+//!   pipeline every consumer (CLI, examples, campaigns, tests) drives.
 //!
 //! # Examples
 //!
-//! ```
-//! use memodel::{FitOptions, InferredModel, MicroarchParams};
-//! use oosim::machine::MachineConfig;
-//! use oosim::run::run_suite;
+//! The whole Fig. 1 flow — collect, fit, stacks — through the unified
+//! [`workbench`] pipeline:
 //!
-//! let machine = MachineConfig::core2();
+//! ```
+//! use memodel::workbench::{SimSource, Workbench};
+//! use memodel::FitOptions;
+//! use oosim::machine::MachineConfig;
+//! use pmu::{MachineId, Suite};
+//!
 //! let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(12).collect();
-//! let records = run_suite(&machine, &suite, 40_000, 42);
-//! let arch = MicroarchParams::from_machine(&machine);
-//! let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
-//! for r in &records {
-//!     let stack = model.cpi_stack(r);
-//!     println!("{}: {}", r.benchmark(), stack);
+//! let fitted = Workbench::new()
+//!     .machine(MachineConfig::core2())
+//!     .source(SimSource::new().suite(suite).uops(40_000).seed(42))
+//!     .fit_options(FitOptions::quick())
+//!     .collect()
+//!     .unwrap()
+//!     .fit()
+//!     .unwrap();
+//! let group = fitted.group(MachineId::Core2, Suite::Cpu2000).unwrap();
+//! for (benchmark, stack) in group.stacks() {
+//!     println!("{benchmark}: {stack}");
 //! }
 //! ```
 
 pub mod baselines;
 pub mod delta;
-pub mod export;
 pub mod equations;
 pub mod eval;
+pub mod export;
 pub mod fit;
 pub mod inputs;
 pub mod params;
 pub mod stability;
 pub mod stack;
+pub mod workbench;
 
 pub use fit::{FitError, FitOptions, InferredModel};
 pub use inputs::ModelInputs;
 pub use params::{MicroarchParams, ModelParams};
 pub use stack::CpiStack;
+pub use workbench::{
+    CounterSource, CsvSource, PipelineError, RecordsSource, SimSource, SourceError, Workbench,
+};

@@ -98,16 +98,16 @@ impl ModelParams {
     /// meaningful range (scales non-negative, exponents in `[-1, 1.5]`).
     pub fn bounds() -> [(f64, f64); 10] {
         [
-            (0.0, 100.0),  // b1: resolution scale
-            (0.0, 1.5),    // b2: interval power law
-            (0.0, 50.0),   // b3: fp factor
-            (0.0, 2000.0), // b4: L1D-miss factor
-            (0.05, 2000.0),// b5: MLP scale
-            (-1.0, 1.5),   // b6: MLP exponent on LLC misses
-            (-1.0, 1.5),   // b7: MLP exponent on DTLB misses
-            (0.0, 10.0),   // b8: stall scale
-            (0.0, 50.0),   // b9: stall fp factor
-            (0.0, 5000.0), // b10: stall L1D-miss factor
+            (0.0, 100.0),   // b1: resolution scale
+            (0.0, 1.5),     // b2: interval power law
+            (0.0, 50.0),    // b3: fp factor
+            (0.0, 2000.0),  // b4: L1D-miss factor
+            (0.05, 2000.0), // b5: MLP scale
+            (-1.0, 1.5),    // b6: MLP exponent on LLC misses
+            (-1.0, 1.5),    // b7: MLP exponent on DTLB misses
+            (0.0, 10.0),    // b8: stall scale
+            (0.0, 50.0),    // b9: stall fp factor
+            (0.0, 5000.0),  // b10: stall L1D-miss factor
         ]
     }
 

@@ -79,14 +79,11 @@ pub fn bootstrap_fit(
     };
     let spreads = bootstrap_params(inputs.len(), resamples, seed, |idx| {
         let sample: Vec<ModelInputs> = idx.iter().map(|&i| inputs[i]).collect();
-        let model = InferredModel::fit_from_inputs(arch, &sample, &opts)
-            .expect("bootstrap refit failed");
+        let model =
+            InferredModel::fit_from_inputs(arch, &sample, &opts).expect("bootstrap refit failed");
         model.params().b.to_vec()
     });
-    ParameterStability {
-        spreads,
-        resamples,
-    }
+    ParameterStability { spreads, resamples }
 }
 
 /// Convenience: spread check that every parameter stayed inside its bounds
@@ -102,13 +99,17 @@ pub fn spreads_within_bounds(stability: &ParameterStability) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workbench::SimSource;
     use oosim::machine::MachineConfig;
-    use oosim::run::run_suite;
 
     fn setup() -> (MicroarchParams, Vec<RunRecord>) {
         let machine = MachineConfig::core2();
         let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(16).collect();
-        let records = run_suite(&machine, &suite, 40_000, 9);
+        let records = SimSource::new()
+            .suite(suite)
+            .uops(40_000)
+            .seed(9)
+            .collect_config(&machine);
         (MicroarchParams::from_machine(&machine), records)
     }
 

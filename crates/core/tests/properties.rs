@@ -20,14 +20,14 @@ fn arb_params() -> impl Strategy<Value = ModelParams> {
 
 fn arb_inputs() -> impl Strategy<Value = ModelInputs> {
     (
-        0.0f64..0.02,   // mpu_br
-        0.0f64..0.02,   // mpu_l1i
-        0.0f64..0.005,  // mpu_llci
-        0.0f64..0.005,  // mpu_itlb
-        0.0f64..0.08,   // mpu_dl1
-        0.0f64..0.1,    // mpu_dl2
-        0.0f64..0.05,   // mpu_dtlb
-        0.0f64..0.5,    // fp
+        0.0f64..0.02,  // mpu_br
+        0.0f64..0.02,  // mpu_l1i
+        0.0f64..0.005, // mpu_llci
+        0.0f64..0.005, // mpu_itlb
+        0.0f64..0.08,  // mpu_dl1
+        0.0f64..0.1,   // mpu_dl2
+        0.0f64..0.05,  // mpu_dtlb
+        0.0f64..0.5,   // fp
     )
         .prop_map(
             |(mpu_br, mpu_l1i, mpu_llci, mpu_itlb, mpu_dl1, mpu_dl2, mpu_dtlb, fp)| ModelInputs {
@@ -45,7 +45,13 @@ fn arb_inputs() -> impl Strategy<Value = ModelInputs> {
 }
 
 fn arb_arch() -> impl Strategy<Value = MicroarchParams> {
-    (2.0f64..6.0, 8.0f64..32.0, 8.0f64..40.0, 100.0f64..400.0, 20.0f64..80.0)
+    (
+        2.0f64..6.0,
+        8.0f64..32.0,
+        8.0f64..40.0,
+        100.0f64..400.0,
+        20.0f64..80.0,
+    )
         .prop_map(|(w, fe, l2, mem, tlb)| MicroarchParams::new(w, fe, l2, mem, tlb))
 }
 

@@ -221,7 +221,9 @@ mod tests {
 
     #[test]
     fn all_components_nonnegative() {
-        let p = WorkloadProfile::builder("nn", Suite::Cpu2006).fp(0.3).build();
+        let p = WorkloadProfile::builder("nn", Suite::Cpu2006)
+            .fp(0.3)
+            .build();
         for m in MachineConfig::paper_machines() {
             let (_, stack) = stack_for(&p, &m);
             for (name, v) in stack.components() {
@@ -238,7 +240,11 @@ mod tests {
         let p = WorkloadProfile::builder("membound", Suite::Cpu2000)
             .branches(0.03)
             .branch_behaviour(0.005, 0.9, 0.05)
-            .regions(vec![MemRegion::kib(65536, 1.0, AccessPattern::PointerChase)])
+            .regions(vec![MemRegion::kib(
+                65536,
+                1.0,
+                AccessPattern::PointerChase,
+            )])
             .build();
         let (_, stack) = stack_for(&p, &MachineConfig::core2());
         assert!(
@@ -252,7 +258,11 @@ mod tests {
         let p = WorkloadProfile::builder("branchy", Suite::Cpu2000)
             .branches(0.20)
             .branch_behaviour(0.5, 0.5, 0.1)
-            .regions(vec![MemRegion::kib(8, 1.0, AccessPattern::Sequential { stride: 8 })])
+            .regions(vec![MemRegion::kib(
+                8,
+                1.0,
+                AccessPattern::Sequential { stride: 8 },
+            )])
             .build();
         let (_, stack) = stack_for(&p, &MachineConfig::pentium4());
         assert!(
@@ -269,7 +279,11 @@ mod tests {
             .ilp(2.0, 0.9)
             .branches(0.04)
             .branch_behaviour(0.01, 0.9, 0.1)
-            .regions(vec![MemRegion::kib(8, 1.0, AccessPattern::Sequential { stride: 8 })])
+            .regions(vec![MemRegion::kib(
+                8,
+                1.0,
+                AccessPattern::Sequential { stride: 8 },
+            )])
             .build();
         let (_, stack) = stack_for(&p, &MachineConfig::core2());
         assert!(
@@ -284,11 +298,19 @@ mod tests {
             .branches(0.08)
             .branch_behaviour(0.005, 0.9, 0.1)
             .ilp(12.0, 0.1)
-            .regions(vec![MemRegion::kib(8, 1.0, AccessPattern::Sequential { stride: 8 })])
+            .regions(vec![MemRegion::kib(
+                8,
+                1.0,
+                AccessPattern::Sequential { stride: 8 },
+            )])
             .code(8, 0.99, 0.9)
             .build();
         let (record, stack) = stack_for(&p, &MachineConfig::core_i7());
-        assert!(record.cpi() < 0.9, "cached workload should be fast: {}", record.cpi());
+        assert!(
+            record.cpi() < 0.9,
+            "cached workload should be fast: {}",
+            record.cpi()
+        );
         assert!(stack.base / stack.total() > 0.25, "{stack}");
     }
 
@@ -323,7 +345,11 @@ mod tests {
         let p = WorkloadProfile::builder("depth", Suite::Cpu2000)
             .branches(0.18)
             .branch_behaviour(0.4, 0.5, 0.1)
-            .regions(vec![MemRegion::kib(8, 1.0, AccessPattern::Sequential { stride: 8 })])
+            .regions(vec![MemRegion::kib(
+                8,
+                1.0,
+                AccessPattern::Sequential { stride: 8 },
+            )])
             .build();
         let shallow = MachineConfig::core2();
         let deep = MachineConfig::builder(shallow.clone())
@@ -331,6 +357,11 @@ mod tests {
             .build();
         let (_, s1) = stack_for(&p, &shallow);
         let (_, s2) = stack_for(&p, &deep);
-        assert!(s2.branch > s1.branch * 1.5, "{} vs {}", s2.branch, s1.branch);
+        assert!(
+            s2.branch > s1.branch * 1.5,
+            "{} vs {}",
+            s2.branch,
+            s1.branch
+        );
     }
 }

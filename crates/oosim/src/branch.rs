@@ -59,7 +59,10 @@ impl Tournament {
     /// Panics if `log2_entries` is outside `1..=24` or `history_bits`
     /// exceeds `log2_entries`.
     pub fn new(log2_entries: u32, history_bits: u32) -> Self {
-        assert!((1..=24).contains(&log2_entries), "log2_entries out of range");
+        assert!(
+            (1..=24).contains(&log2_entries),
+            "log2_entries out of range"
+        );
         assert!(
             history_bits <= log2_entries,
             "history must fit in the index"
@@ -101,7 +104,11 @@ impl Tournament {
         let bimodal_says = self.bimodal[pc_idx] >= 2;
         let gshare_says = self.gshare[gs_idx] >= 2;
         let use_gshare = self.chooser[pc_idx] >= 2;
-        let predicted = if use_gshare { gshare_says } else { bimodal_says };
+        let predicted = if use_gshare {
+            gshare_says
+        } else {
+            bimodal_says
+        };
 
         self.predictions += 1;
         if predicted != taken {
@@ -206,7 +213,10 @@ mod tests {
                 wrong_tail += 1;
             }
         }
-        assert!(wrong_tail < 20, "alternation should be learned: {wrong_tail}");
+        assert!(
+            wrong_tail < 20,
+            "alternation should be learned: {wrong_tail}"
+        );
     }
 
     #[test]

@@ -40,8 +40,14 @@ impl Cache {
     /// Panics if any parameter is zero, `line_bytes` is not a power of two,
     /// or the geometry is inconsistent (size not divisible into whole sets).
     pub fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(size_bytes > 0 && line_bytes > 0 && ways > 0, "zero geometry");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && line_bytes > 0 && ways > 0,
+            "zero geometry"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_bytes;
         assert!(
             lines >= ways as u64 && lines.is_multiple_of(ways as u64),

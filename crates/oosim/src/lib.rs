@@ -44,4 +44,6 @@ pub mod tlb;
 pub use machine::MachineConfig;
 pub use observer::{DispatchObserver, NullObserver, StallCause};
 pub use pipeline::{simulate, SimResult};
-pub use run::{run_suite, run_workload, run_workload_observed, DEFAULT_UOPS};
+#[allow(deprecated)] // the shim stays re-exported for its one release
+pub use run::run_suite;
+pub use run::{run_workload, run_workload_observed, DEFAULT_UOPS};

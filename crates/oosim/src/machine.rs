@@ -169,8 +169,14 @@ impl MachineConfig {
             l1d: CacheGeometry::kib(16, 64, 8),
             l2: CacheGeometry::kib(1024, 64, 8),
             l3: None,
-            itlb: TlbGeometry { entries: 64, ways: 4 },
-            dtlb: TlbGeometry { entries: 64, ways: 4 },
+            itlb: TlbGeometry {
+                entries: 64,
+                ways: 4,
+            },
+            dtlb: TlbGeometry {
+                entries: 64,
+                ways: 4,
+            },
             lat: Latencies {
                 l1d: 4,
                 l2: 31,
@@ -320,7 +326,10 @@ impl MachineConfig {
     /// Returns a message describing the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         if self.dispatch_width == 0 || self.dispatch_width > 16 {
-            return Err(format!("dispatch width {} unreasonable", self.dispatch_width));
+            return Err(format!(
+                "dispatch width {} unreasonable",
+                self.dispatch_width
+            ));
         }
         if self.rob_size < 8 {
             return Err("ROB too small".into());
@@ -445,7 +454,10 @@ mod tests {
         assert_eq!((c2.lat.l2, c2.lat.mem, c2.lat.tlb), (19, 169, 30));
         let i7 = MachineConfig::core_i7();
         assert_eq!((i7.dispatch_width, i7.frontend_depth), (4, 14));
-        assert_eq!((i7.lat.l2, i7.lat.l3, i7.lat.mem, i7.lat.tlb), (14, 30, 160, 40));
+        assert_eq!(
+            (i7.lat.l2, i7.lat.l3, i7.lat.mem, i7.lat.tlb),
+            (14, 30, 160, 40)
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl StreamPrefetcher {
             if self.streams[i] != u64::MAX && line.wrapping_sub(self.streams[i]) <= 2 {
                 self.streams[i] = line;
                 self.confidence[i] = (self.confidence[i] + 1).min(4);
-                return if self.confidence[i] >= 2 { self.depth } else { 0 };
+                return if self.confidence[i] >= 2 {
+                    self.depth
+                } else {
+                    0
+                };
             }
         }
         // New stream: replace round-robin.
@@ -129,9 +133,7 @@ impl Hierarchy {
             l1i: Cache::new(machine.l1i.size, machine.l1i.line, machine.l1i.ways),
             l1d: Cache::new(machine.l1d.size, machine.l1d.line, machine.l1d.ways),
             l2: Cache::new(machine.l2.size, machine.l2.line, machine.l2.ways),
-            l3: machine
-                .l3
-                .map(|g| Cache::new(g.size, g.line, g.ways)),
+            l3: machine.l3.map(|g| Cache::new(g.size, g.line, g.ways)),
             itlb: Tlb::new(machine.itlb.entries, machine.itlb.ways),
             dtlb: Tlb::new(machine.dtlb.entries, machine.dtlb.ways),
             prefetcher: StreamPrefetcher::new(machine.prefetch_depth),
@@ -265,7 +267,11 @@ mod tests {
     fn stores_allocate() {
         let mut h = Hierarchy::new(&MachineConfig::core2());
         assert_eq!(h.store(0x9000).level, HitLevel::Memory);
-        assert_eq!(h.load(0x9000).level, HitLevel::L1, "store allocated the line");
+        assert_eq!(
+            h.load(0x9000).level,
+            HitLevel::L1,
+            "store allocated the line"
+        );
     }
 
     #[test]

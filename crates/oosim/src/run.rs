@@ -60,10 +60,25 @@ pub fn run_workload_observed(
 ) -> RunRecord {
     let trace = TraceGenerator::new(profile, machine.cracking, seed);
     let result: SimResult = simulate_warmed(machine, trace, uops, uops, observer);
-    RunRecord::new(profile.name.clone(), profile.suite, machine.id, result.counters)
+    RunRecord::new(
+        profile.name.clone(),
+        profile.suite,
+        machine.id,
+        result.counters,
+    )
 }
 
 /// Runs every profile in `suite` on `machine`; one [`RunRecord`] each.
+///
+/// Kept as a thin shim for one release: new code should collect through
+/// the unified pipeline (`memodel::workbench::Workbench` with a
+/// `SimSource`, re-exported as `cpistack::Workbench`), which adds
+/// multi-machine thread fan-out and typed stage errors on top of exactly
+/// this loop.
+#[deprecated(
+    since = "0.2.0",
+    note = "collect counters through `cpistack::Workbench` with a `SimSource` instead"
+)]
 pub fn run_suite(
     machine: &MachineConfig,
     suite: &[WorkloadProfile],
@@ -107,12 +122,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep working for its one release
     fn run_suite_covers_all_profiles() {
         let m = MachineConfig::core2();
-        let suite: Vec<WorkloadProfile> = specgen::suites::cpu2000()
-            .into_iter()
-            .take(4)
-            .collect();
+        let suite: Vec<WorkloadProfile> = specgen::suites::cpu2000().into_iter().take(4).collect();
         let records = run_suite(&m, &suite, 2_000, 1);
         assert_eq!(records.len(), 4);
         for (r, p) in records.iter().zip(&suite) {

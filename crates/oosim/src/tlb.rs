@@ -35,7 +35,10 @@ impl Tlb {
     /// zero.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(entries > 0 && ways > 0, "zero TLB geometry");
-        assert!(entries.is_multiple_of(ways), "entries must divide into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         Self {
             inner: Cache::new(entries as u64 * PAGE_BYTES, PAGE_BYTES, ways),
         }

@@ -16,9 +16,11 @@ fn stream_profile(kib: u64) -> WorkloadProfile {
         .mem_mix(0.30, 0.02)
         .branches(0.05)
         .branch_behaviour(0.005, 0.9, 0.05)
-        .regions(vec![MemRegion::kib(kib, 1.0, AccessPattern::Sequential {
-            stride: 64,
-        })])
+        .regions(vec![MemRegion::kib(
+            kib,
+            1.0,
+            AccessPattern::Sequential { stride: 64 },
+        )])
         .build()
 }
 
@@ -34,14 +36,15 @@ fn chase_profile(kib: u64) -> WorkloadProfile {
 fn prefetcher_rescues_streams_not_chases() {
     // An ascending stream benefits from prefetch; a pointer chase cannot.
     let base = MachineConfig::core2();
-    let no_pf = MachineConfig::builder(base.clone()).prefetch_depth(0).build();
+    let no_pf = MachineConfig::builder(base.clone())
+        .prefetch_depth(0)
+        .build();
     let run = |machine: &MachineConfig, profile: &WorkloadProfile| {
         let trace = TraceGenerator::new(profile, machine.cracking, 5);
         simulate(machine, trace, 150_000, &mut NullObserver)
     };
     let stream = stream_profile(32 * 1024);
-    let stream_speedup =
-        run(&no_pf, &stream).cpi() / run(&base, &stream).cpi();
+    let stream_speedup = run(&no_pf, &stream).cpi() / run(&base, &stream).cpi();
     assert!(
         stream_speedup > 1.3,
         "prefetching should speed streams: {stream_speedup:.2}x"
@@ -57,7 +60,9 @@ fn prefetcher_rescues_streams_not_chases() {
 #[test]
 fn prefetch_converts_llc_misses_into_l2_hits() {
     let machine = MachineConfig::core2();
-    let no_pf = MachineConfig::builder(machine.clone()).prefetch_depth(0).build();
+    let no_pf = MachineConfig::builder(machine.clone())
+        .prefetch_depth(0)
+        .build();
     let profile = stream_profile(64 * 1024);
     let run = |m: &MachineConfig| {
         let trace = TraceGenerator::new(&profile, m.cracking, 2);
@@ -66,16 +71,13 @@ fn prefetch_converts_llc_misses_into_l2_hits() {
     let with = run(&machine);
     let without = run(&no_pf);
     assert!(
-        with.counters.get(Event::LlcDataMisses) * 2
-            < without.counters.get(Event::LlcDataMisses),
+        with.counters.get(Event::LlcDataMisses) * 2 < without.counters.get(Event::LlcDataMisses),
         "prefetch should absorb most demand LLC misses: {} vs {}",
         with.counters.get(Event::LlcDataMisses),
         without.counters.get(Event::LlcDataMisses)
     );
     // The lines still get fetched: L1 misses that hit L2 go *up*.
-    assert!(
-        with.counters.get(Event::L1DataMisses) > without.counters.get(Event::L1DataMisses)
-    );
+    assert!(with.counters.get(Event::L1DataMisses) > without.counters.get(Event::L1DataMisses));
 }
 
 #[test]

@@ -11,12 +11,12 @@ use specgen::{TraceGenerator, WorkloadProfile};
 
 fn arb_machine() -> impl Strategy<Value = MachineConfig> {
     (
-        2u32..6,        // width
-        8u32..40,       // frontend depth
-        48usize..256,   // rob
-        1usize..32,     // mshrs
-        0u64..8,        // prefetch depth
-        10u32..16,      // predictor log2
+        2u32..6,      // width
+        8u32..40,     // frontend depth
+        48usize..256, // rob
+        1usize..32,   // mshrs
+        0u64..8,      // prefetch depth
+        10u32..16,    // predictor log2
     )
         .prop_map(|(width, depth, rob, mshrs, prefetch, log2)| {
             MachineConfig::builder(MachineConfig::core2())

@@ -45,12 +45,12 @@ impl std::fmt::Display for ParseCsvError {
                 line,
                 found,
                 expected,
-            } => write!(
-                f,
-                "line {line}: expected {expected} fields, found {found}"
-            ),
+            } => write!(f, "line {line}: expected {expected} fields, found {found}"),
             ParseCsvError::BadField { line, column, text } => {
-                write!(f, "line {line}: cannot parse `{text}` for column `{column}`")
+                write!(
+                    f,
+                    "line {line}: cannot parse `{text}` for column `{column}`"
+                )
             }
         }
     }

@@ -1,0 +1,119 @@
+//! Property-based tests: the counters CSV codec round-trips any record
+//! set exactly — every event count, machine id and suite tag — and
+//! rejects malformed rows instead of guessing.
+
+use pmu::csv::{from_csv, to_csv, ParseCsvError};
+use pmu::{CounterSet, Event, MachineId, RunRecord, Suite};
+use proptest::prelude::*;
+
+/// Strategy: a valid benchmark name (no commas or newlines — the format's
+/// documented contract).
+fn arb_name() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(0usize..36, 1..12),
+        0usize..10,
+        0usize..3,
+    )
+        .prop_map(|(chars, input, dots)| {
+            let alphabet: Vec<char> = ('a'..='z').chain('0'..='9').collect();
+            let mut name: String = chars.iter().map(|&c| alphabet[c]).collect();
+            for _ in 0..dots {
+                name.push('.');
+            }
+            name.push_str(&input.to_string());
+            name
+        })
+}
+
+/// Strategy: one run record with arbitrary identity and counter values
+/// (including zero and near-u64::MAX counts).
+fn arb_record() -> impl Strategy<Value = RunRecord> {
+    (
+        arb_name(),
+        0usize..2,
+        0usize..3,
+        prop::collection::vec(0u64..u64::MAX / 2, Event::COUNT),
+    )
+        .prop_map(|(name, suite, machine, counts)| {
+            let suite = Suite::ALL[suite];
+            let machine = MachineId::ALL[machine];
+            let mut counters = CounterSet::new();
+            for (event, value) in Event::ALL.iter().zip(counts) {
+                counters.set(*event, value);
+            }
+            RunRecord::new(name, suite, machine, counters)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Export → import is the identity on any record set: benchmark
+    /// names, suite tags, machine ids and all event counts survive.
+    #[test]
+    fn csv_round_trips_exactly(
+        records in prop::collection::vec(arb_record(), 0..20),
+    ) {
+        let text = to_csv(&records);
+        let back = from_csv(&text).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    /// Truncating any data row's fields is rejected with a field-count
+    /// error naming the right line, never silently padded.
+    #[test]
+    fn truncated_rows_are_rejected(
+        records in prop::collection::vec(arb_record(), 1..8),
+        drop in 1usize..4,
+        pick in 0usize..8,
+    ) {
+        let pick = pick % records.len();
+        let text = to_csv(&records);
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let row = pick + 1; // skip the header
+        let fields: Vec<&str> = lines[row].split(',').collect();
+        let kept = fields.len() - drop;
+        lines[row] = fields[..kept].join(",");
+        let err = from_csv(&lines.join("\n")).unwrap_err();
+        match err {
+            ParseCsvError::FieldCount { line, found, expected } => {
+                prop_assert_eq!(line, row + 1);
+                prop_assert_eq!(found, kept);
+                prop_assert_eq!(expected, 3 + Event::COUNT);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected FieldCount, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Corrupting any numeric field is rejected with a typed error naming
+    /// the offending column.
+    #[test]
+    fn corrupt_counts_are_rejected(
+        records in prop::collection::vec(arb_record(), 1..8),
+        pick in 0usize..8,
+        column in 0usize..64,
+    ) {
+        let pick = pick % records.len();
+        let column = column % Event::COUNT;
+        let text = to_csv(&records);
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let row = pick + 1;
+        let mut fields: Vec<String> =
+            lines[row].split(',').map(str::to_owned).collect();
+        fields[3 + column] = "not-a-number".into();
+        lines[row] = fields.join(",");
+        let err = from_csv(&lines.join("\n")).unwrap_err();
+        match err {
+            ParseCsvError::BadField { line, column: name, text } => {
+                prop_assert_eq!(line, row + 1);
+                prop_assert_eq!(name, Event::ALL[column].name());
+                prop_assert_eq!(text, "not-a-number");
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected BadField, got {other:?}"
+            ))),
+        }
+    }
+}

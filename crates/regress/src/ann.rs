@@ -149,7 +149,10 @@ impl AnnModel {
             *s = s.sqrt().max(1e-12);
         }
         let y_mean = targets.iter().sum::<f64>() / rows as f64;
-        let y_scale = (targets.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>()
+        let y_scale = (targets
+            .iter()
+            .map(|y| (y - y_mean) * (y - y_mean))
+            .sum::<f64>()
             / rows as f64)
             .sqrt()
             .max(1e-12);
@@ -301,7 +304,12 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
         let model = AnnModel::fit(&xs, &ys, &AnnOptions::default()).unwrap();
         for (x, y) in xs.iter().zip(&ys) {
-            assert!((model.predict(x) - y).abs() < 0.15, "{} vs {}", model.predict(x), y);
+            assert!(
+                (model.predict(x) - y).abs() < 0.15,
+                "{} vs {}",
+                model.predict(x),
+                y
+            );
         }
     }
 
@@ -341,8 +349,26 @@ mod tests {
     fn different_seeds_differ() {
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
-        let a = AnnModel::fit(&xs, &ys, &AnnOptions { epochs: 50, seed: 1, ..AnnOptions::default() }).unwrap();
-        let b = AnnModel::fit(&xs, &ys, &AnnOptions { epochs: 50, seed: 2, ..AnnOptions::default() }).unwrap();
+        let a = AnnModel::fit(
+            &xs,
+            &ys,
+            &AnnOptions {
+                epochs: 50,
+                seed: 1,
+                ..AnnOptions::default()
+            },
+        )
+        .unwrap();
+        let b = AnnModel::fit(
+            &xs,
+            &ys,
+            &AnnOptions {
+                epochs: 50,
+                seed: 2,
+                ..AnnOptions::default()
+            },
+        )
+        .unwrap();
         assert_ne!(a.predict(&[3.3]), b.predict(&[3.3]));
     }
 
@@ -353,8 +379,12 @@ mod tests {
             AnnFitError::Empty
         );
         assert_eq!(
-            AnnModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 0.0], &AnnOptions::default())
-                .unwrap_err(),
+            AnnModel::fit(
+                &[vec![1.0], vec![1.0, 2.0]],
+                &[0.0, 0.0],
+                &AnnOptions::default()
+            )
+            .unwrap_err(),
             AnnFitError::RaggedRows
         );
         assert_eq!(

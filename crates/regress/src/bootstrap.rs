@@ -45,12 +45,7 @@ pub struct ParamSpread {
 /// assert!((spreads[0].mean - 24.5).abs() < 2.0);
 /// assert!(spreads[0].std_dev < 4.0);
 /// ```
-pub fn bootstrap_params<F>(
-    n: usize,
-    resamples: usize,
-    seed: u64,
-    mut fit: F,
-) -> Vec<ParamSpread>
+pub fn bootstrap_params<F>(n: usize, resamples: usize, seed: u64, mut fit: F) -> Vec<ParamSpread>
 where
     F: FnMut(&[usize]) -> Vec<f64>,
 {

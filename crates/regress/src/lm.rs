@@ -198,9 +198,8 @@ fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
     let mut m = a.to_vec();
     let mut x = b.to_vec();
     for col in 0..n {
-        let pivot_row = (col..n).max_by(|&i, &j| {
-            m[i * n + col].abs().total_cmp(&m[j * n + col].abs())
-        })?;
+        let pivot_row =
+            (col..n).max_by(|&i, &j| m[i * n + col].abs().total_cmp(&m[j * n + col].abs()))?;
         if m[pivot_row * n + col].abs() < 1e-300 {
             return None;
         }

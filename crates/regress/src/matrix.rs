@@ -134,11 +134,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "vector length must match columns");
         (0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self[(r, c)] * v[c])
-                    .sum()
-            })
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
             .collect()
     }
 
@@ -162,11 +158,7 @@ impl Matrix {
         for col in 0..n {
             // Partial pivoting: bring the largest remaining entry into place.
             let pivot_row = (col..n)
-                .max_by(|&i, &j| {
-                    a[i * n + col]
-                        .abs()
-                        .total_cmp(&a[j * n + col].abs())
-                })
+                .max_by(|&i, &j| a[i * n + col].abs().total_cmp(&a[j * n + col].abs()))
                 .expect("non-empty range");
             let pivot = a[pivot_row * n + col];
             if pivot.abs() < 1e-300 || !pivot.is_finite() {
@@ -305,7 +297,11 @@ mod tests {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                m[(i, j)] = if i == j { 10.0 } else { 1.0 / (1.0 + (i + j) as f64) };
+                m[(i, j)] = if i == j {
+                    10.0
+                } else {
+                    1.0 / (1.0 + (i + j) as f64)
+                };
             }
         }
         let truth: Vec<f64> = (0..n).map(|i| (i as f64) - 7.5).collect();

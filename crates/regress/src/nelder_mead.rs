@@ -66,7 +66,10 @@ pub struct Minimum {
 /// assert!((m.params[1] - 1.0).abs() < 1e-4);
 /// ```
 pub fn minimize<F: FnMut(&[f64]) -> f64>(f: F, x0: &[f64], opts: &Options) -> Minimum {
-    let bounds: Vec<(f64, f64)> = x0.iter().map(|_| (f64::NEG_INFINITY, f64::INFINITY)).collect();
+    let bounds: Vec<(f64, f64)> = x0
+        .iter()
+        .map(|_| (f64::NEG_INFINITY, f64::INFINITY))
+        .collect();
     minimize_bounded(f, x0, &bounds, opts)
 }
 
@@ -361,9 +364,15 @@ mod tests {
         // Start in the shallow well at x=-2; deep well at x=4.
         let f = |p: &[f64]| ((p[0] + 2.0).powi(2) - 1.0).min((p[0] - 4.0).powi(2) - 5.0);
         let single = minimize_bounded(f, &[-2.0], &[(-10.0, 10.0)], &Options::default());
-        assert!((single.params[0] + 2.0).abs() < 1e-3, "single start stays local");
+        assert!(
+            (single.params[0] + 2.0).abs() < 1e-3,
+            "single start stays local"
+        );
         let multi = MultiStart::new(10, 7).run(f, &[-2.0], &[(-10.0, 10.0)], &Options::default());
-        assert!((multi.params[0] - 4.0).abs() < 1e-3, "multi start goes global");
+        assert!(
+            (multi.params[0] - 4.0).abs() < 1e-3,
+            "multi start goes global"
+        );
     }
 
     #[test]

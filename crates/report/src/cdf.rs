@@ -65,7 +65,11 @@ pub fn cdf_plot(
     out.push_str(&" ".repeat(width.saturating_sub(10)));
     out.push_str("1.0  (x = fraction of benchmarks, y = prediction error)\n");
     for (si, (name, _)) in series.iter().enumerate() {
-        out.push_str(&format!("        {} = {}\n", GLYPHS[si % GLYPHS.len()], name));
+        out.push_str(&format!(
+            "        {} = {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            name
+        ));
     }
     out
 }
@@ -78,7 +82,12 @@ mod tests {
     fn renders_two_series_with_legend() {
         let a = vec![(0.25, 0.02), (0.5, 0.05), (1.0, 0.3)];
         let b = vec![(0.25, 0.04), (0.5, 0.10), (1.0, 0.5)];
-        let fig = cdf_plot("robustness", &[("cpu2006 model", a), ("cpu2000 model", b)], 40, 12);
+        let fig = cdf_plot(
+            "robustness",
+            &[("cpu2006 model", a), ("cpu2000 model", b)],
+            40,
+            12,
+        );
         assert!(fig.contains('o') && fig.contains('x'));
         assert!(fig.contains("cpu2006 model"));
         assert!(fig.contains("cpu2000 model"));

@@ -43,7 +43,8 @@ impl Table {
     /// Panics if the row's arity differs from the header's.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

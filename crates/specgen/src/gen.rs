@@ -263,11 +263,12 @@ impl TraceGenerator {
         let body = 12 + self.rng.gen_range(0..150).min(self.rng.gen_range(0..150));
         let body = (body as u64).min(span.max(12));
         let max_start = span.saturating_sub(body);
-        let start = lo + if max_start == 0 {
-            0
-        } else {
-            self.rng.gen_range(0..=max_start)
-        };
+        let start = lo
+            + if max_start == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..=max_start)
+            };
         // Iteration counts. Hot code is loopy: mostly modest trip counts
         // with occasional hot kernels — long enough for the predictor to
         // learn, short enough that code rotates at a realistic rate. Cold
@@ -563,7 +564,10 @@ mod tests {
         branch_pcs.sort_unstable();
         branch_pcs.dedup();
         let statics = branch_pcs.len();
-        assert!(dynamic > statics * 5, "{dynamic} dynamic / {statics} static");
+        assert!(
+            dynamic > statics * 5,
+            "{dynamic} dynamic / {statics} static"
+        );
     }
 
     #[test]
@@ -600,7 +604,11 @@ mod tests {
     #[test]
     fn sequential_region_addresses_stride_and_wrap() {
         let p = WorkloadProfile::builder("seq", Suite::Cpu2000)
-            .regions(vec![MemRegion::kib(4, 1.0, AccessPattern::Sequential { stride: 64 })])
+            .regions(vec![MemRegion::kib(
+                4,
+                1.0,
+                AccessPattern::Sequential { stride: 64 },
+            )])
             .build();
         let addrs: Vec<u64> = TraceGenerator::new(&p, Cracking::default(), 1)
             .take(30_000)
@@ -642,8 +650,16 @@ mod tests {
         let loads = ops.iter().filter(|o| o.kind == UopKind::Load).count() as f64;
         let fps = ops.iter().filter(|o| o.kind.is_fp()).count() as f64;
         // Primary-op fractions are per macro-instruction.
-        assert!((loads / macros - 0.30).abs() < 0.05, "load frac {}", loads / macros);
-        assert!((fps / macros - 0.20).abs() < 0.05, "fp frac {}", fps / macros);
+        assert!(
+            (loads / macros - 0.30).abs() < 0.05,
+            "load frac {}",
+            loads / macros
+        );
+        assert!(
+            (fps / macros - 0.20).abs() < 0.05,
+            "fp frac {}",
+            fps / macros
+        );
     }
 
     #[test]

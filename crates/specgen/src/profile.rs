@@ -280,7 +280,11 @@ impl WorkloadProfileBuilder {
                 code_footprint: 64 * 1024,
                 code_hot_frac: 0.92,
                 code_hot_size_frac: 0.12,
-                regions: vec![MemRegion::kib(64, 1.0, AccessPattern::Sequential { stride: 16 })],
+                regions: vec![MemRegion::kib(
+                    64,
+                    1.0,
+                    AccessPattern::Sequential { stride: 16 },
+                )],
                 br_random_frac: 0.08,
                 br_bias: 0.65,
                 br_pattern_frac: 0.25,

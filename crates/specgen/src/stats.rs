@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn counts_sum_to_total() {
-        let p = WorkloadProfile::builder("sum", Suite::Cpu2000).fp(0.1).build();
+        let p = WorkloadProfile::builder("sum", Suite::Cpu2000)
+            .fp(0.1)
+            .build();
         let stats =
             TraceStats::collect(TraceGenerator::new(&p, Cracking::default(), 1).take(5_000));
         assert_eq!(stats.kind_counts.iter().sum::<u64>(), stats.uops);
@@ -169,9 +171,15 @@ mod tests {
         let large = WorkloadProfile::builder("large", Suite::Cpu2000)
             .regions(vec![MemRegion::kib(8192, 1.0, AccessPattern::Random)])
             .build();
-        let s = TraceStats::collect(TraceGenerator::new(&small, Cracking::default(), 1).take(50_000));
-        let l = TraceStats::collect(TraceGenerator::new(&large, Cracking::default(), 1).take(50_000));
-        assert!(s.data_pages <= 2, "8 KiB is at most 2 pages, saw {}", s.data_pages);
+        let s =
+            TraceStats::collect(TraceGenerator::new(&small, Cracking::default(), 1).take(50_000));
+        let l =
+            TraceStats::collect(TraceGenerator::new(&large, Cracking::default(), 1).take(50_000));
+        assert!(
+            s.data_pages <= 2,
+            "8 KiB is at most 2 pages, saw {}",
+            s.data_pages
+        );
         assert!(l.data_pages > 100, "8 MiB random should touch many pages");
     }
 

@@ -471,7 +471,10 @@ mod tests {
             .flat_map(|p| p.regions.iter().map(|r| r.footprint))
             .max()
             .unwrap();
-        assert!(biggest_region >= 128 * 1024 * 1024 / 2, "needs > LLC footprints");
+        assert!(
+            biggest_region >= 128 * 1024 * 1024 / 2,
+            "needs > LLC footprints"
+        );
     }
 
     #[test]

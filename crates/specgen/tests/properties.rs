@@ -8,27 +8,30 @@ use specgen::{AccessPattern, Cracking, MemRegion, TraceGenerator, WorkloadProfil
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
         (
-            0.05f64..0.35,          // load
-            0.02f64..0.15,          // store
-            0.01f64..0.20,          // branch
-            0.0f64..0.40,           // fp
-            1.5f64..14.0,           // dep distance
-            0.0f64..0.9,            // fp chain
+            0.05f64..0.35, // load
+            0.02f64..0.15, // store
+            0.01f64..0.20, // branch
+            0.0f64..0.40,  // fp
+            1.5f64..14.0,  // dep distance
+            0.0f64..0.9,   // fp chain
         ),
         (
-            4u64..512,              // code KiB
-            0.5f64..0.99,           // hot frac
-            0.05f64..0.9,           // hot size frac
-            0.0f64..0.25,           // rnd branches
-            0.5f64..0.95,           // bias
-            0.0f64..0.4,            // patterned
-            1.0f64..2.5,            // expansion
-            1u64..30_000,           // region KiB
-            0u8..4,                 // pattern selector
+            4u64..512,    // code KiB
+            0.5f64..0.99, // hot frac
+            0.05f64..0.9, // hot size frac
+            0.0f64..0.25, // rnd branches
+            0.5f64..0.95, // bias
+            0.0f64..0.4,  // patterned
+            1.0f64..2.5,  // expansion
+            1u64..30_000, // region KiB
+            0u8..4,       // pattern selector
         ),
     )
         .prop_map(
-            |((load, store, branch, fp, dep, chain), (code, hot, hotsz, rnd, bias, pat, exp, kib, psel))| {
+            |(
+                (load, store, branch, fp, dep, chain),
+                (code, hot, hotsz, rnd, bias, pat, exp, kib, psel),
+            )| {
                 let pattern = match psel {
                     0 => AccessPattern::Sequential { stride: 8 },
                     1 => AccessPattern::Sequential { stride: 64 },

@@ -1,13 +1,19 @@
 //! Latency calibration: reproduce Table 2's microbenchmark methodology —
 //! pointer-chase a growing footprint and read the cache hierarchy off the
-//! latency staircase.
+//! latency staircase — then close the loop: feed the *calibrated*
+//! constants (not the spec-sheet ones) into a `Workbench` fit, exactly
+//! what a user without a datasheet would do on real hardware.
 //!
 //! Run with `cargo run --release --example calibrate_latencies`.
 
 use cpistack::latency::{calibrate_machine, default_footprints, sweep};
+use cpistack::model::eval::{evaluate_model, summarize};
+use cpistack::model::{FitOptions, MicroarchParams};
 use cpistack::sim::machine::MachineConfig;
+use cpistack::workbench::MachineSpec;
+use cpistack::{SimSource, Workbench};
 
-fn main() {
+fn main() -> Result<(), cpistack::PipelineError> {
     for machine in MachineConfig::paper_machines() {
         println!("=== {} ===", machine.name);
         let curve = sweep(&machine, &default_footprints());
@@ -19,7 +25,7 @@ fn main() {
         let estimates = calibrate_machine(&machine);
         println!("\ncalibrated: {estimates}");
         println!(
-            "configured: L1 {}, L2 {}, {}mem {}, TLB {} cycles\n",
+            "configured: L1 {}, L2 {}, {}mem {}, TLB {} cycles",
             machine.lat.l1d,
             machine.lat.l2,
             machine
@@ -29,5 +35,30 @@ fn main() {
             machine.lat.mem,
             machine.lat.tlb
         );
+
+        // Close the loop: fit the model with the *calibrated* constants,
+        // as a real-hardware user without a spec sheet would.
+        let spec_arch = MicroarchParams::from_machine(&machine);
+        let calibrated_arch = MicroarchParams::new(
+            spec_arch.width,
+            spec_arch.fe_depth,
+            estimates.l2,
+            estimates.mem,
+            estimates.tlb,
+        );
+        let suite: Vec<_> = cpistack::workloads::suites::cpu2000()
+            .into_iter()
+            .take(16)
+            .collect();
+        let fitted = Workbench::new()
+            .machine(MachineSpec::real(machine.id, calibrated_arch).with_config(machine.clone()))
+            .source(SimSource::new().suite(suite).uops(60_000).seed(42))
+            .fit_options(FitOptions::quick())
+            .collect()?
+            .fit()?;
+        let group = &fitted.groups()[0];
+        let summary = summarize(&evaluate_model(&group.model, &group.records));
+        println!("model fitted with calibrated latencies: {summary}\n");
     }
+    Ok(())
 }

@@ -2,39 +2,35 @@
 //! Pentium 4 comes from, benchmark by benchmark (the paper's Fig. 6
 //! analysis, §6).
 //!
+//! One `Workbench` pipeline measures the same programs on both machines —
+//! on parallel threads — and fits a model per machine; the delta view
+//! falls out of the fitted result.
+//!
 //! Run with `cargo run --release --example cpi_delta_stacks`.
 
 use cpistack::figures::signed_bars;
-use cpistack::model::delta::{delta_stack, suite_delta};
-use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::model::delta::delta_stack;
+use cpistack::model::FitOptions;
 use cpistack::sim::machine::MachineConfig;
-use cpistack::sim::run::run_suite;
+use cpistack::{SimSource, Workbench};
+use pmu::{MachineId, Suite};
 
-fn main() {
-    let old_machine = MachineConfig::pentium4();
-    let new_machine = MachineConfig::core2();
-    let suite = cpistack::workloads::suites::cpu2000();
-    let uops = 200_000;
-
-    // Measure the same programs on both machines and fit a model for each.
-    let old_records = run_suite(&old_machine, &suite, uops, 42);
-    let new_records = run_suite(&new_machine, &suite, uops, 42);
-    let opts = FitOptions::default();
-    let old_model = InferredModel::fit(
-        &MicroarchParams::from_machine(&old_machine),
-        &old_records,
-        &opts,
-    )
-    .expect("fit old machine");
-    let new_model = InferredModel::fit(
-        &MicroarchParams::from_machine(&new_machine),
-        &new_records,
-        &opts,
-    )
-    .expect("fit new machine");
+fn main() -> Result<(), cpistack::PipelineError> {
+    let fitted = Workbench::new()
+        .machine(MachineConfig::pentium4())
+        .machine(MachineConfig::core2())
+        .source(
+            SimSource::new()
+                .suite(cpistack::workloads::suites::cpu2000())
+                .uops(200_000)
+                .seed(42),
+        )
+        .fit_options(FitOptions::default())
+        .collect()?
+        .fit()?;
 
     // Suite-level view: the aggregate delta stack.
-    let agg = suite_delta(&old_model, &old_records, &new_model, &new_records);
+    let agg = fitted.delta(MachineId::Pentium4, MachineId::Core2, Suite::Cpu2000)?;
     println!(
         "{}",
         signed_bars(
@@ -56,15 +52,22 @@ fn main() {
     );
 
     // Per-benchmark view for a few interesting programs.
+    let old = fitted
+        .group(MachineId::Pentium4, Suite::Cpu2000)
+        .expect("collected");
+    let new = fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("collected");
     for name in ["mcf.inp", "crafty.inp", "swim.inp"] {
         let (old_r, new_r) = match (
-            old_records.iter().find(|r| r.benchmark() == name),
-            new_records.iter().find(|r| r.benchmark() == name),
+            old.records.iter().find(|r| r.benchmark() == name),
+            new.records.iter().find(|r| r.benchmark() == name),
         ) {
             (Some(a), Some(b)) => (a, b),
             _ => continue,
         };
-        let d = delta_stack(&old_model, old_r, &new_model, new_r);
+        let d = delta_stack(&old.model, old_r, &new.model, new_r);
         println!("{name}: {d}");
     }
+    Ok(())
 }

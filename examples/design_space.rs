@@ -4,13 +4,16 @@
 //! the kind of what-if analysis the paper positions CPI stacks for
 //! ("opportunities for software and hardware optimization", §1).
 //!
+//! Each variant runs its own `Workbench` pipeline (they share the
+//! `MachineId`, so they cannot share one multi-machine collect).
+//!
 //! Run with `cargo run --release --example design_space`.
 
-use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::model::FitOptions;
 use cpistack::sim::machine::MachineConfig;
-use cpistack::sim::run::run_suite;
+use cpistack::{PipelineError, SimSource, Workbench};
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     let base = MachineConfig::core2();
     let variants = vec![
         ("baseline Core 2", base.clone()),
@@ -24,11 +27,15 @@ fn main() {
         ),
         (
             "no prefetcher",
-            MachineConfig::builder(base.clone()).prefetch_depth(0).build(),
+            MachineConfig::builder(base.clone())
+                .prefetch_depth(0)
+                .build(),
         ),
         (
             "6-wide dispatch",
-            MachineConfig::builder(base.clone()).dispatch_width(6).build(),
+            MachineConfig::builder(base.clone())
+                .dispatch_width(6)
+                .build(),
         ),
     ];
 
@@ -36,10 +43,21 @@ fn main() {
     let suite: Vec<_> = cpistack::workloads::suites::cpu2006()
         .into_iter()
         .filter(|p| {
-            ["mcf.inp", "lbm.ref", "milc.ref", "gobmk.13x13", "libquantum.ref",
-             "soplex.ref", "sjeng.ref", "omnetpp.ref", "astar.rivers",
-             "gcc.166", "calculix.hyperviscoplastic", "namd.ref"]
-                .contains(&p.name.as_str())
+            [
+                "mcf.inp",
+                "lbm.ref",
+                "milc.ref",
+                "gobmk.13x13",
+                "libquantum.ref",
+                "soplex.ref",
+                "sjeng.ref",
+                "omnetpp.ref",
+                "astar.rivers",
+                "gcc.166",
+                "calculix.hyperviscoplastic",
+                "namd.ref",
+            ]
+            .contains(&p.name.as_str())
         })
         .collect();
 
@@ -48,22 +66,26 @@ fn main() {
         "variant", "avg CPI"
     );
     for (name, machine) in variants {
-        let records = run_suite(&machine, &suite, 150_000, 42);
-        let arch = MicroarchParams::from_machine(&machine);
-        let model = InferredModel::fit(&arch, &records, &FitOptions::quick());
-        let avg_cpi: f64 =
-            records.iter().map(|r| r.cpi()).sum::<f64>() / records.len() as f64;
-        match model {
-            Ok(model) => {
+        let collected = Workbench::new()
+            .machine(machine)
+            .source(SimSource::new().suite(suite.clone()).uops(150_000).seed(42))
+            .fit_options(FitOptions::quick())
+            .collect()?;
+        let records: Vec<_> = collected.records().cloned().collect();
+        let avg_cpi: f64 = records.iter().map(|r| r.cpi()).sum::<f64>() / records.len() as f64;
+        match collected.fit() {
+            Ok(fitted) => {
+                let group = &fitted.groups()[0];
                 // Average the component estimates over the subset.
                 let mut acc = [0.0f64; 8];
-                for r in &records {
-                    for (k, (_, v)) in model.cpi_stack(r).components().iter().enumerate() {
-                        acc[k] += v / records.len() as f64;
+                for r in &group.records {
+                    for (k, (_, v)) in group.model.cpi_stack(r).components().iter().enumerate() {
+                        acc[k] += v / group.records.len() as f64;
                     }
                 }
-                let named: Vec<String> = model
-                    .cpi_stack(&records[0])
+                let named: Vec<String> = group
+                    .model
+                    .cpi_stack(&group.records[0])
                     .components()
                     .iter()
                     .zip(acc)
@@ -75,4 +97,5 @@ fn main() {
             Err(e) => println!("{name:<18} {avg_cpi:>8.3}  (model: {e})"),
         }
     }
+    Ok(())
 }

@@ -1,37 +1,46 @@
 //! Quickstart: measure a workload suite on a simulated machine, infer the
 //! gray-box model, and print CPI stacks — the paper's end-to-end flow
-//! (Fig. 1) in one page.
+//! (Fig. 1) as one `Workbench` pipeline.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::model::FitOptions;
 use cpistack::sim::machine::MachineConfig;
-use cpistack::sim::run::run_suite;
+use cpistack::{SimSource, Workbench};
+use pmu::{MachineId, Suite};
 
-fn main() {
+fn main() -> Result<(), cpistack::PipelineError> {
     // 1. Pick the machine: one of the paper's three Intel generations.
     let machine = MachineConfig::core2();
     println!("machine: {}\n", machine.name);
 
-    // 2. Run the benchmark suite and collect hardware performance counters
-    //    (the expensive measurement campaign; scaled down here).
-    let suite = cpistack::workloads::suites::cpu2000();
-    let records = run_suite(&machine, &suite, 200_000, 42);
-
-    // 3. Infer the model: microarchitecture constants from the spec sheet,
-    //    the ten b-parameters by nonlinear regression on the counters.
-    let arch = MicroarchParams::from_machine(&machine);
-    let model = InferredModel::fit(&arch, &records, &FitOptions::default())
-        .expect("training set is large enough");
-    println!("fitted model: {model}\n");
+    // 2.+3. Collect the benchmark suite's performance counters (the
+    //    expensive measurement campaign; scaled down here) and infer the
+    //    model: microarchitecture constants from the spec sheet, the ten
+    //    b-parameters by nonlinear regression on the counters.
+    let fitted = Workbench::new()
+        .machine(machine)
+        .source(
+            SimSource::new()
+                .suite(cpistack::workloads::suites::cpu2000())
+                .uops(200_000)
+                .seed(42),
+        )
+        .fit_options(FitOptions::default())
+        .collect()?
+        .fit()?;
+    let group = fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("the collected machine and suite");
+    println!("fitted model: {}\n", group.model);
 
     // 4. CPI stacks for every benchmark, with prediction quality.
     println!(
         "{:<24} {:>9} {:>9}  stack",
         "benchmark", "measured", "predicted"
     );
-    for record in records.iter().take(12) {
-        let stack = model.cpi_stack(record);
+    for record in group.records.iter().take(12) {
+        let stack = group.model.cpi_stack(record);
         println!(
             "{:<24} {:>9.3} {:>9.3}  {}",
             record.benchmark(),
@@ -40,5 +49,6 @@ fn main() {
             stack
         );
     }
-    println!("(first 12 of {} benchmarks shown)", records.len());
+    println!("(first 12 of {} benchmarks shown)", group.records.len());
+    Ok(())
 }

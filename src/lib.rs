@@ -18,27 +18,67 @@
 //!
 //! # Quickstart
 //!
-//! Fit a gray-box model for a machine from simulated counter data and read
-//! off a CPI stack:
+//! Everything flows through one pipeline: the [`Workbench`]. Name the
+//! machines, plug in a counter source — the built-in simulator
+//! ([`SimSource`]), a real-hardware counters CSV ([`CsvSource`]), or
+//! in-memory records ([`RecordsSource`]) — then `collect()`, `fit()`, and
+//! read off CPI stacks and deltas. Multi-machine collection fans out
+//! across threads, and every failure is a typed [`PipelineError`] naming
+//! the stage that broke:
 //!
 //! ```
-//! use cpistack::model::{InferredModel, MicroarchParams};
+//! use cpistack::model::FitOptions;
 //! use cpistack::sim::machine::MachineConfig;
-//! use cpistack::sim::run::run_suite;
+//! use cpistack::{SimSource, Workbench};
+//! use pmu::{MachineId, Suite};
 //!
-//! let machine = MachineConfig::core2();
-//! // Measure a (sub)suite. Real experiments use all 48/55 benchmarks and
-//! // millions of µops; keep it small for a doc example.
+//! // Measure a (sub)suite on two machine generations. Real experiments
+//! // use all 48/55 benchmarks and millions of µops; keep doc runs small.
 //! let suite: Vec<_> = cpistack::workloads::suites::cpu2000()
 //!     .into_iter()
 //!     .take(12)
 //!     .collect();
-//! let records = run_suite(&machine, &suite, 50_000, 42);
-//! let params = MicroarchParams::from_machine(&machine);
-//! let model = InferredModel::fit(&params, &records, &Default::default()).unwrap();
-//! let stack = model.cpi_stack(&records[0]);
-//! println!("{}: {}", records[0].benchmark(), stack);
-//! assert!(stack.total() > 0.0);
+//! let fitted = Workbench::new()
+//!     .machine(MachineConfig::pentium4())
+//!     .machine(MachineConfig::core2())
+//!     .source(SimSource::new().suite(suite).uops(30_000).seed(42))
+//!     .fit_options(FitOptions::quick())
+//!     .collect()
+//!     .expect("collect stage")
+//!     .fit()
+//!     .expect("fit stage");
+//!
+//! // CPI stacks per benchmark (the paper's headline deliverable) …
+//! let core2 = fitted.group(MachineId::Core2, Suite::Cpu2000).unwrap();
+//! for (benchmark, stack) in core2.stacks() {
+//!     println!("{benchmark}: {stack}");
+//! }
+//! // … and CPI-delta stacks explaining the generation gap (Fig. 6).
+//! let delta = fitted
+//!     .delta(MachineId::Pentium4, MachineId::Core2, Suite::Cpu2000)
+//!     .expect("both machines collected");
+//! assert!(delta.overall.total() < 0.0, "Core 2 wins: {delta}");
+//! ```
+//!
+//! Real hardware needs no simulator: state the machine's constants and
+//! feed the CSV your perf tooling exported (see [`cli`] or `cpistack
+//! --help` for the command-line version of the same pipeline).
+//!
+//! ```no_run
+//! use cpistack::model::MicroarchParams;
+//! use cpistack::workbench::Grouping;
+//! use cpistack::{CsvSource, Workbench};
+//!
+//! # fn main() -> Result<(), cpistack::PipelineError> {
+//! let fitted = Workbench::new()
+//!     .arch(MicroarchParams::new(4.0, 14.0, 19.0, 169.0, 30.0))
+//!     .source(CsvSource::from_path("runs.csv")?)
+//!     .grouping(Grouping::Machine)
+//!     .collect()?
+//!     .fit()?;
+//! fitted.export_stacks_to("stacks.csv")?;
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod cli;
@@ -51,3 +91,9 @@ pub use pmu as counters;
 pub use regress as fitting;
 pub use report as figures;
 pub use specgen as workloads;
+
+/// The unified pipeline module (re-export of [`memodel::workbench`]).
+pub use memodel::workbench;
+pub use memodel::workbench::{
+    CounterSource, CsvSource, PipelineError, RecordsSource, SimSource, SourceError, Workbench,
+};

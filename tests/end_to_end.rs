@@ -1,9 +1,12 @@
-//! End-to-end integration: measurement → inference → stacks, across crates.
+//! End-to-end integration: measurement → inference → stacks, across
+//! crates, driven through the unified `Workbench` pipeline.
 
 use cpistack::model::eval::{evaluate_model, summarize};
 use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
 use cpistack::sim::machine::MachineConfig;
-use cpistack::sim::run::run_suite;
+use cpistack::workbench::Fitted;
+use cpistack::{CsvSource, RecordsSource, SimSource, Workbench};
+use pmu::{MachineId, Suite};
 
 /// µop budget for integration tests: enough for stable rates, cheap enough
 /// for debug builds.
@@ -16,13 +19,25 @@ fn subset(n: usize) -> Vec<cpistack::workloads::WorkloadProfile> {
         .collect()
 }
 
+/// One single-machine pipeline run: collect `n` benchmarks and fit.
+fn fit_subset(machine: MachineConfig, n: usize, uops: u64, seed: u64) -> Fitted {
+    Workbench::new()
+        .machine(machine)
+        .source(SimSource::new().suite(subset(n)).uops(uops).seed(seed))
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect stage")
+        .fit()
+        .expect("fit stage")
+}
+
 #[test]
 fn measure_fit_predict_loop_closes() {
-    let machine = MachineConfig::core2();
-    let records = run_suite(&machine, &subset(16), UOPS, 42);
-    let arch = MicroarchParams::from_machine(&machine);
-    let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
-    let summary = summarize(&evaluate_model(&model, &records));
+    let fitted = fit_subset(MachineConfig::core2(), 16, UOPS, 42);
+    let group = fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("collected group");
+    let summary = summarize(&evaluate_model(&group.model, &group.records));
     assert!(
         summary.mean < 0.20,
         "in-sample error should be well under 20%: {summary}"
@@ -31,57 +46,123 @@ fn measure_fit_predict_loop_closes() {
 
 #[test]
 fn stacks_sum_to_predictions_everywhere() {
-    let machine = MachineConfig::core_i7();
-    let records = run_suite(&machine, &subset(14), UOPS, 9);
-    let arch = MicroarchParams::from_machine(&machine);
-    let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
-    for r in &records {
-        let stack = model.cpi_stack(r);
-        assert!((stack.total() - model.predict_record(r)).abs() < 1e-9);
+    let fitted = fit_subset(MachineConfig::core_i7(), 14, UOPS, 9);
+    let group = fitted
+        .group(MachineId::CoreI7, Suite::Cpu2000)
+        .expect("collected group");
+    for r in &group.records {
+        let stack = group.model.cpi_stack(r);
+        assert!((stack.total() - group.model.predict_record(r)).abs() < 1e-9);
         for (name, v) in stack.components() {
-            assert!(v >= 0.0, "{}: component {name} negative ({v})", r.benchmark());
+            assert!(
+                v >= 0.0,
+                "{}: component {name} negative ({v})",
+                r.benchmark()
+            );
         }
     }
 }
 
 #[test]
 fn whole_pipeline_is_deterministic() {
-    let machine = MachineConfig::pentium4();
-    let arch = MicroarchParams::from_machine(&machine);
     let run = || {
-        let records = run_suite(&machine, &subset(12), UOPS, 1234);
-        let model = InferredModel::fit(&arch, &records, &FitOptions::quick()).unwrap();
-        records
+        let fitted = fit_subset(MachineConfig::pentium4(), 12, UOPS, 1234);
+        let group = fitted
+            .group(MachineId::Pentium4, Suite::Cpu2000)
+            .expect("collected group");
+        group
+            .records
             .iter()
-            .map(|r| model.predict_record(r))
+            .map(|r| group.model.predict_record(r))
             .collect::<Vec<f64>>()
     };
     assert_eq!(run(), run());
 }
 
 #[test]
+fn parallel_collect_matches_sequential_byte_for_byte() {
+    // The acceptance bar for the threaded fan-out: two machines collected
+    // on parallel threads must serialize identically to the sequential
+    // path under a fixed seed.
+    let collect = |parallel: bool| {
+        Workbench::new()
+            .machine(MachineConfig::pentium4())
+            .machine(MachineConfig::core2())
+            .machine(MachineConfig::core_i7())
+            .source(SimSource::new().suite(subset(8)).uops(10_000).seed(2024))
+            .parallel(parallel)
+            .collect()
+            .expect("collect stage")
+            .to_csv()
+    };
+    assert_eq!(collect(true), collect(false));
+}
+
+#[test]
 fn counter_records_round_trip_through_csv() {
     let machine = MachineConfig::core2();
-    let records = run_suite(&machine, &subset(6), 10_000, 5);
+    let records = SimSource::new()
+        .suite(subset(6))
+        .uops(10_000)
+        .seed(5)
+        .collect_config(&machine);
     let text = cpistack::counters::csv::to_csv(&records);
     let back = cpistack::counters::csv::from_csv(&text).unwrap();
     assert_eq!(back, records);
-    // And the reloaded records fit identically.
-    let arch = MicroarchParams::from_machine(&machine);
-    let records_full = run_suite(&machine, &subset(12), 10_000, 5);
-    let text = cpistack::counters::csv::to_csv(&records_full);
-    let reloaded = cpistack::counters::csv::from_csv(&text).unwrap();
-    let a = InferredModel::fit(&arch, &records_full, &FitOptions::quick()).unwrap();
-    let b = InferredModel::fit(&arch, &reloaded, &FitOptions::quick()).unwrap();
-    assert_eq!(a.params(), b.params());
+    // And a CSV-sourced pipeline fits identically to a simulator-sourced
+    // one over the same measurements.
+    let sim_fitted = fit_subset(machine.clone(), 12, 10_000, 5);
+    let sim_group = sim_fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("sim group");
+    let csv_text = cpistack::counters::csv::to_csv(&sim_group.records);
+    let csv_fitted = Workbench::new()
+        .machine(machine)
+        .source(CsvSource::from_text(&csv_text).expect("valid csv"))
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect stage")
+        .fit()
+        .expect("fit stage");
+    let csv_group = csv_fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("csv group");
+    assert_eq!(sim_group.model.params(), csv_group.model.params());
+}
+
+#[test]
+fn records_source_replays_without_resimulating() {
+    let machine = MachineConfig::core2();
+    let records = SimSource::new()
+        .suite(subset(12))
+        .uops(10_000)
+        .seed(5)
+        .collect_config(&machine);
+    let direct = InferredModel::fit(
+        &MicroarchParams::from_machine(&machine),
+        &records,
+        &FitOptions::quick(),
+    )
+    .expect("direct fit");
+    let replayed = Workbench::new()
+        .machine(machine)
+        .source(RecordsSource::new(records))
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect stage")
+        .fit()
+        .expect("fit stage");
+    let group = replayed
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("replayed group");
+    assert_eq!(direct.params(), group.model.params());
 }
 
 #[test]
 fn ground_truth_stack_matches_measured_cpi() {
     let machine = MachineConfig::core2();
     for profile in subset(5) {
-        let (record, truth) =
-            cpistack::truth::measure_stack(&machine, &profile, 30_000, 777);
+        let (record, truth) = cpistack::truth::measure_stack(&machine, &profile, 30_000, 777);
         assert!(
             (truth.total() - record.cpi()).abs() < 1e-9,
             "{}: {} vs {}",
@@ -97,35 +178,27 @@ fn model_tracks_machine_differences() {
     // The same workload population must produce distinguishable fitted
     // behaviour across machines: P4's CPI stack has a deeper branch
     // component (31-stage refill) than Core 2's for the same benchmark.
-    let suite = subset(16);
-    let p4 = MachineConfig::pentium4();
-    let c2 = MachineConfig::core2();
-    let p4_records = run_suite(&p4, &suite, UOPS, 3);
-    let c2_records = run_suite(&c2, &suite, UOPS, 3);
-    let p4_model = InferredModel::fit(
-        &MicroarchParams::from_machine(&p4),
-        &p4_records,
-        &FitOptions::quick(),
-    )
-    .unwrap();
-    let c2_model = InferredModel::fit(
-        &MicroarchParams::from_machine(&c2),
-        &c2_records,
-        &FitOptions::quick(),
-    )
-    .unwrap();
-    // Compare per-instruction branch components on a branchy benchmark.
-    let pick = |records: &[cpistack::counters::RunRecord]| {
-        records
+    // One multi-machine pipeline collects both on parallel threads.
+    let fitted = Workbench::new()
+        .machine(MachineConfig::pentium4())
+        .machine(MachineConfig::core2())
+        .source(SimSource::new().suite(subset(16)).uops(UOPS).seed(3))
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect stage")
+        .fit()
+        .expect("fit stage");
+    let branch_per_instr = |id: MachineId| {
+        let group = fitted.group(id, Suite::Cpu2000).expect("collected group");
+        let record = group
+            .records
             .iter()
-            .position(|r| r.benchmark() == "crafty.inp")
-            .expect("crafty in subset")
+            .find(|r| r.benchmark() == "crafty.inp")
+            .expect("crafty in subset");
+        group.model.cpi_stack(record).branch * record.counters().uops_per_instr()
     };
-    let i = pick(&p4_records);
-    let p4_branch = p4_model.cpi_stack(&p4_records[i]).branch
-        * p4_records[i].counters().uops_per_instr();
-    let c2_branch = c2_model.cpi_stack(&c2_records[i]).branch
-        * c2_records[i].counters().uops_per_instr();
+    let p4_branch = branch_per_instr(MachineId::Pentium4);
+    let c2_branch = branch_per_instr(MachineId::Core2);
     assert!(
         p4_branch > c2_branch,
         "P4 branch component {p4_branch} should exceed Core 2's {c2_branch}"

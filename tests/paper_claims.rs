@@ -5,9 +5,9 @@ use cpistack::counters::{Event, Suite};
 use cpistack::model::baselines::{BaselineKind, EmpiricalModel};
 use cpistack::model::delta::suite_delta;
 use cpistack::model::eval::{evaluate_baseline, evaluate_model, summarize};
-use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::model::{FitOptions, InferredModel};
 use cpistack::sim::machine::MachineConfig;
-use cpistack::sim::run::run_suite;
+use cpistack::{RecordsSource, SimSource, Workbench};
 use pmu::RunRecord;
 
 const UOPS: u64 = 80_000;
@@ -20,16 +20,25 @@ fn suite_records(machine: &MachineConfig, suite: Suite) -> Vec<RunRecord> {
         Suite::Cpu2000 => cpistack::workloads::suites::cpu2000(),
         Suite::Cpu2006 => cpistack::workloads::suites::cpu2006(),
     };
-    run_suite(machine, &profiles, UOPS, SEED)
+    SimSource::new()
+        .suite(profiles)
+        .uops(UOPS)
+        .seed(SEED)
+        .collect_config(machine)
 }
 
 fn fit(machine: &MachineConfig, records: &[RunRecord]) -> InferredModel {
-    InferredModel::fit(
-        &MicroarchParams::from_machine(machine),
-        records,
-        &FitOptions::default(),
-    )
-    .unwrap()
+    // Replay already-collected records through the pipeline (the records
+    // are single-suite, so exactly one group comes back).
+    let fitted = Workbench::new()
+        .machine(machine)
+        .source(RecordsSource::new(records.to_vec()))
+        .fit_options(FitOptions::default())
+        .collect()
+        .expect("collect stage")
+        .fit()
+        .expect("fit stage");
+    fitted.groups()[0].model.clone()
 }
 
 #[test]
