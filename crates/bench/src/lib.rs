@@ -3,10 +3,15 @@
 //!
 //! Every figure of the paper consumes the same raw material: all 48 + 55
 //! benchmark–input pairs run on all three machines, plus a fitted
-//! mechanistic-empirical model per (machine, suite). [`Campaign`] runs that
-//! measurement campaign once — through the unified
-//! [`memodel::workbench::Workbench`] pipeline, machines fanned out on
-//! parallel threads — and hands out records and models.
+//! mechanistic-empirical model per (machine, suite). [`Campaign`] runs
+//! that measurement campaign once and keeps it warm in a long-lived
+//! [`CpiService`]: machines are collected on parallel threads, the
+//! records are ingested into the service's store, and the six models are
+//! fitted through its sharded worker pool. Every figure then reads
+//! records and models out of the shared session — and extra queries (a
+//! delta, a re-fit with different options) go through
+//! [`Campaign::client`], hitting the same model cache instead of paying
+//! a fresh regression.
 //!
 //! Binaries honour two environment variables:
 //!
@@ -17,6 +22,7 @@
 pub mod ablation;
 pub mod experiments;
 
+use memodel::service::{CpiClient, CpiService, ModelKey, ServiceConfig, ServiceStats};
 use memodel::workbench::{Fitted, SimSource, Workbench};
 use memodel::{FitOptions, InferredModel};
 use oosim::machine::MachineConfig;
@@ -58,10 +64,14 @@ pub fn measure_suite(
 }
 
 /// One full measurement + modeling campaign: every benchmark of both suites
-/// on every machine, and a fitted gray-box model per (machine, suite).
+/// on every machine, and a fitted gray-box model per (machine, suite),
+/// kept warm in a long-lived [`CpiService`] session.
 #[derive(Debug)]
 pub struct Campaign {
     machines: Vec<MachineConfig>,
+    service: CpiService,
+    client: CpiClient,
+    options: FitOptions,
     fitted: Fitted,
     uops: u64,
     seed: u64,
@@ -69,21 +79,60 @@ pub struct Campaign {
 
 impl Campaign {
     /// Runs the full campaign: simulate both suites on all three machines
-    /// (one thread per machine, suites chunked within it) and fit the six
-    /// models. Takes a minute or two at full scale; scale down with
-    /// `CPISTACK_UOPS` for smoke runs.
+    /// (one thread per machine, suites chunked within it), ingest the
+    /// records into a fresh [`CpiService`], and fit the six models through
+    /// its sharded worker pool. Takes a minute or two at full scale; scale
+    /// down with `CPISTACK_UOPS` for smoke runs.
     pub fn run(uops: u64, seed: u64) -> Self {
         let machines = MachineConfig::paper_machines();
-        let fitted = Workbench::new()
+        let options = FitOptions::default();
+        let collected = Workbench::new()
             .machines(machines.iter())
             .source(SimSource::paper_suites().uops(uops).seed(seed))
-            .fit_options(FitOptions::default())
             .collect()
-            .unwrap_or_else(|e| panic!("campaign collect: {e}"))
-            .fit()
-            .unwrap_or_else(|e| panic!("campaign fit: {e}"));
+            .unwrap_or_else(|e| panic!("campaign collect: {e}"));
+
+        let service = CpiService::start(ServiceConfig::new());
+        let client = service.client();
+        for machine in &machines {
+            client
+                .register(machine.into())
+                .unwrap_or_else(|e| panic!("campaign register: {e}"));
+        }
+        let records: Vec<RunRecord> = collected.records().cloned().collect();
+        client
+            .ingest(records)
+            .unwrap_or_else(|e| panic!("campaign ingest: {e}"));
+
+        // Submit every (machine, suite) group before draining any — pinned
+        // round-robin, one distinct one-shot key per worker, so the six
+        // fits really do run in parallel instead of hash-colliding onto a
+        // shared shard.
+        let keys: Vec<ModelKey> = machines
+            .iter()
+            .flat_map(|m| Suite::ALL.map(|suite| ModelKey::new(m.id, Some(suite), options.clone())))
+            .collect();
+        let streams: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| client.submit_group_at(i, key.clone()))
+            .collect();
+        let mut groups = Vec::with_capacity(streams.len());
+        for stream in streams {
+            for response in stream {
+                match response {
+                    memodel::service::Response::Group(group) => groups.push(*group),
+                    memodel::service::Response::Error(e) => panic!("campaign fit: {e}"),
+                    _ => {}
+                }
+            }
+        }
+        let fitted = Fitted::from_groups(groups);
         Self {
             machines,
+            service,
+            client,
+            options,
             fitted,
             uops,
             seed,
@@ -104,6 +153,27 @@ impl Campaign {
     /// API directly (groups, deltas, exports).
     pub fn fitted(&self) -> &Fitted {
         &self.fitted
+    }
+
+    /// A client on the campaign's warm serving session. Requests for any
+    /// of the six (machine, suite) keys with [`Campaign::options`] are
+    /// cache hits; new keys (other fit options, pooled suites, deltas)
+    /// are fitted once and then cached too.
+    pub fn client(&self) -> CpiClient {
+        self.service.client()
+    }
+
+    /// The fit options the campaign's six models were fitted with (the
+    /// cache key to reuse for free re-reads via [`Campaign::client`]).
+    pub fn options(&self) -> FitOptions {
+        self.options.clone()
+    }
+
+    /// Serving-session counters (fits run, cache hits/misses, records).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.client
+            .stats()
+            .expect("the campaign's service outlives it")
     }
 
     /// The measured records for one machine and suite.
@@ -169,6 +239,20 @@ mod tests {
         }
         assert_eq!(c.fitted().groups().len(), 6);
         assert!(c.banner("t").contains("103"));
+        // The campaign's session stays warm: re-requesting a fitted key
+        // through a fresh client is a cache hit, not a seventh fit.
+        let stats = c.service_stats();
+        assert_eq!(stats.fits, 6);
+        let report = c
+            .client()
+            .fit(memodel::service::ModelKey::new(
+                MachineId::Core2,
+                Some(Suite::Cpu2000),
+                c.options(),
+            ))
+            .expect("warm re-fit");
+        assert!(report.cached);
+        assert_eq!(c.service_stats().fits, 6, "no new regression ran");
     }
 
     #[test]

@@ -92,6 +92,22 @@ impl FitOptions {
         self.interval_cap = cap;
         self
     }
+
+    /// A deterministic digest of every knob that can change a fit's
+    /// outcome — the options component of the service's model-cache key
+    /// (see [`crate::service::ModelCache`]). Two option sets with equal
+    /// fingerprints produce identical fits on identical records; any new
+    /// field added to this struct must be folded in here.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.extra_starts.hash(&mut h);
+        self.seed.hash(&mut h);
+        self.max_evals.hash(&mut h);
+        self.absolute_objective.hash(&mut h);
+        self.interval_cap.to_bits().hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Error returned by [`InferredModel::fit`].

@@ -24,8 +24,13 @@
 //! * [`delta`] — CPI-delta stacks between machines (Fig. 6),
 //! * [`stability`] — bootstrap parameter-stability diagnostics,
 //! * [`export`] — CSV dumps of predictions and stacks for external plots,
-//! * [`workbench`] — the unified collect → fit → stacks/delta → export
-//!   pipeline every consumer (CLI, examples, campaigns, tests) drives.
+//! * [`workbench`] — the one-shot collect → fit → stacks/delta → export
+//!   pipeline builder,
+//! * [`service`] — the long-lived serving layer: [`CpiService`] batches
+//!   requests from many concurrent clients over a sharded worker pool,
+//!   memoizing fitted models in an LRU [`service::ModelCache`];
+//!   [`Workbench::fit`](workbench::Collected::fit) itself runs on top of
+//!   it, so there is one fitting code path.
 //!
 //! # Examples
 //!
@@ -61,6 +66,7 @@ pub mod export;
 pub mod fit;
 pub mod inputs;
 pub mod params;
+pub mod service;
 pub mod stability;
 pub mod stack;
 pub mod workbench;
@@ -68,6 +74,9 @@ pub mod workbench;
 pub use fit::{FitError, FitOptions, InferredModel};
 pub use inputs::ModelInputs;
 pub use params::{MicroarchParams, ModelParams};
+pub use service::{
+    CpiClient, CpiService, ModelKey, Request, Response, ServiceConfig, ServiceError, ServiceStats,
+};
 pub use stack::CpiStack;
 pub use workbench::{
     CounterSource, CsvSource, PipelineError, RecordsSource, SimSource, SourceError, Workbench,

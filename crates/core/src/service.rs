@@ -1,0 +1,1600 @@
+//! `CpiService` — a long-lived session API for batched, cached,
+//! multi-client CPI-stack serving.
+//!
+//! The [`Workbench`](crate::workbench::Workbench) is a one-shot builder:
+//! every caller pays the full collect → fit cost. This module is the
+//! serving layer on top of the same model: a [`CpiService`] owns a warm
+//! campaign — counter records per machine, fitted models memoized in a
+//! [`ModelCache`] — and any number of concurrent [`CpiClient`]s submit
+//! typed [`Request`]s against it:
+//!
+//! * **ingest** new counter batches ([`Request::IngestRecords`],
+//!   [`Request::IngestCsv`]) — appended to the machine's record store,
+//!   bumping its *generation* so stale cached models are invalidated,
+//! * **fit-and-stack** for a `(machine, suite, options)` [`ModelKey`]
+//!   ([`Request::Fit`], [`Request::Stacks`], [`Request::Group`]) — the
+//!   first request fits by nonlinear regression, every repeat is a cache
+//!   hit,
+//! * **delta stacks** between two machines ([`Request::Delta`]),
+//! * **raw predictions** per benchmark ([`Request::Predictions`]),
+//! * **stats** — cache hit/miss/eviction accounting ([`Request::Stats`]).
+//!
+//! Requests travel over an mpsc queue to a **sharded worker pool**: store
+//! mutations are hashed to shards by machine (one writer per machine's
+//! record store), and model requests by their full cache key — so repeat
+//! requests for one key serialize on one worker (the second is a cache
+//! hit, never a duplicate regression) while different keys, even two
+//! suites of the same machine, fan out in parallel. Responses stream back
+//! over a per-request channel as [`Response`] items — a large stack set
+//! arrives one benchmark at a time, never buffered whole.
+//!
+//! Fitting is deterministic, so service output is byte-identical to a
+//! sequential [`Workbench`](crate::workbench::Workbench) run — and in
+//! fact `Workbench::fit()` is implemented *on top of* an ephemeral
+//! `CpiService`, so there is exactly one fitting code path.
+//!
+//! # Examples
+//!
+//! ```
+//! use memodel::service::{CpiService, ModelKey, ServiceConfig};
+//! use memodel::workbench::{MachineSpec, SimSource};
+//! use memodel::FitOptions;
+//! use oosim::machine::MachineConfig;
+//! use pmu::{MachineId, Suite};
+//!
+//! // One warm service, many cheap clients.
+//! let machine = MachineConfig::core2();
+//! let records = SimSource::new()
+//!     .suite(specgen::suites::cpu2000().into_iter().take(12).collect())
+//!     .uops(5_000)
+//!     .seed(42)
+//!     .collect_config(&machine);
+//! let service = CpiService::start(ServiceConfig::new());
+//! let client = service.client();
+//! client.register(MachineSpec::from(&machine)).unwrap();
+//! client.ingest(records).unwrap();
+//!
+//! let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+//! let (first, stacks) = client.stacks(key.clone()).unwrap();
+//! assert!(!first.cached, "first request fits");
+//! assert_eq!(stacks.len(), 12);
+//! let (again, _) = service.client().stacks(key).unwrap();
+//! assert!(again.cached, "repeat request hits the model cache");
+//! service.shutdown();
+//! ```
+
+use crate::delta::{suite_delta, DeltaStacks};
+use crate::fit::{FitError, FitOptions, InferredModel};
+use crate::workbench::{FittedGroup, MachineSpec};
+use pmu::csv::ParseCsvError;
+use pmu::{MachineId, RunRecord, Suite};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Error produced while servicing one request.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The machine has records or requests but no registered
+    /// [`MachineSpec`] — the service cannot fit without the
+    /// microarchitectural constants.
+    NotRegistered {
+        /// The machine missing a spec.
+        machine: MachineId,
+    },
+    /// No ingested records match the requested key.
+    NoRecords {
+        /// The machine requested.
+        machine: MachineId,
+        /// The suite requested (`None` = pooled).
+        suite: Option<Suite>,
+    },
+    /// Model inference failed for the requested key.
+    Fit {
+        /// The machine whose model could not be inferred.
+        machine: MachineId,
+        /// The suite group (`None` = pooled).
+        suite: Option<Suite>,
+        /// The underlying fit error.
+        error: FitError,
+    },
+    /// A CSV ingestion batch failed to parse.
+    Parse {
+        /// Where the batch came from (a path, or `"<memory>"`).
+        origin: String,
+        /// The underlying error (carries the offending line number).
+        error: ParseCsvError,
+    },
+    /// The request's handler panicked. The shard caught the panic and
+    /// keeps serving; shared state is consistent (mutations happen in
+    /// short lock scopes that complete or never start).
+    Panicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// The service has shut down; no more requests can be served.
+    Stopped,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let suite_name = |s: &Option<Suite>| s.map(|s| s.name()).unwrap_or("all suites");
+        match self {
+            ServiceError::NotRegistered { machine } => write!(
+                f,
+                "machine `{}` is not registered — submit its MachineSpec first",
+                machine.name()
+            ),
+            ServiceError::NoRecords { machine, suite } => write!(
+                f,
+                "no ingested records for machine `{}` on {}",
+                machine.name(),
+                suite_name(suite)
+            ),
+            ServiceError::Fit {
+                machine,
+                suite,
+                error,
+            } => write!(
+                f,
+                "fitting `{}` on {} failed: {error}",
+                machine.name(),
+                suite_name(suite)
+            ),
+            ServiceError::Parse { origin, error } => {
+                write!(f, "ingesting counters from `{origin}` failed: {error}")
+            }
+            ServiceError::Panicked { detail } => {
+                write!(f, "the request panicked: {detail}")
+            }
+            ServiceError::Stopped => write!(f, "the service has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Fit { error, .. } => Some(error),
+            ServiceError::Parse { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys, requests, responses
+// ---------------------------------------------------------------------------
+
+/// The identity of one servable model: which machine, which suite slice of
+/// its records (`None` = pool every suite), and the fit options. Two
+/// requests with equal keys (options compared by
+/// [`FitOptions::fingerprint`]) share one cached model.
+#[derive(Debug, Clone)]
+pub struct ModelKey {
+    /// The machine to model.
+    pub machine: MachineId,
+    /// The suite to train on (`None` pools all ingested suites).
+    pub suite: Option<Suite>,
+    /// The fit options (part of the cache key via its fingerprint).
+    pub options: FitOptions,
+}
+
+impl ModelKey {
+    /// A key for one (machine, suite) group.
+    pub fn new(machine: MachineId, suite: Option<Suite>, options: FitOptions) -> Self {
+        Self {
+            machine,
+            suite,
+            options,
+        }
+    }
+
+    /// A key pooling every ingested suite of `machine`.
+    pub fn pooled(machine: MachineId, options: FitOptions) -> Self {
+        Self::new(machine, None, options)
+    }
+
+    fn cache_key(&self) -> CacheKey {
+        CacheKey {
+            machine: self.machine,
+            suite: self.suite,
+            options: self.options.fingerprint(),
+        }
+    }
+}
+
+/// A typed request submitted to the service queue.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Request {
+    /// Register (or replace) a machine's spec. Replacing an existing spec
+    /// bumps the machine's generation, invalidating its cached models.
+    /// (Boxed: a `MachineSpec` with a simulator config dwarfs every other
+    /// variant.)
+    Register(Box<MachineSpec>),
+    /// Ingest a batch of counter records (machines may be mixed; the
+    /// router splits the batch per machine). Bumps each touched machine's
+    /// generation.
+    IngestRecords(Vec<RunRecord>),
+    /// Parse counters-CSV text and ingest it. `origin` names the source
+    /// (a path, or `"<memory>"`) for error messages.
+    IngestCsv {
+        /// CSV text in `pmu::csv` format.
+        text: String,
+        /// Where the text came from.
+        origin: String,
+    },
+    /// Fit (or fetch from cache) one model; responds with one
+    /// [`Response::Model`].
+    Fit(ModelKey),
+    /// Fit, then stream one [`Response::Stack`] per training benchmark.
+    Stacks(ModelKey),
+    /// Fit, then respond with the whole [`FittedGroup`] (model + training
+    /// records) in one [`Response::Group`] — the `Workbench` path.
+    Group(ModelKey),
+    /// Fit, then stream one [`Response::Prediction`] per benchmark.
+    Predictions(ModelKey),
+    /// Fit both machines on one suite and respond with the CPI-delta
+    /// stacks explaining `new` vs `old` (Fig. 6). The combining task runs
+    /// on the `old` side's key shard and fits any side that is not yet
+    /// cached there and then — so a raw submit can briefly duplicate a
+    /// regression racing a first-time fit of the `new` key on its home
+    /// shard (results are identical; the cache insert is idempotent).
+    /// [`CpiClient::delta`] avoids this by warming both keys on their
+    /// home shards first.
+    Delta {
+        /// Baseline machine.
+        old: MachineId,
+        /// Comparison machine.
+        new: MachineId,
+        /// The suite both models train on.
+        suite: Suite,
+        /// Fit options for both models.
+        options: FitOptions,
+    },
+    /// Snapshot the service counters into one [`Response::Stats`].
+    Stats,
+}
+
+/// One benchmark's `(name, measured CPI, predicted CPI)` row, as collected
+/// by [`CpiClient::predictions`].
+pub type PredictionRow = (String, f64, f64);
+
+/// How a served model came to be.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// The machine modeled.
+    pub machine: MachineId,
+    /// The suite group (`None` = pooled).
+    pub suite: Option<Suite>,
+    /// The fitted (or cache-served) model.
+    pub model: Arc<InferredModel>,
+    /// Training records behind the model.
+    pub records: usize,
+    /// `true` when the model came from the cache rather than a fresh fit.
+    pub cached: bool,
+    /// The machine's record-store generation the model was fitted at.
+    pub generation: u64,
+}
+
+/// One streamed response item.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Response {
+    /// A machine spec was registered.
+    Registered {
+        /// The machine registered.
+        machine: MachineId,
+    },
+    /// One per-machine ingestion batch landed.
+    Ingested {
+        /// The machine the batch belongs to.
+        machine: MachineId,
+        /// Records appended.
+        records: usize,
+        /// The machine's new generation.
+        generation: u64,
+    },
+    /// A model is ready (fitted or cache-served).
+    Model(ModelReport),
+    /// One benchmark's CPI stack (streamed after [`Response::Model`]).
+    Stack {
+        /// Benchmark–input name.
+        benchmark: String,
+        /// The model-estimated stack.
+        stack: crate::stack::CpiStack,
+    },
+    /// A whole fitted group (the `Workbench` path).
+    Group(Box<FittedGroup>),
+    /// One benchmark's measured-vs-predicted CPI.
+    Prediction {
+        /// Benchmark–input name.
+        benchmark: String,
+        /// Measured CPI.
+        measured: f64,
+        /// Model-predicted CPI.
+        predicted: f64,
+    },
+    /// CPI-delta stacks between two machines.
+    Delta(DeltaStacks),
+    /// Service counters snapshot.
+    Stats(ServiceStats),
+    /// The request failed.
+    Error(ServiceError),
+}
+
+/// The per-request response channel: iterate until it closes. The stream
+/// ends when every worker holding the request's reply handle has finished.
+#[derive(Debug)]
+pub struct ResponseStream {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Iterator for ResponseStream {
+    type Item = Response;
+
+    fn next(&mut self) -> Option<Response> {
+        self.rx.recv().ok()
+    }
+}
+
+impl ResponseStream {
+    /// Drains the stream, returning every response — or the first error.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Response::Error`] in the stream.
+    pub fn finish(self) -> Result<Vec<Response>, ServiceError> {
+        let mut out = Vec::new();
+        for response in self {
+            match response {
+                Response::Error(e) => return Err(e),
+                other => out.push(other),
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The model cache
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    machine: MachineId,
+    suite: Option<Suite>,
+    options: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    key: CacheKey,
+    generation: u64,
+    last_used: u64,
+    model: Arc<InferredModel>,
+}
+
+/// Cache hit/miss accounting, exposed through [`ServiceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing servable.
+    pub misses: u64,
+    /// Entries evicted because the cache was full (LRU order).
+    pub evictions: u64,
+    /// Entries dropped because their machine's records changed
+    /// (generation mismatch) or its spec was replaced.
+    pub invalidations: u64,
+    /// Models inserted after a fresh fit.
+    pub inserts: u64,
+}
+
+/// An LRU cache of fitted models keyed by
+/// `(machine, suite, FitOptions fingerprint)`, with generation-based
+/// invalidation: every entry remembers the record-store generation it was
+/// fitted at, and a lookup only hits while the machine's generation still
+/// matches — ingesting a new counter batch silently retires every stale
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use memodel::service::ModelCache;
+/// let cache = ModelCache::new(8);
+/// assert_eq!(cache.capacity(), 8);
+/// assert!(cache.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ModelCache {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<CacheEntry>,
+    stats: CacheStats,
+}
+
+impl ModelCache {
+    /// An empty cache holding at most `capacity` models (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of cached models.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently cached models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accounting counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up the model for `key` fitted at `generation`. A hit marks
+    /// the entry most-recently-used; a generation mismatch drops the stale
+    /// entry (counted as an invalidation *and* a miss).
+    pub fn lookup(&mut self, key: &ModelKey, generation: u64) -> Option<Arc<InferredModel>> {
+        let cache_key = key.cache_key();
+        let Some(i) = self.entries.iter().position(|e| e.key == cache_key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if self.entries[i].generation != generation {
+            self.entries.remove(i);
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        self.entries[i].last_used = self.tick;
+        self.stats.hits += 1;
+        Some(self.entries[i].model.clone())
+    }
+
+    /// Peeks whether a servable entry exists, without touching LRU order
+    /// or the counters.
+    pub fn contains(&self, key: &ModelKey, generation: u64) -> bool {
+        let cache_key = key.cache_key();
+        self.entries
+            .iter()
+            .any(|e| e.key == cache_key && e.generation == generation)
+    }
+
+    /// Inserts (or replaces) the model for `key` at `generation`, evicting
+    /// the least-recently-used entry when full.
+    pub fn insert(&mut self, key: &ModelKey, generation: u64, model: Arc<InferredModel>) {
+        let cache_key = key.cache_key();
+        self.tick += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.key == cache_key) {
+            // A pinned/delta fit working from an older snapshot can finish
+            // after a fresher fit of the same key: keep the newer model,
+            // or the next lookup would invalidate and re-run the
+            // regression for nothing.
+            if generation >= entry.generation {
+                entry.generation = generation;
+                entry.last_used = self.tick;
+                entry.model = model;
+            }
+        } else {
+            if self.entries.len() >= self.capacity {
+                let lru = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("cache is non-empty when at capacity");
+                self.entries.remove(lru);
+                self.stats.evictions += 1;
+            }
+            self.entries.push(CacheEntry {
+                key: cache_key,
+                generation,
+                last_used: self.tick,
+                model,
+            });
+        }
+        self.stats.inserts += 1;
+    }
+
+    /// Drops every entry for `machine` (used when its spec is replaced).
+    fn invalidate_machine(&mut self, machine: MachineId) {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.key.machine != machine);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service state
+// ---------------------------------------------------------------------------
+
+/// Service-wide counters, snapshot via [`Request::Stats`] /
+/// [`CpiClient::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Tasks processed by the worker pool (requests may split into
+    /// several tasks, e.g. multi-machine ingestion).
+    pub requests: u64,
+    /// Nonlinear regressions actually run (cache misses that fitted).
+    pub fits: u64,
+    /// Counter records ingested over the service's lifetime.
+    pub ingested_records: u64,
+    /// Worker shards serving the queue.
+    pub workers: usize,
+    /// Model-cache accounting.
+    pub cache: CacheStats,
+}
+
+#[derive(Debug, Default)]
+struct MachineState {
+    spec: Option<MachineSpec>,
+    /// Ingested batches in arrival order. Each batch is an `Arc` so a fit
+    /// can snapshot the store under the lock in O(batches) pointer clones
+    /// and do all record filtering/copying *outside* it.
+    batches: Vec<Arc<Vec<RunRecord>>>,
+    generation: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Insertion-ordered so enumeration is deterministic.
+    machines: Vec<(MachineId, MachineState)>,
+    cache: ModelCache,
+    requests: u64,
+    fits: u64,
+    ingested_records: u64,
+    workers: usize,
+}
+
+impl Inner {
+    fn state_mut(&mut self, machine: MachineId) -> &mut MachineState {
+        if let Some(i) = self.machines.iter().position(|(id, _)| *id == machine) {
+            return &mut self.machines[i].1;
+        }
+        self.machines.push((machine, MachineState::default()));
+        &mut self.machines.last_mut().expect("just pushed").1
+    }
+
+    fn state(&self, machine: MachineId) -> Option<&MachineState> {
+        self.machines
+            .iter()
+            .find(|(id, _)| *id == machine)
+            .map(|(_, s)| s)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests,
+            fits: self.fits,
+            ingested_records: self.ingested_records,
+            workers: self.workers,
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// Locks the state, recovering from a poisoned mutex (a panicking fit on
+/// another worker must not wedge the whole service).
+fn lock(inner: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    inner
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Configuration, service, client
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`CpiService::start`]. Construct via
+/// [`ServiceConfig::new`] and refine with the `with_*` setters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServiceConfig {
+    /// Worker shards (machines are hashed across them).
+    pub workers: usize,
+    /// Maximum models held by the [`ModelCache`].
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(1, 16),
+            cache_capacity: 32,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration: one worker per hardware thread (capped
+    /// at 16), a 32-model cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-shard count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the model-cache capacity (minimum 1).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+}
+
+enum WorkerMsg {
+    Task {
+        task: Task,
+        reply: mpsc::Sender<Response>,
+    },
+    Shutdown,
+}
+
+/// The worker-side unit of work: requests are routed (and multi-machine
+/// ingestion split) into tasks before they reach a shard.
+enum Task {
+    Register(Box<MachineSpec>),
+    Ingest {
+        machine: MachineId,
+        records: Vec<RunRecord>,
+    },
+    Fit(ModelKey),
+    Stacks(ModelKey),
+    Group(ModelKey),
+    Predictions(ModelKey),
+    Delta {
+        old: MachineId,
+        new: MachineId,
+        suite: Suite,
+        options: FitOptions,
+    },
+}
+
+struct Router {
+    shards: Vec<mpsc::Sender<WorkerMsg>>,
+    inner: Arc<Mutex<Inner>>,
+    /// Set once by shutdown so requests answered inline (stats) honour
+    /// the `Stopped` contract like queue-routed ones do.
+    stopped: std::sync::atomic::AtomicBool,
+}
+
+impl Router {
+    /// Shard for machine-scoped traffic (registration, ingestion): all
+    /// store mutations for one machine are serialized on one worker.
+    fn shard_of(&self, machine: MachineId) -> usize {
+        let mut h = DefaultHasher::new();
+        machine.name().hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Shard for model-scoped traffic (fit/stacks/group/predictions):
+    /// hashed by the full cache key, so repeat requests for one key are
+    /// serialized (the second is a cache hit, never a duplicate
+    /// regression) while *different* keys — even two suites of the same
+    /// machine — fan out across workers.
+    fn shard_of_key(&self, key: &ModelKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.machine.name().hash(&mut h);
+        key.suite.map(Suite::name).hash(&mut h);
+        key.options.fingerprint().hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+}
+
+/// The long-lived serving loop: a sharded worker pool over one shared
+/// record store and model cache. See the [module docs](self).
+pub struct CpiService {
+    router: Arc<Router>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for CpiService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CpiService")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl CpiService {
+    /// Spawns the worker pool and returns the running service.
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Mutex::new(Inner {
+            machines: Vec::new(),
+            cache: ModelCache::new(config.cache_capacity),
+            requests: 0,
+            fits: 0,
+            ingested_records: 0,
+            workers,
+        }));
+        let mut shards = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            shards.push(tx);
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cpi-shard-{i}"))
+                    .spawn(move || worker_loop(rx, &inner))
+                    .expect("spawning a service worker"),
+            );
+        }
+        Self {
+            router: Arc::new(Router {
+                shards,
+                inner,
+                stopped: std::sync::atomic::AtomicBool::new(false),
+            }),
+            handles,
+        }
+    }
+
+    /// A new client handle. Clients are cheap, cloneable, and may be moved
+    /// to other threads; every client shares this service's warm state.
+    pub fn client(&self) -> CpiClient {
+        CpiClient {
+            router: Arc::clone(&self.router),
+        }
+    }
+
+    /// Stops the workers (after they drain their queues) and returns the
+    /// final counters. Outstanding clients observe [`ServiceError::Stopped`]
+    /// on their next submission.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        lock(&self.router.inner).stats()
+    }
+
+    fn stop(&mut self) {
+        self.router
+            .stopped
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        for shard in &self.router.shards {
+            // A send can only fail if the worker already exited.
+            let _ = shard.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CpiService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A handle for submitting [`Request`]s to a [`CpiService`]. Obtained from
+/// [`CpiService::client`]; cloneable and thread-safe.
+#[derive(Clone)]
+pub struct CpiClient {
+    router: Arc<Router>,
+}
+
+impl fmt::Debug for CpiClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CpiClient")
+            .field("shards", &self.router.shards.len())
+            .finish()
+    }
+}
+
+impl CpiClient {
+    /// Submits one request; responses stream back on the returned channel.
+    ///
+    /// Ordering: store mutations for one machine (register, ingest) are
+    /// FIFO on its shard, and model requests for one key are FIFO on the
+    /// key's shard — but an ingest and a fit may land on *different*
+    /// shards, so drain a mutation's stream before submitting a request
+    /// that depends on it (every convenience method on this client does).
+    pub fn submit(&self, request: Request) -> ResponseStream {
+        let (tx, rx) = mpsc::channel();
+        let stream = ResponseStream { rx };
+        if matches!(request, Request::Stats) {
+            // Stats is a cheap monitoring read of the shared state —
+            // answering it here keeps it from queueing behind a
+            // multi-second regression on some worker.
+            if self
+                .router
+                .stopped
+                .load(std::sync::atomic::Ordering::SeqCst)
+            {
+                let _ = tx.send(Response::Error(ServiceError::Stopped));
+                return stream;
+            }
+            let mut guard = lock(&self.router.inner);
+            guard.requests += 1;
+            let stats = guard.stats();
+            drop(guard);
+            let _ = tx.send(Response::Stats(stats));
+            return stream;
+        }
+        let tasks: Vec<(usize, Task)> = match self.route(request) {
+            Ok(tasks) => tasks,
+            Err(e) => {
+                let _ = tx.send(Response::Error(e));
+                return stream;
+            }
+        };
+        self.dispatch(tasks, &tx);
+        stream
+    }
+
+    fn dispatch(&self, tasks: Vec<(usize, Task)>, tx: &mpsc::Sender<Response>) {
+        for (shard, task) in tasks {
+            if self.router.shards[shard]
+                .send(WorkerMsg::Task {
+                    task,
+                    reply: tx.clone(),
+                })
+                .is_err()
+            {
+                let _ = tx.send(Response::Error(ServiceError::Stopped));
+            }
+        }
+    }
+
+    /// A [`Request::Group`] pinned to an explicit shard (modulo the pool
+    /// size), bypassing hash placement. Pinning forfeits same-key
+    /// serialization — two concurrent requests for one key pinned to
+    /// different shards can fit twice — so use it only for one-shot
+    /// fan-out over *distinct* keys (as `Workbench::fit` and the bench
+    /// `Campaign` do, round-robin, so no worker sits idle on a hash
+    /// collision).
+    pub fn submit_group_at(&self, shard: usize, key: ModelKey) -> ResponseStream {
+        let (tx, rx) = mpsc::channel();
+        let stream = ResponseStream { rx };
+        let shard = shard % self.router.shards.len();
+        self.dispatch(vec![(shard, Task::Group(key))], &tx);
+        stream
+    }
+
+    /// Splits a request into per-shard tasks. CSV parsing happens here, on
+    /// the client's thread, so a malformed batch never occupies a worker.
+    fn route(&self, request: Request) -> Result<Vec<(usize, Task)>, ServiceError> {
+        let r = &self.router;
+        Ok(match request {
+            Request::Register(spec) => vec![(r.shard_of(spec.id()), Task::Register(spec))],
+            Request::IngestRecords(records) => {
+                // Stable per-machine partition: each chunk routes to its
+                // machine's shard, keeping ingest→fit FIFO per machine.
+                let mut chunks: Vec<(MachineId, Vec<RunRecord>)> = Vec::new();
+                for record in records {
+                    let machine = record.machine();
+                    match chunks.iter_mut().find(|(id, _)| *id == machine) {
+                        Some((_, chunk)) => chunk.push(record),
+                        None => chunks.push((machine, vec![record])),
+                    }
+                }
+                chunks
+                    .into_iter()
+                    .map(|(machine, records)| {
+                        (r.shard_of(machine), Task::Ingest { machine, records })
+                    })
+                    .collect()
+            }
+            Request::IngestCsv { text, origin } => {
+                let records = pmu::csv::from_csv(&text)
+                    .map_err(|error| ServiceError::Parse { origin, error })?;
+                return self.route(Request::IngestRecords(records));
+            }
+            Request::Fit(key) => vec![(r.shard_of_key(&key), Task::Fit(key))],
+            Request::Stacks(key) => vec![(r.shard_of_key(&key), Task::Stacks(key))],
+            Request::Group(key) => vec![(r.shard_of_key(&key), Task::Group(key))],
+            Request::Predictions(key) => {
+                vec![(r.shard_of_key(&key), Task::Predictions(key))]
+            }
+            Request::Delta {
+                old,
+                new,
+                suite,
+                options,
+            } => vec![(
+                r.shard_of_key(&ModelKey::new(old, Some(suite), options.clone())),
+                Task::Delta {
+                    old,
+                    new,
+                    suite,
+                    options,
+                },
+            )],
+            // Answered inline by `submit` before routing.
+            Request::Stats => Vec::new(),
+        })
+    }
+
+    /// Registers (or replaces) a machine spec and waits for the ack.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] when the service is gone.
+    pub fn register(&self, spec: MachineSpec) -> Result<MachineId, ServiceError> {
+        for response in self.submit(Request::Register(Box::new(spec))) {
+            match response {
+                Response::Registered { machine } => return Ok(machine),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
+    }
+
+    /// Ingests a record batch (machines may be mixed) and waits until every
+    /// per-machine chunk has landed. Returns the total records ingested.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] when the service is gone.
+    pub fn ingest(&self, records: Vec<RunRecord>) -> Result<usize, ServiceError> {
+        let mut total = 0;
+        for response in self.submit(Request::IngestRecords(records)) {
+            match response {
+                Response::Ingested { records, .. } => total += records,
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(total)
+    }
+
+    /// Parses counters-CSV text and ingests it; `origin` names the source
+    /// for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Parse`] (with `origin` and the offending line) when
+    /// the text is malformed; [`ServiceError::Stopped`] when the service
+    /// is gone.
+    pub fn ingest_csv(&self, text: &str, origin: &str) -> Result<usize, ServiceError> {
+        let mut total = 0;
+        for response in self.submit(Request::IngestCsv {
+            text: text.to_owned(),
+            origin: origin.to_owned(),
+        }) {
+            match response {
+                Response::Ingested { records, .. } => total += records,
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(total)
+    }
+
+    /// Fits (or fetches) one model.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] the fit produced.
+    pub fn fit(&self, key: ModelKey) -> Result<ModelReport, ServiceError> {
+        for response in self.submit(Request::Fit(key)) {
+            match response {
+                Response::Model(report) => return Ok(report),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
+    }
+
+    /// Fits (or fetches) one model and collects its streamed CPI stacks.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] the fit produced.
+    pub fn stacks(
+        &self,
+        key: ModelKey,
+    ) -> Result<(ModelReport, Vec<(String, crate::stack::CpiStack)>), ServiceError> {
+        let mut report = None;
+        let mut stacks = Vec::new();
+        for response in self.submit(Request::Stacks(key)) {
+            match response {
+                Response::Model(r) => report = Some(r),
+                Response::Stack { benchmark, stack } => stacks.push((benchmark, stack)),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        report.map(|r| (r, stacks)).ok_or(ServiceError::Stopped)
+    }
+
+    /// Fits (or fetches) one model and returns the whole [`FittedGroup`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] the fit produced.
+    pub fn group(&self, key: ModelKey) -> Result<FittedGroup, ServiceError> {
+        for response in self.submit(Request::Group(key)) {
+            match response {
+                Response::Group(group) => return Ok(*group),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
+    }
+
+    /// Fits (or fetches) one model and collects measured-vs-predicted CPI
+    /// per benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] the fit produced.
+    pub fn predictions(
+        &self,
+        key: ModelKey,
+    ) -> Result<(ModelReport, Vec<PredictionRow>), ServiceError> {
+        let mut report = None;
+        let mut predictions = Vec::new();
+        for response in self.submit(Request::Predictions(key)) {
+            match response {
+                Response::Model(r) => report = Some(r),
+                Response::Prediction {
+                    benchmark,
+                    measured,
+                    predicted,
+                } => predictions.push((benchmark, measured, predicted)),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        report
+            .map(|r| (r, predictions))
+            .ok_or(ServiceError::Stopped)
+    }
+
+    /// CPI-delta stacks explaining `new` vs `old` on one suite.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] either fit produced.
+    pub fn delta(
+        &self,
+        old: MachineId,
+        new: MachineId,
+        suite: Suite,
+        options: FitOptions,
+    ) -> Result<DeltaStacks, ServiceError> {
+        // Warm both sides on their *home* shards first (concurrently, and
+        // serialized with any other request for the same key), so the
+        // combining task below is all cache hits — a raw
+        // `Request::Delta` fits both sides on one worker instead.
+        let warm_old = self.submit(Request::Fit(ModelKey::new(
+            old,
+            Some(suite),
+            options.clone(),
+        )));
+        let warm_new = self.submit(Request::Fit(ModelKey::new(
+            new,
+            Some(suite),
+            options.clone(),
+        )));
+        for stream in [warm_old, warm_new] {
+            for response in stream {
+                if let Response::Error(e) = response {
+                    return Err(e);
+                }
+            }
+        }
+        for response in self.submit(Request::Delta {
+            old,
+            new,
+            suite,
+            options,
+        }) {
+            match response {
+                Response::Delta(delta) => return Ok(delta),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
+    }
+
+    /// Snapshots the service counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] when the service is gone.
+    pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        for response in self.submit(Request::Stats) {
+            match response {
+                Response::Stats(stats) => return Ok(stats),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worker loop — the one fitting code path
+// ---------------------------------------------------------------------------
+
+fn worker_loop(rx: mpsc::Receiver<WorkerMsg>, inner: &Mutex<Inner>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Shutdown => break,
+            WorkerMsg::Task { task, reply } => {
+                // A panicking handler (a pathological record set blowing
+                // up in the regression, say) must not kill the shard: the
+                // whole key-space hashed here would then see `Stopped`
+                // while the rest of the service kept working. Catch it,
+                // report it in-band, keep serving. `lock()` recovers the
+                // mutex if the panic poisoned it.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_task(task, &reply, inner)
+                }));
+                if let Err(payload) = caught {
+                    let detail = panic_detail(&payload);
+                    let _ = reply.send(Response::Error(ServiceError::Panicked { detail }));
+                }
+                // `reply` drops here; when the last clone goes, the
+                // client-side stream ends.
+            }
+        }
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>) {
+    lock(inner).requests += 1;
+    // The client may have hung up mid-stream; sends failing is fine.
+    let send = |response: Response| {
+        let _ = reply.send(response);
+    };
+    match task {
+        Task::Register(spec) => {
+            let machine = spec.id();
+            let mut guard = lock(inner);
+            let replacing = {
+                let state = guard.state_mut(machine);
+                let replacing = state.spec.is_some();
+                if replacing {
+                    // New constants mean every cached model for this
+                    // machine was fitted against the wrong arch.
+                    state.generation += 1;
+                }
+                state.spec = Some(*spec);
+                replacing
+            };
+            if replacing {
+                guard.cache.invalidate_machine(machine);
+            }
+            drop(guard);
+            send(Response::Registered { machine });
+        }
+        Task::Ingest { machine, records } => {
+            let count = records.len();
+            let batch = Arc::new(records);
+            let mut guard = lock(inner);
+            guard.ingested_records += count as u64;
+            let state = guard.state_mut(machine);
+            state.batches.push(batch);
+            state.generation += 1;
+            let generation = state.generation;
+            drop(guard);
+            send(Response::Ingested {
+                machine,
+                records: count,
+                generation,
+            });
+        }
+        Task::Fit(key) => match fit_key(inner, &key) {
+            Ok((report, _, _)) => send(Response::Model(report)),
+            Err(e) => send(Response::Error(e)),
+        },
+        Task::Stacks(key) => match fit_key(inner, &key) {
+            Ok((report, snapshot, _)) => {
+                let model = Arc::clone(&report.model);
+                send(Response::Model(report));
+                for record in snapshot.iter() {
+                    send(Response::Stack {
+                        benchmark: record.benchmark().to_owned(),
+                        stack: model.cpi_stack(record),
+                    });
+                }
+            }
+            Err(e) => send(Response::Error(e)),
+        },
+        Task::Group(key) => match fit_key(inner, &key) {
+            Ok((report, snapshot, trained)) => send(Response::Group(Box::new(FittedGroup {
+                machine: report.machine,
+                suite: report.suite,
+                arch: *report.model.arch(),
+                model: (*report.model).clone(),
+                records: trained.unwrap_or_else(|| snapshot.to_vec()),
+            }))),
+            Err(e) => send(Response::Error(e)),
+        },
+        Task::Predictions(key) => match fit_key(inner, &key) {
+            Ok((report, snapshot, _)) => {
+                let model = Arc::clone(&report.model);
+                send(Response::Model(report));
+                for record in snapshot.iter() {
+                    send(Response::Prediction {
+                        benchmark: record.benchmark().to_owned(),
+                        measured: record.cpi(),
+                        predicted: model.predict_record(record),
+                    });
+                }
+            }
+            Err(e) => send(Response::Error(e)),
+        },
+        Task::Delta {
+            old,
+            new,
+            suite,
+            options,
+        } => {
+            let fit_side = |machine: MachineId| {
+                let key = ModelKey::new(machine, Some(suite), options.clone());
+                fit_key(inner, &key).map(|(report, snapshot, trained)| {
+                    let records = trained.unwrap_or_else(|| snapshot.to_vec());
+                    (report, records)
+                })
+            };
+            match fit_side(old).and_then(|a| fit_side(new).map(|b| (a, b))) {
+                Ok(((a, a_records), (b, b_records))) => send(Response::Delta(suite_delta(
+                    &a.model, &a_records, &b.model, &b_records,
+                ))),
+                Err(e) => send(Response::Error(e)),
+            }
+        }
+    }
+}
+
+/// A point-in-time, suite-filtered view of one machine's ingested
+/// records: `Arc` clones of the batch list, no record copies. Streaming
+/// handlers iterate it in place; only consumers that need owned
+/// contiguous records (`Group`, `Delta`, the regression itself)
+/// materialize a `Vec`.
+struct RecordsSnapshot {
+    batches: Vec<Arc<Vec<RunRecord>>>,
+    suite: Option<Suite>,
+}
+
+impl RecordsSnapshot {
+    fn iter(&self) -> impl Iterator<Item = &RunRecord> {
+        let suite = self.suite;
+        self.batches
+            .iter()
+            .flat_map(|batch| batch.iter())
+            .filter(move |r| suite.is_none_or(|s| r.suite() == s))
+    }
+
+    fn to_vec(&self) -> Vec<RunRecord> {
+        self.iter().cloned().collect()
+    }
+}
+
+/// Serves one model key. The machine's store is snapshotted under the
+/// lock in O(batches) `Arc` clones; record filtering/copying and the
+/// regression all run *outside* it, so a slow fit or a huge record set on
+/// one shard never stalls ingestion or cached serves on another. Cache
+/// hits copy no records at all — the returned snapshot streams them in
+/// place, and the `Vec` is `Some` only when a fresh fit had to
+/// materialize one (so `Group`/`Delta` reuse it instead of re-copying).
+/// This is the single fitting code path behind the service *and*
+/// `Workbench::fit()`.
+#[allow(clippy::type_complexity)]
+fn fit_key(
+    inner: &Mutex<Inner>,
+    key: &ModelKey,
+) -> Result<(ModelReport, RecordsSnapshot, Option<Vec<RunRecord>>), ServiceError> {
+    let (arch, batches, generation) = {
+        let guard = lock(inner);
+        let state = guard
+            .state(key.machine)
+            .ok_or(ServiceError::NotRegistered {
+                machine: key.machine,
+            })?;
+        let spec = state.spec.as_ref().ok_or(ServiceError::NotRegistered {
+            machine: key.machine,
+        })?;
+        (*spec.arch(), state.batches.clone(), state.generation)
+    };
+    let snapshot = RecordsSnapshot {
+        batches,
+        suite: key.suite,
+    };
+    let count = snapshot.iter().count();
+    if count == 0 {
+        return Err(ServiceError::NoRecords {
+            machine: key.machine,
+            suite: key.suite,
+        });
+    }
+    let report = |model: Arc<InferredModel>, cached: bool| ModelReport {
+        machine: key.machine,
+        suite: key.suite,
+        records: count,
+        model,
+        cached,
+        generation,
+    };
+    // The generation travels with the snapshot: if a batch lands between
+    // the snapshot and this lookup (or the insert below), the entry is
+    // recorded against the old generation and retires on its next lookup.
+    let hit = lock(inner).cache.lookup(key, generation);
+    if let Some(model) = hit {
+        return Ok((report(model, true), snapshot, None));
+    }
+    let records = snapshot.to_vec();
+    let model = Arc::new(
+        InferredModel::fit(&arch, &records, &key.options).map_err(|error| ServiceError::Fit {
+            machine: key.machine,
+            suite: key.suite,
+            error,
+        })?,
+    );
+    {
+        let mut guard = lock(inner);
+        guard.fits += 1;
+        guard.cache.insert(key, generation, Arc::clone(&model));
+    }
+    Ok((report(model, false), snapshot, Some(records)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workbench::SimSource;
+    use oosim::machine::MachineConfig;
+
+    fn core2_records(n: usize, uops: u64, seed: u64) -> Vec<RunRecord> {
+        SimSource::new()
+            .suite(specgen::suites::cpu2000().into_iter().take(n).collect())
+            .uops(uops)
+            .seed(seed)
+            .collect_config(&MachineConfig::core2())
+    }
+
+    fn warm_service() -> (CpiService, CpiClient) {
+        let service = CpiService::start(ServiceConfig::new().with_workers(2));
+        let client = service.client();
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+        client.ingest(core2_records(12, 3_000, 7)).expect("ingest");
+        (service, client)
+    }
+
+    #[test]
+    fn fit_then_refit_hits_the_cache() {
+        let (service, client) = warm_service();
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let first = client.fit(key.clone()).expect("first fit");
+        assert!(!first.cached);
+        let second = client.fit(key).expect("second fit");
+        assert!(second.cached);
+        assert_eq!(first.model.params(), second.model.params());
+        let stats = service.shutdown();
+        assert_eq!(stats.fits, 1);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn ingestion_invalidates_cached_models() {
+        let (service, client) = warm_service();
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let first = client.fit(key.clone()).expect("fit");
+        client
+            .ingest(core2_records(12, 3_000, 99))
+            .expect("second batch");
+        let refit = client.fit(key).expect("refit");
+        assert!(!refit.cached, "new batch must retire the cached model");
+        assert_eq!(refit.records, 24);
+        assert!(refit.generation > first.generation);
+        let stats = service.shutdown();
+        assert_eq!(stats.cache.invalidations, 1);
+        assert_eq!(stats.fits, 2);
+    }
+
+    #[test]
+    fn reregistering_new_constants_invalidates() {
+        let (service, client) = warm_service();
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        client.fit(key.clone()).expect("fit");
+        client
+            .register(MachineSpec::real(
+                MachineId::Core2,
+                crate::params::MicroarchParams::new(4.0, 14.0, 25.0, 200.0, 40.0),
+            ))
+            .expect("re-register");
+        let refit = client.fit(key).expect("refit");
+        assert!(!refit.cached);
+        assert_eq!(refit.model.arch().c_l2, 25.0);
+        drop(client);
+        let stats = service.shutdown();
+        assert_eq!(stats.cache.invalidations, 1);
+    }
+
+    #[test]
+    fn unknown_machine_and_empty_suite_are_typed_errors() {
+        let (service, client) = warm_service();
+        let err = client
+            .fit(ModelKey::pooled(MachineId::Pentium4, FitOptions::quick()))
+            .expect_err("never registered");
+        assert!(matches!(
+            err,
+            ServiceError::NotRegistered {
+                machine: MachineId::Pentium4
+            }
+        ));
+        let err = client
+            .fit(ModelKey::new(
+                MachineId::Core2,
+                Some(Suite::Cpu2006),
+                FitOptions::quick(),
+            ))
+            .expect_err("no cpu2006 records ingested");
+        assert!(matches!(err, ServiceError::NoRecords { .. }));
+        service.shutdown();
+    }
+
+    #[test]
+    fn csv_ingestion_round_trips_and_parse_errors_carry_origin() {
+        let service = CpiService::start(ServiceConfig::new().with_workers(1));
+        let client = service.client();
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+        let csv = pmu::csv::to_csv(&core2_records(12, 3_000, 5));
+        assert_eq!(client.ingest_csv(&csv, "batch.csv").expect("ingest"), 12);
+        let err = client
+            .ingest_csv("not,a,header\n1,2,3\n", "bad.csv")
+            .expect_err("malformed");
+        match &err {
+            ServiceError::Parse { origin, .. } => assert_eq!(origin, "bad.csv"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let report = client
+            .fit(ModelKey::new(
+                MachineId::Core2,
+                Some(Suite::Cpu2000),
+                FitOptions::quick(),
+            ))
+            .expect("fit over csv batch");
+        assert_eq!(report.records, 12);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stacks_stream_model_first_then_per_benchmark() {
+        let (service, client) = warm_service();
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let mut saw_model = false;
+        let mut stacks = 0;
+        for response in client.submit(Request::Stacks(key)) {
+            match response {
+                Response::Model(_) => {
+                    assert_eq!(stacks, 0, "model arrives before any stack");
+                    saw_model = true;
+                }
+                Response::Stack { .. } => {
+                    assert!(saw_model);
+                    stacks += 1;
+                }
+                Response::Error(e) => panic!("unexpected error: {e}"),
+                _ => {}
+            }
+        }
+        assert_eq!(stacks, 12);
+        service.shutdown();
+    }
+
+    #[test]
+    fn delta_is_served_through_the_same_cache() {
+        let service = CpiService::start(ServiceConfig::new().with_workers(3));
+        let client = service.client();
+        for config in [MachineConfig::pentium4(), MachineConfig::core2()] {
+            let records = SimSource::new()
+                .suite(specgen::suites::cpu2000().into_iter().take(12).collect())
+                .uops(3_000)
+                .seed(7)
+                .collect_config(&config);
+            client
+                .register(MachineSpec::from(config))
+                .expect("register");
+            client.ingest(records).expect("ingest");
+        }
+        let delta = client
+            .delta(
+                MachineId::Pentium4,
+                MachineId::Core2,
+                Suite::Cpu2000,
+                FitOptions::quick(),
+            )
+            .expect("delta");
+        assert!(delta.overall.total().is_finite());
+        // Both sides are now cached: repeating the delta runs no new fits.
+        let before = client.stats().expect("stats").fits;
+        client
+            .delta(
+                MachineId::Pentium4,
+                MachineId::Core2,
+                Suite::Cpu2000,
+                FitOptions::quick(),
+            )
+            .expect("repeat delta");
+        let stats = service.shutdown();
+        assert_eq!(stats.fits, before, "repeat delta is all cache hits");
+        assert_eq!(stats.fits, 2);
+    }
+
+    #[test]
+    fn submitting_after_shutdown_reports_stopped() {
+        let (service, client) = warm_service();
+        service.shutdown();
+        let err = client
+            .fit(ModelKey::pooled(MachineId::Core2, FitOptions::quick()))
+            .expect_err("service is gone");
+        assert!(matches!(err, ServiceError::Stopped));
+        let err = client.stats().expect_err("stats honours the contract too");
+        assert!(matches!(err, ServiceError::Stopped));
+    }
+
+    #[test]
+    fn options_fingerprint_separates_cache_entries() {
+        let (service, client) = warm_service();
+        let quick = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let seeded = ModelKey::new(
+            MachineId::Core2,
+            Some(Suite::Cpu2000),
+            FitOptions::quick().with_seed(1),
+        );
+        client.fit(quick).expect("fit quick");
+        let other = client.fit(seeded).expect("fit seeded");
+        assert!(!other.cached, "different options are a different key");
+        let stats = service.shutdown();
+        assert_eq!(stats.fits, 2);
+    }
+}

@@ -723,6 +723,16 @@ impl Workbench {
                 .map(|id| MachineSpec::real(id, arch))
                 .collect()
         };
+        for (i, spec) in specs.iter().enumerate() {
+            if specs[..i].iter().any(|s| s.id() == spec.id()) {
+                // The serving layer stores records per machine id, so two
+                // specs for one machine would silently merge campaigns.
+                return Err(PipelineError::Config(format!(
+                    "machine `{}` was added twice",
+                    spec.id().name()
+                )));
+            }
+        }
 
         let inner_threads = if self.parallel {
             std::thread::available_parallelism()
@@ -830,87 +840,90 @@ impl Collected {
     }
 
     /// Runs the fit stage: one model per group (machine × suite by
-    /// default), fitted on parallel threads when parallelism is on.
-    /// Fitting is deterministic, so the threading never changes results.
+    /// default). Implemented on top of an ephemeral
+    /// [`CpiService`](crate::service::CpiService) — the workbench registers
+    /// its machines, ingests the collected records, and submits one
+    /// [`Group`](crate::service::Request::Group) request per model, so the
+    /// one-shot path and the long-lived serving path share a single
+    /// fitting code path. With parallelism on, groups fan out across the
+    /// service's worker shards; fitting is deterministic, so the threading
+    /// never changes results.
     ///
     /// # Errors
     ///
     /// [`PipelineError::Fit`] naming the first group whose inference
     /// failed.
     pub fn fit(self) -> Result<Fitted, PipelineError> {
-        struct Pending {
-            machine: MachineId,
-            suite: Option<Suite>,
-            arch: MicroarchParams,
-            records: Vec<RunRecord>,
-        }
-        let mut pending = Vec::new();
-        for (spec, records) in self.specs.iter().zip(self.records) {
+        use crate::service::{CpiService, ModelKey, Response, ServiceConfig, ServiceError};
+
+        // Deterministic group order: specs in pipeline order, suites in
+        // Suite::ALL order, empty groups skipped.
+        let mut keys: Vec<ModelKey> = Vec::new();
+        for (spec, records) in self.specs.iter().zip(&self.records) {
             match self.grouping {
-                Grouping::Machine => pending.push(Pending {
-                    machine: spec.id(),
-                    suite: None,
-                    arch: *spec.arch(),
-                    records,
-                }),
+                Grouping::Machine => {
+                    keys.push(ModelKey::pooled(spec.id(), self.options.clone()));
+                }
                 Grouping::MachineSuite => {
-                    // Stable partition of the owned records by suite: no
-                    // per-record clones on the hot path.
-                    let mut by_suite: Vec<(Suite, Vec<RunRecord>)> =
-                        Suite::ALL.iter().map(|s| (*s, Vec::new())).collect();
-                    for record in records {
-                        by_suite
-                            .iter_mut()
-                            .find(|(s, _)| *s == record.suite())
-                            .expect("Suite::ALL is exhaustive")
-                            .1
-                            .push(record);
-                    }
-                    for (suite, subset) in by_suite {
-                        if !subset.is_empty() {
-                            pending.push(Pending {
-                                machine: spec.id(),
-                                suite: Some(suite),
-                                arch: *spec.arch(),
-                                records: subset,
-                            });
+                    for suite in Suite::ALL {
+                        if records.iter().any(|r| r.suite() == suite) {
+                            keys.push(ModelKey::new(spec.id(), Some(suite), self.options.clone()));
                         }
                     }
                 }
             }
         }
 
-        let options = &self.options;
-        let fit_one = |p: &Pending| -> Result<InferredModel, PipelineError> {
-            InferredModel::fit(&p.arch, &p.records, options).map_err(|error| PipelineError::Fit {
-                machine: p.machine,
-                suite: p.suite,
-                error,
-            })
-        };
-        let models: Vec<Result<InferredModel, PipelineError>> =
-            if self.parallel && pending.len() > 1 {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = pending
-                        .iter()
-                        .map(|p| scope.spawn(move || fit_one(p)))
-                        .collect();
-                    handles.into_iter().map(join_unwinding).collect()
-                })
-            } else {
-                pending.iter().map(fit_one).collect()
-            };
-
-        let mut groups = Vec::with_capacity(pending.len());
-        for (p, model) in pending.into_iter().zip(models) {
-            groups.push(FittedGroup {
-                machine: p.machine,
-                suite: p.suite,
-                arch: p.arch,
-                model: model?,
-                records: p.records,
-            });
+        let workers = if self.parallel { keys.len().max(1) } else { 1 };
+        let service = CpiService::start(
+            ServiceConfig::new()
+                .with_workers(workers)
+                .with_cache_capacity(keys.len().max(1)),
+        );
+        let client = service.client();
+        let stopped = || PipelineError::Config("the fitting service stopped early".into());
+        for (spec, records) in self.specs.iter().zip(self.records) {
+            client.register(spec.clone()).map_err(|_| stopped())?;
+            client.ingest(records).map_err(|_| stopped())?;
         }
+
+        // Submit every group before collecting any, so shards fit in
+        // parallel — pinned round-robin (one group per worker), since hash
+        // placement would collide some of these distinct one-shot keys
+        // onto one shard and leave workers idle. Then drain in submission
+        // order for deterministic (first-failing-group) error reporting.
+        let streams: Vec<_> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| client.submit_group_at(i, key))
+            .collect();
+        let mut groups = Vec::with_capacity(streams.len());
+        for stream in streams {
+            let mut found = None;
+            for response in stream {
+                match response {
+                    Response::Group(group) => found = Some(*group),
+                    Response::Error(ServiceError::Fit {
+                        machine,
+                        suite,
+                        error,
+                    }) => {
+                        return Err(PipelineError::Fit {
+                            machine,
+                            suite,
+                            error,
+                        })
+                    }
+                    Response::Error(e) => {
+                        return Err(PipelineError::Config(format!("fit service: {e}")))
+                    }
+                    _ => {}
+                }
+            }
+            groups.push(found.ok_or_else(stopped)?);
+        }
+        drop(client);
+        service.shutdown();
         Ok(Fitted { groups })
     }
 }
@@ -959,6 +972,14 @@ pub struct Fitted {
 }
 
 impl Fitted {
+    /// Assembles a `Fitted` from groups produced elsewhere — e.g. by
+    /// [`Group`](crate::service::Request::Group) requests against a
+    /// long-lived [`CpiService`](crate::service::CpiService). Group order
+    /// is preserved.
+    pub fn from_groups(groups: Vec<FittedGroup>) -> Self {
+        Self { groups }
+    }
+
     /// All fitted groups, in pipeline order.
     pub fn groups(&self) -> &[FittedGroup] {
         &self.groups
@@ -1245,6 +1266,41 @@ mod tests {
             }
             other => panic!("expected Fit error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn file_errors_name_the_path_and_line() {
+        let dir = std::env::temp_dir().join(format!("workbench_errpath_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A malformed row: the message must say which file and which line.
+        let bad = dir.join("bad.csv");
+        let mut csv = two_machine_bench(false).to_csv();
+        let second_row = csv.lines().nth(1).unwrap().to_owned();
+        csv = csv.replace(&second_row, &second_row.replace(',', ";"));
+        std::fs::write(&bad, &csv).unwrap();
+        let err = CsvSource::from_path(&bad).expect_err("malformed row");
+        let msg = err.to_string();
+        assert!(msg.contains("bad.csv"), "path missing: {msg}");
+        assert!(msg.contains("line 2"), "line missing: {msg}");
+
+        // A missing file: the message must say which path failed to read.
+        let gone = dir.join("does_not_exist.csv");
+        let msg = CsvSource::from_path(&gone)
+            .expect_err("io error")
+            .to_string();
+        assert!(msg.contains("does_not_exist.csv"), "path missing: {msg}");
+
+        // A failed export: the message must say which path failed to write.
+        let collected = two_machine_bench(false);
+        let target = dir.join("no_such_dir").join("out.csv");
+        let msg = collected
+            .export_to(&target)
+            .expect_err("unwritable")
+            .to_string();
+        assert!(msg.contains("out.csv"), "path missing: {msg}");
+        assert!(msg.contains("export stage"), "stage missing: {msg}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Integration coverage for the serving layer: `ModelCache` accounting and
+//! eviction, and multi-client `CpiService` sessions agreeing byte-for-byte
+//! with the one-shot `Workbench` path.
+
+use memodel::service::{CpiService, ModelCache, ModelKey, ServiceConfig};
+use memodel::workbench::{MachineSpec, SimSource, Workbench};
+use memodel::FitOptions;
+use oosim::machine::MachineConfig;
+use pmu::{MachineId, RunRecord, Suite};
+use std::sync::Arc;
+
+const UOPS: u64 = 4_000;
+const SEED: u64 = 1234;
+
+fn campaign_records(config: &MachineConfig) -> Vec<RunRecord> {
+    SimSource::new()
+        .suite(
+            specgen::suites::cpu2000()
+                .into_iter()
+                .take(12)
+                .collect::<Vec<_>>(),
+        )
+        .uops(UOPS)
+        .seed(SEED)
+        .collect_config(config)
+}
+
+/// A cheap fitted model to populate cache entries with.
+fn some_model() -> Arc<memodel::InferredModel> {
+    let records = campaign_records(&MachineConfig::core2());
+    let arch = memodel::MicroarchParams::from_machine(&MachineConfig::core2());
+    Arc::new(
+        memodel::InferredModel::fit(&arch, &records, &FitOptions::quick()).expect("12 records fit"),
+    )
+}
+
+fn key_with_seed(seed: u64) -> ModelKey {
+    ModelKey::new(
+        MachineId::Core2,
+        Some(Suite::Cpu2000),
+        FitOptions::quick().with_seed(seed),
+    )
+}
+
+#[test]
+fn cache_counts_hits_and_misses() {
+    let mut cache = ModelCache::new(4);
+    let key = key_with_seed(1);
+    let model = some_model();
+    assert!(cache.lookup(&key, 1).is_none(), "cold cache misses");
+    cache.insert(&key, 1, model.clone());
+    assert!(cache.lookup(&key, 1).is_some());
+    assert!(cache.lookup(&key, 1).is_some());
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.inserts, 1);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.invalidations, 0);
+}
+
+#[test]
+fn cache_evicts_least_recently_used_at_capacity() {
+    let mut cache = ModelCache::new(2);
+    let model = some_model();
+    let (a, b, c) = (key_with_seed(1), key_with_seed(2), key_with_seed(3));
+    cache.insert(&a, 1, model.clone());
+    cache.insert(&b, 1, model.clone());
+    assert_eq!(cache.len(), 2);
+    // Touch `a` so `b` becomes the LRU entry, then overflow with `c`.
+    assert!(cache.lookup(&a, 1).is_some());
+    cache.insert(&c, 1, model.clone());
+    assert_eq!(cache.len(), 2, "capacity is a hard bound");
+    assert_eq!(cache.stats().evictions, 1);
+    assert!(cache.contains(&a, 1), "recently used survives");
+    assert!(!cache.contains(&b, 1), "LRU entry was evicted");
+    assert!(cache.contains(&c, 1));
+    // Re-inserting an existing key replaces in place: no eviction.
+    cache.insert(&c, 1, model);
+    assert_eq!(cache.stats().evictions, 1);
+    assert_eq!(cache.len(), 2);
+}
+
+#[test]
+fn cache_invalidates_on_generation_change() {
+    let mut cache = ModelCache::new(4);
+    let key = key_with_seed(1);
+    cache.insert(&key, 1, some_model());
+    assert!(cache.lookup(&key, 1).is_some());
+    // A new counter batch bumped the machine's generation: the cached
+    // model is stale and must not be served.
+    assert!(cache.lookup(&key, 2).is_none());
+    let stats = cache.stats();
+    assert_eq!(stats.invalidations, 1);
+    assert_eq!(stats.misses, 1);
+    assert!(cache.is_empty(), "stale entry was dropped");
+}
+
+#[test]
+fn cache_insert_keeps_newer_generation() {
+    let mut cache = ModelCache::new(2);
+    let key = key_with_seed(1);
+    let model = some_model();
+    cache.insert(&key, 2, model.clone());
+    // A straggler fit from an older snapshot must not clobber the
+    // fresher entry.
+    cache.insert(&key, 1, model);
+    assert!(cache.contains(&key, 2), "newer entry survives");
+    assert!(!cache.contains(&key, 1));
+}
+
+#[test]
+fn service_ingestion_invalidates_cached_models() {
+    let machine = MachineConfig::core2();
+    let service = CpiService::start(ServiceConfig::new().with_workers(2));
+    let client = service.client();
+    client
+        .register(MachineSpec::from(&machine))
+        .expect("register");
+    client.ingest(campaign_records(&machine)).expect("ingest");
+
+    let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+    assert!(!client.fit(key.clone()).expect("first fit").cached);
+    assert!(client.fit(key.clone()).expect("repeat").cached);
+
+    // New batch arrives: next fit must retrain on all 24 records.
+    let more = SimSource::new()
+        .suite(
+            specgen::suites::cpu2000()
+                .into_iter()
+                .skip(12)
+                .take(12)
+                .collect::<Vec<_>>(),
+        )
+        .uops(UOPS)
+        .seed(SEED)
+        .collect_config(&machine);
+    client.ingest(more).expect("second batch");
+    let refit = client.fit(key).expect("refit");
+    assert!(!refit.cached);
+    assert_eq!(refit.records, 24);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.invalidations, 1);
+    assert_eq!(stats.fits, 2);
+    assert_eq!(stats.ingested_records, 24);
+}
+
+#[test]
+fn concurrent_clients_share_one_fit_and_match_workbench() {
+    const CLIENTS: usize = 6;
+    let machine = MachineConfig::core2();
+
+    // Reference: the one-shot sequential Workbench under the same seed.
+    let reference = Workbench::new()
+        .machine(machine.clone())
+        .source(
+            SimSource::new()
+                .suite(
+                    specgen::suites::cpu2000()
+                        .into_iter()
+                        .take(12)
+                        .collect::<Vec<_>>(),
+                )
+                .uops(UOPS)
+                .seed(SEED),
+        )
+        .fit_options(FitOptions::quick())
+        .parallel(false)
+        .collect()
+        .expect("collect")
+        .fit()
+        .expect("fit");
+    let reference_csv = reference
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("group")
+        .stacks_csv();
+
+    // N concurrent clients hammer one warm service with the same key.
+    let service = CpiService::start(ServiceConfig::new().with_workers(4));
+    let seed_client = service.client();
+    seed_client
+        .register(MachineSpec::from(&machine))
+        .expect("register");
+    seed_client
+        .ingest(campaign_records(&machine))
+        .expect("ingest");
+
+    let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+    let outputs: Vec<(bool, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let client = service.client();
+                let key = key.clone();
+                scope.spawn(move || {
+                    let group = client.group(key).expect("group");
+                    (client.stats().expect("stats").fits > 0, group.stacks_csv())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    for (_, csv) in &outputs {
+        assert_eq!(
+            csv, &reference_csv,
+            "every concurrent client must see byte-identical stacks"
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.fits, 1,
+        "one machine on one shard: the regression runs exactly once"
+    );
+    assert_eq!(stats.cache.hits as usize, CLIENTS - 1);
+    assert_eq!(stats.cache.misses, 1);
+}
+
+#[test]
+fn workbench_fit_is_served_through_the_service_path() {
+    // Two machines, both suites sliced: the one-shot path and a manual
+    // service session must agree group for group.
+    let suite: Vec<_> = specgen::suites::cpu2000().into_iter().take(12).collect();
+    let source = SimSource::new().suite(suite).uops(UOPS).seed(SEED);
+    let fitted = Workbench::new()
+        .machine(MachineConfig::pentium4())
+        .machine(MachineConfig::core2())
+        .source(source.clone())
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect")
+        .fit()
+        .expect("fit");
+
+    let service = CpiService::start(ServiceConfig::new());
+    let client = service.client();
+    for config in [MachineConfig::pentium4(), MachineConfig::core2()] {
+        let records = source.collect_config(&config);
+        client
+            .register(MachineSpec::from(config))
+            .expect("register");
+        client.ingest(records).expect("ingest");
+    }
+    for group in fitted.groups() {
+        let served = client
+            .group(ModelKey::new(
+                group.machine,
+                group.suite,
+                FitOptions::quick(),
+            ))
+            .expect("served group");
+        assert_eq!(served.model.params(), group.model.params());
+        assert_eq!(served.stacks_csv(), group.stacks_csv());
+    }
+    service.shutdown();
+}

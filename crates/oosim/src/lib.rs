@@ -44,6 +44,4 @@ pub mod tlb;
 pub use machine::MachineConfig;
 pub use observer::{DispatchObserver, NullObserver, StallCause};
 pub use pipeline::{simulate, SimResult};
-#[allow(deprecated)] // the shim stays re-exported for its one release
-pub use run::run_suite;
 pub use run::{run_workload, run_workload_observed, DEFAULT_UOPS};

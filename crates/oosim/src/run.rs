@@ -68,29 +68,6 @@ pub fn run_workload_observed(
     )
 }
 
-/// Runs every profile in `suite` on `machine`; one [`RunRecord`] each.
-///
-/// Kept as a thin shim for one release: new code should collect through
-/// the unified pipeline (`memodel::workbench::Workbench` with a
-/// `SimSource`, re-exported as `cpistack::Workbench`), which adds
-/// multi-machine thread fan-out and typed stage errors on top of exactly
-/// this loop.
-#[deprecated(
-    since = "0.2.0",
-    note = "collect counters through `cpistack::Workbench` with a `SimSource` instead"
-)]
-pub fn run_suite(
-    machine: &MachineConfig,
-    suite: &[WorkloadProfile],
-    uops: u64,
-    seed: u64,
-) -> Vec<RunRecord> {
-    suite
-        .iter()
-        .map(|p| run_workload(machine, p, uops, seed))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,17 +96,5 @@ mod tests {
             (short - long).abs() / long < 0.12,
             "short {short} vs long {long}"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)] // the shim must keep working for its one release
-    fn run_suite_covers_all_profiles() {
-        let m = MachineConfig::core2();
-        let suite: Vec<WorkloadProfile> = specgen::suites::cpu2000().into_iter().take(4).collect();
-        let records = run_suite(&m, &suite, 2_000, 1);
-        assert_eq!(records.len(), 4);
-        for (r, p) in records.iter().zip(&suite) {
-            assert_eq!(r.benchmark(), p.name);
-        }
     }
 }

@@ -40,7 +40,16 @@ pub enum ParseCsvError {
 impl std::fmt::Display for ParseCsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseCsvError::BadHeader(h) => write!(f, "unexpected csv header `{h}`"),
+            ParseCsvError::BadHeader(h) => {
+                // Like the row errors, name the line and say what a valid
+                // file looks like — a truncated `{}` placeholder is the
+                // most common way to hit this.
+                write!(
+                    f,
+                    "line 1: unexpected csv header `{h}` (expected `{}`)",
+                    header()
+                )
+            }
             ParseCsvError::FieldCount {
                 line,
                 found,
@@ -184,10 +193,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert!(matches!(
-            from_csv("nope\n"),
-            Err(ParseCsvError::BadHeader(_))
-        ));
+        let err = from_csv("nope\n").unwrap_err();
+        assert!(matches!(err, ParseCsvError::BadHeader(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("line 1") && msg.contains("`nope`"));
+        assert!(
+            msg.contains("expected `benchmark,suite,machine"),
+            "the fix is in the message: {msg}"
+        );
     }
 
     #[test]

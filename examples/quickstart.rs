@@ -1,54 +1,71 @@
-//! Quickstart: measure a workload suite on a simulated machine, infer the
-//! gray-box model, and print CPI stacks — the paper's end-to-end flow
-//! (Fig. 1) as one `Workbench` pipeline.
+//! Quickstart: measure a workload suite on a simulated machine, then serve
+//! the paper's end-to-end flow (Fig. 1) from a long-lived [`CpiService`]:
+//! ingest the counter batch once, fit on first demand, and let every later
+//! client — here, a second handle issuing a repeat request — hit the warm
+//! model cache instead of re-running the regression.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use cpistack::model::FitOptions;
+use cpistack::service::{CpiService, ModelKey, ServiceConfig};
 use cpistack::sim::machine::MachineConfig;
-use cpistack::{SimSource, Workbench};
+use cpistack::workbench::MachineSpec;
+use cpistack::{ServiceError, SimSource};
 use pmu::{MachineId, Suite};
 
-fn main() -> Result<(), cpistack::PipelineError> {
-    // 1. Pick the machine: one of the paper's three Intel generations.
+fn main() -> Result<(), ServiceError> {
+    // 1. Pick the machine and run the measurement campaign (the expensive
+    //    part; scaled down here). On real hardware this is a perf-tool CSV
+    //    instead — `client.ingest_csv` accepts it directly.
     let machine = MachineConfig::core2();
     println!("machine: {}\n", machine.name);
+    let records = SimSource::new()
+        .suite(cpistack::workloads::suites::cpu2000())
+        .uops(200_000)
+        .seed(42)
+        .collect_config(&machine);
 
-    // 2.+3. Collect the benchmark suite's performance counters (the
-    //    expensive measurement campaign; scaled down here) and infer the
-    //    model: microarchitecture constants from the spec sheet, the ten
-    //    b-parameters by nonlinear regression on the counters.
-    let fitted = Workbench::new()
-        .machine(machine)
-        .source(
-            SimSource::new()
-                .suite(cpistack::workloads::suites::cpu2000())
-                .uops(200_000)
-                .seed(42),
-        )
-        .fit_options(FitOptions::default())
-        .collect()?
-        .fit()?;
-    let group = fitted
-        .group(MachineId::Core2, Suite::Cpu2000)
-        .expect("the collected machine and suite");
-    println!("fitted model: {}\n", group.model);
+    // 2. Start the serving session and hand it the campaign: constants
+    //    from the spec sheet, counters from the measurement.
+    let service = CpiService::start(ServiceConfig::new());
+    let client = service.client();
+    client.register(MachineSpec::from(&machine))?;
+    println!("ingested {} benchmark runs\n", client.ingest(records)?);
 
-    // 4. CPI stacks for every benchmark, with prediction quality.
-    println!(
-        "{:<24} {:>9} {:>9}  stack",
-        "benchmark", "measured", "predicted"
+    // 3. The first request for this (machine, suite, options) key infers
+    //    the ten b-parameters by nonlinear regression …
+    let key = ModelKey::new(
+        MachineId::Core2,
+        Some(Suite::Cpu2000),
+        FitOptions::default(),
     );
-    for record in group.records.iter().take(12) {
-        let stack = group.model.cpi_stack(record);
-        println!(
-            "{:<24} {:>9.3} {:>9.3}  {}",
-            record.benchmark(),
-            record.cpi(),
-            stack.total(),
-            stack
-        );
+    let (report, stacks) = client.stacks(key.clone())?;
+    println!(
+        "fitted model ({}): {}\n",
+        if report.cached {
+            "cache hit"
+        } else {
+            "fresh fit"
+        },
+        report.model
+    );
+
+    // 4. … and streams a CPI stack for every benchmark.
+    println!("{:<24} {:>9}  stack", "benchmark", "predicted");
+    for (benchmark, stack) in stacks.iter().take(12) {
+        println!("{benchmark:<24} {:>9.3}  {stack}", stack.total());
     }
-    println!("(first 12 of {} benchmarks shown)", group.records.len());
+    println!("(first 12 of {} benchmarks shown)\n", stacks.len());
+
+    // 5. Any further client shares the warm campaign: the same key is a
+    //    cache hit, never a second regression.
+    let other_client = service.client();
+    let (repeat, _) = other_client.stacks(key)?;
+    assert!(repeat.cached, "repeat requests are served from the cache");
+    let stats = service.shutdown();
+    println!(
+        "service stats: {} fit(s), {} cache hit(s), {} miss(es)",
+        stats.fits, stats.cache.hits, stats.cache.misses
+    );
     Ok(())
 }

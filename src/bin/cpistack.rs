@@ -12,6 +12,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `serve` streams over stdin/stdout for its whole session; everything
+    // else is a one-shot command with buffered output.
+    if let cpistack::cli::Command::Serve(args) = &command {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match cpistack::cli::serve(args, stdin.lock(), stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match cpistack::cli::run(&command) {
         Ok(output) => {
             print!("{output}");

@@ -13,6 +13,7 @@
 //! cpistack fit   --counters runs.csv --width 4 --depth 14 --l2 19 --mem 169 --tlb 30
 //! cpistack stack --counters runs.csv --width 4 --depth 14 --l2 19 --mem 169 --tlb 30
 //! cpistack demo  # generates a demo CSV from the built-in simulator
+//! cpistack serve # long-lived session: line protocol over stdin/stdout
 //! ```
 //!
 //! The CSV format is [`pmu::csv`]'s (header + one row per benchmark run);
@@ -24,11 +25,53 @@
 //! [`PipelineError`](crate::PipelineError) naming the stage (collect →
 //! fit → export) that broke; only argument parsing has its own
 //! [`CliError::Usage`] variant.
+//!
+//! # The `serve` line protocol
+//!
+//! `cpistack serve` starts a [`CpiService`](crate::CpiService) session and
+//! reads one command per line from stdin — built for scripting
+//! (`printf '…' | cpistack serve`) as much as for interactive use. Every
+//! command writes zero or more payload lines and then exactly one
+//! terminator line: `ok` on success, or `err: <message>` (the session
+//! continues after errors). Payload lines are prefixed by their kind, so
+//! output stays greppable:
+//!
+//! ```text
+//! machine <name> <width> <depth> <l2> <mem> <tlb>
+//!     register a machine's five constants (name: pentium4|core2|corei7)
+//! ingest <path>
+//!     load a counters CSV into the machine store (generation bump:
+//!     cached models for the touched machines are invalidated)
+//! fit <machine> <suite|all>
+//!     fit (or serve from cache); payload: `model: …`, `records: …`,
+//!     `cache: hit|miss`, `accuracy: …`
+//! stack <machine> <suite|all>
+//!     one `stack <benchmark> <stack>` line per benchmark, streamed
+//! predict <machine> <suite|all>
+//!     one `predict <benchmark> measured <cpi> predicted <cpi>` per
+//!     benchmark
+//! delta <old-machine> <new-machine> <suite>
+//!     CPI-delta stacks explaining new vs old (Fig. 6)
+//! stats
+//!     service counters: requests, fits, cache hits/misses/evictions/
+//!     invalidations, ingested records
+//! help
+//!     reprint this command list
+//! quit
+//!     shut the service down and exit
+//! ```
+//!
+//! Flags: `--workers <N>` (worker shards), `--cache <N>` (model-cache
+//! capacity), `--quick` (cheap fit options, for smoke tests).
 
-use crate::model::workbench::Grouping;
+use crate::model::workbench::{Grouping, MachineSpec};
 use crate::model::{FitOptions, MicroarchParams};
+use crate::service::{CpiClient, CpiService, ModelKey, Request, Response, ServiceConfig};
 use crate::{CsvSource, PipelineError, SimSource, Workbench};
+use pmu::{MachineId, Suite};
 use std::fmt;
+use std::io::{BufRead, Write};
+use std::str::FromStr;
 
 /// Errors surfaced to the CLI user: either the arguments never parsed, or
 /// the pipeline failed at a typed stage.
@@ -38,6 +81,9 @@ pub enum CliError {
     Usage(String),
     /// The pipeline failed; the payload names the stage and cause.
     Pipeline(PipelineError),
+    /// Reading commands from / writing responses to the serve session's
+    /// transport failed.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for CliError {
@@ -45,6 +91,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "serve session i/o: {e}"),
         }
     }
 }
@@ -54,6 +101,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Usage(_) => None,
             CliError::Pipeline(e) => Some(e),
+            CliError::Io(e) => Some(e),
         }
     }
 }
@@ -61,6 +109,12 @@ impl std::error::Error for CliError {
 impl From<PipelineError> for CliError {
     fn from(e: PipelineError) -> Self {
         CliError::Pipeline(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
     }
 }
 
@@ -72,6 +126,7 @@ USAGE:
   cpistack fit   --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack stack --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack demo  [--out <csv>]
+  cpistack serve [--workers <N>] [--cache <N>] [--quick]
 
 SUBCOMMANDS:
   fit    infer the ten model parameters from the counter data, report
@@ -81,11 +136,17 @@ SUBCOMMANDS:
          with --csv)
   demo   write an example counters CSV (generated by the built-in
          simulator's Core 2 preset) to adapt your own data from
+  serve  start a long-lived CpiService session speaking a line protocol
+         over stdin/stdout: register machines, ingest counter CSVs, and
+         serve fits/stacks/deltas from a shared model cache (type `help`
+         inside the session for the command set)
 
-All subcommands run the same Workbench pipeline the library exposes:
-collect counters from a pluggable source (CSV here, the simulator for
-`demo`), fit Eq. 1-6 by nonlinear regression, emit stacks. Failures name
-the stage: collect -> fit -> export.
+All subcommands drive the same fitting code path the library exposes:
+counters from a pluggable source (CSV here, the simulator for `demo`),
+Eq. 1-6 fitted by nonlinear regression, stacks out. One-shot subcommands
+use the Workbench builder; `serve` keeps a CpiService warm so repeated
+requests hit its model cache. Failures name the stage: collect -> fit ->
+export.
 
 The counters CSV uses the column set printed by `cpistack demo`; counts are
 raw event totals for the measured region of each benchmark.";
@@ -102,6 +163,19 @@ pub enum Command {
         /// Output path.
         out: String,
     },
+    /// Start a long-lived serve session (line protocol on stdin/stdout).
+    Serve(ServeArgs),
+}
+
+/// Arguments for the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeArgs {
+    /// Worker-shard count (`None` = one per hardware thread).
+    pub workers: Option<usize>,
+    /// Model-cache capacity (`None` = the service default).
+    pub cache: Option<usize>,
+    /// Use [`FitOptions::quick`] instead of the full-budget defaults.
+    pub quick: bool,
 }
 
 /// Arguments shared by `fit` and `stack`.
@@ -162,6 +236,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map(|(_, v)| v.clone())
                 .unwrap_or_else(|| "demo_counters.csv".into()),
         }),
+        "serve" => {
+            let get_count = |name: &str| -> Result<Option<usize>, CliError> {
+                flags
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| {
+                        v.parse()
+                            .map_err(|_| CliError::Usage(format!("--{name} must be a count")))
+                    })
+                    .transpose()
+            };
+            Ok(Command::Serve(ServeArgs {
+                workers: get_count("workers")?,
+                cache: get_count("cache")?,
+                quick: flags.iter().any(|(k, _)| k == "quick"),
+            }))
+        }
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -253,7 +344,265 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                  --width 4 --depth 14 --l2 19 --mem 169 --tlb 30\n"
             ))
         }
+        Command::Serve(_) => Err(CliError::Usage(
+            "serve reads stdin interactively — dispatch it to `cli::serve(...)` \
+             instead of `cli::run(...)`"
+                .into(),
+        )),
     }
+}
+
+/// Text reprinted by the in-session `help` command.
+const SERVE_HELP: &str = "\
+commands (one per line; every command ends with `ok` or `err: ...`):
+  machine <name> <width> <depth> <l2> <mem> <tlb>   register constants
+  ingest <path>                                     load a counters CSV
+  fit <machine> <suite|all>                         fit or serve from cache
+  stack <machine> <suite|all>                       stream one stack per benchmark
+  predict <machine> <suite|all>                     measured vs predicted CPI
+  delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
+  stats                                             service counters
+  help                                              this list
+  quit                                              shut down";
+
+/// Runs a `serve` session: reads line-protocol commands from `input`,
+/// writes responses to `output`, until `quit` or end-of-input. The
+/// [`CpiService`] lives for the whole session, so every fit after the
+/// first for a `(machine, suite, options)` key is a cache hit.
+///
+/// # Errors
+///
+/// [`CliError::Io`] when the transport fails; protocol-level problems are
+/// reported in-band as `err: …` lines and never abort the session.
+pub fn serve(
+    args: &ServeArgs,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<(), CliError> {
+    let mut config = ServiceConfig::new();
+    if let Some(workers) = args.workers {
+        config = config.with_workers(workers);
+    }
+    if let Some(cache) = args.cache {
+        config = config.with_cache_capacity(cache);
+    }
+    let options = if args.quick {
+        FitOptions::quick()
+    } else {
+        FitOptions::default()
+    };
+    let service = CpiService::start(config.clone());
+    let client = service.client();
+    writeln!(
+        output,
+        "cpistack serve: {} workers, cache {} models{} (type `help`)",
+        config.workers,
+        config.cache_capacity,
+        if args.quick { ", quick fits" } else { "" }
+    )?;
+    for line in input.lines() {
+        let line = line?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if words.is_empty() {
+            continue;
+        }
+        if words[0] == "quit" {
+            writeln!(output, "ok")?;
+            break;
+        }
+        match serve_command(&client, &options, &words, &mut output) {
+            Ok(()) => writeln!(output, "ok")?,
+            Err(ServeCommandError::Protocol(msg)) => writeln!(output, "err: {msg}")?,
+            Err(ServeCommandError::Io(e)) => return Err(CliError::Io(e)),
+        }
+    }
+    service.shutdown();
+    Ok(())
+}
+
+/// A serve-session command failure: protocol errors are reported in-band
+/// and the session continues; transport errors abort it.
+enum ServeCommandError {
+    Protocol(String),
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ServeCommandError {
+    fn from(e: std::io::Error) -> Self {
+        ServeCommandError::Io(e)
+    }
+}
+
+impl From<crate::ServiceError> for ServeCommandError {
+    fn from(e: crate::ServiceError) -> Self {
+        ServeCommandError::Protocol(e.to_string())
+    }
+}
+
+fn parse_machine(word: &str) -> Result<MachineId, ServeCommandError> {
+    MachineId::from_str(word).map_err(|e| ServeCommandError::Protocol(e.to_string()))
+}
+
+/// Parses the `<suite|all>` protocol word.
+fn parse_suite(word: &str) -> Result<Option<Suite>, ServeCommandError> {
+    if word == "all" {
+        return Ok(None);
+    }
+    Suite::from_str(word)
+        .map(Some)
+        .map_err(|e| ServeCommandError::Protocol(e.to_string()))
+}
+
+fn serve_command(
+    client: &CpiClient,
+    options: &FitOptions,
+    words: &[&str],
+    output: &mut impl Write,
+) -> Result<(), ServeCommandError> {
+    let arity = |n: usize, usage: &str| -> Result<(), ServeCommandError> {
+        if words.len() == n + 1 {
+            Ok(())
+        } else {
+            Err(ServeCommandError::Protocol(format!("usage: {usage}")))
+        }
+    };
+    let key = |machine: &str, suite: &str| -> Result<ModelKey, ServeCommandError> {
+        Ok(ModelKey::new(
+            parse_machine(machine)?,
+            parse_suite(suite)?,
+            options.clone(),
+        ))
+    };
+    match words[0] {
+        "help" => writeln!(output, "{SERVE_HELP}")?,
+        "machine" => {
+            arity(6, "machine <name> <width> <depth> <l2> <mem> <tlb>")?;
+            let machine = parse_machine(words[1])?;
+            let mut nums = [0.0f64; 5];
+            for (slot, word) in nums.iter_mut().zip(&words[2..]) {
+                *slot = word.parse().map_err(|_| {
+                    ServeCommandError::Protocol(format!("`{word}` is not a number"))
+                })?;
+                if !slot.is_finite() || *slot <= 0.0 {
+                    return Err(ServeCommandError::Protocol(format!(
+                        "`{word}` must be a positive finite number"
+                    )));
+                }
+            }
+            let [width, depth, l2, mem, tlb] = nums;
+            client.register(MachineSpec::real(
+                machine,
+                MicroarchParams::new(width, depth, l2, mem, tlb),
+            ))?;
+            writeln!(output, "registered {}", machine.name())?;
+        }
+        "ingest" => {
+            arity(1, "ingest <path>")?;
+            let path = words[1];
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                ServeCommandError::Protocol(format!("reading `{path}` failed: {e}"))
+            })?;
+            let records = client.ingest_csv(&text, path)?;
+            writeln!(output, "ingested {records} records from {path}")?;
+        }
+        "fit" => {
+            arity(2, "fit <machine> <suite|all>")?;
+            let (report, predictions) = client.predictions(key(words[1], words[2])?)?;
+            writeln!(output, "model: {}", report.model)?;
+            writeln!(
+                output,
+                "records: {}  cache: {}",
+                report.records,
+                if report.cached { "hit" } else { "miss" }
+            )?;
+            let mean = predictions
+                .iter()
+                .map(|(_, measured, predicted)| ((predicted - measured) / measured).abs())
+                .sum::<f64>()
+                / predictions.len().max(1) as f64;
+            writeln!(output, "accuracy: mean abs error {:.2}%", mean * 100.0)?;
+        }
+        "stack" => {
+            // Stream each stack as the worker produces it — a large
+            // campaign is never buffered whole (the module docs promise
+            // this), and the first lines appear while later ones compute.
+            arity(2, "stack <machine> <suite|all>")?;
+            let mut served = false;
+            for response in client.submit(Request::Stacks(key(words[1], words[2])?)) {
+                match response {
+                    Response::Model(_) => served = true,
+                    Response::Stack { benchmark, stack } => {
+                        writeln!(output, "stack {benchmark} {stack}")?;
+                    }
+                    Response::Error(e) => return Err(e.into()),
+                    _ => {}
+                }
+            }
+            if !served {
+                return Err(crate::ServiceError::Stopped.into());
+            }
+        }
+        "predict" => {
+            arity(2, "predict <machine> <suite|all>")?;
+            let mut served = false;
+            for response in client.submit(Request::Predictions(key(words[1], words[2])?)) {
+                match response {
+                    Response::Model(_) => served = true,
+                    Response::Prediction {
+                        benchmark,
+                        measured,
+                        predicted,
+                    } => {
+                        writeln!(
+                            output,
+                            "predict {benchmark} measured {measured:.4} predicted {predicted:.4}"
+                        )?;
+                    }
+                    Response::Error(e) => return Err(e.into()),
+                    _ => {}
+                }
+            }
+            if !served {
+                return Err(crate::ServiceError::Stopped.into());
+            }
+        }
+        "delta" => {
+            arity(3, "delta <old> <new> <suite>")?;
+            let suite = parse_suite(words[3])?.ok_or_else(|| {
+                ServeCommandError::Protocol("delta needs a concrete suite, not `all`".into())
+            })?;
+            let delta = client.delta(
+                parse_machine(words[1])?,
+                parse_machine(words[2])?,
+                suite,
+                options.clone(),
+            )?;
+            writeln!(output, "{delta}")?;
+        }
+        "stats" => {
+            arity(0, "stats")?;
+            let stats = client.stats()?;
+            writeln!(
+                output,
+                "stats: requests {} fits {} hits {} misses {} evictions {} \
+                 invalidations {} records {} workers {}",
+                stats.requests,
+                stats.fits,
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.evictions,
+                stats.cache.invalidations,
+                stats.ingested_records,
+                stats.workers
+            )?;
+        }
+        other => {
+            return Err(ServeCommandError::Protocol(format!(
+                "unknown command `{other}` (type `help`)"
+            )))
+        }
+    }
+    Ok(())
 }
 
 /// The shared fit pipeline: counters CSV in, fitted per-machine models
@@ -388,6 +737,95 @@ mod tests {
         assert!(stacks.contains("CPI "));
         let csv_out = run(&Command::Stack(args, true)).unwrap();
         assert!(csv_out.starts_with("benchmark,base"));
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        let cmd = parse_args(&strings(&["serve", "--workers", "3", "--quick"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                workers: Some(3),
+                cache: None,
+                quick: true,
+            })
+        );
+        let err = parse_args(&strings(&["serve", "--workers", "many"])).unwrap_err();
+        assert!(err.to_string().contains("--workers must be a count"));
+        // serve must be dispatched to serve(), not run().
+        let err = run(&Command::Serve(ServeArgs::default())).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    /// Runs one scripted serve session and returns its full transcript.
+    fn serve_transcript(script: &str) -> String {
+        let mut out = Vec::new();
+        serve(
+            &ServeArgs {
+                workers: Some(2),
+                cache: Some(4),
+                quick: true,
+            },
+            std::io::Cursor::new(script.to_owned()),
+            &mut out,
+        )
+        .expect("session runs");
+        String::from_utf8(out).expect("utf8 transcript")
+    }
+
+    #[test]
+    fn serve_session_fits_streams_and_reports_cache_hits() {
+        let dir = std::env::temp_dir().join(format!("cpistack_serve_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("serve.csv").to_string_lossy().into_owned();
+        run(&Command::Demo { out: csv.clone() }).unwrap();
+        let transcript = serve_transcript(&format!(
+            "machine core2 4 14 19 169 30\n\
+             ingest {csv}\n\
+             fit core2 cpu2000\n\
+             fit core2 cpu2000\n\
+             stack core2 cpu2000\n\
+             predict core2 cpu2000\n\
+             stats\n\
+             quit\n"
+        ));
+        assert!(transcript.contains("ingested 16 records"));
+        assert!(transcript.contains("cache: miss"));
+        assert!(transcript.contains("cache: hit"), "{transcript}");
+        assert!(transcript.contains("stack "));
+        assert!(transcript.contains("predicted "));
+        assert!(transcript.contains("stats: requests"));
+        assert!(transcript.contains("fits 1"), "one regression total");
+        assert!(!transcript.contains("err:"), "{transcript}");
+        assert_eq!(transcript.lines().filter(|l| *l == "ok").count(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_session_reports_errors_in_band_and_continues() {
+        let transcript = serve_transcript(
+            "bogus\n\
+             machine nope 1 2 3 4 5\n\
+             machine core2 nan 14 19 169 30\n\
+             fit core2 cpu2000\n\
+             delta pentium4 core2 all\n\
+             help\n\
+             quit\n",
+        );
+        assert!(transcript.contains("err: unknown command `bogus`"));
+        assert!(
+            transcript.contains("err: unknown machine name `nope`"),
+            "{transcript}"
+        );
+        assert!(
+            transcript.contains("err: `nan` must be a positive finite number"),
+            "{transcript}"
+        );
+        // fit before any ingest: a typed service error, in-band.
+        assert!(transcript.contains("err: machine `core2` is not registered"));
+        assert!(transcript.contains("err: delta needs a concrete suite"));
+        assert!(transcript.contains("machine <name>"), "help prints");
+        assert!(transcript.ends_with("ok\n"), "quit still acks");
     }
 
     #[test]

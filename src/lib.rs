@@ -18,12 +18,57 @@
 //!
 //! # Quickstart
 //!
-//! Everything flows through one pipeline: the [`Workbench`]. Name the
-//! machines, plug in a counter source — the built-in simulator
-//! ([`SimSource`]), a real-hardware counters CSV ([`CsvSource`]), or
-//! in-memory records ([`RecordsSource`]) — then `collect()`, `fit()`, and
-//! read off CPI stacks and deltas. Multi-machine collection fans out
-//! across threads, and every failure is a typed [`PipelineError`] naming
+//! The primary API is the long-lived [`CpiService`]: start it once, and
+//! any number of concurrent clients share one warm campaign — counter
+//! batches are ingested over a queue, fitted models are memoized in an
+//! LRU cache keyed by `(machine, suite, fit options)`, and stacks stream
+//! back per benchmark. The first request for a key pays the nonlinear
+//! regression; every repeat is a cache hit until new counters arrive:
+//!
+//! ```
+//! use cpistack::model::FitOptions;
+//! use cpistack::service::{CpiService, ModelKey, ServiceConfig};
+//! use cpistack::sim::machine::MachineConfig;
+//! use cpistack::workbench::MachineSpec;
+//! use cpistack::SimSource;
+//! use pmu::{MachineId, Suite};
+//!
+//! // Measure a (sub)suite once. Real experiments use all 48/55
+//! // benchmarks and millions of µops; keep doc runs small.
+//! let machine = MachineConfig::core2();
+//! let records = SimSource::new()
+//!     .suite(cpistack::workloads::suites::cpu2000().into_iter().take(12).collect())
+//!     .uops(20_000)
+//!     .seed(42)
+//!     .collect_config(&machine);
+//!
+//! // Serve it: register the machine, ingest the batch, fit on demand.
+//! let service = CpiService::start(ServiceConfig::new());
+//! let client = service.client();
+//! client.register(MachineSpec::from(&machine)).unwrap();
+//! client.ingest(records).unwrap();
+//!
+//! let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+//! let (report, stacks) = client.stacks(key.clone()).unwrap();
+//! assert!(!report.cached, "first request fits by regression");
+//! for (benchmark, stack) in &stacks {
+//!     println!("{benchmark}: {stack}");
+//! }
+//! // A second client asking for the same key never re-fits.
+//! let (repeat, _) = service.client().stacks(key).unwrap();
+//! assert!(repeat.cached);
+//! service.shutdown();
+//! ```
+//!
+//! The same session is scriptable from a shell via `cpistack serve`, a
+//! line protocol over stdin/stdout (see [`cli`] for the command set).
+//!
+//! ## Quick scripts: the one-shot [`Workbench`]
+//!
+//! When one result is all you need, the [`Workbench`] builder runs the
+//! whole collect → fit → stacks flow in a single expression — internally
+//! it spins up an ephemeral [`CpiService`], so both paths share one
+//! fitting code path. Every failure is a typed [`PipelineError`] naming
 //! the stage that broke:
 //!
 //! ```
@@ -32,8 +77,6 @@
 //! use cpistack::{SimSource, Workbench};
 //! use pmu::{MachineId, Suite};
 //!
-//! // Measure a (sub)suite on two machine generations. Real experiments
-//! // use all 48/55 benchmarks and millions of µops; keep doc runs small.
 //! let suite: Vec<_> = cpistack::workloads::suites::cpu2000()
 //!     .into_iter()
 //!     .take(12)
@@ -48,12 +91,7 @@
 //!     .fit()
 //!     .expect("fit stage");
 //!
-//! // CPI stacks per benchmark (the paper's headline deliverable) …
-//! let core2 = fitted.group(MachineId::Core2, Suite::Cpu2000).unwrap();
-//! for (benchmark, stack) in core2.stacks() {
-//!     println!("{benchmark}: {stack}");
-//! }
-//! // … and CPI-delta stacks explaining the generation gap (Fig. 6).
+//! // CPI-delta stacks explaining the generation gap (Fig. 6).
 //! let delta = fitted
 //!     .delta(MachineId::Pentium4, MachineId::Core2, Suite::Cpu2000)
 //!     .expect("both machines collected");
@@ -96,4 +134,10 @@ pub use specgen as workloads;
 pub use memodel::workbench;
 pub use memodel::workbench::{
     CounterSource, CsvSource, PipelineError, RecordsSource, SimSource, SourceError, Workbench,
+};
+
+/// The long-lived serving layer (re-export of [`memodel::service`]).
+pub use memodel::service;
+pub use memodel::service::{
+    CpiClient, CpiService, ModelKey, ServiceConfig, ServiceError, ServiceStats,
 };
