@@ -84,6 +84,22 @@ impl Campaign {
     /// its sharded worker pool. Takes a minute or two at full scale; scale
     /// down with `CPISTACK_UOPS` for smoke runs.
     pub fn run(uops: u64, seed: u64) -> Self {
+        Self::run_with_service_config(uops, seed, ServiceConfig::new())
+    }
+
+    /// [`Campaign::run`] pointed at a warm state directory: the six
+    /// models persist to (and warm-load from) a
+    /// [`memodel::service::persist::SnapshotStore`], so re-running the
+    /// same campaign — same µop budget and seed — re-fits nothing. The
+    /// digest keying makes this safe: change the budget, the seed or the
+    /// simulator and every key misses, falling back to fresh fits.
+    pub fn run_warm(uops: u64, seed: u64, state_dir: impl Into<std::path::PathBuf>) -> Self {
+        Self::run_with_service_config(uops, seed, ServiceConfig::new().with_state_dir(state_dir))
+    }
+
+    /// The fully-configurable campaign entry point behind
+    /// [`Campaign::run`] and [`Campaign::run_warm`].
+    pub fn run_with_service_config(uops: u64, seed: u64, config: ServiceConfig) -> Self {
         let machines = MachineConfig::paper_machines();
         let options = FitOptions::default();
         let collected = Workbench::new()
@@ -92,7 +108,7 @@ impl Campaign {
             .collect()
             .unwrap_or_else(|e| panic!("campaign collect: {e}"));
 
-        let service = CpiService::start(ServiceConfig::new());
+        let service = CpiService::start(config);
         let client = service.client();
         for machine in &machines {
             client
@@ -253,6 +269,33 @@ mod tests {
             .expect("warm re-fit");
         assert!(report.cached);
         assert_eq!(c.service_stats().fits, 6, "no new regression ran");
+    }
+
+    #[test]
+    fn warm_campaign_refits_nothing() {
+        let dir =
+            std::env::temp_dir().join(format!("cpistack_campaign_warm_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = Campaign::run_warm(4_000, 11, &dir);
+        assert_eq!(cold.service_stats().fits, 6, "first run fits every key");
+        let warm = Campaign::run_warm(4_000, 11, &dir);
+        let stats = warm.service_stats();
+        assert_eq!(stats.fits, 0, "every model came from the state dir");
+        assert_eq!(stats.cache.warm_loads, 6);
+        for id in MachineId::ALL {
+            for suite in Suite::ALL {
+                assert_eq!(
+                    cold.model(id, suite).params(),
+                    warm.model(id, suite).params(),
+                    "restored params must be bit-identical"
+                );
+            }
+        }
+        // A different campaign seed means different records — the digest
+        // must miss and the models must be refitted, not served stale.
+        let other = Campaign::run_warm(4_000, 12, &dir);
+        assert_eq!(other.service_stats().fits, 6);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

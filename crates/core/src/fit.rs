@@ -292,9 +292,32 @@ impl InferredModel {
         })
     }
 
+    /// Re-assembles a model from persisted parts without refitting — the
+    /// restore path of [`crate::service::persist`]. Fitting is
+    /// deterministic, so a model rebuilt from a snapshot of its own parts
+    /// is bit-identical to the original.
+    pub fn from_parts(
+        arch: MicroarchParams,
+        params: ModelParams,
+        interval_cap: f64,
+        objective: f64,
+    ) -> Self {
+        Self {
+            arch,
+            params,
+            interval_cap,
+            objective,
+        }
+    }
+
     /// The machine-level parameters the model was built with.
     pub fn arch(&self) -> &MicroarchParams {
         &self.arch
+    }
+
+    /// The interval cap (Eq. 2) the fit ran with.
+    pub fn interval_cap(&self) -> f64 {
+        self.interval_cap
     }
 
     /// The fitted regression parameters.

@@ -33,6 +33,19 @@
 //! fact `Workbench::fit()` is implemented *on top of* an ephemeral
 //! `CpiService`, so there is exactly one fitting code path.
 //!
+//! Two submodules turn the session API into a deployable server:
+//!
+//! * [`proto`] — the serve-session line protocol (one codec shared by the
+//!   stdin/stdout front and a [`std::net::TcpListener`]-based front with
+//!   concurrent connections, idle timeouts and graceful shutdown), plus a
+//!   length-prefixed binary framing for bulk stack streams,
+//! * [`persist`] — durable model state: fitted parameters snapshot to a
+//!   versioned, checksummed on-disk store keyed by
+//!   `(machine, suite, options fingerprint, records digest)`
+//!   ([`ServiceConfig::with_state_dir`]), so a restarted service serves
+//!   its first fit request from disk instead of re-running the
+//!   regression.
+//!
 //! # Examples
 //!
 //! ```
@@ -63,9 +76,13 @@
 //! service.shutdown();
 //! ```
 
+pub mod persist;
+pub mod proto;
+
 use crate::delta::{suite_delta, DeltaStacks};
 use crate::fit::{FitError, FitOptions, InferredModel};
 use crate::workbench::{FittedGroup, MachineSpec};
+use persist::SnapshotStore;
 use pmu::csv::ParseCsvError;
 use pmu::{MachineId, RunRecord, Suite};
 use std::collections::hash_map::DefaultHasher;
@@ -397,8 +414,13 @@ pub struct CacheStats {
     /// Entries dropped because their machine's records changed
     /// (generation mismatch) or its spec was replaced.
     pub invalidations: u64,
-    /// Models inserted after a fresh fit.
+    /// Models inserted into the cache — after a fresh fit, or promoted
+    /// from the on-disk snapshot store on a warm load.
     pub inserts: u64,
+    /// Lookups served from the on-disk snapshot store
+    /// ([`persist::SnapshotStore`]) instead of a regression — these count
+    /// as `hits`, not `misses`: the caller got a model without a fit.
+    pub warm_loads: u64,
 }
 
 /// An LRU cache of fitted models keyed by
@@ -522,6 +544,21 @@ impl ModelCache {
         self.stats.inserts += 1;
     }
 
+    /// Promotes a model restored from the on-disk snapshot store into the
+    /// cache. The caller's [`ModelCache::lookup`] just counted a miss, but
+    /// the request was served without a regression after all — so the miss
+    /// is reclassified as a hit and tallied under
+    /// [`CacheStats::warm_loads`]. `hits + misses` still equals total
+    /// lookups.
+    pub fn promote_warm(&mut self, key: &ModelKey, generation: u64, model: Arc<InferredModel>) {
+        self.insert(key, generation, model);
+        // Saturating: a caller that skipped the lookup must not wrap the
+        // counter (the service always looks up first).
+        self.stats.misses = self.stats.misses.saturating_sub(1);
+        self.stats.hits += 1;
+        self.stats.warm_loads += 1;
+    }
+
     /// Drops every entry for `machine` (used when its spec is replaced).
     fn invalidate_machine(&mut self, machine: MachineId) {
         let before = self.entries.len();
@@ -567,6 +604,10 @@ struct Inner {
     /// Insertion-ordered so enumeration is deterministic.
     machines: Vec<(MachineId, MachineState)>,
     cache: ModelCache,
+    /// The durable model store, when the service was started with a state
+    /// dir. Workers clone the (cheap) handle out of the lock and do every
+    /// file read/write outside it.
+    persist: Option<SnapshotStore>,
     requests: u64,
     fits: u64,
     ingested_records: u64,
@@ -621,6 +662,10 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Maximum models held by the [`ModelCache`].
     pub cache_capacity: usize,
+    /// When set, fitted models persist to a [`persist::SnapshotStore`]
+    /// under this directory and are restored lazily on cache misses — a
+    /// restarted service warms up without refitting (see [`persist`]).
+    pub state_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -631,13 +676,14 @@ impl Default for ServiceConfig {
                 .unwrap_or(2)
                 .clamp(1, 16),
             cache_capacity: 32,
+            state_dir: None,
         }
     }
 }
 
 impl ServiceConfig {
     /// The default configuration: one worker per hardware thread (capped
-    /// at 16), a 32-model cache.
+    /// at 16), a 32-model cache, no persistence.
     pub fn new() -> Self {
         Self::default()
     }
@@ -651,6 +697,13 @@ impl ServiceConfig {
     /// Sets the model-cache capacity (minimum 1).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Persists fitted models under `dir` and warm-loads them on cache
+    /// misses (created if missing when the service starts).
+    pub fn with_state_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
         self
     }
 }
@@ -731,11 +784,34 @@ impl fmt::Debug for CpiService {
 
 impl CpiService {
     /// Spawns the worker pool and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured state directory cannot be created — a
+    /// deployment error best surfaced immediately. Use
+    /// [`CpiService::try_start`] to handle it as a value.
     pub fn start(config: ServiceConfig) -> Self {
+        Self::try_start(config).expect("opening the service state dir")
+    }
+
+    /// Spawns the worker pool, surfacing state-directory failures instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`persist::PersistError::Io`] when `config.state_dir` is set but
+    /// the directory cannot be created.
+    pub fn try_start(config: ServiceConfig) -> Result<Self, persist::PersistError> {
         let workers = config.workers.max(1);
+        let persist = config
+            .state_dir
+            .as_ref()
+            .map(SnapshotStore::open)
+            .transpose()?;
         let inner = Arc::new(Mutex::new(Inner {
             machines: Vec::new(),
             cache: ModelCache::new(config.cache_capacity),
+            persist,
             requests: 0,
             fits: 0,
             ingested_records: 0,
@@ -754,14 +830,14 @@ impl CpiService {
                     .expect("spawning a service worker"),
             );
         }
-        Self {
+        Ok(Self {
             router: Arc::new(Router {
                 shards,
                 inner,
                 stopped: std::sync::atomic::AtomicBool::new(false),
             }),
             handles,
-        }
+        })
     }
 
     /// A new client handle. Clients are cheap, cloneable, and may be moved
@@ -1319,16 +1395,21 @@ impl RecordsSnapshot {
 /// regression all run *outside* it, so a slow fit or a huge record set on
 /// one shard never stalls ingestion or cached serves on another. Cache
 /// hits copy no records at all — the returned snapshot streams them in
-/// place, and the `Vec` is `Some` only when a fresh fit had to
-/// materialize one (so `Group`/`Delta` reuse it instead of re-copying).
-/// This is the single fitting code path behind the service *and*
-/// `Workbench::fit()`.
+/// place, and the `Vec` is `Some` only when a miss had to materialize one
+/// (so `Group`/`Delta` reuse it instead of re-copying). A memory miss
+/// with a state dir consults the [`persist::SnapshotStore`] before
+/// fitting: a snapshot whose records digest and arch match the *current*
+/// training state is restored without a regression (counted as a
+/// [`CacheStats::warm_loads`] hit); any mismatch or corruption falls
+/// through to a fresh fit, whose result is then written back to disk —
+/// here, behind the worker pool, never on a client thread. This is the
+/// single fitting code path behind the service *and* `Workbench::fit()`.
 #[allow(clippy::type_complexity)]
 fn fit_key(
     inner: &Mutex<Inner>,
     key: &ModelKey,
 ) -> Result<(ModelReport, RecordsSnapshot, Option<Vec<RunRecord>>), ServiceError> {
-    let (arch, batches, generation) = {
+    let (arch, batches, generation, store) = {
         let guard = lock(inner);
         let state = guard
             .state(key.machine)
@@ -1338,7 +1419,12 @@ fn fit_key(
         let spec = state.spec.as_ref().ok_or(ServiceError::NotRegistered {
             machine: key.machine,
         })?;
-        (*spec.arch(), state.batches.clone(), state.generation)
+        (
+            *spec.arch(),
+            state.batches.clone(),
+            state.generation,
+            guard.persist.clone(),
+        )
     };
     let snapshot = RecordsSnapshot {
         batches,
@@ -1367,6 +1453,30 @@ fn fit_key(
         return Ok((report(model, true), snapshot, None));
     }
     let records = snapshot.to_vec();
+    // The digest binds any persisted model to these exact records: a
+    // restart that replays the same batches reproduces it; one changed
+    // counter anywhere does not.
+    let digest = store.as_ref().map(|_| persist::records_digest(&records));
+    if let (Some(store), Some(digest)) = (&store, digest) {
+        // A corrupt or mismatched snapshot is a miss, never an error (and
+        // never a stale model): fall through to the regression below.
+        if let Ok(Some(snap)) =
+            store.load(key.machine, key.suite, key.options.fingerprint(), digest)
+        {
+            if snap.arch == arch {
+                let model = Arc::new(InferredModel::from_parts(
+                    snap.arch,
+                    snap.params,
+                    snap.interval_cap,
+                    snap.objective,
+                ));
+                lock(inner)
+                    .cache
+                    .promote_warm(key, generation, Arc::clone(&model));
+                return Ok((report(model, true), snapshot, Some(records)));
+            }
+        }
+    }
     let model = Arc::new(
         InferredModel::fit(&arch, &records, &key.options).map_err(|error| ServiceError::Fit {
             machine: key.machine,
@@ -1378,6 +1488,21 @@ fn fit_key(
         let mut guard = lock(inner);
         guard.fits += 1;
         guard.cache.insert(key, generation, Arc::clone(&model));
+    }
+    if let (Some(store), Some(digest)) = (&store, digest) {
+        // Best-effort write-behind: a full disk must not fail the request
+        // the model was just fitted for.
+        let _ = store.save(&persist::ModelSnapshot {
+            machine: key.machine,
+            suite: key.suite,
+            options_fingerprint: key.options.fingerprint(),
+            records_digest: digest,
+            records: count as u32,
+            arch,
+            params: *model.params(),
+            interval_cap: model.interval_cap(),
+            objective: model.objective(),
+        });
     }
     Ok((report(model, false), snapshot, Some(records)))
 }

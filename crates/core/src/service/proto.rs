@@ -1,0 +1,940 @@
+//! The serve-session protocol codec and its two transports.
+//!
+//! `cpistack serve` exposes a [`CpiService`](super::CpiService) session as
+//! a **line protocol**: one command per line in, zero or more payload
+//! lines plus exactly one terminator (`ok` or `err: …`) out. This module
+//! is the single implementation of that protocol — the command parser,
+//! the response formatter, and the session loop — shared by both fronts:
+//!
+//! * **stdio** — [`run_session`] over any `BufRead`/`Write` pair (the
+//!   classic `printf '…' | cpistack serve` path),
+//! * **TCP** — [`serve_tcp`] accepts N concurrent connections on a
+//!   [`std::net::TcpListener`], each with its own [`CpiClient`] and
+//!   session state, an idle timeout, and graceful shutdown (the
+//!   `shutdown` command stops the whole server; `quit` only closes the
+//!   issuing connection).
+//!
+//! Because both fronts run the same [`execute_line`] codec against the
+//! same deterministic service, a scripted session produces
+//! **byte-identical** transcripts over stdin/stdout and over a socket —
+//! the golden-file protocol tests pin exactly that.
+//!
+//! # Command set
+//!
+//! ```text
+//! machine <name> <width> <depth> <l2> <mem> <tlb>   register constants
+//! ingest <path>                                     load a counters CSV
+//! fit <machine> <suite|all>                         fit or serve from cache
+//! stack <machine> <suite|all>                       stream one stack line per benchmark
+//! binstack <machine> <suite|all>                    same stacks, one binary frame
+//! predict <machine> <suite|all>                     measured vs predicted CPI
+//! delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
+//! stats                                             service counters
+//! help                                              reprint this list
+//! quit                                              close this session
+//! shutdown                                          stop the whole server
+//! ```
+//!
+//! # Binary framing
+//!
+//! Bulk stack streams pay line formatting per benchmark; `binstack`
+//! instead announces `frame stacks <len>` and follows with exactly `len`
+//! raw bytes — a checksummed, length-prefixed frame ([`FRAME_MAGIC`],
+//! kind byte, `u32` payload length, payload, FNV-1a checksum) holding
+//! every stack of the request. [`decode_stack_frame`] is the client-side
+//! inverse; [`read_frame`] pulls one frame off any `Read`. Line-oriented
+//! clients that ignore `frame …` announcements never desynchronize: the
+//! announce line tells them how many bytes to skip.
+
+use super::persist::fnv64;
+use super::{CpiClient, ModelKey, Request, Response, ServiceConfig, ServiceError};
+use crate::fit::FitOptions;
+use crate::params::MicroarchParams;
+use crate::stack::CpiStack;
+use crate::workbench::MachineSpec;
+use pmu::{MachineId, Suite};
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Text reprinted by the in-session `help` command.
+pub const SERVE_HELP: &str = "\
+commands (one per line; every command ends with `ok` or `err: ...`):
+  machine <name> <width> <depth> <l2> <mem> <tlb>   register constants
+  ingest <path>                                     load a counters CSV
+  fit <machine> <suite|all>                         fit or serve from cache
+  stack <machine> <suite|all>                       stream one stack per benchmark
+  binstack <machine> <suite|all>                    same stacks as one binary frame
+  predict <machine> <suite|all>                     measured vs predicted CPI
+  delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
+  stats                                             service counters
+  help                                              this list
+  quit                                              close this session
+  shutdown                                          stop the whole server";
+
+/// The greeting both fronts print when a session opens, so transcripts
+/// are front-agnostic.
+pub fn banner(config: &ServiceConfig, quick: bool) -> String {
+    format!(
+        "cpistack serve: {} workers, cache {} models{} (type `help`)",
+        config.workers,
+        config.cache_capacity,
+        if quick { ", quick fits" } else { "" }
+    )
+}
+
+/// A session-command failure: protocol errors are reported in-band
+/// (`err: …`) and the session continues; transport errors abort it.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Malformed or unservable command — written as an `err:` line.
+    Protocol(String),
+    /// Writing the response failed; the session ends.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+impl From<ServiceError> for CommandError {
+    fn from(e: ServiceError) -> Self {
+        CommandError::Protocol(e.to_string())
+    }
+}
+
+/// What a processed line asks the transport to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Keep reading commands.
+    Continue,
+    /// Close this session (the `quit` command).
+    Quit,
+    /// Close this session *and* stop the server it belongs to (the
+    /// `shutdown` command). The stdio front treats it like `quit`.
+    Shutdown,
+}
+
+/// How a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client sent `quit`.
+    Quit,
+    /// The client sent `shutdown`.
+    Shutdown,
+    /// The input reached end-of-stream without a farewell.
+    Eof,
+}
+
+/// Parses and executes one protocol line, writing every response line
+/// (payload + terminator) to `output`. This is the whole codec: both
+/// fronts funnel every command through here.
+///
+/// # Errors
+///
+/// Only transport failures; protocol problems are reported in-band as
+/// `err: …` lines and the session continues.
+pub fn execute_line(
+    client: &CpiClient,
+    options: &FitOptions,
+    line: &str,
+    output: &mut impl Write,
+) -> std::io::Result<LineOutcome> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let Some(&first) = words.first() else {
+        return Ok(LineOutcome::Continue);
+    };
+    // The farewells get the same arity discipline as every other
+    // command: a typo like `shutdown now` must not stop a whole
+    // multi-client server.
+    if first == "quit" || first == "shutdown" {
+        if words.len() != 1 {
+            writeln!(output, "err: usage: {first}")?;
+            return Ok(LineOutcome::Continue);
+        }
+        writeln!(output, "ok")?;
+        return Ok(if first == "quit" {
+            LineOutcome::Quit
+        } else {
+            LineOutcome::Shutdown
+        });
+    }
+    match run_command(client, options, &words, output) {
+        Ok(()) => writeln!(output, "ok")?,
+        Err(CommandError::Protocol(msg)) => writeln!(output, "err: {msg}")?,
+        Err(CommandError::Io(e)) => return Err(e),
+    }
+    Ok(LineOutcome::Continue)
+}
+
+/// Runs a whole scripted session over a blocking `BufRead` — the stdio
+/// front, and the harness the golden-file protocol tests drive. Invalid
+/// UTF-8 in the input is replaced, not fatal, exactly as on the TCP
+/// front — a stray byte earns an in-band `err:`, never a dead session.
+///
+/// # Errors
+///
+/// Transport failures only.
+pub fn run_session(
+    client: &CpiClient,
+    options: &FitOptions,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<SessionEnd> {
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if input.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(SessionEnd::Eof);
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        match execute_line(client, options, &line, &mut output)? {
+            LineOutcome::Continue => {}
+            LineOutcome::Quit => return Ok(SessionEnd::Quit),
+            LineOutcome::Shutdown => return Ok(SessionEnd::Shutdown),
+        }
+    }
+}
+
+fn parse_machine(word: &str) -> Result<MachineId, CommandError> {
+    MachineId::from_str(word).map_err(|e| CommandError::Protocol(e.to_string()))
+}
+
+/// Parses the `<suite|all>` protocol word.
+fn parse_suite(word: &str) -> Result<Option<Suite>, CommandError> {
+    if word == "all" {
+        return Ok(None);
+    }
+    Suite::from_str(word)
+        .map(Some)
+        .map_err(|e| CommandError::Protocol(e.to_string()))
+}
+
+fn run_command(
+    client: &CpiClient,
+    options: &FitOptions,
+    words: &[&str],
+    output: &mut impl Write,
+) -> Result<(), CommandError> {
+    let arity = |n: usize, usage: &str| -> Result<(), CommandError> {
+        if words.len() == n + 1 {
+            Ok(())
+        } else {
+            Err(CommandError::Protocol(format!("usage: {usage}")))
+        }
+    };
+    let key = |machine: &str, suite: &str| -> Result<ModelKey, CommandError> {
+        Ok(ModelKey::new(
+            parse_machine(machine)?,
+            parse_suite(suite)?,
+            options.clone(),
+        ))
+    };
+    match words[0] {
+        "help" => writeln!(output, "{SERVE_HELP}")?,
+        "machine" => {
+            arity(6, "machine <name> <width> <depth> <l2> <mem> <tlb>")?;
+            let machine = parse_machine(words[1])?;
+            let mut nums = [0.0f64; 5];
+            for (slot, word) in nums.iter_mut().zip(&words[2..]) {
+                *slot = word
+                    .parse()
+                    .map_err(|_| CommandError::Protocol(format!("`{word}` is not a number")))?;
+                if !slot.is_finite() || *slot <= 0.0 {
+                    return Err(CommandError::Protocol(format!(
+                        "`{word}` must be a positive finite number"
+                    )));
+                }
+            }
+            let [width, depth, l2, mem, tlb] = nums;
+            client.register(MachineSpec::real(
+                machine,
+                MicroarchParams::new(width, depth, l2, mem, tlb),
+            ))?;
+            writeln!(output, "registered {}", machine.name())?;
+        }
+        "ingest" => {
+            arity(1, "ingest <path>")?;
+            let path = words[1];
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CommandError::Protocol(format!("reading `{path}` failed: {e}")))?;
+            let records = client.ingest_csv(&text, path)?;
+            writeln!(output, "ingested {records} records from {path}")?;
+        }
+        "fit" => {
+            arity(2, "fit <machine> <suite|all>")?;
+            let (report, predictions) = client.predictions(key(words[1], words[2])?)?;
+            writeln!(output, "model: {}", report.model)?;
+            writeln!(
+                output,
+                "records: {}  cache: {}",
+                report.records,
+                if report.cached { "hit" } else { "miss" }
+            )?;
+            let mean = predictions
+                .iter()
+                .map(|(_, measured, predicted)| ((predicted - measured) / measured).abs())
+                .sum::<f64>()
+                / predictions.len().max(1) as f64;
+            writeln!(output, "accuracy: mean abs error {:.2}%", mean * 100.0)?;
+        }
+        "stack" => {
+            // Stream each stack as the worker produces it — a large
+            // campaign is never buffered whole (the module docs promise
+            // this), and the first lines appear while later ones compute.
+            arity(2, "stack <machine> <suite|all>")?;
+            let mut served = false;
+            for response in client.submit(Request::Stacks(key(words[1], words[2])?)) {
+                match response {
+                    Response::Model(_) => served = true,
+                    Response::Stack { benchmark, stack } => {
+                        writeln!(output, "stack {benchmark} {stack}")?;
+                    }
+                    Response::Error(e) => return Err(e.into()),
+                    _ => {}
+                }
+            }
+            if !served {
+                return Err(ServiceError::Stopped.into());
+            }
+        }
+        "binstack" => {
+            // The bulk path: the same stacks, collected and shipped as one
+            // length-prefixed checksummed frame instead of N format!ed
+            // lines.
+            arity(2, "binstack <machine> <suite|all>")?;
+            let (_, stacks) = client.stacks(key(words[1], words[2])?)?;
+            let frame = encode_stack_frame(&stacks);
+            writeln!(output, "frame stacks {}", frame.len())?;
+            output.write_all(&frame)?;
+        }
+        "predict" => {
+            arity(2, "predict <machine> <suite|all>")?;
+            let mut served = false;
+            for response in client.submit(Request::Predictions(key(words[1], words[2])?)) {
+                match response {
+                    Response::Model(_) => served = true,
+                    Response::Prediction {
+                        benchmark,
+                        measured,
+                        predicted,
+                    } => {
+                        writeln!(
+                            output,
+                            "predict {benchmark} measured {measured:.4} predicted {predicted:.4}"
+                        )?;
+                    }
+                    Response::Error(e) => return Err(e.into()),
+                    _ => {}
+                }
+            }
+            if !served {
+                return Err(ServiceError::Stopped.into());
+            }
+        }
+        "delta" => {
+            arity(3, "delta <old> <new> <suite>")?;
+            let suite = parse_suite(words[3])?.ok_or_else(|| {
+                CommandError::Protocol("delta needs a concrete suite, not `all`".into())
+            })?;
+            let delta = client.delta(
+                parse_machine(words[1])?,
+                parse_machine(words[2])?,
+                suite,
+                options.clone(),
+            )?;
+            writeln!(output, "{delta}")?;
+        }
+        "stats" => {
+            arity(0, "stats")?;
+            let stats = client.stats()?;
+            writeln!(
+                output,
+                "stats: requests {} fits {} hits {} misses {} warm {} evictions {} \
+                 invalidations {} records {} workers {}",
+                stats.requests,
+                stats.fits,
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.warm_loads,
+                stats.cache.evictions,
+                stats.cache.invalidations,
+                stats.ingested_records,
+                stats.workers
+            )?;
+        }
+        other => {
+            return Err(CommandError::Protocol(format!(
+                "unknown command `{other}` (type `help`)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every binary frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"CPIB";
+
+/// Frame kind byte for a stack set (the only kind in protocol v1).
+pub const FRAME_KIND_STACKS: u8 = 1;
+
+/// The ten [`CpiStack`] fields a frame carries per benchmark, in wire
+/// order.
+const STACK_FIELDS: usize = 10;
+
+/// Hard ceiling on a frame's payload length, checked *before* the
+/// payload buffer is allocated — a corrupted or hostile length field must
+/// not turn into a multi-gigabyte allocation. Generous: a stack entry is
+/// ~100 bytes, so this admits well over half a million benchmarks.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Encodes a stack set as one frame: [`FRAME_MAGIC`], the kind byte, a
+/// `u32` payload length, the payload (`u32` count, then per benchmark a
+/// `u16`-length-prefixed name and ten `f64` components), and a trailing
+/// FNV-1a checksum covering the kind byte, the length field *and* the
+/// payload — so a flipped bit anywhere after the magic fails
+/// [`read_frame`]. All integers and floats little-endian.
+pub fn encode_stack_frame(stacks: &[(String, CpiStack)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(stacks.len() * 96);
+    payload.extend_from_slice(
+        &u32::try_from(stacks.len())
+            .expect("stack count")
+            .to_le_bytes(),
+    );
+    for (benchmark, stack) in stacks {
+        let len = u16::try_from(benchmark.len()).expect("benchmark names are short");
+        payload.extend_from_slice(&len.to_le_bytes());
+        payload.extend_from_slice(benchmark.as_bytes());
+        for v in stack_fields(stack) {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 17);
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(FRAME_KIND_STACKS);
+    frame.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("payload fits u32")
+            .to_le_bytes(),
+    );
+    frame.extend_from_slice(&payload);
+    let checksum = fnv64(&frame[FRAME_MAGIC.len()..]);
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame
+}
+
+fn stack_fields(s: &CpiStack) -> [f64; STACK_FIELDS] {
+    [
+        s.base,
+        s.l1i,
+        s.llc_i,
+        s.itlb,
+        s.branch,
+        s.llc_d,
+        s.dtlb,
+        s.resource,
+        s.branch_resolution,
+        s.mlp,
+    ]
+}
+
+/// Reads exactly one frame (any kind) off a byte stream, validating the
+/// magic, the length bound and the checksum (which covers kind + length
+/// + payload), and returns `(kind, payload)`.
+///
+/// # Errors
+///
+/// `InvalidData` on a bad magic, an over-[`MAX_FRAME_PAYLOAD`] length or
+/// a checksum mismatch; any underlying read error.
+pub fn read_frame(input: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut head = [0u8; 9];
+    input.read_exact(&mut head)?;
+    if head[..4] != FRAME_MAGIC {
+        return Err(bad("bad frame magic".into()));
+    }
+    let kind = head[4];
+    let len = u32::from_le_bytes(head[5..9].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(bad(format!(
+            "frame payload length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    input.read_exact(&mut payload)?;
+    let mut tail = [0u8; 8];
+    input.read_exact(&mut tail)?;
+    let computed = super::persist::fnv64_update(fnv64(&head[4..]), &payload);
+    if u64::from_le_bytes(tail) != computed {
+        return Err(bad("frame checksum mismatch".into()));
+    }
+    Ok((kind, payload))
+}
+
+/// Decodes a [`FRAME_KIND_STACKS`] payload back into `(benchmark, stack)`
+/// pairs — the client-side inverse of [`encode_stack_frame`].
+///
+/// # Errors
+///
+/// `InvalidData` on truncation or trailing garbage.
+pub fn decode_stack_frame(payload: &[u8]) -> std::io::Result<Vec<(String, CpiStack)>> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let take = |at: &mut usize, n: usize| -> std::io::Result<std::ops::Range<usize>> {
+        if *at + n > payload.len() {
+            return Err(bad(format!("stack frame truncated at byte {at}")));
+        }
+        let range = *at..*at + n;
+        *at += n;
+        Ok(range)
+    };
+    let mut at = 0;
+    let count = u32::from_le_bytes(payload[take(&mut at, 4)?].try_into().unwrap()) as usize;
+    // The smallest possible entry is an empty name (2 length bytes) plus
+    // ten f64s; a count the payload cannot possibly hold is rejected
+    // before it becomes a giant allocation.
+    let max_entries = (payload.len() - 4) / (2 + 8 * STACK_FIELDS);
+    if count > max_entries {
+        return Err(bad(format!(
+            "stack count {count} exceeds what {} payload bytes can hold",
+            payload.len()
+        )));
+    }
+    let mut stacks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = u16::from_le_bytes(payload[take(&mut at, 2)?].try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(&payload[take(&mut at, name_len)?])
+            .map_err(|_| bad("benchmark name is not utf-8".into()))?
+            .to_owned();
+        let mut f = [0.0f64; STACK_FIELDS];
+        for slot in &mut f {
+            *slot = f64::from_le_bytes(payload[take(&mut at, 8)?].try_into().unwrap());
+        }
+        stacks.push((
+            name,
+            CpiStack {
+                base: f[0],
+                l1i: f[1],
+                llc_i: f[2],
+                itlb: f[3],
+                branch: f[4],
+                llc_d: f[5],
+                dtlb: f[6],
+                resource: f[7],
+                branch_resolution: f[8],
+                mlp: f[9],
+            },
+        ));
+    }
+    if at != payload.len() {
+        return Err(bad(format!("{} trailing frame bytes", payload.len() - at)));
+    }
+    Ok(stacks)
+}
+
+// ---------------------------------------------------------------------------
+// The TCP front
+// ---------------------------------------------------------------------------
+
+/// Knobs for [`serve_tcp`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct TcpServerConfig {
+    /// Greeting written when a connection opens (see [`banner`]).
+    pub banner: String,
+    /// Close a connection after this long without a complete command
+    /// (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Connections beyond this are refused with `err: server full`.
+    pub max_connections: usize,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> Self {
+        Self {
+            banner: String::new(),
+            idle_timeout: Some(Duration::from_secs(300)),
+            max_connections: 64,
+        }
+    }
+}
+
+impl TcpServerConfig {
+    /// Default limits with a session greeting.
+    pub fn new(banner: impl Into<String>) -> Self {
+        Self {
+            banner: banner.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets (or disables) the per-connection idle timeout.
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the concurrent-connection cap (minimum 1).
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+}
+
+/// How often blocked reads and the accept loop wake to check the stop
+/// flag. Also the granularity of idle-timeout detection.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A running TCP front: the accept loop and every connection it spawned.
+/// Obtained from [`serve_tcp`]; stop it with [`TcpServer::shutdown`] (or
+/// remotely, via the protocol's `shutdown` command).
+#[derive(Debug)]
+pub struct TcpServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals every thread to stop without waiting for them.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server stops — either via [`TcpServer::stop`] /
+    /// drop, or a client's `shutdown` command. Connections drain before
+    /// this returns.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the server and waits for every connection to close.
+    pub fn shutdown(self) {
+        self.stop();
+        self.wait();
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Starts the TCP front on an already-bound listener: every accepted
+/// connection gets its own clone of `client` (so per-connection request
+/// streams never interleave) and runs the same codec as the stdio front.
+/// The service itself is *not* owned here — the caller keeps it, and
+/// shuts it down after [`TcpServer::wait`] returns.
+///
+/// # Errors
+///
+/// Setup failures only (the listener cannot be made non-blocking or the
+/// accept thread cannot spawn); per-connection errors close that
+/// connection and never take the server down.
+pub fn serve_tcp(
+    listener: TcpListener,
+    client: CpiClient,
+    options: FitOptions,
+    config: TcpServerConfig,
+) -> std::io::Result<TcpServer> {
+    let local_addr = listener.local_addr()?;
+    // Non-blocking accept: the loop must keep observing the stop flag
+    // even when no connection ever arrives.
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept = std::thread::Builder::new()
+        .name("cpi-tcp-accept".into())
+        .spawn(move || accept_loop(&listener, &client, &options, &config, &accept_stop))?;
+    Ok(TcpServer {
+        local_addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    client: &CpiClient,
+    options: &FitOptions,
+    config: &TcpServerConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        connections.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if live.load(Ordering::SeqCst) >= config.max_connections {
+                    let mut stream = stream;
+                    let _ = writeln!(
+                        stream,
+                        "err: server full ({} connections)",
+                        config.max_connections
+                    );
+                    continue;
+                }
+                live.fetch_add(1, Ordering::SeqCst);
+                let client = client.clone();
+                let options = options.clone();
+                let banner = config.banner.clone();
+                let idle = config.idle_timeout;
+                let stop = Arc::clone(stop);
+                let conn_live = Arc::clone(&live);
+                let spawned = std::thread::Builder::new()
+                    .name("cpi-tcp-conn".into())
+                    .spawn(move || {
+                        let _ = connection_loop(stream, &client, &options, &banner, idle, &stop);
+                        conn_live.fetch_sub(1, Ordering::SeqCst);
+                    });
+                match spawned {
+                    Ok(handle) => connections.push(handle),
+                    Err(_) => {
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // A broken listener cannot serve anyone: stop the front so
+            // `wait()` returns instead of spinning.
+            Err(_) => break,
+        }
+    }
+    // Connections poll the same stop flag; give each a bounded join.
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// One connection's lifetime: greet, read lines (with stop/idle polling),
+/// run each through the shared codec, close on `quit`/EOF/timeout — and
+/// flip the server-wide stop flag on `shutdown`.
+fn connection_loop(
+    stream: TcpStream,
+    client: &CpiClient,
+    options: &FitOptions,
+    banner: &str,
+    idle: Option<Duration>,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = TimedLineReader::new(stream.try_clone()?);
+    let mut output = std::io::BufWriter::new(stream);
+    writeln!(output, "{banner}")?;
+    output.flush()?;
+    loop {
+        match reader.next_line(stop, idle) {
+            LineEvent::Line(line) => {
+                let outcome = execute_line(client, options, &line, &mut output)?;
+                output.flush()?;
+                match outcome {
+                    LineOutcome::Continue => {}
+                    LineOutcome::Quit => return Ok(()),
+                    LineOutcome::Shutdown => {
+                        stop.store(true, Ordering::SeqCst);
+                        return Ok(());
+                    }
+                }
+            }
+            LineEvent::Eof => return Ok(()),
+            LineEvent::Stopped => {
+                // Another session shut the server down while this one sat
+                // idle; say goodbye in-band so scripted clients see why.
+                writeln!(output, "err: server shutting down")?;
+                return output.flush();
+            }
+            LineEvent::IdleTimeout => {
+                writeln!(output, "err: idle timeout — closing connection")?;
+                return output.flush();
+            }
+            LineEvent::Error(e) => return Err(e),
+        }
+    }
+}
+
+enum LineEvent {
+    Line(String),
+    Eof,
+    Stopped,
+    IdleTimeout,
+    Error(std::io::Error),
+}
+
+/// Line reader over a read-timeout socket: accumulates bytes, yields one
+/// line at a time, and between reads polls the server stop flag and the
+/// connection's idle deadline. A read timeout never loses buffered bytes
+/// (the pitfall of `BufRead::read_line` on a non-blocking stream).
+struct TimedLineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    eof: bool,
+    last_activity: Instant,
+}
+
+impl TimedLineReader {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            eof: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    fn next_line(&mut self, stop: &AtomicBool, idle: Option<Duration>) -> LineEvent {
+        // The idle clock measures time spent *waiting for the next
+        // command* — it restarts here so a slow fit executed between
+        // calls is never billed to the client as idleness.
+        self.last_activity = Instant::now();
+        loop {
+            if let Some(pos) = self.buf.iter().position(|b| *b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.eof {
+                // A final line without a newline still counts, like
+                // `BufRead::lines` on the stdio front.
+                if self.buf.is_empty() {
+                    return LineEvent::Eof;
+                }
+                let line = String::from_utf8_lossy(&self.buf).into_owned();
+                self.buf.clear();
+                return LineEvent::Line(line);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return LineEvent::Stopped;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if let Some(limit) = idle {
+                        if self.last_activity.elapsed() >= limit {
+                            return LineEvent::IdleTimeout;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return LineEvent::Error(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stacks() -> Vec<(String, CpiStack)> {
+        (0..3)
+            .map(|i| {
+                let f = i as f64;
+                (
+                    format!("bench.{i}"),
+                    CpiStack {
+                        base: 0.25 + f,
+                        l1i: 0.01 * f,
+                        llc_i: 0.002,
+                        itlb: 0.0,
+                        branch: 0.125,
+                        llc_d: 0.5,
+                        dtlb: 0.03,
+                        resource: 0.75,
+                        branch_resolution: 11.0,
+                        mlp: 1.5 + f,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stack_frame_round_trips() {
+        let stacks = sample_stacks();
+        let frame = encode_stack_frame(&stacks);
+        let (kind, payload) = read_frame(&mut frame.as_slice()).expect("frame parses");
+        assert_eq!(kind, FRAME_KIND_STACKS);
+        let back = decode_stack_frame(&payload).expect("payload parses");
+        assert_eq!(back, stacks);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let frame = encode_stack_frame(&sample_stacks());
+        // Any single flipped byte — magic, kind, length field, payload or
+        // checksum — must fail the read, never pass as a different frame.
+        for index in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[index] ^= 0x40;
+            assert!(
+                read_frame(&mut bad.as_slice()).is_err(),
+                "flip at byte {index} went undetected"
+            );
+        }
+        // Truncation is an UnexpectedEof, not a panic.
+        assert!(read_frame(&mut frame[..frame.len() - 3].as_ref()).is_err());
+        // A hostile length field is rejected before any allocation.
+        let mut huge = frame.clone();
+        huge[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut huge.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // So is a payload whose entry *count* its bytes cannot hold — a
+        // validly-checksummed 4-byte payload claiming u32::MAX stacks
+        // must be an InvalidData error, not a ~450 GB allocation.
+        let err = decode_stack_frame(&u32::MAX.to_le_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn banner_names_the_config() {
+        let text = banner(
+            &ServiceConfig::new().with_workers(2).with_cache_capacity(4),
+            true,
+        );
+        assert_eq!(
+            text,
+            "cpistack serve: 2 workers, cache 4 models, quick fits (type `help`)"
+        );
+    }
+}

@@ -2,7 +2,9 @@
 //! the paper's end-to-end flow (Fig. 1) from a long-lived [`CpiService`]:
 //! ingest the counter batch once, fit on first demand, and let every later
 //! client — here, a second handle issuing a repeat request — hit the warm
-//! model cache instead of re-running the regression.
+//! model cache instead of re-running the regression. The final step adds a
+//! state dir, restarts the service, and shows the fit surviving the
+//! restart (zero regressions on the second lifetime).
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -60,12 +62,38 @@ fn main() -> Result<(), ServiceError> {
     // 5. Any further client shares the warm campaign: the same key is a
     //    cache hit, never a second regression.
     let other_client = service.client();
-    let (repeat, _) = other_client.stacks(key)?;
+    let (repeat, _) = other_client.stacks(key.clone())?;
     assert!(repeat.cached, "repeat requests are served from the cache");
     let stats = service.shutdown();
     println!(
         "service stats: {} fit(s), {} cache hit(s), {} miss(es)",
         stats.fits, stats.cache.hits, stats.cache.misses
     );
+
+    // 6. Warm restarts: with a state dir, the fit above would have been
+    //    snapshot to disk, and a brand-new service — tomorrow's process,
+    //    after a deploy — serves the same key from the store without
+    //    re-running the regression. (`cpistack serve --state-dir` is the
+    //    CLI spelling; `--listen` serves the same session over TCP.)
+    let state_dir = std::env::temp_dir().join(format!("cpistack_qs_{}", std::process::id()));
+    for lifetime in ["cold start", "warm restart"] {
+        let service = CpiService::start(ServiceConfig::new().with_state_dir(&state_dir));
+        let client = service.client();
+        client.register(MachineSpec::from(&machine))?;
+        client.ingest(
+            SimSource::new()
+                .suite(cpistack::workloads::suites::cpu2000())
+                .uops(200_000)
+                .seed(42)
+                .collect_config(&machine),
+        )?;
+        let report = client.fit(key.clone())?;
+        let stats = service.shutdown();
+        println!(
+            "{lifetime}: cached {} — {} regression(s) ran",
+            report.cached, stats.fits
+        );
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
     Ok(())
 }

@@ -12,8 +12,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // `serve` streams over stdin/stdout for its whole session; everything
-    // else is a one-shot command with buffered output.
+    // `serve` streams for its whole session (stdin/stdout, or a TCP
+    // listener with --listen); everything else is a one-shot command with
+    // buffered output.
     if let cpistack::cli::Command::Serve(args) = &command {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();

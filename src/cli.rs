@@ -14,6 +14,8 @@
 //! cpistack stack --counters runs.csv --width 4 --depth 14 --l2 19 --mem 169 --tlb 30
 //! cpistack demo  # generates a demo CSV from the built-in simulator
 //! cpistack serve # long-lived session: line protocol over stdin/stdout
+//! cpistack serve --listen 127.0.0.1:7070 --state-dir /var/lib/cpistack
+//!                # same protocol over TCP, models persisted across restarts
 //! ```
 //!
 //! The CSV format is [`pmu::csv`]'s (header + one row per benchmark run);
@@ -26,52 +28,40 @@
 //! fit → export) that broke; only argument parsing has its own
 //! [`CliError::Usage`] variant.
 //!
-//! # The `serve` line protocol
+//! # The `serve` protocol and its two transports
 //!
-//! `cpistack serve` starts a [`CpiService`](crate::CpiService) session and
-//! reads one command per line from stdin — built for scripting
-//! (`printf '…' | cpistack serve`) as much as for interactive use. Every
-//! command writes zero or more payload lines and then exactly one
-//! terminator line: `ok` on success, or `err: <message>` (the session
-//! continues after errors). Payload lines are prefixed by their kind, so
-//! output stays greppable:
+//! `cpistack serve` starts a [`CpiService`](crate::CpiService) session
+//! speaking the line protocol implemented by
+//! [`service::proto`](crate::service::proto) — one command per line in,
+//! zero or more payload lines plus exactly one terminator (`ok` or
+//! `err: <message>`) out; the session continues after errors. See the
+//! [`proto`](crate::service::proto) module docs for the command set
+//! (including `binstack`, the length-prefixed binary framing for bulk
+//! stack streams).
 //!
-//! ```text
-//! machine <name> <width> <depth> <l2> <mem> <tlb>
-//!     register a machine's five constants (name: pentium4|core2|corei7)
-//! ingest <path>
-//!     load a counters CSV into the machine store (generation bump:
-//!     cached models for the touched machines are invalidated)
-//! fit <machine> <suite|all>
-//!     fit (or serve from cache); payload: `model: …`, `records: …`,
-//!     `cache: hit|miss`, `accuracy: …`
-//! stack <machine> <suite|all>
-//!     one `stack <benchmark> <stack>` line per benchmark, streamed
-//! predict <machine> <suite|all>
-//!     one `predict <benchmark> measured <cpi> predicted <cpi>` per
-//!     benchmark
-//! delta <old-machine> <new-machine> <suite>
-//!     CPI-delta stacks explaining new vs old (Fig. 6)
-//! stats
-//!     service counters: requests, fits, cache hits/misses/evictions/
-//!     invalidations, ingested records
-//! help
-//!     reprint this command list
-//! quit
-//!     shut the service down and exit
-//! ```
+//! Without `--listen` the session runs over stdin/stdout — built for
+//! scripting (`printf '…' | cpistack serve`) as much as for interactive
+//! use. With `--listen <addr>` the same protocol is served over TCP:
+//! the bound address is printed as `listening <addr>` (so `--listen
+//! 127.0.0.1:0` scripts cleanly), every connection gets its own client
+//! with per-connection state, idle connections are closed after
+//! `--idle-timeout` seconds, and the in-band `shutdown` command stops the
+//! whole server gracefully — connections drain, then the service exits.
 //!
 //! Flags: `--workers <N>` (worker shards), `--cache <N>` (model-cache
-//! capacity), `--quick` (cheap fit options, for smoke tests).
+//! capacity), `--quick` (cheap fit options, for smoke tests),
+//! `--listen <addr>` (TCP front), `--state-dir <dir>` (persist fitted
+//! models across restarts — see
+//! [`service::persist`](crate::service::persist)), `--idle-timeout <s>`
+//! (0 = never) and `--max-conns <N>` (TCP limits).
 
-use crate::model::workbench::{Grouping, MachineSpec};
+use crate::model::workbench::Grouping;
 use crate::model::{FitOptions, MicroarchParams};
-use crate::service::{CpiClient, CpiService, ModelKey, Request, Response, ServiceConfig};
+use crate::service::persist::PersistError;
+use crate::service::{proto, CpiService, ServiceConfig};
 use crate::{CsvSource, PipelineError, SimSource, Workbench};
-use pmu::{MachineId, Suite};
 use std::fmt;
 use std::io::{BufRead, Write};
-use std::str::FromStr;
 
 /// Errors surfaced to the CLI user: either the arguments never parsed, or
 /// the pipeline failed at a typed stage.
@@ -84,6 +74,8 @@ pub enum CliError {
     /// Reading commands from / writing responses to the serve session's
     /// transport failed.
     Io(std::io::Error),
+    /// The serve session's `--state-dir` could not be opened.
+    State(PersistError),
 }
 
 impl fmt::Display for CliError {
@@ -92,6 +84,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "serve session i/o: {e}"),
+            CliError::State(e) => write!(f, "serve state dir: {e}"),
         }
     }
 }
@@ -102,6 +95,7 @@ impl std::error::Error for CliError {
             CliError::Usage(_) => None,
             CliError::Pipeline(e) => Some(e),
             CliError::Io(e) => Some(e),
+            CliError::State(e) => Some(e),
         }
     }
 }
@@ -127,6 +121,8 @@ USAGE:
   cpistack stack --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack demo  [--out <csv>]
   cpistack serve [--workers <N>] [--cache <N>] [--quick]
+                 [--listen <addr>] [--state-dir <dir>]
+                 [--idle-timeout <secs>] [--max-conns <N>]
 
 SUBCOMMANDS:
   fit    infer the ten model parameters from the counter data, report
@@ -136,10 +132,13 @@ SUBCOMMANDS:
          with --csv)
   demo   write an example counters CSV (generated by the built-in
          simulator's Core 2 preset) to adapt your own data from
-  serve  start a long-lived CpiService session speaking a line protocol
-         over stdin/stdout: register machines, ingest counter CSVs, and
-         serve fits/stacks/deltas from a shared model cache (type `help`
-         inside the session for the command set)
+  serve  start a long-lived CpiService session speaking a line protocol:
+         register machines, ingest counter CSVs, and serve
+         fits/stacks/deltas from a shared model cache (type `help` inside
+         the session for the command set). Over stdin/stdout by default;
+         --listen <addr> serves the same protocol on a TCP socket with
+         concurrent connections, and --state-dir <dir> persists fitted
+         models so a restarted server warms up without refitting
 
 All subcommands drive the same fitting code path the library exposes:
 counters from a pluggable source (CSV here, the simulator for `demo`),
@@ -176,6 +175,17 @@ pub struct ServeArgs {
     pub cache: Option<usize>,
     /// Use [`FitOptions::quick`] instead of the full-budget defaults.
     pub quick: bool,
+    /// Serve the protocol on this TCP address instead of stdin/stdout
+    /// (`127.0.0.1:0` binds an ephemeral port, printed as `listening …`).
+    pub listen: Option<String>,
+    /// Persist fitted models under this directory and warm-load them on
+    /// cache misses across restarts.
+    pub state_dir: Option<String>,
+    /// Close idle TCP connections after this many seconds (`0` = never;
+    /// `None` = the transport default).
+    pub idle_timeout: Option<u64>,
+    /// Concurrent TCP connection cap (`None` = the transport default).
+    pub max_conns: Option<usize>,
 }
 
 /// Arguments shared by `fit` and `stack`.
@@ -247,10 +257,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     })
                     .transpose()
             };
+            let get_text = |name: &str| -> Option<String> {
+                flags
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v.clone())
+            };
             Ok(Command::Serve(ServeArgs {
                 workers: get_count("workers")?,
                 cache: get_count("cache")?,
                 quick: flags.iter().any(|(k, _)| k == "quick"),
+                listen: get_text("listen"),
+                state_dir: get_text("state-dir"),
+                idle_timeout: get_count("idle-timeout")?.map(|n| n as u64),
+                max_conns: get_count("max-conns")?,
             }))
         }
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
@@ -352,28 +372,24 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     }
 }
 
-/// Text reprinted by the in-session `help` command.
-const SERVE_HELP: &str = "\
-commands (one per line; every command ends with `ok` or `err: ...`):
-  machine <name> <width> <depth> <l2> <mem> <tlb>   register constants
-  ingest <path>                                     load a counters CSV
-  fit <machine> <suite|all>                         fit or serve from cache
-  stack <machine> <suite|all>                       stream one stack per benchmark
-  predict <machine> <suite|all>                     measured vs predicted CPI
-  delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
-  stats                                             service counters
-  help                                              this list
-  quit                                              shut down";
-
-/// Runs a `serve` session: reads line-protocol commands from `input`,
-/// writes responses to `output`, until `quit` or end-of-input. The
-/// [`CpiService`] lives for the whole session, so every fit after the
-/// first for a `(machine, suite, options)` key is a cache hit.
+/// Runs a `serve` session over the front the arguments select.
+///
+/// Without `--listen`: reads line-protocol commands from `input` and
+/// writes responses to `output` until `quit`, `shutdown` or end-of-input
+/// (the [`proto::run_session`] stdio front).
+///
+/// With `--listen <addr>`: binds a [`std::net::TcpListener`], announces
+/// the bound address on `output` as `listening <addr>`, and serves
+/// concurrent connections until a client sends `shutdown` — `input` is
+/// not read. Either way the [`CpiService`] lives for the whole session,
+/// so every fit after the first for a `(machine, suite, options)` key is
+/// a cache hit — and with `--state-dir`, fits survive restarts too.
 ///
 /// # Errors
 ///
-/// [`CliError::Io`] when the transport fails; protocol-level problems are
-/// reported in-band as `err: …` lines and never abort the session.
+/// [`CliError::Io`] when the transport fails, [`CliError::State`] when
+/// the state dir cannot be opened; protocol-level problems are reported
+/// in-band as `err: …` lines and never abort the session.
 pub fn serve(
     args: &ServeArgs,
     input: impl BufRead,
@@ -386,222 +402,37 @@ pub fn serve(
     if let Some(cache) = args.cache {
         config = config.with_cache_capacity(cache);
     }
+    if let Some(dir) = &args.state_dir {
+        config = config.with_state_dir(dir);
+    }
     let options = if args.quick {
         FitOptions::quick()
     } else {
         FitOptions::default()
     };
-    let service = CpiService::start(config.clone());
+    let service = CpiService::try_start(config.clone()).map_err(CliError::State)?;
     let client = service.client();
-    writeln!(
-        output,
-        "cpistack serve: {} workers, cache {} models{} (type `help`)",
-        config.workers,
-        config.cache_capacity,
-        if args.quick { ", quick fits" } else { "" }
-    )?;
-    for line in input.lines() {
-        let line = line?;
-        let words: Vec<&str> = line.split_whitespace().collect();
-        if words.is_empty() {
-            continue;
+    let banner = proto::banner(&config, args.quick);
+    if let Some(addr) = &args.listen {
+        let mut tcp = proto::TcpServerConfig::new(banner);
+        if let Some(secs) = args.idle_timeout {
+            tcp = tcp.with_idle_timeout((secs > 0).then(|| std::time::Duration::from_secs(secs)));
         }
-        if words[0] == "quit" {
-            writeln!(output, "ok")?;
-            break;
+        if let Some(max) = args.max_conns {
+            tcp = tcp.with_max_connections(max);
         }
-        match serve_command(&client, &options, &words, &mut output) {
-            Ok(()) => writeln!(output, "ok")?,
-            Err(ServeCommandError::Protocol(msg)) => writeln!(output, "err: {msg}")?,
-            Err(ServeCommandError::Io(e)) => return Err(CliError::Io(e)),
-        }
+        let listener = std::net::TcpListener::bind(addr.as_str())?;
+        let server = proto::serve_tcp(listener, client, options, tcp)?;
+        writeln!(output, "listening {}", server.local_addr())?;
+        output.flush()?;
+        // Until a connection issues `shutdown` (or the process is
+        // signalled); connections drain before wait() returns.
+        server.wait();
+    } else {
+        writeln!(output, "{banner}")?;
+        proto::run_session(&client, &options, input, output)?;
     }
     service.shutdown();
-    Ok(())
-}
-
-/// A serve-session command failure: protocol errors are reported in-band
-/// and the session continues; transport errors abort it.
-enum ServeCommandError {
-    Protocol(String),
-    Io(std::io::Error),
-}
-
-impl From<std::io::Error> for ServeCommandError {
-    fn from(e: std::io::Error) -> Self {
-        ServeCommandError::Io(e)
-    }
-}
-
-impl From<crate::ServiceError> for ServeCommandError {
-    fn from(e: crate::ServiceError) -> Self {
-        ServeCommandError::Protocol(e.to_string())
-    }
-}
-
-fn parse_machine(word: &str) -> Result<MachineId, ServeCommandError> {
-    MachineId::from_str(word).map_err(|e| ServeCommandError::Protocol(e.to_string()))
-}
-
-/// Parses the `<suite|all>` protocol word.
-fn parse_suite(word: &str) -> Result<Option<Suite>, ServeCommandError> {
-    if word == "all" {
-        return Ok(None);
-    }
-    Suite::from_str(word)
-        .map(Some)
-        .map_err(|e| ServeCommandError::Protocol(e.to_string()))
-}
-
-fn serve_command(
-    client: &CpiClient,
-    options: &FitOptions,
-    words: &[&str],
-    output: &mut impl Write,
-) -> Result<(), ServeCommandError> {
-    let arity = |n: usize, usage: &str| -> Result<(), ServeCommandError> {
-        if words.len() == n + 1 {
-            Ok(())
-        } else {
-            Err(ServeCommandError::Protocol(format!("usage: {usage}")))
-        }
-    };
-    let key = |machine: &str, suite: &str| -> Result<ModelKey, ServeCommandError> {
-        Ok(ModelKey::new(
-            parse_machine(machine)?,
-            parse_suite(suite)?,
-            options.clone(),
-        ))
-    };
-    match words[0] {
-        "help" => writeln!(output, "{SERVE_HELP}")?,
-        "machine" => {
-            arity(6, "machine <name> <width> <depth> <l2> <mem> <tlb>")?;
-            let machine = parse_machine(words[1])?;
-            let mut nums = [0.0f64; 5];
-            for (slot, word) in nums.iter_mut().zip(&words[2..]) {
-                *slot = word.parse().map_err(|_| {
-                    ServeCommandError::Protocol(format!("`{word}` is not a number"))
-                })?;
-                if !slot.is_finite() || *slot <= 0.0 {
-                    return Err(ServeCommandError::Protocol(format!(
-                        "`{word}` must be a positive finite number"
-                    )));
-                }
-            }
-            let [width, depth, l2, mem, tlb] = nums;
-            client.register(MachineSpec::real(
-                machine,
-                MicroarchParams::new(width, depth, l2, mem, tlb),
-            ))?;
-            writeln!(output, "registered {}", machine.name())?;
-        }
-        "ingest" => {
-            arity(1, "ingest <path>")?;
-            let path = words[1];
-            let text = std::fs::read_to_string(path).map_err(|e| {
-                ServeCommandError::Protocol(format!("reading `{path}` failed: {e}"))
-            })?;
-            let records = client.ingest_csv(&text, path)?;
-            writeln!(output, "ingested {records} records from {path}")?;
-        }
-        "fit" => {
-            arity(2, "fit <machine> <suite|all>")?;
-            let (report, predictions) = client.predictions(key(words[1], words[2])?)?;
-            writeln!(output, "model: {}", report.model)?;
-            writeln!(
-                output,
-                "records: {}  cache: {}",
-                report.records,
-                if report.cached { "hit" } else { "miss" }
-            )?;
-            let mean = predictions
-                .iter()
-                .map(|(_, measured, predicted)| ((predicted - measured) / measured).abs())
-                .sum::<f64>()
-                / predictions.len().max(1) as f64;
-            writeln!(output, "accuracy: mean abs error {:.2}%", mean * 100.0)?;
-        }
-        "stack" => {
-            // Stream each stack as the worker produces it — a large
-            // campaign is never buffered whole (the module docs promise
-            // this), and the first lines appear while later ones compute.
-            arity(2, "stack <machine> <suite|all>")?;
-            let mut served = false;
-            for response in client.submit(Request::Stacks(key(words[1], words[2])?)) {
-                match response {
-                    Response::Model(_) => served = true,
-                    Response::Stack { benchmark, stack } => {
-                        writeln!(output, "stack {benchmark} {stack}")?;
-                    }
-                    Response::Error(e) => return Err(e.into()),
-                    _ => {}
-                }
-            }
-            if !served {
-                return Err(crate::ServiceError::Stopped.into());
-            }
-        }
-        "predict" => {
-            arity(2, "predict <machine> <suite|all>")?;
-            let mut served = false;
-            for response in client.submit(Request::Predictions(key(words[1], words[2])?)) {
-                match response {
-                    Response::Model(_) => served = true,
-                    Response::Prediction {
-                        benchmark,
-                        measured,
-                        predicted,
-                    } => {
-                        writeln!(
-                            output,
-                            "predict {benchmark} measured {measured:.4} predicted {predicted:.4}"
-                        )?;
-                    }
-                    Response::Error(e) => return Err(e.into()),
-                    _ => {}
-                }
-            }
-            if !served {
-                return Err(crate::ServiceError::Stopped.into());
-            }
-        }
-        "delta" => {
-            arity(3, "delta <old> <new> <suite>")?;
-            let suite = parse_suite(words[3])?.ok_or_else(|| {
-                ServeCommandError::Protocol("delta needs a concrete suite, not `all`".into())
-            })?;
-            let delta = client.delta(
-                parse_machine(words[1])?,
-                parse_machine(words[2])?,
-                suite,
-                options.clone(),
-            )?;
-            writeln!(output, "{delta}")?;
-        }
-        "stats" => {
-            arity(0, "stats")?;
-            let stats = client.stats()?;
-            writeln!(
-                output,
-                "stats: requests {} fits {} hits {} misses {} evictions {} \
-                 invalidations {} records {} workers {}",
-                stats.requests,
-                stats.fits,
-                stats.cache.hits,
-                stats.cache.misses,
-                stats.cache.evictions,
-                stats.cache.invalidations,
-                stats.ingested_records,
-                stats.workers
-            )?;
-        }
-        other => {
-            return Err(ServeCommandError::Protocol(format!(
-                "unknown command `{other}` (type `help`)"
-            )))
-        }
-    }
     Ok(())
 }
 
@@ -748,6 +579,7 @@ mod tests {
                 workers: Some(3),
                 cache: None,
                 quick: true,
+                ..ServeArgs::default()
             })
         );
         let err = parse_args(&strings(&["serve", "--workers", "many"])).unwrap_err();
@@ -755,6 +587,34 @@ mod tests {
         // serve must be dispatched to serve(), not run().
         let err = run(&Command::Serve(ServeArgs::default())).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_serve_transport_flags() {
+        let cmd = parse_args(&strings(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--state-dir",
+            "/tmp/state",
+            "--idle-timeout",
+            "30",
+            "--max-conns",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                listen: Some("127.0.0.1:0".into()),
+                state_dir: Some("/tmp/state".into()),
+                idle_timeout: Some(30),
+                max_conns: Some(8),
+                ..ServeArgs::default()
+            })
+        );
+        let err = parse_args(&strings(&["serve", "--idle-timeout", "soon"])).unwrap_err();
+        assert!(err.to_string().contains("--idle-timeout must be a count"));
     }
 
     /// Runs one scripted serve session and returns its full transcript.
@@ -765,6 +625,7 @@ mod tests {
                 workers: Some(2),
                 cache: Some(4),
                 quick: true,
+                ..ServeArgs::default()
             },
             std::io::Cursor::new(script.to_owned()),
             &mut out,
@@ -808,6 +669,7 @@ mod tests {
              machine nope 1 2 3 4 5\n\
              machine core2 nan 14 19 169 30\n\
              fit core2 cpu2000\n\
+             ingest /nonexistent/counters.csv\n\
              delta pentium4 core2 all\n\
              help\n\
              quit\n",
@@ -823,6 +685,12 @@ mod tests {
         );
         // fit before any ingest: a typed service error, in-band.
         assert!(transcript.contains("err: machine `core2` is not registered"));
+        // Missing file: in-band, naming the path (the OS suffix varies by
+        // platform, so only the prefix is pinned).
+        assert!(
+            transcript.contains("err: reading `/nonexistent/counters.csv` failed:"),
+            "{transcript}"
+        );
         assert!(transcript.contains("err: delta needs a concrete suite"));
         assert!(transcript.contains("machine <name>"), "help prints");
         assert!(transcript.ends_with("ok\n"), "quit still acks");

@@ -63,6 +63,74 @@
 //! The same session is scriptable from a shell via `cpistack serve`, a
 //! line protocol over stdin/stdout (see [`cli`] for the command set).
 //!
+//! ## Serving over TCP
+//!
+//! The identical protocol is served on a socket with `--listen`: the
+//! bound address is announced as `listening <addr>` (so `:0` ephemeral
+//! ports script cleanly), every connection gets its own client with
+//! per-connection state, idle connections are reaped, and the in-band
+//! `shutdown` command stops the whole server gracefully:
+//!
+//! ```text
+//! $ cpistack serve --listen 127.0.0.1:7070 --quick &
+//! listening 127.0.0.1:7070
+//! $ printf 'machine core2 4 14 19 169 30\ningest runs.csv\nstack core2 cpu2000\nquit\n' \
+//!     | nc 127.0.0.1 7070
+//! ```
+//!
+//! Both fronts share one codec ([`service::proto`]), so a scripted
+//! session produces byte-identical transcripts over stdio and TCP. Bulk
+//! stack streams can skip per-line formatting: the `binstack` command
+//! ships every stack of a request as one length-prefixed, checksummed
+//! binary frame ([`service::proto::decode_stack_frame`] is the
+//! client-side inverse). From Rust, the TCP front embeds directly via
+//! [`service::proto::serve_tcp`].
+//!
+//! ## Restarting with warm state
+//!
+//! A `--state-dir` makes fitted models durable: every fresh fit is
+//! snapshot to a versioned, checksummed file keyed by
+//! `(machine, suite, fit-options fingerprint, records digest)`, and a
+//! cache miss consults the store before running the regression — so a
+//! restarted service serves its first fit request from disk with zero
+//! fits. The records digest guarantees freshness: ingest anything new
+//! and the key misses, falling through to a re-fit (stale parameters are
+//! never served). The same knob is
+//! [`ServiceConfig::with_state_dir`](service::ServiceConfig::with_state_dir)
+//! in the library, and [`service::persist`] documents the on-disk
+//! format:
+//!
+//! ```
+//! use cpistack::model::FitOptions;
+//! use cpistack::service::{CpiService, ModelKey, ServiceConfig};
+//! use cpistack::sim::machine::MachineConfig;
+//! use cpistack::workbench::MachineSpec;
+//! use cpistack::SimSource;
+//! use pmu::{MachineId, Suite};
+//!
+//! let dir = std::env::temp_dir().join(format!("cpis_facade_{}", std::process::id()));
+//! let machine = MachineConfig::core2();
+//! let records = SimSource::new()
+//!     .suite(cpistack::workloads::suites::cpu2000().into_iter().take(12).collect())
+//!     .uops(5_000)
+//!     .seed(42)
+//!     .collect_config(&machine);
+//! let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+//!
+//! // Two service lifetimes against one state dir.
+//! for restart in [false, true] {
+//!     let service = CpiService::start(ServiceConfig::new().with_state_dir(&dir));
+//!     let client = service.client();
+//!     client.register(MachineSpec::from(&machine)).unwrap();
+//!     client.ingest(records.clone()).unwrap();
+//!     let report = client.fit(key.clone()).unwrap();
+//!     assert_eq!(report.cached, restart, "the restart fits nothing");
+//!     let stats = service.shutdown();
+//!     assert_eq!(stats.fits, u64::from(!restart));
+//! }
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
 //! ## Quick scripts: the one-shot [`Workbench`]
 //!
 //! When one result is all you need, the [`Workbench`] builder runs the

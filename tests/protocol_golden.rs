@@ -1,0 +1,188 @@
+//! Golden-file protocol tests: scripted serve sessions (requests plus
+//! expected responses) checked in under `tests/golden/`, replayed against
+//! **both** protocol fronts — stdio and TCP — from one shared harness.
+//! Any drift in the command surface, an error message, the stats line or
+//! the banner fails these tests loudly, with a diff against the file.
+//!
+//! Golden-file format: `#` lines are comments, `> ` lines are sent to the
+//! session in order, every other line is expected output. The expected
+//! transcript must match byte-for-byte on each front (and therefore the
+//! two fronts must match each other).
+//!
+//! Fit-bearing sessions cannot be pinned in a static file (the fitted
+//! parameters would couple the protocol tests to the regression
+//! internals), so the second half of this suite asserts the
+//! acceptance-level property directly: the *same scripted session*,
+//! including fits, streams and a binary frame, produces byte-identical
+//! transcripts over stdio and over a socket.
+
+use cpistack::cli::{self, ServeArgs};
+use cpistack::model::FitOptions;
+use cpistack::service::{proto, CpiService, ServiceConfig};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::SimSource;
+use std::io::{Read, Write};
+
+/// One parsed golden session.
+struct Golden {
+    script: String,
+    expected: Vec<u8>,
+}
+
+fn parse_golden(text: &str) -> Golden {
+    let mut script = String::new();
+    let mut expected = String::new();
+    for line in text.lines() {
+        if let Some(command) = line.strip_prefix("> ") {
+            script.push_str(command);
+            script.push('\n');
+        } else if line == ">" {
+            script.push('\n');
+        } else if !line.starts_with('#') {
+            expected.push_str(line);
+            expected.push('\n');
+        }
+    }
+    Golden {
+        script,
+        expected: expected.into_bytes(),
+    }
+}
+
+/// The fixed session shape every golden file (and the fit session below)
+/// runs under, so banners and stats lines are deterministic.
+fn serve_args() -> ServeArgs {
+    ServeArgs {
+        workers: Some(2),
+        cache: Some(4),
+        quick: true,
+        ..ServeArgs::default()
+    }
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig::new().with_workers(2).with_cache_capacity(4)
+}
+
+/// Runs a script through the stdio front and returns the raw transcript.
+fn stdio_transcript(script: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    cli::serve(
+        &serve_args(),
+        std::io::Cursor::new(script.to_owned()),
+        &mut out,
+    )
+    .expect("stdio session runs");
+    out
+}
+
+/// Runs the same script through the TCP front (fresh service, ephemeral
+/// port) and returns the raw transcript the socket carried.
+fn tcp_transcript(script: &str) -> Vec<u8> {
+    let config = service_config();
+    let service = CpiService::start(config.clone());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = proto::serve_tcp(
+        listener,
+        service.client(),
+        FitOptions::quick(),
+        proto::TcpServerConfig::new(proto::banner(&config, true)),
+    )
+    .expect("tcp front starts");
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(script.as_bytes()).expect("send script");
+    let mut transcript = Vec::new();
+    stream
+        .read_to_end(&mut transcript)
+        .expect("read transcript");
+    server.shutdown();
+    service.shutdown();
+    transcript
+}
+
+fn diff_for(label: &str, actual: &[u8], expected: &[u8]) -> String {
+    format!(
+        "{label} transcript diverged from the golden file.\n--- expected ---\n{}\n--- actual ---\n{}",
+        String::from_utf8_lossy(expected),
+        String::from_utf8_lossy(actual),
+    )
+}
+
+fn check_golden(name: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    let golden = parse_golden(&std::fs::read_to_string(&path).expect("golden file reads"));
+    let stdio = stdio_transcript(&golden.script);
+    assert!(
+        stdio == golden.expected,
+        "{}",
+        diff_for(&format!("stdio:{name}"), &stdio, &golden.expected)
+    );
+    let tcp = tcp_transcript(&golden.script);
+    assert!(
+        tcp == golden.expected,
+        "{}",
+        diff_for(&format!("tcp:{name}"), &tcp, &golden.expected)
+    );
+}
+
+#[test]
+fn golden_basics_session_matches_on_both_fronts() {
+    check_golden("basics.session");
+}
+
+#[test]
+fn golden_errors_session_matches_on_both_fronts() {
+    check_golden("errors.session");
+}
+
+/// The acceptance criterion, end to end: a scripted session that
+/// registers, ingests, fits (twice — the repeat must hit the cache),
+/// streams stacks and predictions, ships a binary frame and reads stats
+/// gives **byte-identical** responses over stdio and over TCP.
+#[test]
+fn fit_session_is_byte_identical_across_fronts() {
+    let dir = std::env::temp_dir().join(format!("cpistack_golden_fit_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let records = SimSource::new()
+        .suite(
+            cpistack::workloads::suites::cpu2000()
+                .into_iter()
+                .take(12)
+                .collect(),
+        )
+        .uops(3_000)
+        .seed(42)
+        .collect_config(&MachineConfig::core2());
+    let csv = dir.join("golden.csv");
+    std::fs::write(&csv, pmu::csv::to_csv(&records)).expect("write csv");
+    let script = format!(
+        "machine core2 4 14 19 169 30\n\
+         ingest {path}\n\
+         fit core2 cpu2000\n\
+         fit core2 cpu2000\n\
+         stack core2 cpu2000\n\
+         predict core2 cpu2000\n\
+         binstack core2 cpu2000\n\
+         stats\n\
+         quit\n",
+        path = csv.display()
+    );
+    let stdio = stdio_transcript(&script);
+    let tcp = tcp_transcript(&script);
+    assert!(
+        stdio == tcp,
+        "fronts diverged.\n--- stdio ---\n{}\n--- tcp ---\n{}",
+        String::from_utf8_lossy(&stdio),
+        String::from_utf8_lossy(&tcp),
+    );
+    let text = String::from_utf8_lossy(&stdio);
+    assert!(text.contains("cache: miss"), "{text}");
+    assert!(text.contains("cache: hit"), "{text}");
+    assert!(text.contains("stack "), "{text}");
+    assert!(text.contains("frame stacks "), "{text}");
+    assert!(text.contains("fits 1 "), "one regression total: {text}");
+    assert!(!text.contains("err:"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
