@@ -1,0 +1,93 @@
+//! Benchmark guard for the parallel multi-start fit: a cold fit with the
+//! full-budget options at an automatic thread count must return
+//! **bit-identical** parameters to the strictly-sequential path, and must
+//! never be meaningfully slower (on multicore hardware it should approach
+//! an `extra_starts`-fold speedup — the fit's 13 jittered starts are
+//! embarrassingly parallel).
+//!
+//! Exits non-zero on a mismatch or a regression, so this doubles as an
+//! assertion, not just a report.
+//!
+//! Run with `cargo bench -p bench --bench fit_scaling`.
+
+use memodel::workbench::SimSource;
+use memodel::{FitOptions, InferredModel, MicroarchParams};
+use oosim::machine::MachineConfig;
+use pmu::RunRecord;
+use std::time::{Duration, Instant};
+
+const WORKLOADS: usize = 24;
+const UOPS: u64 = 20_000;
+const SEED: u64 = 777;
+const RUNS: usize = 3;
+
+/// On a single-core box the parallel path has no wins to offset thread
+/// spawn and scheduling noise; allow a modest margin before failing.
+const MAX_SLOWDOWN: f64 = 1.25;
+
+fn fit(records: &[RunRecord], arch: &MicroarchParams, threads: usize) -> (InferredModel, Duration) {
+    let opts = FitOptions::default().with_threads(threads);
+    let start = Instant::now();
+    let model = InferredModel::fit(arch, records, &opts).expect("enough records");
+    (model, start.elapsed())
+}
+
+fn best_of(
+    records: &[RunRecord],
+    arch: &MicroarchParams,
+    threads: usize,
+) -> (InferredModel, Duration) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..RUNS {
+        let (model, t) = fit(records, arch, threads);
+        best = best.min(t);
+        out = Some(model);
+    }
+    (out.expect("at least one run"), best)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "fit_scaling: {WORKLOADS} records, FitOptions::default() \
+         (13 starts x 30k evals), best of {RUNS} ({cores} hardware threads)"
+    );
+    let machine = MachineConfig::core2();
+    let suite: Vec<_> = specgen::suites::cpu2000()
+        .into_iter()
+        .take(WORKLOADS)
+        .collect();
+    let records = SimSource::new()
+        .suite(suite)
+        .uops(UOPS)
+        .seed(SEED)
+        .collect_config(&machine);
+    let arch = MicroarchParams::from_machine(&machine);
+
+    let (seq_model, seq) = best_of(&records, &arch, 1);
+    let (par_model, par) = best_of(&records, &arch, 0);
+    assert_eq!(
+        seq_model.params(),
+        par_model.params(),
+        "parallel multi-start must be bit-identical to sequential"
+    );
+    assert_eq!(
+        seq_model.objective().to_bits(),
+        par_model.objective().to_bits()
+    );
+
+    let ratio = par.as_secs_f64() / seq.as_secs_f64();
+    println!(
+        "  sequential (threads=1): {:>8.1} ms\n  parallel   (threads=0): {:>8.1} ms  ({ratio:.2}x)",
+        seq.as_secs_f64() * 1e3,
+        par.as_secs_f64() * 1e3,
+    );
+    assert!(
+        ratio <= MAX_SLOWDOWN,
+        "parallel fit regressed: {ratio:.2}x slower than sequential (tolerance {MAX_SLOWDOWN}x)"
+    );
+    println!("  ok: bit-identical, within tolerance");
+}

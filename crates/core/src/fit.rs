@@ -39,6 +39,12 @@ pub struct FitOptions {
     pub absolute_objective: bool,
     /// Interval cap of Eq. 2 (see [`equations::INTERVAL_CAP`]).
     pub interval_cap: f64,
+    /// Worker-thread budget for the multi-start regression (`0` = one per
+    /// hardware thread). Purely a scheduling knob: every value — 1
+    /// included — produces bit-identical parameters, so it is *excluded*
+    /// from [`FitOptions::fingerprint`] and never splits a cache key or
+    /// invalidates a persisted snapshot.
+    pub threads: usize,
 }
 
 impl Default for FitOptions {
@@ -49,6 +55,7 @@ impl Default for FitOptions {
             max_evals: 30_000,
             absolute_objective: false,
             interval_cap: equations::INTERVAL_CAP,
+            threads: 0,
         }
     }
 }
@@ -60,6 +67,26 @@ impl FitOptions {
             extra_starts: 3,
             max_evals: 6_000,
             ..Self::default()
+        }
+    }
+
+    /// Sets the multi-start worker-thread budget (`0` = one per hardware
+    /// thread; `1` = strictly sequential). Results are bit-identical for
+    /// every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective multi-start thread count: the explicit budget, or
+    /// the machine's available parallelism when it is `0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 
@@ -97,7 +124,10 @@ impl FitOptions {
     /// outcome — the options component of the service's model-cache key
     /// (see [`crate::service::ModelCache`]). Two option sets with equal
     /// fingerprints produce identical fits on identical records; any new
-    /// field added to this struct must be folded in here.
+    /// field added to this struct must be folded in here — *unless*, like
+    /// [`FitOptions::threads`], it provably cannot change the fitted bits
+    /// (folding a scheduling knob in would needlessly split cache keys
+    /// and orphan every persisted snapshot written before it existed).
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -256,6 +286,17 @@ impl InferredModel {
         if let Some(index) = inputs.iter().position(|i| !i.is_sane()) {
             return Err(FitInputError::Bad { index });
         }
+        // The objective is the regression's hot path: it runs up to
+        // `(1 + extra_starts) × max_evals` times per fit. Everything it
+        // needs is precomputed per key — the `ModelInputs` slice was
+        // derived from the records exactly once by the caller, and the
+        // closure captures only plain copies/borrows — so each evaluation
+        // is allocation-free (`ModelParams::from_slice` lands in a stack
+        // array). The per-point division by `measured_cpi` is deliberately
+        // *not* hoisted into reciprocal weights: `e*e * (1/y)` rounds
+        // differently from `e*e / y`, and fitted bits must not change.
+        // It is `Fn + Sync`, so `MultiStart` can fan its jittered starts
+        // across threads sharing one borrow.
         let arch = *arch;
         let cap = opts.interval_cap;
         let absolute = opts.absolute_objective;
@@ -278,12 +319,14 @@ impl InferredModel {
             max_evals: opts.max_evals,
             ..Options::default()
         };
-        let best = MultiStart::new(opts.extra_starts, opts.seed).run(
-            objective,
-            &ModelParams::initial_guess().b,
-            &ModelParams::bounds(),
-            &nm_opts,
-        );
+        let best = MultiStart::new(opts.extra_starts, opts.seed)
+            .threads(opts.effective_threads())
+            .run(
+                objective,
+                &ModelParams::initial_guess().b,
+                &ModelParams::bounds(),
+                &nm_opts,
+            );
         Ok(Self {
             arch,
             params: ModelParams::from_slice(&best.params),

@@ -608,6 +608,8 @@ struct Inner {
     /// dir. Workers clone the (cheap) handle out of the lock and do every
     /// file read/write outside it.
     persist: Option<SnapshotStore>,
+    /// Deployment-wide cap on per-regression thread fan-out.
+    fit_threads: Option<usize>,
     requests: u64,
     fits: u64,
     ingested_records: u64,
@@ -666,6 +668,14 @@ pub struct ServiceConfig {
     /// under this directory and are restored lazily on cache misses — a
     /// restarted service warms up without refitting (see [`persist`]).
     pub state_dir: Option<std::path::PathBuf>,
+    /// When set, overrides every fit request's
+    /// [`FitOptions::threads`] budget on the worker — the deployment's
+    /// cap on regression fan-out. Total regression threads are bounded by
+    /// `workers × fit_threads` (each shard fits one model at a time), so
+    /// a service with many shards typically wants a small per-fit budget
+    /// and vice versa. Scheduling only: fitted bits never depend on it,
+    /// and it is invisible to cache keys and persisted snapshots.
+    pub fit_threads: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -677,6 +687,7 @@ impl Default for ServiceConfig {
                 .clamp(1, 16),
             cache_capacity: 32,
             state_dir: None,
+            fit_threads: None,
         }
     }
 }
@@ -704,6 +715,14 @@ impl ServiceConfig {
     /// misses (created if missing when the service starts).
     pub fn with_state_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Caps the multi-start thread budget of every regression run by this
+    /// service's workers (minimum 1), overriding whatever the request's
+    /// [`FitOptions::threads`] says. See [`ServiceConfig::fit_threads`].
+    pub fn with_fit_threads(mut self, threads: usize) -> Self {
+        self.fit_threads = Some(threads.max(1));
         self
     }
 }
@@ -812,6 +831,7 @@ impl CpiService {
             machines: Vec::new(),
             cache: ModelCache::new(config.cache_capacity),
             persist,
+            fit_threads: config.fit_threads,
             requests: 0,
             fits: 0,
             ingested_records: 0,
@@ -1409,7 +1429,7 @@ fn fit_key(
     inner: &Mutex<Inner>,
     key: &ModelKey,
 ) -> Result<(ModelReport, RecordsSnapshot, Option<Vec<RunRecord>>), ServiceError> {
-    let (arch, batches, generation, store) = {
+    let (arch, batches, generation, store, fit_threads) = {
         let guard = lock(inner);
         let state = guard
             .state(key.machine)
@@ -1424,6 +1444,7 @@ fn fit_key(
             state.batches.clone(),
             state.generation,
             guard.persist.clone(),
+            guard.fit_threads,
         )
     };
     let snapshot = RecordsSnapshot {
@@ -1477,8 +1498,15 @@ fn fit_key(
             }
         }
     }
+    // The deployment cap on regression fan-out applies here, after the
+    // cache key was formed: thread budgets never split keys (they cannot
+    // change the fitted bits).
+    let options = match fit_threads {
+        Some(threads) => key.options.clone().with_threads(threads),
+        None => key.options.clone(),
+    };
     let model = Arc::new(
-        InferredModel::fit(&arch, &records, &key.options).map_err(|error| ServiceError::Fit {
+        InferredModel::fit(&arch, &records, &options).map_err(|error| ServiceError::Fit {
             machine: key.machine,
             suite: key.suite,
             error,

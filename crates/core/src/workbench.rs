@@ -58,7 +58,6 @@ use crate::fit::{FitError, FitOptions, InferredModel};
 use crate::params::MicroarchParams;
 use crate::stack::CpiStack;
 use oosim::machine::MachineConfig;
-use oosim::run::run_workload;
 use pmu::csv::ParseCsvError;
 use pmu::{MachineId, RunRecord, Suite};
 use specgen::WorkloadProfile;
@@ -299,14 +298,17 @@ pub trait CounterSource: Sync {
 /// the paper's measurement campaign, minus the machine room.
 ///
 /// Configure suites (defaults to both paper suites when none are given),
-/// the per-benchmark µop budget, and the campaign seed. With a thread
-/// budget above one, a machine's suites are simulated on parallel threads;
-/// each workload is seeded independently, so results do not depend on the
-/// schedule.
+/// the per-benchmark µop budget, the warm-up budget, and the campaign
+/// seed. With a thread budget above one, a machine's suites are simulated
+/// on parallel threads; each workload is seeded independently, so results
+/// do not depend on the schedule.
 #[derive(Debug, Clone)]
 pub struct SimSource {
     suites: Vec<Vec<WorkloadProfile>>,
     uops: u64,
+    /// Warm-up µops per run; `None` = warm for the measurement budget
+    /// (the historical 2×-cost default).
+    warmup: Option<u64>,
     seed: u64,
 }
 
@@ -317,6 +319,7 @@ impl SimSource {
         Self {
             suites: Vec::new(),
             uops: oosim::run::DEFAULT_UOPS,
+            warmup: None,
             seed: 42,
         }
     }
@@ -338,6 +341,19 @@ impl SimSource {
     /// Sets the µop budget per benchmark run.
     pub fn uops(mut self, uops: u64) -> Self {
         self.uops = uops;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark run in µops. The default
+    /// warms for the full measurement budget (caches, TLBs and the
+    /// predictor see `uops` µops before counting starts — a 2× total
+    /// simulation cost); campaigns whose workloads reach stationary
+    /// counter rates sooner can cut the bill with a smaller budget.
+    /// Changing the warm-up changes the measured records (and therefore
+    /// every digest downstream) — it is a *campaign* knob, not a
+    /// scheduling knob.
+    pub fn warmup(mut self, warmup: u64) -> Self {
+        self.warmup = Some(warmup);
         self
     }
 
@@ -364,9 +380,23 @@ impl SimSource {
     }
 
     fn run_chunk(&self, machine: &MachineConfig, chunk: &[WorkloadProfile]) -> Vec<RunRecord> {
+        // One scratch per chunk: the simulation buffers are allocated once
+        // and reused across every workload this worker runs.
+        let mut scratch = oosim::pipeline::SimScratch::new();
+        let warmup = self.warmup.unwrap_or(self.uops);
         chunk
             .iter()
-            .map(|profile| run_workload(machine, profile, self.uops, self.seed))
+            .map(|profile| {
+                oosim::run::run_workload_with(
+                    machine,
+                    profile,
+                    warmup,
+                    self.uops,
+                    self.seed,
+                    &mut oosim::observer::NullObserver,
+                    &mut scratch,
+                )
+            })
             .collect()
     }
 }
@@ -380,10 +410,16 @@ impl Default for SimSource {
 impl CounterSource for SimSource {
     fn describe(&self) -> String {
         let n: usize = self.effective_suites().iter().map(Vec::len).sum();
-        format!(
-            "simulator campaign ({n} benchmarks, {} µops each, seed {})",
-            self.uops, self.seed
-        )
+        match self.warmup {
+            Some(warmup) => format!(
+                "simulator campaign ({n} benchmarks, {} µops each after {warmup} warm-up, seed {})",
+                self.uops, self.seed
+            ),
+            None => format!(
+                "simulator campaign ({n} benchmarks, {} µops each, seed {})",
+                self.uops, self.seed
+            ),
+        }
     }
 
     fn machine_ids(&self) -> Option<Vec<MachineId>> {
@@ -1125,6 +1161,20 @@ mod tests {
             let fanned = source.collect(&(&machine).into(), budget).expect("collect");
             assert_eq!(fanned, sequential, "budget {budget} reordered records");
         }
+    }
+
+    #[test]
+    fn warmup_knob_defaults_to_full_and_scales_down() {
+        let machine = MachineConfig::core2();
+        let base = SimSource::new().suite(small_suite(3)).uops(8_000).seed(4);
+        let implicit = base.clone().collect_config(&machine);
+        // warmup(uops) is exactly the historical default.
+        let explicit = base.clone().warmup(8_000).collect_config(&machine);
+        assert_eq!(implicit, explicit);
+        // A reduced warm-up is a different campaign (colder counters).
+        let colder = base.warmup(1_000).collect_config(&machine);
+        assert_ne!(implicit, colder);
+        assert_eq!(colder.len(), 3);
     }
 
     #[test]

@@ -62,9 +62,75 @@ impl SimResult {
     }
 }
 
-/// Maximum dependence distance the generator may emit; sizes the
-/// completion-time ring.
+/// Maximum dependence distance the generator may emit.
 const DEP_WINDOW: usize = 512;
+
+/// Reusable per-simulation working memory: the completion/commit rings and
+/// the functional-unit/MSHR availability arrays that [`simulate_warmed`]
+/// would otherwise `vec!` afresh on every call.
+///
+/// A campaign runs hundreds of simulations back to back (103 benchmarks ×
+/// 3 machines per paper run); hoisting this state into one scratch that
+/// each worker thread reuses across its whole chunk removes every per-call
+/// allocation from the hot path and keeps the rings cache-resident.
+/// Purely an allocation cache: [`SimScratch::prepare`] resets every entry,
+/// so results are bit-identical whether the scratch is fresh or reused —
+/// across different machines too.
+///
+/// # Examples
+///
+/// ```
+/// use oosim::machine::MachineConfig;
+/// use oosim::observer::NullObserver;
+/// use oosim::pipeline::{simulate, simulate_warmed_with, SimScratch};
+/// use pmu::Suite;
+/// use specgen::{TraceGenerator, WorkloadProfile};
+///
+/// let machine = MachineConfig::core2();
+/// let profile = WorkloadProfile::builder("demo", Suite::Cpu2000).build();
+/// let mut scratch = SimScratch::new();
+/// let trace = || TraceGenerator::new(&profile, machine.cracking, 1);
+/// let a = simulate_warmed_with(&machine, trace(), 0, 10_000, &mut NullObserver, &mut scratch);
+/// let b = simulate(&machine, trace(), 10_000, &mut NullObserver);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Completion times of the last `rob` µops (data-flow lookups).
+    done_ring: Vec<u64>,
+    /// Commit time per ROB slot.
+    commit_ring: Vec<u64>,
+    /// Commit class per ROB slot (stall attribution).
+    class_ring: Vec<CommitClass>,
+    /// Earliest-free time per miss-status holding register.
+    mshr: Vec<u64>,
+    /// Earliest-free time per load port.
+    load_ports: Vec<u64>,
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes and zeroes every buffer for one run on `machine`.
+    fn prepare(&mut self, machine: &MachineConfig) {
+        let reset = |v: &mut Vec<u64>, len: usize| {
+            v.clear();
+            v.resize(len, 0);
+        };
+        // Power-of-two sized (≥ rob) so the per-dependence index is a
+        // mask, never an integer division — the hot loop reads it up to
+        // twice per µop.
+        reset(&mut self.done_ring, machine.rob_size.next_power_of_two());
+        reset(&mut self.commit_ring, machine.rob_size);
+        reset(&mut self.mshr, machine.mshrs);
+        reset(&mut self.load_ports, machine.fu.load_ports);
+        self.class_ring.clear();
+        self.class_ring.resize(machine.rob_size, CommitClass::Short);
+    }
+}
 
 /// Simulates `uops` micro-operations of `trace` on `machine`, reporting
 /// dispatch stalls to `observer`. Equivalent to [`simulate_warmed`] with no
@@ -126,6 +192,34 @@ pub fn simulate_warmed<T>(
 where
     T: IntoIterator<Item = MicroOp>,
 {
+    simulate_warmed_with(
+        machine,
+        trace,
+        warmup,
+        uops,
+        observer,
+        &mut SimScratch::new(),
+    )
+}
+
+/// [`simulate_warmed`] with caller-owned working memory: campaigns reuse
+/// one [`SimScratch`] across hundreds of runs instead of reallocating the
+/// rings per call. Bit-identical to the allocating entry points.
+///
+/// # Panics
+///
+/// Panics if `machine` fails [`MachineConfig::validate`].
+pub fn simulate_warmed_with<T>(
+    machine: &MachineConfig,
+    trace: T,
+    warmup: u64,
+    uops: u64,
+    observer: &mut dyn DispatchObserver,
+    scratch: &mut SimScratch,
+) -> SimResult
+where
+    T: IntoIterator<Item = MicroOp>,
+{
     if let Err(e) = machine.validate() {
         panic!("invalid machine configuration: {e}");
     }
@@ -140,13 +234,29 @@ where
     );
     let mut counters = CounterSet::new();
 
-    // Completion times of the last DEP_WINDOW µops (data-flow lookups).
-    let mut done_ring = vec![0u64; DEP_WINDOW];
+    scratch.prepare(machine);
+    // Slice views over the scratch: ptr/len live in registers across the
+    // loop instead of re-reading Vec headers.
+    //
+    // `done_ring` holds the completion times of the last `rob` µops — it
+    // is ROB-sized (rounded up to a power of two so indexing is a mask),
+    // not DEP_WINDOW-sized: a producer `d >= rob` slots back can never
+    // gate readiness. Proof: the ROB constraint forces `dispatch >=
+    // rob_free = commit(i - rob)`; commit times are monotone
+    // non-decreasing, so for `d >= rob` the producer's `commit(i - d) <=
+    // commit(i - rob)`, and every µop's `exec_done < commit`. Hence
+    // `done(i - d) < rob_free <= dispatch < dispatch + 1 <= ready` —
+    // reading it was always a no-op, and skipping it is byte-identical
+    // while shrinking the ring ~4×.
+    let done_ring: &mut [u64] = &mut scratch.done_ring;
+    let done_mask = done_ring.len() - 1;
     // Commit time and class per ROB slot (indexed i % rob): entry i holds
     // µop i - rob's values until overwritten, which is exactly what the
     // ROB-occupancy constraint needs.
-    let mut commit_ring = vec![0u64; rob];
-    let mut class_ring = vec![CommitClass::Short; rob];
+    let commit_ring: &mut [u64] = &mut scratch.commit_ring;
+    let class_ring: &mut [CommitClass] = &mut scratch.class_ring;
+    let mshr: &mut [u64] = &mut scratch.mshr;
+    let load_ports: &mut [u64] = &mut scratch.load_ports;
 
     // Dispatch bandwidth state.
     let mut cur_cycle = 0u64;
@@ -158,7 +268,6 @@ where
     let mut last_commit = 0u64;
     let mut commit_slots = width;
     // Memory subsystem timing state.
-    let mut mshr = vec![0u64; machine.mshrs];
     let mut last_dram_start = 0u64;
     // DRAM row-buffer state: accesses to the recently-open row are faster,
     // row conflicts slower. This makes *effective* memory latency a
@@ -167,7 +276,6 @@ where
     // factor must absorb.
     let mut open_row = u64::MAX;
     // Functional-unit availability.
-    let mut load_ports = vec![0u64; machine.fu.load_ports];
     let mut fp_port_free = 0u64;
     let mut int_div_free = 0u64;
     let mut fp_div_free = 0u64;
@@ -266,8 +374,10 @@ where
         let mut ready = dispatch + 1;
         for dep in [op.dep1, op.dep2].into_iter().flatten() {
             let d = dep.get() as usize;
-            if d <= i && d <= DEP_WINDOW {
-                ready = ready.max(done_ring[(i - d) % DEP_WINDOW]);
+            // `d >= rob` producers cannot gate readiness (see the ring's
+            // sizing proof above); `DEP_WINDOW` caps manually-built ops.
+            if d <= i && d < rob && d <= DEP_WINDOW {
+                ready = ready.max(done_ring[(i - d) & done_mask]);
             }
         }
 
@@ -416,7 +526,7 @@ where
         }
         last_commit = commit;
 
-        done_ring[i % DEP_WINDOW] = exec_done;
+        done_ring[i & done_mask] = exec_done;
         commit_ring[i % rob] = commit;
         class_ring[i % rob] = class;
 
@@ -607,6 +717,33 @@ mod tests {
             a.counters.get(Event::L1InstrMisses)
         );
         assert!(b.cpi() > a.cpi());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_across_machines() {
+        // One scratch reused across runs — including a machine switch with
+        // different ROB/MSHR/port sizes — must reproduce the fresh-scratch
+        // results exactly.
+        let profile = small_profile();
+        let mut scratch = SimScratch::new();
+        for machine in [
+            MachineConfig::core2(),
+            MachineConfig::pentium4(),
+            MachineConfig::core2(),
+            MachineConfig::core_i7(),
+        ] {
+            let trace = || TraceGenerator::new(&profile, machine.cracking, 0xBEEF);
+            let reused = simulate_warmed_with(
+                &machine,
+                trace(),
+                5_000,
+                20_000,
+                &mut NullObserver,
+                &mut scratch,
+            );
+            let fresh = simulate_warmed(&machine, trace(), 5_000, 20_000, &mut NullObserver);
+            assert_eq!(reused, fresh, "{:?}", machine.id);
+        }
     }
 
     #[test]

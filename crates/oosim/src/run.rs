@@ -4,7 +4,7 @@
 
 use crate::machine::MachineConfig;
 use crate::observer::{DispatchObserver, NullObserver};
-use crate::pipeline::{simulate_warmed, SimResult};
+use crate::pipeline::{simulate_warmed_with, SimResult, SimScratch};
 use pmu::RunRecord;
 use specgen::{TraceGenerator, WorkloadProfile};
 
@@ -44,6 +44,29 @@ pub fn run_workload(
     run_workload_observed(machine, profile, uops, seed, &mut NullObserver)
 }
 
+/// Like [`run_workload`] but with an explicit warm-up budget in µops
+/// (`run_workload` warms for `uops`, i.e. a 2× total cost per run).
+/// Stationary workloads often reach steady-state counter rates well before
+/// a full measurement-length warm-up; campaigns that verify this can halve
+/// their simulation bill.
+pub fn run_workload_warmed(
+    machine: &MachineConfig,
+    profile: &WorkloadProfile,
+    warmup: u64,
+    uops: u64,
+    seed: u64,
+) -> RunRecord {
+    run_workload_with(
+        machine,
+        profile,
+        warmup,
+        uops,
+        seed,
+        &mut NullObserver,
+        &mut SimScratch::new(),
+    )
+}
+
 /// Like [`run_workload`] but reports dispatch stalls to `observer` (used by
 /// the ground-truth CPI-stack accounting in `cpicounters`).
 ///
@@ -58,8 +81,32 @@ pub fn run_workload_observed(
     seed: u64,
     observer: &mut dyn DispatchObserver,
 ) -> RunRecord {
+    run_workload_with(
+        machine,
+        profile,
+        uops,
+        uops,
+        seed,
+        observer,
+        &mut SimScratch::new(),
+    )
+}
+
+/// The fully-general entry point behind every `run_workload*` variant:
+/// explicit warm-up budget, stall observer, and caller-owned
+/// [`SimScratch`] so campaign loops reuse one set of simulation buffers
+/// across hundreds of runs. Bit-identical to the convenience wrappers.
+pub fn run_workload_with(
+    machine: &MachineConfig,
+    profile: &WorkloadProfile,
+    warmup: u64,
+    uops: u64,
+    seed: u64,
+    observer: &mut dyn DispatchObserver,
+    scratch: &mut SimScratch,
+) -> RunRecord {
     let trace = TraceGenerator::new(profile, machine.cracking, seed);
-    let result: SimResult = simulate_warmed(machine, trace, uops, uops, observer);
+    let result: SimResult = simulate_warmed_with(machine, trace, warmup, uops, observer, scratch);
     RunRecord::new(
         profile.name.clone(),
         profile.suite,
@@ -82,6 +129,18 @@ mod tests {
         assert_eq!(r.suite(), Suite::Cpu2006);
         assert_eq!(r.machine(), m.id);
         assert_eq!(r.counters().get(Event::UopsRetired), 5_000);
+    }
+
+    #[test]
+    fn explicit_full_warmup_matches_default() {
+        let m = MachineConfig::core2();
+        let p = WorkloadProfile::builder("warmcheck", Suite::Cpu2000).build();
+        let implicit = run_workload(&m, &p, 20_000, 9);
+        let explicit = run_workload_warmed(&m, &p, 20_000, 20_000, 9);
+        assert_eq!(implicit, explicit);
+        // A shorter warm-up measures a different (colder) region.
+        let colder = run_workload_warmed(&m, &p, 2_000, 20_000, 9);
+        assert_ne!(implicit, colder);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::counters::CounterSet;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Which benchmark suite a workload belongs to.
 ///
@@ -142,16 +143,23 @@ impl FromStr for MachineId {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
-    benchmark: String,
+    /// Interned: an `Arc<str>` rather than a `String`, because records are
+    /// cloned throughout the serving stack (per-machine filtering, store
+    /// snapshots, fitted-group payloads) — a campaign would otherwise
+    /// reallocate every benchmark name on every copy. Cloning a record now
+    /// bumps a refcount; the name bytes are shared with the workload
+    /// profile that produced the run.
+    benchmark: Arc<str>,
     suite: Suite,
     machine: MachineId,
     counters: CounterSet,
 }
 
 impl RunRecord {
-    /// Creates a record from its parts.
+    /// Creates a record from its parts. `benchmark` accepts `&str`,
+    /// `String`, or — allocation-free — a shared `Arc<str>`.
     pub fn new(
-        benchmark: impl Into<String>,
+        benchmark: impl Into<Arc<str>>,
         suite: Suite,
         machine: MachineId,
         counters: CounterSet,
@@ -162,6 +170,12 @@ impl RunRecord {
             machine,
             counters,
         }
+    }
+
+    /// The interned benchmark name (share it to build further records or
+    /// keys without copying the bytes).
+    pub fn benchmark_arc(&self) -> Arc<str> {
+        Arc::clone(&self.benchmark)
     }
 
     /// Benchmark–input pair name, e.g. `"gcc.200"`.
@@ -240,6 +254,22 @@ mod tests {
         }
         assert!("cpu99".parse::<Suite>().is_err());
         assert!("core9".parse::<MachineId>().is_err());
+    }
+
+    #[test]
+    fn cloning_a_record_shares_the_interned_name() {
+        let name: Arc<str> = "gzip.graphic".into();
+        let r = RunRecord::new(
+            Arc::clone(&name),
+            Suite::Cpu2000,
+            MachineId::Core2,
+            CounterSet::new(),
+        );
+        let copy = r.clone();
+        // Record copies (store snapshots, group payloads) bump a refcount;
+        // the name bytes are never reallocated.
+        assert!(Arc::ptr_eq(&copy.benchmark_arc(), &name));
+        assert_eq!(copy.benchmark(), "gzip.graphic");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Bounded, derivative-free Nelder–Mead simplex minimisation with
-//! deterministic multi-start.
+//! deterministic (optionally parallel) multi-start.
 //!
 //! The paper fits the ten `b`-parameters of Eq. 2–6 with SPSS's nonlinear
 //! regression under the sum-of-relative-squared-errors criterion. The
@@ -9,7 +9,12 @@
 //!
 //! Box bounds are enforced by clamping trial points; multi-start jitters the
 //! initial simplex deterministically from a caller-supplied seed so fits are
-//! reproducible.
+//! reproducible. Because every start is an independent deterministic
+//! minimisation, [`MultiStart`] can fan the starts across scoped threads and
+//! still return **bit-identical** results to the sequential path: the winner
+//! is the start with the lowest objective value, ties broken by lowest start
+//! index — exactly the start a strictly-improving sequential fold would have
+//! kept.
 
 /// Options controlling a Nelder–Mead run.
 ///
@@ -73,11 +78,24 @@ pub fn minimize<F: FnMut(&[f64]) -> f64>(f: F, x0: &[f64], opts: &Options) -> Mi
     minimize_bounded(f, x0, &bounds, opts)
 }
 
+/// Clamps `x` into the box in place.
+fn clamp_into(x: &mut [f64], bounds: &[(f64, f64)]) {
+    for (xi, &(lo, hi)) in x.iter_mut().zip(bounds) {
+        *xi = xi.clamp(lo, hi);
+    }
+}
+
 /// Minimises `f` subject to per-parameter box bounds `lo <= x[i] <= hi`.
 ///
 /// Trial points are clamped into the box before evaluation, which keeps the
 /// simplex inside the feasible region (the fitted model's exponents and
 /// scale factors all have natural sign/range constraints).
+///
+/// The inner loop is allocation-free: the simplex, the two trial points,
+/// the centroid and the ordering scratch are all allocated once per run and
+/// reused across iterations, so a 20 000-evaluation fit makes a dozen
+/// allocations instead of tens of thousands. The arithmetic (and therefore
+/// every result bit) is unchanged from the allocating formulation.
 ///
 /// # Panics
 ///
@@ -95,11 +113,6 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
         assert!(lo <= hi, "inverted bound: {lo} > {hi}");
     }
     let n = x0.len();
-    let clamp = |x: &mut [f64]| {
-        for (xi, &(lo, hi)) in x.iter_mut().zip(bounds) {
-            *xi = xi.clamp(lo, hi);
-        }
-    };
 
     let mut evals = 0usize;
     let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
@@ -115,7 +128,7 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
     // Initial simplex: x0 plus one vertex per axis.
     let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
     let mut start = x0.to_vec();
-    clamp(&mut start);
+    clamp_into(&mut start, bounds);
     simplex.push(start.clone());
     for i in 0..n {
         let mut v = start.clone();
@@ -125,19 +138,35 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
             opts.initial_step
         };
         v[i] += step;
-        clamp(&mut v);
+        clamp_into(&mut v, bounds);
         if v == simplex[0] {
             // Clamping collapsed the vertex onto the start; step inward.
             v[i] -= 2.0 * step;
-            clamp(&mut v);
+            clamp_into(&mut v, bounds);
         }
         simplex.push(v);
     }
     let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evals)).collect();
 
+    // Per-run scratch, reused every iteration.
+    let mut order: Vec<usize> = (0..=n).collect();
+    let mut centroid = vec![0.0f64; n];
+    let mut trial = vec![0.0f64; n]; // reflected point
+    let mut trial2 = vec![0.0f64; n]; // expanded / contracted point
+
+    // Writes `centroid + alpha * (centroid - worst)` clamped into `out`.
+    let blend = |alpha: f64, centroid: &[f64], worst: &[f64], out: &mut [f64]| {
+        for ((o, c), w) in out.iter_mut().zip(centroid).zip(worst) {
+            *o = c + alpha * (c - w);
+        }
+        clamp_into(out, bounds);
+    };
+
     while evals < opts.max_evals {
         // Order the simplex: best first.
-        let mut order: Vec<usize> = (0..=n).collect();
+        for (slot, i) in order.iter_mut().zip(0..=n) {
+            *slot = i;
+        }
         order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
         let best = order[0];
         let worst = order[n];
@@ -153,7 +182,7 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
         }
 
         // Centroid of all but the worst vertex.
-        let mut centroid = vec![0.0; n];
+        centroid.fill(0.0);
         for (i, v) in simplex.iter().enumerate() {
             if i == worst {
                 continue;
@@ -163,59 +192,51 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
             }
         }
 
-        let blend = |alpha: f64| -> Vec<f64> {
-            let mut p: Vec<f64> = centroid
-                .iter()
-                .zip(&simplex[worst])
-                .map(|(c, w)| c + alpha * (c - w))
-                .collect();
-            clamp(&mut p);
-            p
-        };
-
         // Reflect.
-        let reflected = blend(1.0);
-        let reflected_value = eval(&reflected, &mut evals);
+        blend(1.0, &centroid, &simplex[worst], &mut trial);
+        let reflected_value = eval(&trial, &mut evals);
         if reflected_value < values[best] {
             // Try to expand further in the same direction.
-            let expanded = blend(2.0);
-            let expanded_value = eval(&expanded, &mut evals);
+            blend(2.0, &centroid, &simplex[worst], &mut trial2);
+            let expanded_value = eval(&trial2, &mut evals);
             if expanded_value < reflected_value {
-                simplex[worst] = expanded;
+                simplex[worst].copy_from_slice(&trial2);
                 values[worst] = expanded_value;
             } else {
-                simplex[worst] = reflected;
+                simplex[worst].copy_from_slice(&trial);
                 values[worst] = reflected_value;
             }
             continue;
         }
         if reflected_value < values[second_worst] {
-            simplex[worst] = reflected;
+            simplex[worst].copy_from_slice(&trial);
             values[worst] = reflected_value;
             continue;
         }
         // Contract (outside if the reflection helped at all, inside otherwise).
-        let contracted = if reflected_value < values[worst] {
-            blend(0.5)
+        let alpha = if reflected_value < values[worst] {
+            0.5
         } else {
-            blend(-0.5)
+            -0.5
         };
-        let contracted_value = eval(&contracted, &mut evals);
+        blend(alpha, &centroid, &simplex[worst], &mut trial2);
+        let contracted_value = eval(&trial2, &mut evals);
         if contracted_value < values[worst].min(reflected_value) {
-            simplex[worst] = contracted;
+            simplex[worst].copy_from_slice(&trial2);
             values[worst] = contracted_value;
             continue;
         }
-        // Shrink every vertex toward the best.
-        let anchor = simplex[best].clone();
+        // Shrink every vertex toward the best. `trial` doubles as the
+        // anchor copy (the reflected point in it is dead at this point).
+        trial.copy_from_slice(&simplex[best]);
         for (i, v) in simplex.iter_mut().enumerate() {
             if i == best {
                 continue;
             }
-            for (x, a) in v.iter_mut().zip(&anchor) {
+            for (x, a) in v.iter_mut().zip(&trial) {
                 *x = a + 0.5 * (*x - a);
             }
-            clamp(v);
+            clamp_into(v, bounds);
             values[i] = eval(v, &mut evals);
         }
     }
@@ -224,7 +245,7 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
         .min_by(|&i, &j| values[i].total_cmp(&values[j]))
         .expect("simplex is non-empty");
     Minimum {
-        params: simplex[best].clone(),
+        params: simplex.swap_remove(best),
         value: values[best],
         evals,
     }
@@ -236,6 +257,22 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
 /// jittered starts generated from `seed` by a small xorshift stream, and
 /// keeps the best minimum. This recovers the global basin for the paper's
 /// mildly multi-modal objective without any dependence on system entropy.
+///
+/// Two performance levers, both result-preserving:
+///
+/// * **Dedupe** — jittered start points that clamp onto an
+///   already-scheduled simplex origin are skipped before any objective
+///   evaluation. A duplicated origin reruns the *identical* deterministic
+///   minimisation (same simplex, same trajectory, same minimum), so
+///   skipping it saves a whole `max_evals` budget without changing the
+///   winner. This matters when bounds pin axes (degenerate boxes collapse
+///   every start onto one point).
+/// * **Threads** — with [`MultiStart::threads`] above 1, the surviving
+///   starts fan out across [`std::thread::scope`] workers. Each start is
+///   independent and deterministic, and the winner rule (lowest objective
+///   value, ties broken by lowest start index) picks exactly the start a
+///   strictly-improving sequential fold would have kept — so any thread
+///   count, 1 included, returns bit-identical parameters and value.
 ///
 /// # Examples
 ///
@@ -255,25 +292,33 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
 pub struct MultiStart {
     extra_starts: usize,
     seed: u64,
+    threads: usize,
 }
 
 impl MultiStart {
     /// Creates a driver that adds `extra_starts` jittered restarts derived
-    /// from `seed`.
+    /// from `seed`. Starts run sequentially until a thread budget is set
+    /// with [`MultiStart::threads`].
     pub fn new(extra_starts: usize, seed: u64) -> Self {
-        Self { extra_starts, seed }
+        Self {
+            extra_starts,
+            seed,
+            threads: 1,
+        }
     }
 
-    /// Runs the multi-start minimisation. See [`minimize_bounded`] for the
-    /// meaning of `bounds`; panics under the same conditions.
-    pub fn run<F: FnMut(&[f64]) -> f64>(
-        &self,
-        mut f: F,
-        x0: &[f64],
-        bounds: &[(f64, f64)],
-        opts: &Options,
-    ) -> Minimum {
-        let mut best = minimize_bounded(&mut f, x0, bounds, opts);
+    /// Sets the worker-thread budget for [`MultiStart::run`] (minimum 1).
+    /// Purely a scheduling knob: the result is bit-identical for every
+    /// value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The start points this driver would minimise from, in start order,
+    /// with clamped duplicates removed: the caller's guess first, then the
+    /// surviving jittered starts. Exposed for effort accounting and tests.
+    pub fn start_points(&self, x0: &[f64], bounds: &[(f64, f64)]) -> Vec<Vec<f64>> {
         let mut state = self.seed | 1;
         let mut next_unit = move || -> f64 {
             // xorshift64*: cheap, deterministic, good enough for jitter.
@@ -283,8 +328,14 @@ impl MultiStart {
             let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
             (bits >> 11) as f64 / (1u64 << 53) as f64
         };
+        let mut starts: Vec<Vec<f64>> = Vec::with_capacity(1 + self.extra_starts);
+        let mut first = x0.to_vec();
+        clamp_into(&mut first, bounds);
+        starts.push(first);
         for _ in 0..self.extra_starts {
-            let jittered: Vec<f64> = x0
+            // The jitter stream is consumed for every candidate — deduping
+            // must never shift later starts' coordinates.
+            let mut jittered: Vec<f64> = x0
                 .iter()
                 .zip(bounds)
                 .map(|(&x, &(lo, hi))| {
@@ -298,18 +349,104 @@ impl MultiStart {
                     }
                 })
                 .collect();
-            let candidate = minimize_bounded(&mut f, &jittered, bounds, opts);
-            if candidate.value < best.value {
-                best = candidate;
+            clamp_into(&mut jittered, bounds);
+            // A start that clamps onto an already-scheduled origin would
+            // rerun the identical minimisation: the simplex construction,
+            // trajectory and minimum are all functions of the clamped
+            // origin alone. Equal value can never beat an earlier index
+            // under the strict winner rule, so the duplicate is pure waste.
+            if !starts.contains(&jittered) {
+                starts.push(jittered);
             }
         }
-        best
+        starts
     }
+
+    /// Runs the multi-start minimisation. See [`minimize_bounded`] for the
+    /// meaning of `bounds`; panics under the same conditions.
+    ///
+    /// `f` is shared by reference across worker threads, hence the
+    /// `Fn + Sync` bound (an objective capturing only shared read-only
+    /// state, as regression objectives do, satisfies it for free).
+    pub fn run<F: Fn(&[f64]) -> f64 + Sync>(
+        &self,
+        f: F,
+        x0: &[f64],
+        bounds: &[(f64, f64)],
+        opts: &Options,
+    ) -> Minimum {
+        let starts = self.start_points(x0, bounds);
+        let minima = run_starts(&f, &starts, bounds, opts, self.threads);
+        // Winner: lowest value, ties to the lowest start index — the same
+        // start a sequential `candidate.value < best.value` fold keeps.
+        minima
+            .into_iter()
+            .reduce(|best, candidate| {
+                if candidate.value < best.value {
+                    candidate
+                } else {
+                    best
+                }
+            })
+            .expect("at least one start")
+    }
+}
+
+/// Minimises from every start, fanning across at most `threads` scoped
+/// workers. Results come back in start order regardless of schedule.
+fn run_starts<F: Fn(&[f64]) -> f64 + Sync>(
+    f: &F,
+    starts: &[Vec<f64>],
+    bounds: &[(f64, f64)],
+    opts: &Options,
+    threads: usize,
+) -> Vec<Minimum> {
+    let workers = threads.clamp(1, starts.len().max(1));
+    if workers == 1 {
+        return starts
+            .iter()
+            .map(|s| minimize_bounded(f, s, bounds, opts))
+            .collect();
+    }
+    let mut slots: Vec<Option<Minimum>> = vec![None; starts.len()];
+    std::thread::scope(|scope| {
+        // Static stride schedule: worker w minimises starts w, w+workers, …
+        // Which worker runs which start never matters — every slot is
+        // written exactly once with a deterministic result.
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || -> Vec<(usize, Minimum)> {
+                    starts
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, s)| (i, minimize_bounded(f, s, bounds, opts)))
+                        .collect()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => {
+                    for (i, m) in results {
+                        slots[i] = Some(m);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.expect("every start was minimised"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn sphere_converges() {
@@ -373,6 +510,79 @@ mod tests {
             (multi.params[0] - 4.0).abs() < 1e-3,
             "multi start goes global"
         );
+    }
+
+    #[test]
+    fn parallel_multistart_is_bit_identical_to_sequential() {
+        // The tentpole invariant: any thread budget returns the exact bits
+        // the sequential path returns — on a rugged multi-well objective
+        // where start choice genuinely decides the winner.
+        let f = |p: &[f64]| {
+            (p[0].sin() * 5.0) + 0.1 * p[0] * p[0] + (p[1] * 3.0).cos() + 0.05 * p[1] * p[1]
+        };
+        let bounds = [(-20.0, 20.0), (-15.0, 15.0)];
+        let sequential = MultiStart::new(12, 99).run(f, &[9.0, -7.0], &bounds, &Options::default());
+        for threads in [2, 3, 8, 32] {
+            let parallel = MultiStart::new(12, 99).threads(threads).run(
+                f,
+                &[9.0, -7.0],
+                &bounds,
+                &Options::default(),
+            );
+            assert_eq!(parallel.params, sequential.params, "threads={threads}");
+            assert_eq!(
+                parallel.value.to_bits(),
+                sequential.value.to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_clamped_starts_are_skipped() {
+        // Every axis pinned: all 9 jittered candidates clamp onto the
+        // caller's (clamped) origin, so exactly one minimisation runs.
+        let evals = AtomicUsize::new(0);
+        let f = |p: &[f64]| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            (p[0] - 2.0).powi(2)
+        };
+        let opts = Options {
+            max_evals: 500,
+            ..Options::default()
+        };
+        let ms = MultiStart::new(9, 0xD0D0);
+        let starts = ms.start_points(&[5.0], &[(2.0, 2.0)]);
+        assert_eq!(starts, vec![vec![2.0]], "all starts collapse onto x=2");
+        let m = ms.run(f, &[5.0], &[(2.0, 2.0)], &opts);
+        assert_eq!(m.params, vec![2.0]);
+        let spent = evals.load(Ordering::Relaxed);
+        assert!(
+            spent <= opts.max_evals,
+            "one run's budget, not ten: {spent} evals"
+        );
+        // A deduped run must still agree with what ten duplicate runs
+        // would have returned (they are the same minimisation).
+        let lone = minimize_bounded(
+            |p: &[f64]| (p[0] - 2.0).powi(2),
+            &[5.0],
+            &[(2.0, 2.0)],
+            &opts,
+        );
+        assert_eq!(m.params, lone.params);
+        assert_eq!(m.value.to_bits(), lone.value.to_bits());
+    }
+
+    #[test]
+    fn partially_pinned_bounds_keep_distinct_starts() {
+        // One pinned axis, one free: starts still differ on the free axis
+        // and none may be deduped away.
+        let ms = MultiStart::new(6, 7);
+        let starts = ms.start_points(&[0.0, 0.0], &[(1.0, 1.0), (-4.0, 4.0)]);
+        assert_eq!(starts.len(), 7, "no false dedupe: {starts:?}");
+        for s in &starts {
+            assert_eq!(s[0], 1.0, "pinned axis clamps everywhere");
+        }
     }
 
     #[test]

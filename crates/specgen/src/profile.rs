@@ -3,6 +3,7 @@
 
 use pmu::Suite;
 use std::fmt;
+use std::sync::Arc;
 
 /// Memory access pattern of one data region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,8 +93,11 @@ impl Default for Cracking {
 /// profiles live in [`crate::suites`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
-    /// Benchmark–input name, e.g. `"gcc.200"`.
-    pub name: String,
+    /// Benchmark–input name, e.g. `"gcc.200"`. Interned (`Arc<str>`): the
+    /// simulator stamps this name into every `RunRecord` it produces, so a
+    /// campaign shares one allocation per benchmark instead of copying the
+    /// bytes per run.
+    pub name: Arc<str>,
     /// Suite membership.
     pub suite: Suite,
     /// Fraction of µops that are loads.
@@ -133,7 +137,7 @@ pub struct WorkloadProfile {
 
 impl WorkloadProfile {
     /// Starts building a profile with workload-neutral defaults.
-    pub fn builder(name: impl Into<String>, suite: Suite) -> WorkloadProfileBuilder {
+    pub fn builder(name: impl Into<Arc<str>>, suite: Suite) -> WorkloadProfileBuilder {
         WorkloadProfileBuilder::new(name, suite)
     }
 
@@ -243,7 +247,7 @@ impl fmt::Display for WorkloadProfile {
 /// Error describing why a [`WorkloadProfile`] is internally inconsistent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvalidProfileError {
-    profile: String,
+    profile: Arc<str>,
     reason: String,
 }
 
@@ -263,7 +267,7 @@ pub struct WorkloadProfileBuilder {
 }
 
 impl WorkloadProfileBuilder {
-    fn new(name: impl Into<String>, suite: Suite) -> Self {
+    fn new(name: impl Into<Arc<str>>, suite: Suite) -> Self {
         Self {
             profile: WorkloadProfile {
                 name: name.into(),

@@ -101,7 +101,7 @@ impl Row {
 /// ```
 /// let suite = specgen::suites::cpu2000();
 /// assert_eq!(suite.len(), 48);
-/// assert!(suite.iter().any(|p| p.name == "mcf.inp"));
+/// assert!(suite.iter().any(|p| p.name.as_ref() == "mcf.inp"));
 /// ```
 pub fn cpu2000() -> Vec<WorkloadProfile> {
     CPU2000_ROWS
@@ -117,7 +117,7 @@ pub fn cpu2000() -> Vec<WorkloadProfile> {
 /// ```
 /// let suite = specgen::suites::cpu2006();
 /// assert_eq!(suite.len(), 55);
-/// assert!(suite.iter().any(|p| p.name == "calculix.hyperviscoplastic"));
+/// assert!(suite.iter().any(|p| p.name.as_ref() == "calculix.hyperviscoplastic"));
 /// ```
 pub fn cpu2006() -> Vec<WorkloadProfile> {
     CPU2006_ROWS
@@ -131,7 +131,7 @@ pub fn by_name(name: &str) -> Option<WorkloadProfile> {
     cpu2000()
         .into_iter()
         .chain(cpu2006())
-        .find(|p| p.name == name)
+        .find(|p| p.name.as_ref() == name)
 }
 
 // ---------------------------------------------------------------------------
@@ -435,7 +435,7 @@ mod tests {
     #[test]
     fn names_are_unique_within_suite() {
         for suite in [cpu2000(), cpu2006()] {
-            let mut names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+            let mut names: Vec<&str> = suite.iter().map(|p| p.name.as_ref()).collect();
             let n = names.len();
             names.sort_unstable();
             names.dedup();
@@ -498,7 +498,10 @@ mod tests {
     #[test]
     fn outliers_have_outlier_character() {
         let calculix = by_name("calculix.hyperviscoplastic").unwrap();
-        let mcf2006 = cpu2006().into_iter().find(|p| p.name == "mcf.inp").unwrap();
+        let mcf2006 = cpu2006()
+            .into_iter()
+            .find(|p| p.name.as_ref() == "mcf.inp")
+            .unwrap();
         // calculix: tiny branch-misprediction exposure and tiny footprint.
         assert!(calculix.br_random_frac <= 0.02);
         let calculix_fp: u64 = calculix.regions.iter().map(|r| r.footprint).max().unwrap();

@@ -57,7 +57,7 @@ fn main() -> Result<(), PipelineError> {
                 "calculix.hyperviscoplastic",
                 "namd.ref",
             ]
-            .contains(&p.name.as_str())
+            .contains(&p.name.as_ref())
         })
         .collect();
 

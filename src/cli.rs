@@ -76,6 +76,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// The serve session's `--state-dir` could not be opened.
     State(PersistError),
+    /// The `bench --check` regression gate tripped.
+    Bench(String),
 }
 
 impl fmt::Display for CliError {
@@ -85,6 +87,7 @@ impl fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "serve session i/o: {e}"),
             CliError::State(e) => write!(f, "serve state dir: {e}"),
+            CliError::Bench(msg) => write!(f, "bench regression gate: {msg}"),
         }
     }
 }
@@ -92,7 +95,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Bench(_) => None,
             CliError::Pipeline(e) => Some(e),
             CliError::Io(e) => Some(e),
             CliError::State(e) => Some(e),
@@ -120,9 +123,11 @@ USAGE:
   cpistack fit   --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack stack --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack demo  [--out <csv>]
-  cpistack serve [--workers <N>] [--cache <N>] [--quick]
+  cpistack serve [--workers <N>] [--cache <N>] [--quick] [--fit-threads <N>]
                  [--listen <addr>] [--state-dir <dir>]
                  [--idle-timeout <secs>] [--max-conns <N>]
+  cpistack bench [--smoke] [--out <json>] [--uops <N>] [--seed <N>]
+                 [--threads <N>] [--check <baseline.json>]
 
 SUBCOMMANDS:
   fit    infer the ten model parameters from the counter data, report
@@ -138,7 +143,13 @@ SUBCOMMANDS:
          the session for the command set). Over stdin/stdout by default;
          --listen <addr> serves the same protocol on a TCP socket with
          concurrent connections, and --state-dir <dir> persists fitted
-         models so a restarted server warms up without refitting
+         models so a restarted server warms up without refitting;
+         --fit-threads caps each regression's multi-start fan-out
+  bench  time the paper campaign's cold collect, cold fit (parallel vs
+         sequential, asserting byte-identical parameters) and warm serve,
+         then write a machine-readable snapshot (default BENCH_4.json).
+         --smoke runs reduced budgets for CI; --check <baseline> fails if
+         cold-fit wall-clock regressed >25% against a comparable baseline
 
 All subcommands drive the same fitting code path the library exposes:
 counters from a pluggable source (CSV here, the simulator for `demo`),
@@ -164,6 +175,25 @@ pub enum Command {
     },
     /// Start a long-lived serve session (line protocol on stdin/stdout).
     Serve(ServeArgs),
+    /// Time the cold/warm paths and write a perf snapshot.
+    Bench(BenchArgs),
+}
+
+/// Arguments for the `bench` subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchArgs {
+    /// Reduced budgets (CI mode).
+    pub smoke: bool,
+    /// Snapshot path (`None` = `BENCH_4.json`).
+    pub out: Option<String>,
+    /// µop budget override.
+    pub uops: Option<u64>,
+    /// Campaign seed override.
+    pub seed: Option<u64>,
+    /// Fit thread budget override (`0` = auto).
+    pub threads: Option<usize>,
+    /// Baseline snapshot to gate cold-fit wall-clock against.
+    pub check: Option<String>,
 }
 
 /// Arguments for the `serve` subcommand.
@@ -186,6 +216,9 @@ pub struct ServeArgs {
     pub idle_timeout: Option<u64>,
     /// Concurrent TCP connection cap (`None` = the transport default).
     pub max_conns: Option<usize>,
+    /// Per-regression thread budget on the workers (`None` = each fit
+    /// uses its options' budget, by default one thread per core).
+    pub fit_threads: Option<usize>,
 }
 
 /// Arguments shared by `fit` and `stack`.
@@ -246,35 +279,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map(|(_, v)| v.clone())
                 .unwrap_or_else(|| "demo_counters.csv".into()),
         }),
-        "serve" => {
-            let get_count = |name: &str| -> Result<Option<usize>, CliError> {
-                flags
-                    .iter()
-                    .find(|(k, _)| k == name)
-                    .map(|(_, v)| {
-                        v.parse()
-                            .map_err(|_| CliError::Usage(format!("--{name} must be a count")))
-                    })
-                    .transpose()
-            };
-            let get_text = |name: &str| -> Option<String> {
-                flags
-                    .iter()
-                    .find(|(k, _)| k == name)
-                    .map(|(_, v)| v.clone())
-            };
-            Ok(Command::Serve(ServeArgs {
-                workers: get_count("workers")?,
-                cache: get_count("cache")?,
-                quick: flags.iter().any(|(k, _)| k == "quick"),
-                listen: get_text("listen"),
-                state_dir: get_text("state-dir"),
-                idle_timeout: get_count("idle-timeout")?.map(|n| n as u64),
-                max_conns: get_count("max-conns")?,
-            }))
-        }
+        "serve" => Ok(Command::Serve(ServeArgs {
+            workers: flag_count(&flags, "workers")?,
+            cache: flag_count(&flags, "cache")?,
+            quick: flags.iter().any(|(k, _)| k == "quick"),
+            listen: flag_text(&flags, "listen"),
+            state_dir: flag_text(&flags, "state-dir"),
+            idle_timeout: flag_count(&flags, "idle-timeout")?,
+            max_conns: flag_count(&flags, "max-conns")?,
+            fit_threads: flag_count(&flags, "fit-threads")?,
+        })),
+        "bench" => Ok(Command::Bench(BenchArgs {
+            smoke: flags.iter().any(|(k, _)| k == "smoke"),
+            out: flag_text(&flags, "out"),
+            uops: flag_count(&flags, "uops")?,
+            seed: flag_count(&flags, "seed")?,
+            threads: flag_count(&flags, "threads")?,
+            check: flag_text(&flags, "check"),
+        })),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
+}
+
+/// An optional `--name <value>` flag's text.
+fn flag_text(flags: &[(String, String)], name: &str) -> Option<String> {
+    flags
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+}
+
+/// An optional `--name <value>` flag parsed as an unsigned count.
+fn flag_count<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+) -> Result<Option<T>, CliError> {
+    flags
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("--{name} must be a count")))
+        })
+        .transpose()
 }
 
 /// Splits `--key value` and bare `--flag` pairs.
@@ -369,7 +416,49 @@ pub fn run(command: &Command) -> Result<String, CliError> {
              instead of `cli::run(...)`"
                 .into(),
         )),
+        Command::Bench(args) => run_bench_command(args),
     }
+}
+
+/// The `bench` subcommand: run the perf harness, write the snapshot,
+/// optionally gate against a committed baseline.
+fn run_bench_command(args: &BenchArgs) -> Result<String, CliError> {
+    let mut config = if args.smoke {
+        crate::perf::BenchConfig::smoke()
+    } else {
+        crate::perf::BenchConfig::full()
+    };
+    if let Some(uops) = args.uops {
+        config.uops = uops;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    if let Some(threads) = args.threads {
+        config.threads = threads;
+    }
+    let report = crate::perf::run_bench(config);
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_4.json".into());
+    std::fs::write(&out, report.to_json()).map_err(|error| {
+        CliError::Pipeline(PipelineError::Export {
+            path: out.clone().into(),
+            error,
+        })
+    })?;
+    let mut text = report.summary();
+    text.push_str(&format!("snapshot written to {out}\n"));
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path).map_err(|error| {
+            CliError::Bench(format!(
+                "reading baseline `{baseline_path}` failed: {error}"
+            ))
+        })?;
+        match crate::perf::check_against(&report, &baseline, 0.25) {
+            Ok(note) => text.push_str(&format!("check: {note}\n")),
+            Err(msg) => return Err(CliError::Bench(msg)),
+        }
+    }
+    Ok(text)
 }
 
 /// Runs a `serve` session over the front the arguments select.
@@ -404,6 +493,9 @@ pub fn serve(
     }
     if let Some(dir) = &args.state_dir {
         config = config.with_state_dir(dir);
+    }
+    if let Some(threads) = args.fit_threads {
+        config = config.with_fit_threads(threads);
     }
     let options = if args.quick {
         FitOptions::quick()
@@ -587,6 +679,46 @@ mod tests {
         // serve must be dispatched to serve(), not run().
         let err = run(&Command::Serve(ServeArgs::default())).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_bench_command() {
+        let cmd = parse_args(&strings(&[
+            "bench",
+            "--smoke",
+            "--uops",
+            "5000",
+            "--out",
+            "b.json",
+            "--check",
+            "base.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench(BenchArgs {
+                smoke: true,
+                out: Some("b.json".into()),
+                uops: Some(5_000),
+                seed: None,
+                threads: None,
+                check: Some("base.json".into()),
+            })
+        );
+        let err = parse_args(&strings(&["bench", "--uops", "lots"])).unwrap_err();
+        assert!(err.to_string().contains("--uops must be a count"));
+    }
+
+    #[test]
+    fn parses_serve_fit_threads() {
+        let cmd = parse_args(&strings(&["serve", "--fit-threads", "2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                fit_threads: Some(2),
+                ..ServeArgs::default()
+            })
+        );
     }
 
     #[test]

@@ -131,6 +131,32 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
+//! ## Performance: parallel cold fits, a tracked baseline
+//!
+//! The cold paths are engineered too. A cold fit fans its 13 jittered
+//! Nelder–Mead starts across threads
+//! ([`FitOptions::threads`](model::FitOptions::threads), `0` = one
+//! per core) and returns **bit-identical** parameters at any thread
+//! count — the budget is pure scheduling, excluded from
+//! [`FitOptions::fingerprint`](model::FitOptions::fingerprint), so it
+//! never splits a cache key and persisted snapshots stay warm across
+//! budget changes. Cap a deployment's per-fit fan-out with
+//! [`ServiceConfig::with_fit_threads`](service::ServiceConfig::with_fit_threads)
+//! (peak regression threads ≈ worker shards × fit threads). Campaign collection reuses simulation buffers
+//! across runs and exposes the warm-up budget
+//! ([`SimSource::warmup`](workbench::SimSource::warmup), default
+//! unchanged). `cpistack bench` times cold collect / cold fit / warm
+//! serve on the paper campaign, asserts the parallel–sequential
+//! byte-identity, and writes the `BENCH_4.json` snapshot that CI gates
+//! against (see the README's Performance section for current numbers):
+//!
+//! ```
+//! use cpistack::model::FitOptions;
+//!
+//! let opts = FitOptions::default().with_threads(8);
+//! assert_eq!(opts.fingerprint(), FitOptions::default().fingerprint());
+//! ```
+//!
 //! ## Quick scripts: the one-shot [`Workbench`]
 //!
 //! When one result is all you need, the [`Workbench`] builder runs the
@@ -188,6 +214,7 @@
 //! ```
 
 pub mod cli;
+pub mod perf;
 
 pub use calibrate as latency;
 pub use cpicounters as truth;

@@ -1,0 +1,451 @@
+//! The `cpistack bench` harness: a reproducible timing snapshot of the
+//! three cold/warm paths every release cares about.
+//!
+//! After the serving layer (PR 2) and persistence (PR 3), warm queries are
+//! cache hits — so the system's latency story is decided by two cold
+//! paths: **cold collect** (the `oosim` measurement campaign) and **cold
+//! fit** (the first nonlinear regression per cache key), plus the **warm
+//! serve** fast path that everything else amortises into. This module
+//! times all three on the paper campaign (103 benchmarks × 3 machines),
+//! verifies that the parallel multi-start fit is *byte-identical* to the
+//! strictly-sequential path while timing both, and writes a
+//! machine-readable JSON snapshot (`BENCH_4.json`) — the start of a perf
+//! trajectory later PRs append to and CI guards against.
+//!
+//! The JSON carries a `config_fingerprint` folding every knob that shapes
+//! the numbers (µop budget, seed, suite sizes, fit options fingerprint);
+//! [`check_against`] only compares runs with equal fingerprints, so a
+//! smoke run is never judged against a full-scale baseline.
+
+use crate::model::workbench::{SimSource, Workbench};
+use crate::model::FitOptions;
+use crate::service::{CpiService, ModelKey, Response, ServiceConfig};
+use crate::sim::machine::MachineConfig;
+use pmu::{RunRecord, Suite};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Scale and knobs of one bench run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Reduced-budget mode for CI smoke runs.
+    pub smoke: bool,
+    /// µops simulated per benchmark (the warm-up adds the same again).
+    pub uops: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Fit thread budget (`0` = one per hardware thread).
+    pub threads: usize,
+    /// Warm-serve repetitions per model key.
+    pub warm_iters: usize,
+}
+
+impl BenchConfig {
+    /// Full scale: the paper campaign at the experiment harness budget.
+    pub fn full() -> Self {
+        Self {
+            smoke: false,
+            uops: 200_000,
+            seed: 12345,
+            threads: 0,
+            warm_iters: 20,
+        }
+    }
+
+    /// Reduced budgets for CI: same campaign structure, cheaper µops.
+    pub fn smoke() -> Self {
+        Self {
+            smoke: true,
+            uops: 10_000,
+            ..Self::full()
+        }
+    }
+
+    /// A fingerprint of every *configured* knob that shapes the timings —
+    /// including `threads`, which is invisible to model cache keys (it
+    /// cannot change fitted bits) but very much changes wall-clock. Two
+    /// runs are comparable only if their fingerprints match; hardware
+    /// differences between hosts remain the caller's problem (a
+    /// wall-clock gate is only meaningful against a baseline from
+    /// comparable hardware).
+    pub fn fingerprint(&self, benchmarks: usize, machines: usize) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.uops.hash(&mut h);
+        self.seed.hash(&mut h);
+        self.smoke.hash(&mut h);
+        self.threads.hash(&mut h);
+        benchmarks.hash(&mut h);
+        machines.hash(&mut h);
+        FitOptions::default().fingerprint().hash(&mut h);
+        h.finish()
+    }
+}
+
+/// One bench run's measurements — serialised to `BENCH_4.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"full"` or `"smoke"`.
+    pub mode: &'static str,
+    /// The configuration measured.
+    pub config: BenchConfig,
+    /// Benchmarks per machine.
+    pub benchmarks: usize,
+    /// Machines collected.
+    pub machines: usize,
+    /// Total records collected.
+    pub records: usize,
+    /// Config fingerprint (see [`BenchConfig::fingerprint`]).
+    pub config_fingerprint: u64,
+    /// Wall-clock of the simulator campaign (all machines), ms.
+    pub cold_collect_ms: f64,
+    /// Wall-clock of the six cold fits through the service, ms.
+    pub cold_fit_ms: f64,
+    /// The same six fits, strictly sequential (1 worker, 1 fit thread), ms.
+    pub cold_fit_seq_ms: f64,
+    /// `cold_fit_seq_ms / cold_fit_ms`.
+    pub fit_speedup: f64,
+    /// Mean wall-clock of one warm `stacks` request, ms.
+    pub warm_serve_ms: f64,
+    /// FNV-1a digest over every fitted parameter's bits, in key order —
+    /// equal for the parallel and sequential paths by construction (the
+    /// run fails otherwise).
+    pub params_digest: u64,
+}
+
+impl BenchReport {
+    /// Renders the machine-readable snapshot (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(s, "  \"config\": {{");
+        let _ = writeln!(s, "    \"uops\": {},", self.config.uops);
+        let _ = writeln!(s, "    \"seed\": {},", self.config.seed);
+        let _ = writeln!(s, "    \"threads\": {},", self.config.threads);
+        let _ = writeln!(s, "    \"warm_iters\": {},", self.config.warm_iters);
+        let _ = writeln!(s, "    \"benchmarks\": {},", self.benchmarks);
+        let _ = writeln!(s, "    \"machines\": {}", self.machines);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(
+            s,
+            "  \"config_fingerprint\": \"{:016x}\",",
+            self.config_fingerprint
+        );
+        let _ = writeln!(s, "  \"records\": {},", self.records);
+        let _ = writeln!(s, "  \"cold_collect_ms\": {:.3},", self.cold_collect_ms);
+        let _ = writeln!(s, "  \"cold_fit_ms\": {:.3},", self.cold_fit_ms);
+        let _ = writeln!(s, "  \"cold_fit_seq_ms\": {:.3},", self.cold_fit_seq_ms);
+        let _ = writeln!(s, "  \"fit_speedup\": {:.3},", self.fit_speedup);
+        let _ = writeln!(s, "  \"warm_serve_ms\": {:.4},", self.warm_serve_ms);
+        let _ = writeln!(s, "  \"params_digest\": \"{:016x}\"", self.params_digest);
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Human summary for the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "cpistack bench ({} | {} benchmarks × {} machines, {} µops, seed {})\n\
+             cold collect   {:>10.1} ms\n\
+             cold fit       {:>10.1} ms  ({} keys, parallel multi-start)\n\
+             cold fit (seq) {:>10.1} ms  → speedup {:.2}×, params byte-identical\n\
+             warm serve     {:>10.3} ms/request (all cache hits)\n",
+            self.mode,
+            self.benchmarks,
+            self.machines,
+            self.config.uops,
+            self.config.seed,
+            self.cold_collect_ms,
+            self.cold_fit_ms,
+            self.machines * 2,
+            self.cold_fit_seq_ms,
+            self.fit_speedup,
+            self.warm_serve_ms,
+        )
+    }
+}
+
+/// FNV-1a over a byte stream.
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Runs the six paper-campaign fits through a [`CpiService`] and returns
+/// `(wall ms, fitted-params digest)`.
+fn timed_fits(
+    config: ServiceConfig,
+    machines: &[MachineConfig],
+    records: &[RunRecord],
+    keys: &[ModelKey],
+) -> (f64, u64) {
+    let service = CpiService::start(config);
+    let client = service.client();
+    for machine in machines {
+        client.register(machine.into()).expect("register");
+    }
+    client.ingest(records.to_vec()).expect("ingest");
+
+    let start = Instant::now();
+    let streams: Vec<_> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, key)| client.submit_group_at(i, key.clone()))
+        .collect();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for stream in streams {
+        for response in stream {
+            match response {
+                Response::Group(group) => {
+                    for b in &group.model.params().b {
+                        fnv(&mut digest, &b.to_bits().to_le_bytes());
+                    }
+                    fnv(
+                        &mut digest,
+                        &group.model.objective().to_bits().to_le_bytes(),
+                    );
+                }
+                Response::Error(e) => panic!("bench fit failed: {e}"),
+                _ => {}
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    service.shutdown();
+    (elapsed, digest)
+}
+
+/// Runs the whole bench: cold collect, cold fit (parallel and sequential,
+/// asserting byte-identical parameters), warm serve.
+///
+/// # Panics
+///
+/// Panics if any pipeline stage fails, or if the parallel and sequential
+/// fits disagree — that would be a correctness bug, not a perf number.
+pub fn run_bench(config: BenchConfig) -> BenchReport {
+    let machines = MachineConfig::paper_machines();
+    let source = SimSource::paper_suites()
+        .uops(config.uops)
+        .seed(config.seed);
+
+    // --- Cold collect: the simulator campaign. -------------------------
+    let start = Instant::now();
+    let collected = Workbench::new()
+        .machines(machines.iter())
+        .source(source)
+        .collect()
+        .expect("bench collect");
+    let cold_collect_ms = start.elapsed().as_secs_f64() * 1e3;
+    let records: Vec<RunRecord> = collected.records().cloned().collect();
+    let benchmarks = records.len() / machines.len();
+
+    let options = FitOptions::default().with_threads(config.threads);
+    let keys: Vec<ModelKey> = machines
+        .iter()
+        .flat_map(|m| Suite::ALL.map(|suite| ModelKey::new(m.id, Some(suite), options.clone())))
+        .collect();
+
+    // --- Cold fit: parallel multi-start across the worker shards. ------
+    let (cold_fit_ms, digest) = timed_fits(
+        ServiceConfig::new().with_workers(keys.len()),
+        &machines,
+        &records,
+        &keys,
+    );
+
+    // --- Cold fit, strictly sequential: 1 shard, 1 fit thread. ---------
+    let (cold_fit_seq_ms, seq_digest) = timed_fits(
+        ServiceConfig::new().with_workers(1).with_fit_threads(1),
+        &machines,
+        &records,
+        &keys,
+    );
+    assert_eq!(
+        digest, seq_digest,
+        "parallel and sequential fits must be byte-identical"
+    );
+
+    // --- Warm serve: every repeat request is a cache hit. --------------
+    let service = CpiService::start(ServiceConfig::new());
+    let client = service.client();
+    for machine in &machines {
+        client.register(machine.into()).expect("register");
+    }
+    client.ingest(records.clone()).expect("ingest");
+    for key in &keys {
+        client.fit(key.clone()).expect("warm-up fit");
+    }
+    let start = Instant::now();
+    let mut served = 0usize;
+    for _ in 0..config.warm_iters {
+        for key in &keys {
+            let (report, stacks) = client.stacks(key.clone()).expect("warm stacks");
+            assert!(report.cached, "warm serve must be a cache hit");
+            assert!(!stacks.is_empty());
+            served += 1;
+        }
+    }
+    let warm_serve_ms = start.elapsed().as_secs_f64() * 1e3 / served.max(1) as f64;
+    service.shutdown();
+
+    let config_fingerprint = config.fingerprint(benchmarks, machines.len());
+    BenchReport {
+        mode: if config.smoke { "smoke" } else { "full" },
+        benchmarks,
+        machines: machines.len(),
+        records: records.len(),
+        config_fingerprint,
+        cold_collect_ms,
+        cold_fit_ms,
+        cold_fit_seq_ms,
+        fit_speedup: cold_fit_seq_ms / cold_fit_ms.max(1e-9),
+        warm_serve_ms,
+        params_digest: digest,
+        config,
+    }
+}
+
+/// Pulls `"key": <number>` out of a bench JSON snapshot.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls `"key": "<string>"` out of a bench JSON snapshot.
+fn json_string<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// The regression gate behind `cpistack bench --check <baseline>`:
+/// compares this run's cold-fit wall-clock against a committed baseline
+/// and fails when it regressed beyond `tolerance` (0.25 = +25%).
+///
+/// Runs with different `config_fingerprint`s are incomparable (different
+/// scale, suite set or fit options) and pass with a note — the gate never
+/// judges a smoke run against a full-scale snapshot.
+///
+/// # Errors
+///
+/// An explanatory message when the baseline is unreadable or the cold-fit
+/// time regressed past the tolerance.
+pub fn check_against(
+    current: &BenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    let base_fp = json_string(baseline_json, "config_fingerprint")
+        .ok_or("baseline JSON has no config_fingerprint")?;
+    let current_fp = format!("{:016x}", current.config_fingerprint);
+    if base_fp != current_fp {
+        return Ok(format!(
+            "baseline incomparable (config {base_fp} vs {current_fp}); skipping regression gate"
+        ));
+    }
+    let base_fit =
+        json_number(baseline_json, "cold_fit_ms").ok_or("baseline JSON has no cold_fit_ms")?;
+    let limit = base_fit * (1.0 + tolerance);
+    if current.cold_fit_ms > limit {
+        return Err(format!(
+            "cold fit regressed: {:.1} ms vs baseline {:.1} ms (limit {:.1} ms, +{:.0}%)",
+            current.cold_fit_ms,
+            base_fit,
+            limit,
+            tolerance * 100.0
+        ));
+    }
+    Ok(format!(
+        "cold fit {:.1} ms within {:.1} ms budget (baseline {:.1} ms +{:.0}%)",
+        current.cold_fit_ms,
+        limit,
+        base_fit,
+        tolerance * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            smoke: true,
+            uops: 1_000,
+            seed: 7,
+            threads: 0,
+            warm_iters: 1,
+        }
+    }
+
+    #[test]
+    fn tiny_bench_round_trips_and_gates() {
+        // One reduced-budget end-to-end run exercises every stage,
+        // including the parallel-vs-sequential byte-identity assertion.
+        let mut config = tiny();
+        config.warm_iters = 1;
+        let report = run_bench(config);
+        assert_eq!(report.machines, 3);
+        assert_eq!(report.benchmarks, 103);
+        assert!(report.cold_collect_ms > 0.0);
+        assert!(report.cold_fit_ms > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        let parsed = json_number(&json, "cold_collect_ms").expect("field present");
+        assert!((parsed - report.cold_collect_ms).abs() < 0.01);
+
+        // Same fingerprint: the gate passes against itself…
+        let ok = check_against(&report, &json, 0.25).expect("self-comparison passes");
+        assert!(ok.contains("within"), "{ok}");
+        // …and fails against an impossibly fast doctored baseline.
+        let doctored = json.replace(
+            &format!("\"cold_fit_ms\": {:.3}", report.cold_fit_ms),
+            "\"cold_fit_ms\": 0.001",
+        );
+        let err = check_against(&report, &doctored, 0.25).expect_err("regression detected");
+        assert!(err.contains("regressed"), "{err}");
+
+        // Different fingerprint: incomparable, never a failure.
+        let other = json.replace(
+            &format!("{:016x}", report.config_fingerprint),
+            "deadbeefdeadbeef",
+        );
+        let skipped = check_against(&report, &other, 0.25).expect("incomparable passes");
+        assert!(skipped.contains("incomparable"), "{skipped}");
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        let report = BenchReport {
+            mode: "smoke",
+            config: tiny(),
+            benchmarks: 103,
+            machines: 3,
+            records: 309,
+            config_fingerprint: 1,
+            cold_collect_ms: 1.0,
+            cold_fit_ms: 1.0,
+            cold_fit_seq_ms: 1.0,
+            fit_speedup: 1.0,
+            warm_serve_ms: 0.1,
+            params_digest: 2,
+        };
+        assert!(check_against(&report, "not json", 0.25).is_err());
+        assert!(check_against(
+            &report,
+            "{\"config_fingerprint\": \"0000000000000001\"}",
+            0.25
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Byte-identity lockdown for the parallel multi-start fit (PR 4's
+//! non-negotiable invariant): any thread budget must produce bit-identical
+//! `ModelParams` and objective to the strictly-sequential path, for every
+//! paper machine — and because thread budgets are invisible to cache keys
+//! and records digests, snapshots persisted under one budget must
+//! warm-load under any other.
+
+use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
+use cpistack::service::{CpiService, ModelKey, ServiceConfig};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::SimSource;
+use pmu::{RunRecord, Suite};
+
+const UOPS: u64 = 6_000;
+const SEED: u64 = 2024;
+
+fn records_for(machine: &MachineConfig) -> Vec<RunRecord> {
+    SimSource::new()
+        .suite(
+            cpistack::workloads::suites::cpu2000()
+                .into_iter()
+                .take(14)
+                .collect(),
+        )
+        .uops(UOPS)
+        .seed(SEED)
+        .collect_config(machine)
+}
+
+#[test]
+fn parallel_fit_is_bit_identical_for_every_paper_machine() {
+    for machine in MachineConfig::paper_machines() {
+        let arch = MicroarchParams::from_machine(&machine);
+        let records = records_for(&machine);
+        let sequential = InferredModel::fit(&arch, &records, &FitOptions::quick().with_threads(1))
+            .expect("sequential fit");
+        for threads in [2, 8] {
+            let parallel =
+                InferredModel::fit(&arch, &records, &FitOptions::quick().with_threads(threads))
+                    .expect("parallel fit");
+            assert_eq!(
+                sequential.params(),
+                parallel.params(),
+                "{:?} threads={threads}: ModelParams must be bit-identical",
+                machine.id
+            );
+            assert_eq!(
+                sequential.objective().to_bits(),
+                parallel.objective().to_bits(),
+                "{:?} threads={threads}: objective must be bit-identical",
+                machine.id
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_budget_is_invisible_to_fingerprints_and_cache_keys() {
+    // The scheduling knob must not split cache keys: equal fingerprints
+    // regardless of the budget, so a service serves a threads=8 request
+    // from a model fitted under threads=1.
+    let base = FitOptions::quick();
+    for threads in [0, 1, 2, 8] {
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().with_threads(threads).fingerprint(),
+            "threads={threads} changed the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn snapshots_persist_across_thread_budgets() {
+    // Fit under threads=1 into a state dir; a restarted service fitting
+    // the same key under threads=8 must warm-load the snapshot (zero
+    // regressions) and restore the exact same model — the on-disk format
+    // and its keys predate the thread knob and must stay compatible.
+    let dir = std::env::temp_dir().join(format!("cpistack_perf_identity_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let machine = MachineConfig::core2();
+    let records = records_for(&machine);
+    let key = |threads: usize| {
+        ModelKey::new(
+            pmu::MachineId::Core2,
+            Some(Suite::Cpu2000),
+            FitOptions::quick().with_threads(threads),
+        )
+    };
+
+    let first = {
+        let service = CpiService::start(
+            ServiceConfig::new()
+                .with_state_dir(&dir)
+                .with_fit_threads(1),
+        );
+        let client = service.client();
+        client.register((&machine).into()).expect("register");
+        client.ingest(records.clone()).expect("ingest");
+        let report = client.fit(key(1)).expect("cold fit");
+        assert!(!report.cached);
+        let stats = service.shutdown();
+        assert_eq!(stats.fits, 1);
+        report.model
+    };
+
+    let service = CpiService::start(
+        ServiceConfig::new()
+            .with_state_dir(&dir)
+            .with_fit_threads(8),
+    );
+    let client = service.client();
+    client.register((&machine).into()).expect("register");
+    client.ingest(records).expect("ingest");
+    let report = client.fit(key(8)).expect("warm fit");
+    assert!(report.cached, "restart must serve from the snapshot store");
+    assert_eq!(first.params(), report.model.params());
+    assert_eq!(
+        first.objective().to_bits(),
+        report.model.objective().to_bits()
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.fits, 0, "no regression ran on the warm restart");
+    assert_eq!(stats.cache.warm_loads, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
