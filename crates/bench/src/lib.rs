@@ -22,7 +22,7 @@
 pub mod ablation;
 pub mod experiments;
 
-use memodel::service::{CpiClient, CpiService, ModelKey, ServiceConfig, ServiceStats};
+use memodel::service::{CpiClient, CpiService, ModelKey, ServiceConfig, ServiceStats, TenantId};
 use memodel::workbench::{Fitted, SimSource, Workbench};
 use memodel::{FitOptions, InferredModel};
 use oosim::machine::MachineConfig;
@@ -175,8 +175,21 @@ impl Campaign {
     /// of the six (machine, suite) keys with [`Campaign::options`] are
     /// cache hits; new keys (other fit options, pooled suites, deltas)
     /// are fitted once and then cached too.
+    ///
+    /// The campaign runs as the implicit local tenant; this client is
+    /// bound to it.
     pub fn client(&self) -> CpiClient {
         self.service.client()
+    }
+
+    /// A client on the campaign's session bound to another tenant — an
+    /// *empty* namespace sharing the warm worker pool and per-tenant
+    /// cache quotas. Useful for serving experiments that model tenant
+    /// interference against the warm paper campaign: the tenant sees
+    /// none of the campaign's records or models until it ingests its
+    /// own, and its cache churn cannot evict the campaign's six models.
+    pub fn client_for(&self, tenant: TenantId) -> CpiClient {
+        self.service.client_for(tenant)
     }
 
     /// The fit options the campaign's six models were fitted with (the
@@ -296,6 +309,30 @@ mod tests {
         let other = Campaign::run_warm(4_000, 12, &dir);
         assert_eq!(other.service_stats().fits, 6);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenant_clients_see_an_empty_namespace_on_the_warm_campaign() {
+        let c = Campaign::run(4_000, 7);
+        let guest = c.client_for(TenantId::new("guest").unwrap());
+        // The campaign's warm models are invisible to the guest tenant:
+        // its namespace has no machines at all.
+        let err = guest
+            .fit(memodel::service::ModelKey::new(
+                MachineId::Core2,
+                Some(Suite::Cpu2000),
+                c.options(),
+            ))
+            .expect_err("guest tenants share no campaign state");
+        assert!(matches!(
+            err,
+            memodel::service::ServiceError::NotRegistered { .. }
+        ));
+        // And the guest's stats are its own: zero fits, zero records.
+        let stats = guest.stats().expect("stats");
+        assert_eq!(stats.fits, 0);
+        assert_eq!(stats.ingested_records, 0);
+        assert_eq!(c.service_stats().fits, 6, "campaign untouched");
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub use inputs::ModelInputs;
 pub use params::{MicroarchParams, ModelParams};
 pub use service::{
     CpiClient, CpiService, ModelKey, Request, Response, ServiceConfig, ServiceError, ServiceStats,
+    TenantId,
 };
 pub use stack::CpiStack;
 pub use workbench::{

@@ -33,12 +33,39 @@
 //! fact `Workbench::fit()` is implemented *on top of* an ephemeral
 //! `CpiService`, so there is exactly one fitting code path.
 //!
-//! Two submodules turn the session API into a deployable server:
+//! # Multi-tenant isolation
+//!
+//! The service is **tenant-scoped** end to end. Every [`CpiClient`] is
+//! bound to a [`TenantId`] ([`CpiService::client`] binds the implicit
+//! [`TenantId::local`]; [`CpiService::client_for`] binds any other), and
+//! a tenant's identity partitions the whole serving stack:
+//!
+//! * **machine namespaces** — registration and ingestion land in the
+//!   calling tenant's own store; two tenants may both register `core2`
+//!   and never see each other's records or specs (a cross-tenant request
+//!   fails typed with [`ServiceError::NotRegistered`], never serves
+//!   another tenant's data),
+//! * **cache quotas** — the shared [`ModelCache`] gives each tenant its
+//!   own LRU budget: a tenant flooding the cache evicts only its *own*
+//!   models, and [`CacheStats`] are accounted per tenant,
+//! * **persistence** — with a state dir, each named tenant snapshots to
+//!   its own `tenant-<name>/` subdirectory (the local tenant keeps the
+//!   root, so single-tenant deployments are unchanged on disk), so a warm
+//!   restart restores each tenant only from its own files,
+//! * **stats** — [`CpiClient::stats`] reports the calling tenant's
+//!   counters; [`CpiService::shutdown`] returns the aggregate.
+//!
+//! Three submodules turn the session API into a deployable server:
 //!
 //! * [`proto`] — the serve-session line protocol (one codec shared by the
 //!   stdin/stdout front and a [`std::net::TcpListener`]-based front with
 //!   concurrent connections, idle timeouts and graceful shutdown), plus a
-//!   length-prefixed binary framing for bulk stack streams,
+//!   length-prefixed binary framing for bulk stack streams. With a token
+//!   registry configured, every session must open with a
+//!   `hello <token>` handshake before any command is dispatched,
+//! * [`auth`] — per-tenant session tokens: a [`auth::TokenRegistry`]
+//!   loaded from a token file (`cpistack serve --auth <file>`; mint
+//!   tokens with `cpistack token`) maps secrets to [`TenantId`]s,
 //! * [`persist`] — durable model state: fitted parameters snapshot to a
 //!   versioned, checksummed on-disk store keyed by
 //!   `(machine, suite, options fingerprint, records digest)`
@@ -76,6 +103,7 @@
 //! service.shutdown();
 //! ```
 
+pub mod auth;
 pub mod persist;
 pub mod proto;
 
@@ -91,6 +119,106 @@ use std::hash::{Hash, Hasher};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Tenants
+// ---------------------------------------------------------------------------
+
+/// The identity that partitions the whole serving stack: machine
+/// namespaces, cache quotas, persisted state and stats are all scoped by
+/// tenant (see the [module docs](self)). Cheap to clone (`Arc`-interned
+/// name), usable as a map key.
+///
+/// Names are path- and protocol-safe by construction: lowercase ASCII
+/// letters, digits, `-` and `_`, between 1 and 32 bytes. The implicit
+/// single-tenant identity is [`TenantId::local`] (named `local`) — the
+/// one every [`CpiService::client`] handle and the unauthenticated stdio
+/// front use.
+///
+/// # Examples
+///
+/// ```
+/// use memodel::service::TenantId;
+/// let t = TenantId::new("team-a").unwrap();
+/// assert_eq!(t.name(), "team-a");
+/// assert!(TenantId::new("No Spaces!").is_err());
+/// assert_eq!(TenantId::local().name(), "local");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TenantId(Arc<str>);
+
+/// Why a tenant name was rejected by [`TenantId::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantNameError {
+    /// The offending name.
+    pub name: String,
+    /// Which rule it broke.
+    pub reason: String,
+}
+
+impl fmt::Display for TenantNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid tenant name `{}`: {}", self.name, self.reason)
+    }
+}
+
+impl std::error::Error for TenantNameError {}
+
+impl TenantId {
+    /// The maximum tenant-name length in bytes.
+    pub const MAX_NAME_LEN: usize = 32;
+
+    /// A validated tenant identity.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantNameError`] when the name is empty, longer than
+    /// [`TenantId::MAX_NAME_LEN`] bytes, or contains anything outside
+    /// `[a-z0-9_-]` — the charset keeps tenant names safe to embed in
+    /// state-dir paths and protocol lines.
+    pub fn new(name: &str) -> Result<Self, TenantNameError> {
+        let bad = |reason: &str| TenantNameError {
+            name: name.to_owned(),
+            reason: reason.to_owned(),
+        };
+        if name.is_empty() {
+            return Err(bad("must not be empty"));
+        }
+        if name.len() > Self::MAX_NAME_LEN {
+            return Err(bad("must be at most 32 bytes"));
+        }
+        if !name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+        {
+            return Err(bad("only lowercase ascii letters, digits, `-` and `_`"));
+        }
+        Ok(Self(Arc::from(name)))
+    }
+
+    /// The implicit single-tenant identity (`local`): what
+    /// [`CpiService::client`] binds, and what unauthenticated fronts run
+    /// as.
+    pub fn local() -> Self {
+        Self(Arc::from("local"))
+    }
+
+    /// Whether this is the implicit local tenant.
+    pub fn is_local(&self) -> bool {
+        &*self.0 == "local"
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -395,6 +523,7 @@ struct CacheKey {
 
 #[derive(Debug)]
 struct CacheEntry {
+    tenant: TenantId,
     key: CacheKey,
     generation: u64,
     last_used: u64,
@@ -423,12 +552,43 @@ pub struct CacheStats {
     pub warm_loads: u64,
 }
 
-/// An LRU cache of fitted models keyed by
-/// `(machine, suite, FitOptions fingerprint)`, with generation-based
-/// invalidation: every entry remembers the record-store generation it was
-/// fitted at, and a lookup only hits while the machine's generation still
-/// matches — ingesting a new counter batch silently retires every stale
-/// model.
+impl CacheStats {
+    /// Adds another tally into this one, field by field — the single
+    /// place that enumerates every counter, so per-tenant stats can
+    /// never silently drop a future field from the aggregate.
+    pub fn merge(&mut self, other: &CacheStats) {
+        let CacheStats {
+            hits,
+            misses,
+            evictions,
+            invalidations,
+            inserts,
+            warm_loads,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.evictions += evictions;
+        self.invalidations += invalidations;
+        self.inserts += inserts;
+        self.warm_loads += warm_loads;
+    }
+}
+
+/// A tenant-partitioned LRU cache of fitted models keyed by
+/// `(tenant, machine, suite, FitOptions fingerprint)`, with
+/// generation-based invalidation: every entry remembers the record-store
+/// generation it was fitted at, and a lookup only hits while the
+/// machine's generation still matches — ingesting a new counter batch
+/// silently retires every stale model.
+///
+/// The capacity is a **per-tenant quota**, not a shared pool: inserting
+/// beyond it evicts the inserting tenant's own least-recently-used entry,
+/// so one tenant flooding the cache can never push out another tenant's
+/// models. Accounting ([`CacheStats`]) is kept per tenant too; every
+/// counter mutation happens in the same call as the map mutation it
+/// describes, so the stats are never momentarily inconsistent with the
+/// entries (the old `insert`-then-adjust `promote_warm` could double-count
+/// a hit when it raced a fresher insert after a generation bump).
 ///
 /// # Examples
 ///
@@ -440,31 +600,40 @@ pub struct CacheStats {
 /// ```
 #[derive(Debug)]
 pub struct ModelCache {
+    /// Per-tenant entry quota.
     capacity: usize,
     tick: u64,
     entries: Vec<CacheEntry>,
-    stats: CacheStats,
+    /// Per-tenant accounting, insertion-ordered for deterministic
+    /// aggregation.
+    stats: Vec<(TenantId, CacheStats)>,
 }
 
 impl ModelCache {
-    /// An empty cache holding at most `capacity` models (minimum 1).
+    /// An empty cache holding at most `capacity` models **per tenant**
+    /// (minimum 1).
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
             tick: 0,
             entries: Vec::new(),
-            stats: CacheStats::default(),
+            stats: Vec::new(),
         }
     }
 
-    /// Maximum number of cached models.
+    /// Maximum number of cached models per tenant.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Currently cached models.
+    /// Currently cached models, all tenants.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Currently cached models belonging to one tenant.
+    pub fn len_for(&self, tenant: &TenantId) -> usize {
+        self.entries.iter().filter(|e| &e.tenant == tenant).count()
     }
 
     /// Whether the cache holds no models.
@@ -472,98 +641,171 @@ impl ModelCache {
         self.entries.is_empty()
     }
 
-    /// Accounting counters so far.
+    /// Aggregate accounting counters across every tenant.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let mut total = CacheStats::default();
+        for (_, s) in &self.stats {
+            total.merge(s);
+        }
+        total
     }
 
-    /// Looks up the model for `key` fitted at `generation`. A hit marks
-    /// the entry most-recently-used; a generation mismatch drops the stale
-    /// entry (counted as an invalidation *and* a miss).
-    pub fn lookup(&mut self, key: &ModelKey, generation: u64) -> Option<Arc<InferredModel>> {
+    /// One tenant's accounting counters.
+    pub fn stats_for(&self, tenant: &TenantId) -> CacheStats {
+        self.stats
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    fn stats_mut(&mut self, tenant: &TenantId) -> &mut CacheStats {
+        if let Some(i) = self.stats.iter().position(|(t, _)| t == tenant) {
+            return &mut self.stats[i].1;
+        }
+        self.stats.push((tenant.clone(), CacheStats::default()));
+        &mut self.stats.last_mut().expect("just pushed").1
+    }
+
+    /// Looks up `tenant`'s model for `key` fitted at `generation`. A hit
+    /// marks the entry most-recently-used; a generation mismatch drops
+    /// the stale entry (counted as an invalidation *and* a miss). Another
+    /// tenant's entry for the same key is invisible here.
+    pub fn lookup(
+        &mut self,
+        tenant: &TenantId,
+        key: &ModelKey,
+        generation: u64,
+    ) -> Option<Arc<InferredModel>> {
         let cache_key = key.cache_key();
-        let Some(i) = self.entries.iter().position(|e| e.key == cache_key) else {
-            self.stats.misses += 1;
+        let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| &e.tenant == tenant && e.key == cache_key)
+        else {
+            self.stats_mut(tenant).misses += 1;
             return None;
         };
         if self.entries[i].generation != generation {
             self.entries.remove(i);
-            self.stats.invalidations += 1;
-            self.stats.misses += 1;
+            let stats = self.stats_mut(tenant);
+            stats.invalidations += 1;
+            stats.misses += 1;
             return None;
         }
         self.tick += 1;
         self.entries[i].last_used = self.tick;
-        self.stats.hits += 1;
+        self.stats_mut(tenant).hits += 1;
         Some(self.entries[i].model.clone())
     }
 
-    /// Peeks whether a servable entry exists, without touching LRU order
-    /// or the counters.
-    pub fn contains(&self, key: &ModelKey, generation: u64) -> bool {
+    /// Peeks whether a servable entry exists for `tenant`, without
+    /// touching LRU order or the counters.
+    pub fn contains(&self, tenant: &TenantId, key: &ModelKey, generation: u64) -> bool {
         let cache_key = key.cache_key();
         self.entries
             .iter()
-            .any(|e| e.key == cache_key && e.generation == generation)
+            .any(|e| &e.tenant == tenant && e.key == cache_key && e.generation == generation)
     }
 
-    /// Inserts (or replaces) the model for `key` at `generation`, evicting
-    /// the least-recently-used entry when full.
-    pub fn insert(&mut self, key: &ModelKey, generation: u64, model: Arc<InferredModel>) {
-        let cache_key = key.cache_key();
+    /// The one mutation path behind [`ModelCache::insert`] and
+    /// [`ModelCache::promote_warm`]: stores (or refreshes) an entry and
+    /// updates the counters *in the same call*, returning whether the
+    /// model was actually stored. A stale insert — `generation` older
+    /// than what the map already holds for the key — is discarded and
+    /// counts nothing (the old code still counted an insert for it).
+    fn store(
+        &mut self,
+        tenant: &TenantId,
+        cache_key: CacheKey,
+        generation: u64,
+        model: Arc<InferredModel>,
+    ) -> bool {
         self.tick += 1;
-        if let Some(entry) = self.entries.iter_mut().find(|e| e.key == cache_key) {
+        if let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| &e.tenant == tenant && e.key == cache_key)
+        {
             // A pinned/delta fit working from an older snapshot can finish
             // after a fresher fit of the same key: keep the newer model,
             // or the next lookup would invalidate and re-run the
             // regression for nothing.
-            if generation >= entry.generation {
-                entry.generation = generation;
-                entry.last_used = self.tick;
-                entry.model = model;
+            if generation < entry.generation {
+                return false;
             }
+            entry.generation = generation;
+            entry.last_used = self.tick;
+            entry.model = model;
         } else {
-            if self.entries.len() >= self.capacity {
+            if self.len_for(tenant) >= self.capacity {
                 let lru = self
                     .entries
                     .iter()
                     .enumerate()
+                    .filter(|(_, e)| &e.tenant == tenant)
                     .min_by_key(|(_, e)| e.last_used)
                     .map(|(i, _)| i)
-                    .expect("cache is non-empty when at capacity");
+                    .expect("the tenant holds entries when over quota");
                 self.entries.remove(lru);
-                self.stats.evictions += 1;
+                self.stats_mut(tenant).evictions += 1;
             }
+            let tick = self.tick;
             self.entries.push(CacheEntry {
+                tenant: tenant.clone(),
                 key: cache_key,
                 generation,
-                last_used: self.tick,
+                last_used: tick,
                 model,
             });
         }
-        self.stats.inserts += 1;
+        self.stats_mut(tenant).inserts += 1;
+        true
+    }
+
+    /// Inserts (or replaces) `tenant`'s model for `key` at `generation`,
+    /// evicting that tenant's least-recently-used entry when its quota is
+    /// full. Other tenants' entries are never touched.
+    pub fn insert(
+        &mut self,
+        tenant: &TenantId,
+        key: &ModelKey,
+        generation: u64,
+        model: Arc<InferredModel>,
+    ) {
+        self.store(tenant, key.cache_key(), generation, model);
     }
 
     /// Promotes a model restored from the on-disk snapshot store into the
     /// cache. The caller's [`ModelCache::lookup`] just counted a miss, but
-    /// the request was served without a regression after all — so the miss
-    /// is reclassified as a hit and tallied under
-    /// [`CacheStats::warm_loads`]. `hits + misses` still equals total
-    /// lookups.
-    pub fn promote_warm(&mut self, key: &ModelKey, generation: u64, model: Arc<InferredModel>) {
-        self.insert(key, generation, model);
+    /// the request was served without a regression after all — so in one
+    /// atomic mutation the entry is stored and the miss reclassified as a
+    /// hit, tallied under [`CacheStats::warm_loads`]. `hits + misses`
+    /// still equals total lookups, and the counters can never be observed
+    /// between the store and the reclassification.
+    pub fn promote_warm(
+        &mut self,
+        tenant: &TenantId,
+        key: &ModelKey,
+        generation: u64,
+        model: Arc<InferredModel>,
+    ) {
+        self.store(tenant, key.cache_key(), generation, model);
+        let stats = self.stats_mut(tenant);
         // Saturating: a caller that skipped the lookup must not wrap the
         // counter (the service always looks up first).
-        self.stats.misses = self.stats.misses.saturating_sub(1);
-        self.stats.hits += 1;
-        self.stats.warm_loads += 1;
+        stats.misses = stats.misses.saturating_sub(1);
+        stats.hits += 1;
+        stats.warm_loads += 1;
     }
 
-    /// Drops every entry for `machine` (used when its spec is replaced).
-    fn invalidate_machine(&mut self, machine: MachineId) {
+    /// Drops every entry `tenant` holds for `machine` (used when its spec
+    /// is replaced).
+    fn invalidate_machine(&mut self, tenant: &TenantId, machine: MachineId) {
         let before = self.entries.len();
-        self.entries.retain(|e| e.key.machine != machine);
-        self.stats.invalidations += (before - self.entries.len()) as u64;
+        self.entries
+            .retain(|e| &e.tenant != tenant || e.key.machine != machine);
+        self.stats_mut(tenant).invalidations += (before - self.entries.len()) as u64;
     }
 }
 
@@ -571,8 +813,9 @@ impl ModelCache {
 // Service state
 // ---------------------------------------------------------------------------
 
-/// Service-wide counters, snapshot via [`Request::Stats`] /
-/// [`CpiClient::stats`].
+/// Service counters, snapshot via [`Request::Stats`] /
+/// [`CpiClient::stats`] (scoped to the calling client's tenant) or
+/// returned aggregated across every tenant by [`CpiService::shutdown`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct ServiceStats {
@@ -583,10 +826,12 @@ pub struct ServiceStats {
     pub fits: u64,
     /// Counter records ingested over the service's lifetime.
     pub ingested_records: u64,
-    /// Worker shards serving the queue.
+    /// Worker shards serving the queue (deployment-wide).
     pub workers: usize,
     /// Model-cache accounting.
     pub cache: CacheStats,
+    /// Tenants the service has seen traffic from (deployment-wide).
+    pub tenants: usize,
 }
 
 #[derive(Debug, Default)]
@@ -599,25 +844,20 @@ struct MachineState {
     generation: u64,
 }
 
-#[derive(Debug)]
-struct Inner {
+/// One tenant's private slice of the service: its machine namespace and
+/// its task counters. Nothing here is reachable from another tenant's
+/// requests.
+#[derive(Debug, Default)]
+struct TenantState {
     /// Insertion-ordered so enumeration is deterministic.
     machines: Vec<(MachineId, MachineState)>,
-    cache: ModelCache,
-    /// The durable model store, when the service was started with a state
-    /// dir. Workers clone the (cheap) handle out of the lock and do every
-    /// file read/write outside it.
-    persist: Option<SnapshotStore>,
-    /// Deployment-wide cap on per-regression thread fan-out.
-    fit_threads: Option<usize>,
     requests: u64,
     fits: u64,
     ingested_records: u64,
-    workers: usize,
 }
 
-impl Inner {
-    fn state_mut(&mut self, machine: MachineId) -> &mut MachineState {
+impl TenantState {
+    fn machine_mut(&mut self, machine: MachineId) -> &mut MachineState {
         if let Some(i) = self.machines.iter().position(|(id, _)| *id == machine) {
             return &mut self.machines[i].1;
         }
@@ -625,21 +865,82 @@ impl Inner {
         &mut self.machines.last_mut().expect("just pushed").1
     }
 
-    fn state(&self, machine: MachineId) -> Option<&MachineState> {
+    fn machine(&self, machine: MachineId) -> Option<&MachineState> {
         self.machines
             .iter()
             .find(|(id, _)| *id == machine)
             .map(|(_, s)| s)
     }
+}
 
-    fn stats(&self) -> ServiceStats {
-        ServiceStats {
-            requests: self.requests,
-            fits: self.fits,
-            ingested_records: self.ingested_records,
-            workers: self.workers,
-            cache: self.cache.stats(),
+#[derive(Debug)]
+struct Inner {
+    /// Per-tenant state, insertion-ordered.
+    tenants: Vec<(TenantId, TenantState)>,
+    cache: ModelCache,
+    /// The durable model store root, when the service was started with a
+    /// state dir (named tenants persist under per-tenant subdirectories
+    /// of it). Workers clone the (cheap) handle out of the lock and do
+    /// every file read/write outside it.
+    persist: Option<SnapshotStore>,
+    /// Deployment-wide cap on per-regression thread fan-out.
+    fit_threads: Option<usize>,
+    workers: usize,
+}
+
+impl Inner {
+    fn tenant_mut(&mut self, tenant: &TenantId) -> &mut TenantState {
+        if let Some(i) = self.tenants.iter().position(|(t, _)| t == tenant) {
+            return &mut self.tenants[i].1;
         }
+        self.tenants.push((tenant.clone(), TenantState::default()));
+        &mut self.tenants.last_mut().expect("just pushed").1
+    }
+
+    fn tenant(&self, tenant: &TenantId) -> Option<&TenantState> {
+        self.tenants
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, s)| s)
+    }
+
+    /// One tenant's view: its own task counters and cache accounting,
+    /// plus the deployment-wide worker and tenant counts.
+    fn stats_for(&self, tenant: &TenantId) -> ServiceStats {
+        let state = self.tenant(tenant);
+        ServiceStats {
+            requests: state.map_or(0, |s| s.requests),
+            fits: state.map_or(0, |s| s.fits),
+            ingested_records: state.map_or(0, |s| s.ingested_records),
+            workers: self.workers,
+            cache: self.cache.stats_for(tenant),
+            tenants: self.tenants.len(),
+        }
+    }
+
+    /// The aggregate across every tenant (what a single-tenant service
+    /// reported before tenancy existed).
+    fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats {
+            workers: self.workers,
+            tenants: self.tenants.len(),
+            cache: self.cache.stats(),
+            ..ServiceStats::default()
+        };
+        for (_, state) in &self.tenants {
+            // Destructured so a future per-tenant counter cannot be
+            // silently dropped from the aggregate.
+            let TenantState {
+                machines: _,
+                requests,
+                fits,
+                ingested_records,
+            } = state;
+            total.requests += requests;
+            total.fits += fits;
+            total.ingested_records += ingested_records;
+        }
+        total
     }
 }
 
@@ -729,6 +1030,7 @@ impl ServiceConfig {
 
 enum WorkerMsg {
     Task {
+        tenant: TenantId,
         task: Task,
         reply: mpsc::Sender<Response>,
     },
@@ -765,20 +1067,25 @@ struct Router {
 
 impl Router {
     /// Shard for machine-scoped traffic (registration, ingestion): all
-    /// store mutations for one machine are serialized on one worker.
-    fn shard_of(&self, machine: MachineId) -> usize {
+    /// store mutations for one tenant's machine are serialized on one
+    /// worker. The tenant is part of the hash, so two tenants' same-named
+    /// machines fan out instead of contending for one shard.
+    fn shard_of(&self, tenant: &TenantId, machine: MachineId) -> usize {
         let mut h = DefaultHasher::new();
+        tenant.name().hash(&mut h);
         machine.name().hash(&mut h);
         (h.finish() as usize) % self.shards.len()
     }
 
     /// Shard for model-scoped traffic (fit/stacks/group/predictions):
-    /// hashed by the full cache key, so repeat requests for one key are
-    /// serialized (the second is a cache hit, never a duplicate
-    /// regression) while *different* keys — even two suites of the same
-    /// machine — fan out across workers.
-    fn shard_of_key(&self, key: &ModelKey) -> usize {
+    /// hashed by the full tenant-scoped cache key, so repeat requests for
+    /// one key are serialized (the second is a cache hit, never a
+    /// duplicate regression) while *different* keys — even two suites of
+    /// the same machine, or two tenants' models of one machine — fan out
+    /// across workers.
+    fn shard_of_key(&self, tenant: &TenantId, key: &ModelKey) -> usize {
         let mut h = DefaultHasher::new();
+        tenant.name().hash(&mut h);
         key.machine.name().hash(&mut h);
         key.suite.map(Suite::name).hash(&mut h);
         key.options.fingerprint().hash(&mut h);
@@ -828,13 +1135,10 @@ impl CpiService {
             .map(SnapshotStore::open)
             .transpose()?;
         let inner = Arc::new(Mutex::new(Inner {
-            machines: Vec::new(),
+            tenants: Vec::new(),
             cache: ModelCache::new(config.cache_capacity),
             persist,
             fit_threads: config.fit_threads,
-            requests: 0,
-            fits: 0,
-            ingested_records: 0,
             workers,
         }));
         let mut shards = Vec::with_capacity(workers);
@@ -860,11 +1164,22 @@ impl CpiService {
         })
     }
 
-    /// A new client handle. Clients are cheap, cloneable, and may be moved
-    /// to other threads; every client shares this service's warm state.
+    /// A new client handle bound to the implicit [`TenantId::local`]
+    /// tenant. Clients are cheap, cloneable, and may be moved to other
+    /// threads; every client shares this service's warm state (within its
+    /// tenant's namespace).
     pub fn client(&self) -> CpiClient {
+        self.client_for(TenantId::local())
+    }
+
+    /// A client handle bound to `tenant`: every request it submits
+    /// operates on that tenant's machine namespace, cache quota and
+    /// persisted state, and [`CpiClient::stats`] reports that tenant's
+    /// counters.
+    pub fn client_for(&self, tenant: TenantId) -> CpiClient {
         CpiClient {
             router: Arc::clone(&self.router),
+            tenant,
         }
     }
 
@@ -896,22 +1211,40 @@ impl Drop for CpiService {
     }
 }
 
-/// A handle for submitting [`Request`]s to a [`CpiService`]. Obtained from
-/// [`CpiService::client`]; cloneable and thread-safe.
+/// A handle for submitting [`Request`]s to a [`CpiService`], bound to one
+/// [`TenantId`]. Obtained from [`CpiService::client`] (local tenant) or
+/// [`CpiService::client_for`]; cloneable and thread-safe.
 #[derive(Clone)]
 pub struct CpiClient {
     router: Arc<Router>,
+    tenant: TenantId,
 }
 
 impl fmt::Debug for CpiClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CpiClient")
             .field("shards", &self.router.shards.len())
+            .field("tenant", &self.tenant.name())
             .finish()
     }
 }
 
 impl CpiClient {
+    /// The tenant every request from this handle is scoped to.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// A sibling handle on the same service bound to a different tenant
+    /// (the protocol front rebinds a session's client on a successful
+    /// `hello` handshake).
+    pub fn for_tenant(&self, tenant: TenantId) -> CpiClient {
+        CpiClient {
+            router: Arc::clone(&self.router),
+            tenant,
+        }
+    }
+
     /// Submits one request; responses stream back on the returned channel.
     ///
     /// Ordering: store mutations for one machine (register, ingest) are
@@ -935,8 +1268,8 @@ impl CpiClient {
                 return stream;
             }
             let mut guard = lock(&self.router.inner);
-            guard.requests += 1;
-            let stats = guard.stats();
+            guard.tenant_mut(&self.tenant).requests += 1;
+            let stats = guard.stats_for(&self.tenant);
             drop(guard);
             let _ = tx.send(Response::Stats(stats));
             return stream;
@@ -956,6 +1289,7 @@ impl CpiClient {
         for (shard, task) in tasks {
             if self.router.shards[shard]
                 .send(WorkerMsg::Task {
+                    tenant: self.tenant.clone(),
                     task,
                     reply: tx.clone(),
                 })
@@ -985,8 +1319,9 @@ impl CpiClient {
     /// the client's thread, so a malformed batch never occupies a worker.
     fn route(&self, request: Request) -> Result<Vec<(usize, Task)>, ServiceError> {
         let r = &self.router;
+        let t = &self.tenant;
         Ok(match request {
-            Request::Register(spec) => vec![(r.shard_of(spec.id()), Task::Register(spec))],
+            Request::Register(spec) => vec![(r.shard_of(t, spec.id()), Task::Register(spec))],
             Request::IngestRecords(records) => {
                 // Stable per-machine partition: each chunk routes to its
                 // machine's shard, keeping ingest→fit FIFO per machine.
@@ -1001,7 +1336,7 @@ impl CpiClient {
                 chunks
                     .into_iter()
                     .map(|(machine, records)| {
-                        (r.shard_of(machine), Task::Ingest { machine, records })
+                        (r.shard_of(t, machine), Task::Ingest { machine, records })
                     })
                     .collect()
             }
@@ -1010,11 +1345,11 @@ impl CpiClient {
                     .map_err(|error| ServiceError::Parse { origin, error })?;
                 return self.route(Request::IngestRecords(records));
             }
-            Request::Fit(key) => vec![(r.shard_of_key(&key), Task::Fit(key))],
-            Request::Stacks(key) => vec![(r.shard_of_key(&key), Task::Stacks(key))],
-            Request::Group(key) => vec![(r.shard_of_key(&key), Task::Group(key))],
+            Request::Fit(key) => vec![(r.shard_of_key(t, &key), Task::Fit(key))],
+            Request::Stacks(key) => vec![(r.shard_of_key(t, &key), Task::Stacks(key))],
+            Request::Group(key) => vec![(r.shard_of_key(t, &key), Task::Group(key))],
             Request::Predictions(key) => {
-                vec![(r.shard_of_key(&key), Task::Predictions(key))]
+                vec![(r.shard_of_key(t, &key), Task::Predictions(key))]
             }
             Request::Delta {
                 old,
@@ -1022,7 +1357,7 @@ impl CpiClient {
                 suite,
                 options,
             } => vec![(
-                r.shard_of_key(&ModelKey::new(old, Some(suite), options.clone())),
+                r.shard_of_key(t, &ModelKey::new(old, Some(suite), options.clone())),
                 Task::Delta {
                     old,
                     new,
@@ -1248,7 +1583,11 @@ fn worker_loop(rx: mpsc::Receiver<WorkerMsg>, inner: &Mutex<Inner>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Shutdown => break,
-            WorkerMsg::Task { task, reply } => {
+            WorkerMsg::Task {
+                tenant,
+                task,
+                reply,
+            } => {
                 // A panicking handler (a pathological record set blowing
                 // up in the regression, say) must not kill the shard: the
                 // whole key-space hashed here would then see `Stopped`
@@ -1256,7 +1595,7 @@ fn worker_loop(rx: mpsc::Receiver<WorkerMsg>, inner: &Mutex<Inner>) {
                 // report it in-band, keep serving. `lock()` recovers the
                 // mutex if the panic poisoned it.
                 let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_task(task, &reply, inner)
+                    handle_task(&tenant, task, &reply, inner)
                 }));
                 if let Err(payload) = caught {
                     let detail = panic_detail(&payload);
@@ -1279,8 +1618,13 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>) {
-    lock(inner).requests += 1;
+fn handle_task(
+    tenant: &TenantId,
+    task: Task,
+    reply: &mpsc::Sender<Response>,
+    inner: &Mutex<Inner>,
+) {
+    lock(inner).tenant_mut(tenant).requests += 1;
     // The client may have hung up mid-stream; sends failing is fine.
     let send = |response: Response| {
         let _ = reply.send(response);
@@ -1290,7 +1634,7 @@ fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>)
             let machine = spec.id();
             let mut guard = lock(inner);
             let replacing = {
-                let state = guard.state_mut(machine);
+                let state = guard.tenant_mut(tenant).machine_mut(machine);
                 let replacing = state.spec.is_some();
                 if replacing {
                     // New constants mean every cached model for this
@@ -1301,7 +1645,7 @@ fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>)
                 replacing
             };
             if replacing {
-                guard.cache.invalidate_machine(machine);
+                guard.cache.invalidate_machine(tenant, machine);
             }
             drop(guard);
             send(Response::Registered { machine });
@@ -1310,11 +1654,12 @@ fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>)
             let count = records.len();
             let batch = Arc::new(records);
             let mut guard = lock(inner);
-            guard.ingested_records += count as u64;
-            let state = guard.state_mut(machine);
-            state.batches.push(batch);
-            state.generation += 1;
-            let generation = state.generation;
+            let state = guard.tenant_mut(tenant);
+            state.ingested_records += count as u64;
+            let machine_state = state.machine_mut(machine);
+            machine_state.batches.push(batch);
+            machine_state.generation += 1;
+            let generation = machine_state.generation;
             drop(guard);
             send(Response::Ingested {
                 machine,
@@ -1322,11 +1667,11 @@ fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>)
                 generation,
             });
         }
-        Task::Fit(key) => match fit_key(inner, &key) {
+        Task::Fit(key) => match fit_key(inner, tenant, &key) {
             Ok((report, _, _)) => send(Response::Model(report)),
             Err(e) => send(Response::Error(e)),
         },
-        Task::Stacks(key) => match fit_key(inner, &key) {
+        Task::Stacks(key) => match fit_key(inner, tenant, &key) {
             Ok((report, snapshot, _)) => {
                 let model = Arc::clone(&report.model);
                 send(Response::Model(report));
@@ -1339,7 +1684,7 @@ fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>)
             }
             Err(e) => send(Response::Error(e)),
         },
-        Task::Group(key) => match fit_key(inner, &key) {
+        Task::Group(key) => match fit_key(inner, tenant, &key) {
             Ok((report, snapshot, trained)) => send(Response::Group(Box::new(FittedGroup {
                 machine: report.machine,
                 suite: report.suite,
@@ -1349,7 +1694,7 @@ fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>)
             }))),
             Err(e) => send(Response::Error(e)),
         },
-        Task::Predictions(key) => match fit_key(inner, &key) {
+        Task::Predictions(key) => match fit_key(inner, tenant, &key) {
             Ok((report, snapshot, _)) => {
                 let model = Arc::clone(&report.model);
                 send(Response::Model(report));
@@ -1371,7 +1716,7 @@ fn handle_task(task: Task, reply: &mpsc::Sender<Response>, inner: &Mutex<Inner>)
         } => {
             let fit_side = |machine: MachineId| {
                 let key = ModelKey::new(machine, Some(suite), options.clone());
-                fit_key(inner, &key).map(|(report, snapshot, trained)| {
+                fit_key(inner, tenant, &key).map(|(report, snapshot, trained)| {
                     let records = trained.unwrap_or_else(|| snapshot.to_vec());
                     (report, records)
                 })
@@ -1410,29 +1755,34 @@ impl RecordsSnapshot {
     }
 }
 
-/// Serves one model key. The machine's store is snapshotted under the
-/// lock in O(batches) `Arc` clones; record filtering/copying and the
-/// regression all run *outside* it, so a slow fit or a huge record set on
-/// one shard never stalls ingestion or cached serves on another. Cache
-/// hits copy no records at all — the returned snapshot streams them in
-/// place, and the `Vec` is `Some` only when a miss had to materialize one
-/// (so `Group`/`Delta` reuse it instead of re-copying). A memory miss
-/// with a state dir consults the [`persist::SnapshotStore`] before
-/// fitting: a snapshot whose records digest and arch match the *current*
-/// training state is restored without a regression (counted as a
-/// [`CacheStats::warm_loads`] hit); any mismatch or corruption falls
-/// through to a fresh fit, whose result is then written back to disk —
-/// here, behind the worker pool, never on a client thread. This is the
-/// single fitting code path behind the service *and* `Workbench::fit()`.
+/// Serves one model key for one tenant. The machine's store is
+/// snapshotted under the lock in O(batches) `Arc` clones; record
+/// filtering/copying and the regression all run *outside* it, so a slow
+/// fit or a huge record set on one shard never stalls ingestion or cached
+/// serves on another. Cache hits copy no records at all — the returned
+/// snapshot streams them in place, and the `Vec` is `Some` only when a
+/// miss had to materialize one (so `Group`/`Delta` reuse it instead of
+/// re-copying). A memory miss with a state dir consults the tenant's own
+/// slice of the [`persist::SnapshotStore`] before fitting: a snapshot
+/// whose records digest and arch match the *current* training state is
+/// restored without a regression (counted as a [`CacheStats::warm_loads`]
+/// hit); any mismatch or corruption falls through to a fresh fit, whose
+/// result is then written back to disk — here, behind the worker pool,
+/// never on a client thread. Everything — the machine lookup, the cache,
+/// the disk store — is tenant-scoped: another tenant's records, models or
+/// snapshots are unreachable from this path. This is the single fitting
+/// code path behind the service *and* `Workbench::fit()`.
 #[allow(clippy::type_complexity)]
 fn fit_key(
     inner: &Mutex<Inner>,
+    tenant: &TenantId,
     key: &ModelKey,
 ) -> Result<(ModelReport, RecordsSnapshot, Option<Vec<RunRecord>>), ServiceError> {
     let (arch, batches, generation, store, fit_threads) = {
         let guard = lock(inner);
         let state = guard
-            .state(key.machine)
+            .tenant(tenant)
+            .and_then(|t| t.machine(key.machine))
             .ok_or(ServiceError::NotRegistered {
                 machine: key.machine,
             })?;
@@ -1469,10 +1819,16 @@ fn fit_key(
     // The generation travels with the snapshot: if a batch lands between
     // the snapshot and this lookup (or the insert below), the entry is
     // recorded against the old generation and retires on its next lookup.
-    let hit = lock(inner).cache.lookup(key, generation);
+    let hit = lock(inner).cache.lookup(tenant, key, generation);
     if let Some(model) = hit {
         return Ok((report(model, true), snapshot, None));
     }
+    // Only a miss pays for disk state: resolve the tenant's private
+    // slice of the snapshot store here (the root for the local tenant,
+    // `tenant-<name>/` otherwise — a directory syscall that must not tax
+    // the cache-hit path above). Opening can fail on a sick disk;
+    // persistence is best-effort, so that is a plain miss.
+    let store = store.and_then(|root| root.for_tenant(tenant).ok());
     let records = snapshot.to_vec();
     // The digest binds any persisted model to these exact records: a
     // restart that replays the same batches reproduces it; one changed
@@ -1493,7 +1849,7 @@ fn fit_key(
                 ));
                 lock(inner)
                     .cache
-                    .promote_warm(key, generation, Arc::clone(&model));
+                    .promote_warm(tenant, key, generation, Arc::clone(&model));
                 return Ok((report(model, true), snapshot, Some(records)));
             }
         }
@@ -1514,8 +1870,10 @@ fn fit_key(
     );
     {
         let mut guard = lock(inner);
-        guard.fits += 1;
-        guard.cache.insert(key, generation, Arc::clone(&model));
+        guard.tenant_mut(tenant).fits += 1;
+        guard
+            .cache
+            .insert(tenant, key, generation, Arc::clone(&model));
     }
     if let (Some(store), Some(digest)) = (&store, digest) {
         // Best-effort write-behind: a full disk must not fail the request

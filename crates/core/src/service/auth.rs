@@ -1,0 +1,439 @@
+//! Per-tenant session tokens for the serve protocol.
+//!
+//! A [`TokenRegistry`] maps opaque token strings to [`TenantId`]s. The
+//! protocol front ([`proto`](super::proto)) holds one when the server was
+//! started with `cpistack serve --auth <token-file>`: every session must
+//! then open with a `hello <token>` handshake, and the resolved tenant
+//! scopes everything the session does (machine namespace, cache quota,
+//! persisted state, stats). Without a registry the session runs as the
+//! implicit [`TenantId::local`] tenant — the pre-tenancy behaviour.
+//!
+//! # Token-file format
+//!
+//! One `<token> <tenant>` pair per line; blank lines and `#` comments are
+//! ignored:
+//!
+//! ```text
+//! # issued 2026-07-28 for the ml-perf team
+//! 3f9c0a1b2d4e5f60718293a4b5c6d7e8f9a0b1c2 ml-perf
+//! 0011223344556677 benchmarking
+//! ```
+//!
+//! `cpistack token --auth-file <file> --tenant <name>` appends a freshly
+//! generated token (printed to stdout) — or build a file by hand; any
+//! token of 8–128 characters from `[A-Za-z0-9_-]` is accepted. Tokens
+//! are bearer secrets: treat the file like a password file.
+//!
+//! # Examples
+//!
+//! ```
+//! use memodel::service::auth::TokenRegistry;
+//!
+//! let registry = TokenRegistry::parse(
+//!     "# demo tokens\n\
+//!      tok-alpha-12345678 alpha\n\
+//!      tok-beta-87654321 beta\n",
+//! )
+//! .unwrap();
+//! assert_eq!(registry.resolve("tok-alpha-12345678").unwrap().name(), "alpha");
+//! assert!(registry.resolve("tok-alpha-1234567X").is_none());
+//! ```
+
+use super::{TenantId, TenantNameError};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Minimum accepted token length (bytes).
+pub const MIN_TOKEN_LEN: usize = 8;
+
+/// Maximum accepted token length (bytes).
+pub const MAX_TOKEN_LEN: usize = 128;
+
+/// Length of tokens minted by [`generate_token`] (hex characters).
+pub const GENERATED_TOKEN_LEN: usize = 40;
+
+/// An authentication failure: loading or editing a token file, or a
+/// malformed token/tenant inside one.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AuthError {
+    /// Reading or writing the token file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A token-file line did not parse as `<token> <tenant>`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Which rule the line broke.
+        reason: String,
+    },
+    /// A tenant name failed [`TenantId::new`] validation.
+    Tenant(TenantNameError),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::Io { path, error } => {
+                write!(f, "token file `{}`: {error}", path.display())
+            }
+            AuthError::Malformed { line, reason } => {
+                write!(f, "token file line {line}: {reason}")
+            }
+            AuthError::Tenant(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuthError::Io { error, .. } => Some(error),
+            AuthError::Tenant(e) => Some(e),
+            AuthError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<TenantNameError> for AuthError {
+    fn from(e: TenantNameError) -> Self {
+        AuthError::Tenant(e)
+    }
+}
+
+/// Checks a token's charset and length (the same rule for loaded and
+/// generated tokens).
+///
+/// # Errors
+///
+/// A human-readable reason when the token is too short, too long, or
+/// contains anything outside `[A-Za-z0-9_-]`.
+pub fn validate_token(token: &str) -> Result<(), String> {
+    if token.len() < MIN_TOKEN_LEN {
+        return Err(format!("token is shorter than {MIN_TOKEN_LEN} characters"));
+    }
+    if token.len() > MAX_TOKEN_LEN {
+        return Err(format!("token is longer than {MAX_TOKEN_LEN} characters"));
+    }
+    if !token
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err("token may only contain [A-Za-z0-9_-]".into());
+    }
+    Ok(())
+}
+
+/// Constant-time byte comparison: the loop never exits early, so a timing
+/// probe cannot learn how long a matching prefix was. (FNV checksums
+/// guard *corruption* elsewhere in this codebase; this guards *guessing*.)
+fn constant_time_eq(a: &str, b: &str) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.bytes()
+        .zip(b.bytes())
+        .fold(0u8, |acc, (x, y)| acc | (x ^ y))
+        == 0
+}
+
+/// Validates a tenant name for *token* use: everything [`TenantId::new`]
+/// admits except the reserved `local` name. The implicit local tenant is
+/// what open (unauthenticated) fronts and `CpiService::client()` run as
+/// — with a state dir it owns the *root* directory — so a bearer token
+/// for it would silently hand its holder the whole pre-tenancy
+/// namespace.
+///
+/// # Errors
+///
+/// [`AuthError::Tenant`] for an invalid or reserved name.
+pub fn token_tenant(name: &str) -> Result<TenantId, AuthError> {
+    let tenant = TenantId::new(name)?;
+    if tenant.is_local() {
+        return Err(AuthError::Tenant(TenantNameError {
+            name: name.to_owned(),
+            reason: "`local` is reserved for the implicit unauthenticated tenant \
+                     and cannot be minted a token"
+                .to_owned(),
+        }));
+    }
+    Ok(tenant)
+}
+
+/// An immutable token → tenant map, shared by every session of a server.
+#[derive(Debug, Clone, Default)]
+pub struct TokenRegistry {
+    /// `(token, tenant)` pairs, file order.
+    entries: Vec<(String, TenantId)>,
+}
+
+impl TokenRegistry {
+    /// An empty registry (rejects every token).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one validated `(token, tenant)` pair (builder style, for
+    /// tests and embedders).
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::Malformed`] (line 0) when the token fails
+    /// [`validate_token`]; [`AuthError::Tenant`] when the tenant name is
+    /// invalid or the reserved `local` (see [`token_tenant`]).
+    pub fn with_token(mut self, token: &str, tenant: &str) -> Result<Self, AuthError> {
+        validate_token(token).map_err(|reason| AuthError::Malformed { line: 0, reason })?;
+        self.entries.push((token.to_owned(), token_tenant(tenant)?));
+        Ok(self)
+    }
+
+    /// Parses token-file text (see the [module docs](self) for the
+    /// format).
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::Malformed`] naming the offending 1-based line, or
+    /// [`AuthError::Tenant`] for an invalid tenant name.
+    pub fn parse(text: &str) -> Result<Self, AuthError> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let (Some(token), Some(tenant), None) = (words.next(), words.next(), words.next())
+            else {
+                return Err(AuthError::Malformed {
+                    line: i + 1,
+                    reason: "expected `<token> <tenant>`".into(),
+                });
+            };
+            validate_token(token).map_err(|reason| AuthError::Malformed {
+                line: i + 1,
+                reason,
+            })?;
+            entries.push((token.to_owned(), token_tenant(tenant)?));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads a token file from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::Io`] when the file cannot be read, plus everything
+    /// [`TokenRegistry::parse`] rejects.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, AuthError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|error| AuthError::Io {
+            path: path.to_owned(),
+            error,
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Registered tokens.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tenant a presented token authenticates as, or `None` for an
+    /// unknown token. Every registered token is compared in constant
+    /// time; the scan does not short-circuit on a match, so timing leaks
+    /// neither the matching entry's position nor its prefix.
+    pub fn resolve(&self, token: &str) -> Option<TenantId> {
+        let mut found = None;
+        for (registered, tenant) in &self.entries {
+            if constant_time_eq(registered, token) && found.is_none() {
+                found = Some(tenant.clone());
+            }
+        }
+        found
+    }
+}
+
+/// Mints a fresh [`GENERATED_TOKEN_LEN`]-character hex token from OS
+/// entropy (`/dev/urandom`).
+///
+/// # Errors
+///
+/// [`AuthError::Io`] when the OS entropy source cannot be read. This is
+/// deliberate: a bearer token minted from a guessable source (the clock,
+/// the pid) would *look* like 160 bits of entropy while being
+/// enumerable, so no silent fallback exists — a platform without
+/// `/dev/urandom` must fail loudly here.
+pub fn generate_token() -> Result<String, AuthError> {
+    use std::io::Read;
+    let urandom = Path::new("/dev/urandom");
+    let io_err = |error| AuthError::Io {
+        path: urandom.to_owned(),
+        error,
+    };
+    let mut bytes = [0u8; GENERATED_TOKEN_LEN / 2];
+    std::fs::File::open(urandom)
+        .and_then(|mut f| f.read_exact(&mut bytes))
+        .map_err(io_err)?;
+    let mut token = String::with_capacity(GENERATED_TOKEN_LEN);
+    for b in bytes {
+        token.push_str(&format!("{b:02x}"));
+    }
+    Ok(token)
+}
+
+/// Generates a token for `tenant` and appends it to the token file at
+/// `path` (created if missing, owner-only `0600` on unix — the file
+/// holds bearer secrets) — the `cpistack token` subcommand. Returns the
+/// minted token.
+///
+/// # Errors
+///
+/// [`AuthError::Tenant`] for an invalid tenant name or the reserved
+/// `local` (see [`token_tenant`]); [`AuthError::Io`] when the file
+/// cannot be appended or the OS entropy source is unreadable; any parse
+/// error if `path` exists but is not a valid token file (a corrupt file
+/// is surfaced, not silently appended to).
+pub fn issue_token(path: impl AsRef<Path>, tenant: &str) -> Result<String, AuthError> {
+    let path = path.as_ref();
+    let tenant = token_tenant(tenant)?;
+    if path.exists() {
+        // Validates the whole file so a typo'd file fails loudly now, not
+        // at serve time.
+        TokenRegistry::load(path)?;
+    }
+    let token = generate_token()?;
+    let io_err = |error| AuthError::Io {
+        path: path.to_owned(),
+        error,
+    };
+    let mut options = std::fs::OpenOptions::new();
+    options.create(true).append(true);
+    #[cfg(unix)]
+    {
+        // Applies on creation only; an existing file keeps its mode (the
+        // operator may have widened it deliberately).
+        use std::os::unix::fs::OpenOptionsExt;
+        options.mode(0o600);
+    }
+    let mut file = options.open(path).map_err(io_err)?;
+    writeln!(file, "{token} {}", tenant.name()).map_err(io_err)?;
+    Ok(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_resolves_and_rejects() {
+        let registry = TokenRegistry::parse(
+            "# comment\n\
+             \n\
+             tok-alpha-12345678 alpha\n\
+             tok-beta-87654321 beta\n",
+        )
+        .expect("parses");
+        assert_eq!(registry.len(), 2);
+        assert_eq!(
+            registry.resolve("tok-beta-87654321").unwrap().name(),
+            "beta"
+        );
+        assert!(registry.resolve("tok-gamma-00000000").is_none());
+        assert!(registry.resolve("").is_none());
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line() {
+        let err = TokenRegistry::parse("tok-alpha-12345678 alpha extra\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = TokenRegistry::parse("ok-token-1 alpha\nshort a\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = TokenRegistry::parse("tok-alpha-12345678 Not_A_Tenant\n").unwrap_err();
+        assert!(err.to_string().contains("invalid tenant name"), "{err}");
+        let err = TokenRegistry::parse("bad token! alpha\n").unwrap_err();
+        assert!(err.to_string().contains("token"), "{err}");
+    }
+
+    #[test]
+    fn local_tenant_can_never_be_minted_a_token() {
+        // A token for `local` would alias the unauthenticated namespace
+        // (and the state-dir root): reserved on every ingestion path.
+        let err = TokenRegistry::parse("tok-sneaky-12345678 local\n").unwrap_err();
+        assert!(err.to_string().contains("reserved"), "{err}");
+        let err = TokenRegistry::new()
+            .with_token("tok-sneaky-12345678", "local")
+            .unwrap_err();
+        assert!(err.to_string().contains("reserved"), "{err}");
+        let dir = std::env::temp_dir().join(format!("cpis_auth_local_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tokens.txt");
+        let _ = std::fs::remove_file(&path);
+        let err = issue_token(&path, "local").unwrap_err();
+        assert!(err.to_string().contains("reserved"), "{err}");
+        assert!(!path.exists(), "nothing was written");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generated_tokens_are_valid_and_distinct() {
+        let a = generate_token().expect("os entropy");
+        let b = generate_token().expect("os entropy");
+        assert_eq!(a.len(), GENERATED_TOKEN_LEN);
+        assert!(validate_token(&a).is_ok());
+        assert_ne!(a, b, "two mints must differ");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn issued_token_files_are_owner_only() {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = std::env::temp_dir().join(format!("cpis_auth_mode_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tokens.txt");
+        let _ = std::fs::remove_file(&path);
+        issue_token(&path, "alpha").expect("mint");
+        let mode = std::fs::metadata(&path).unwrap().permissions().mode();
+        assert_eq!(mode & 0o777, 0o600, "bearer-token file must be 0600");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn issue_token_appends_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("cpis_auth_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tokens.txt");
+        let _ = std::fs::remove_file(&path);
+        let first = issue_token(&path, "alpha").expect("mint");
+        let second = issue_token(&path, "beta").expect("mint again");
+        let registry = TokenRegistry::load(&path).expect("loads");
+        assert_eq!(registry.resolve(&first).unwrap().name(), "alpha");
+        assert_eq!(registry.resolve(&second).unwrap().name(), "beta");
+        // Bad tenant names never touch the file.
+        assert!(issue_token(&path, "NOPE").is_err());
+        assert_eq!(TokenRegistry::load(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn constant_time_eq_matches_plain_eq() {
+        for (a, b) in [
+            ("abc", "abc"),
+            ("abc", "abd"),
+            ("abc", "ab"),
+            ("", ""),
+            ("x", ""),
+        ] {
+            assert_eq!(constant_time_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
+    }
+}

@@ -370,6 +370,25 @@ impl SnapshotStore {
         &self.dir
     }
 
+    /// The tenant-scoped view of this store: the implicit local tenant
+    /// keeps the root directory itself (so single-tenant deployments are
+    /// unchanged on disk), every other tenant gets its own
+    /// `tenant-<name>/` subdirectory — created on first use. Tenant names
+    /// are path-safe by construction
+    /// ([`TenantId::new`](super::TenantId::new) admits only
+    /// `[a-z0-9_-]`), so a hostile tenant name can never escape the state
+    /// dir.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the subdirectory cannot be created.
+    pub fn for_tenant(&self, tenant: &super::TenantId) -> Result<SnapshotStore, PersistError> {
+        if tenant.is_local() {
+            return Ok(self.clone());
+        }
+        Self::open(self.dir.join(format!("tenant-{}", tenant.name())))
+    }
+
     /// The file a key persists to: every component of the cache identity
     /// is in the name, so a lookup is one `read`, no directory scan.
     pub fn path_for(

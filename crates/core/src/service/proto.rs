@@ -19,9 +19,29 @@
 //! **byte-identical** transcripts over stdin/stdout and over a socket —
 //! the golden-file protocol tests pin exactly that.
 //!
+//! # Tenants and the `hello` handshake
+//!
+//! Sessions are built from a [`SessionSpec`]. An **open** spec
+//! ([`SessionSpec::open`]) runs every session as the client's bound
+//! tenant (the implicit local tenant for `CpiService::client()`) — the
+//! pre-tenancy behaviour, and still the default for `cpistack serve`
+//! without `--auth`. A spec with a token registry
+//! ([`SessionSpec::with_auth`]) instead starts every session
+//! **unauthenticated**: until a `hello <token>` resolves against the
+//! [`auth::TokenRegistry`](super::auth::TokenRegistry), only `hello`,
+//! `help` and `quit` are admitted — anything else (including `shutdown`:
+//! an anonymous socket must not be able to stop the server) is rejected
+//! *before command dispatch* with `err: authenticate first`. A successful
+//! `hello` rebinds the session's client to the token's tenant; a later
+//! `hello` may rebind to another tenant. Everything a session does —
+//! machine registration, ingestion, fits, cache and persisted state,
+//! the `stats` line — is scoped to that tenant (see the
+//! [service module docs](super) for the isolation guarantees).
+//!
 //! # Command set
 //!
 //! ```text
+//! hello <token>                                     authenticate as a tenant
 //! machine <name> <width> <depth> <l2> <mem> <tlb>   register constants
 //! ingest <path>                                     load a counters CSV
 //! fit <machine> <suite|all>                         fit or serve from cache
@@ -29,7 +49,7 @@
 //! binstack <machine> <suite|all>                    same stacks, one binary frame
 //! predict <machine> <suite|all>                     measured vs predicted CPI
 //! delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
-//! stats                                             service counters
+//! stats                                             service counters (this tenant)
 //! help                                              reprint this list
 //! quit                                              close this session
 //! shutdown                                          stop the whole server
@@ -46,8 +66,9 @@
 //! clients that ignore `frame …` announcements never desynchronize: the
 //! announce line tells them how many bytes to skip.
 
+use super::auth::TokenRegistry;
 use super::persist::fnv64;
-use super::{CpiClient, ModelKey, Request, Response, ServiceConfig, ServiceError};
+use super::{CpiClient, ModelKey, Request, Response, ServiceConfig, ServiceError, TenantId};
 use crate::fit::FitOptions;
 use crate::params::MicroarchParams;
 use crate::stack::CpiStack;
@@ -63,6 +84,7 @@ use std::time::{Duration, Instant};
 /// Text reprinted by the in-session `help` command.
 pub const SERVE_HELP: &str = "\
 commands (one per line; every command ends with `ok` or `err: ...`):
+  hello <token>                                     authenticate as a tenant
   machine <name> <width> <depth> <l2> <mem> <tlb>   register constants
   ingest <path>                                     load a counters CSV
   fit <machine> <suite|all>                         fit or serve from cache
@@ -70,7 +92,7 @@ commands (one per line; every command ends with `ok` or `err: ...`):
   binstack <machine> <suite|all>                    same stacks as one binary frame
   predict <machine> <suite|all>                     measured vs predicted CPI
   delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
-  stats                                             service counters
+  stats                                             service counters (this tenant)
   help                                              this list
   quit                                              close this session
   shutdown                                          stop the whole server";
@@ -131,17 +153,96 @@ pub enum SessionEnd {
     Eof,
 }
 
+/// The recipe both fronts mint per-session state from: a base client, the
+/// fit options every session key uses, and (optionally) the token
+/// registry that gates sessions behind the `hello` handshake. Cheap to
+/// clone — the TCP front clones one per connection.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    client: CpiClient,
+    options: FitOptions,
+    registry: Option<Arc<TokenRegistry>>,
+}
+
+impl SessionSpec {
+    /// A spec whose sessions run pre-authenticated as `client`'s bound
+    /// tenant (the implicit local tenant for `CpiService::client()`) —
+    /// no handshake required.
+    pub fn open(client: CpiClient, options: FitOptions) -> Self {
+        Self {
+            client,
+            options,
+            registry: None,
+        }
+    }
+
+    /// A spec whose sessions start unauthenticated and must present a
+    /// registered token via `hello <token>` before any serving command is
+    /// dispatched.
+    pub fn with_auth(client: CpiClient, options: FitOptions, registry: Arc<TokenRegistry>) -> Self {
+        Self {
+            client,
+            options,
+            registry: Some(registry),
+        }
+    }
+
+    /// Mints one session's state.
+    pub fn session(&self) -> Session {
+        Session {
+            client: self.client.clone(),
+            options: self.options.clone(),
+            registry: self.registry.clone(),
+            authenticated: self.registry.is_none(),
+        }
+    }
+}
+
+/// One protocol session's state: the (possibly rebound) client and
+/// whether the `hello` handshake has happened. Minted by
+/// [`SessionSpec::session`]; consumed line by line by [`execute_line`].
+#[derive(Debug)]
+pub struct Session {
+    client: CpiClient,
+    options: FitOptions,
+    registry: Option<Arc<TokenRegistry>>,
+    authenticated: bool,
+}
+
+impl Session {
+    /// The tenant this session currently acts as (meaningful once
+    /// [`Session::is_authenticated`]).
+    pub fn tenant(&self) -> &TenantId {
+        self.client.tenant()
+    }
+
+    /// Whether serving commands are admitted: `true` from the start for
+    /// open specs, after a valid `hello` otherwise.
+    pub fn is_authenticated(&self) -> bool {
+        self.authenticated
+    }
+}
+
+/// The in-band rejection for serving commands on a not-yet-authenticated
+/// session.
+const AUTH_REQUIRED: &str = "authenticate first: hello <token>";
+
 /// Parses and executes one protocol line, writing every response line
 /// (payload + terminator) to `output`. This is the whole codec: both
 /// fronts funnel every command through here.
+///
+/// On a session minted from an auth-gated [`SessionSpec`], every command
+/// except `hello`, `help` and `quit` is rejected in-band until a
+/// `hello <token>` resolves — the gate runs *before* command dispatch, so
+/// an unauthenticated line can never reach the service (or stop the
+/// server via `shutdown`).
 ///
 /// # Errors
 ///
 /// Only transport failures; protocol problems are reported in-band as
 /// `err: …` lines and the session continues.
 pub fn execute_line(
-    client: &CpiClient,
-    options: &FitOptions,
+    session: &mut Session,
     line: &str,
     output: &mut impl Write,
 ) -> std::io::Result<LineOutcome> {
@@ -149,6 +250,31 @@ pub fn execute_line(
     let Some(&first) = words.first() else {
         return Ok(LineOutcome::Continue);
     };
+    // The handshake itself, and the authentication gate, both run before
+    // any command parsing or service dispatch.
+    if first == "hello" {
+        if words.len() != 2 {
+            writeln!(output, "err: usage: hello <token>")?;
+            return Ok(LineOutcome::Continue);
+        }
+        let Some(registry) = session.registry.as_deref() else {
+            writeln!(output, "err: token auth is not enabled")?;
+            return Ok(LineOutcome::Continue);
+        };
+        let Some(tenant) = registry.resolve(words[1]) else {
+            writeln!(output, "err: bad token")?;
+            return Ok(LineOutcome::Continue);
+        };
+        session.client = session.client.for_tenant(tenant);
+        session.authenticated = true;
+        writeln!(output, "hello {}", session.tenant())?;
+        writeln!(output, "ok")?;
+        return Ok(LineOutcome::Continue);
+    }
+    if !session.authenticated && first != "help" && first != "quit" {
+        writeln!(output, "err: {AUTH_REQUIRED}")?;
+        return Ok(LineOutcome::Continue);
+    }
     // The farewells get the same arity discipline as every other
     // command: a typo like `shutdown now` must not stop a whole
     // multi-client server.
@@ -164,7 +290,7 @@ pub fn execute_line(
             LineOutcome::Shutdown
         });
     }
-    match run_command(client, options, &words, output) {
+    match run_command(&session.client, &session.options, &words, output) {
         Ok(()) => writeln!(output, "ok")?,
         Err(CommandError::Protocol(msg)) => writeln!(output, "err: {msg}")?,
         Err(CommandError::Io(e)) => return Err(e),
@@ -181,8 +307,7 @@ pub fn execute_line(
 ///
 /// Transport failures only.
 pub fn run_session(
-    client: &CpiClient,
-    options: &FitOptions,
+    session: &mut Session,
     mut input: impl BufRead,
     mut output: impl Write,
 ) -> std::io::Result<SessionEnd> {
@@ -199,7 +324,7 @@ pub fn run_session(
             buf.pop();
         }
         let line = String::from_utf8_lossy(&buf).into_owned();
-        match execute_line(client, options, &line, &mut output)? {
+        match execute_line(session, &line, &mut output)? {
             LineOutcome::Continue => {}
             LineOutcome::Quit => return Ok(SessionEnd::Quit),
             LineOutcome::Shutdown => return Ok(SessionEnd::Shutdown),
@@ -358,11 +483,14 @@ fn run_command(
         }
         "stats" => {
             arity(0, "stats")?;
+            // Tenant-scoped by construction: the client is bound to the
+            // session's tenant, so one tenant's counters are invisible in
+            // another's stats line.
             let stats = client.stats()?;
             writeln!(
                 output,
                 "stats: requests {} fits {} hits {} misses {} warm {} evictions {} \
-                 invalidations {} records {} workers {}",
+                 invalidations {} records {} workers {} tenant {}",
                 stats.requests,
                 stats.fits,
                 stats.cache.hits,
@@ -371,7 +499,8 @@ fn run_command(
                 stats.cache.evictions,
                 stats.cache.invalidations,
                 stats.ingested_records,
-                stats.workers
+                stats.workers,
+                client.tenant()
             )?;
         }
         other => {
@@ -646,10 +775,10 @@ impl Drop for TcpServer {
 }
 
 /// Starts the TCP front on an already-bound listener: every accepted
-/// connection gets its own clone of `client` (so per-connection request
-/// streams never interleave) and runs the same codec as the stdio front.
-/// The service itself is *not* owned here — the caller keeps it, and
-/// shuts it down after [`TcpServer::wait`] returns.
+/// connection gets its own [`Session`] minted from `spec` (its own
+/// client clone, its own authentication state) and runs the same codec
+/// as the stdio front. The service itself is *not* owned here — the
+/// caller keeps it, and shuts it down after [`TcpServer::wait`] returns.
 ///
 /// # Errors
 ///
@@ -658,8 +787,7 @@ impl Drop for TcpServer {
 /// connection and never take the server down.
 pub fn serve_tcp(
     listener: TcpListener,
-    client: CpiClient,
-    options: FitOptions,
+    spec: SessionSpec,
     config: TcpServerConfig,
 ) -> std::io::Result<TcpServer> {
     let local_addr = listener.local_addr()?;
@@ -670,7 +798,7 @@ pub fn serve_tcp(
     let accept_stop = Arc::clone(&stop);
     let accept = std::thread::Builder::new()
         .name("cpi-tcp-accept".into())
-        .spawn(move || accept_loop(&listener, &client, &options, &config, &accept_stop))?;
+        .spawn(move || accept_loop(&listener, &spec, &config, &accept_stop))?;
     Ok(TcpServer {
         local_addr,
         stop,
@@ -680,8 +808,7 @@ pub fn serve_tcp(
 
 fn accept_loop(
     listener: &TcpListener,
-    client: &CpiClient,
-    options: &FitOptions,
+    spec: &SessionSpec,
     config: &TcpServerConfig,
     stop: &Arc<AtomicBool>,
 ) {
@@ -701,8 +828,7 @@ fn accept_loop(
                     continue;
                 }
                 live.fetch_add(1, Ordering::SeqCst);
-                let client = client.clone();
-                let options = options.clone();
+                let mut session = spec.session();
                 let banner = config.banner.clone();
                 let idle = config.idle_timeout;
                 let stop = Arc::clone(stop);
@@ -710,7 +836,7 @@ fn accept_loop(
                 let spawned = std::thread::Builder::new()
                     .name("cpi-tcp-conn".into())
                     .spawn(move || {
-                        let _ = connection_loop(stream, &client, &options, &banner, idle, &stop);
+                        let _ = connection_loop(stream, &mut session, &banner, idle, &stop);
                         conn_live.fetch_sub(1, Ordering::SeqCst);
                     });
                 match spawned {
@@ -740,8 +866,7 @@ fn accept_loop(
 /// flip the server-wide stop flag on `shutdown`.
 fn connection_loop(
     stream: TcpStream,
-    client: &CpiClient,
-    options: &FitOptions,
+    session: &mut Session,
     banner: &str,
     idle: Option<Duration>,
     stop: &AtomicBool,
@@ -755,7 +880,7 @@ fn connection_loop(
     loop {
         match reader.next_line(stop, idle) {
             LineEvent::Line(line) => {
-                let outcome = execute_line(client, options, &line, &mut output)?;
+                let outcome = execute_line(session, &line, &mut output)?;
                 output.flush()?;
                 match outcome {
                     LineOutcome::Continue => {}

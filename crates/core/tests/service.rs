@@ -2,7 +2,7 @@
 //! eviction, and multi-client `CpiService` sessions agreeing byte-for-byte
 //! with the one-shot `Workbench` path.
 
-use memodel::service::{CpiService, ModelCache, ModelKey, ServiceConfig};
+use memodel::service::{CpiService, ModelCache, ModelKey, ServiceConfig, TenantId};
 use memodel::workbench::{MachineSpec, SimSource, Workbench};
 use memodel::FitOptions;
 use oosim::machine::MachineConfig;
@@ -44,52 +44,57 @@ fn key_with_seed(seed: u64) -> ModelKey {
 
 #[test]
 fn cache_counts_hits_and_misses() {
+    let local = TenantId::local();
     let mut cache = ModelCache::new(4);
     let key = key_with_seed(1);
     let model = some_model();
-    assert!(cache.lookup(&key, 1).is_none(), "cold cache misses");
-    cache.insert(&key, 1, model.clone());
-    assert!(cache.lookup(&key, 1).is_some());
-    assert!(cache.lookup(&key, 1).is_some());
+    assert!(cache.lookup(&local, &key, 1).is_none(), "cold cache misses");
+    cache.insert(&local, &key, 1, model.clone());
+    assert!(cache.lookup(&local, &key, 1).is_some());
+    assert!(cache.lookup(&local, &key, 1).is_some());
     let stats = cache.stats();
     assert_eq!(stats.hits, 2);
     assert_eq!(stats.misses, 1);
     assert_eq!(stats.inserts, 1);
     assert_eq!(stats.evictions, 0);
     assert_eq!(stats.invalidations, 0);
+    // Aggregate == the single tenant's view on a single-tenant cache.
+    assert_eq!(stats, cache.stats_for(&local));
 }
 
 #[test]
 fn cache_evicts_least_recently_used_at_capacity() {
+    let local = TenantId::local();
     let mut cache = ModelCache::new(2);
     let model = some_model();
     let (a, b, c) = (key_with_seed(1), key_with_seed(2), key_with_seed(3));
-    cache.insert(&a, 1, model.clone());
-    cache.insert(&b, 1, model.clone());
+    cache.insert(&local, &a, 1, model.clone());
+    cache.insert(&local, &b, 1, model.clone());
     assert_eq!(cache.len(), 2);
     // Touch `a` so `b` becomes the LRU entry, then overflow with `c`.
-    assert!(cache.lookup(&a, 1).is_some());
-    cache.insert(&c, 1, model.clone());
+    assert!(cache.lookup(&local, &a, 1).is_some());
+    cache.insert(&local, &c, 1, model.clone());
     assert_eq!(cache.len(), 2, "capacity is a hard bound");
     assert_eq!(cache.stats().evictions, 1);
-    assert!(cache.contains(&a, 1), "recently used survives");
-    assert!(!cache.contains(&b, 1), "LRU entry was evicted");
-    assert!(cache.contains(&c, 1));
+    assert!(cache.contains(&local, &a, 1), "recently used survives");
+    assert!(!cache.contains(&local, &b, 1), "LRU entry was evicted");
+    assert!(cache.contains(&local, &c, 1));
     // Re-inserting an existing key replaces in place: no eviction.
-    cache.insert(&c, 1, model);
+    cache.insert(&local, &c, 1, model);
     assert_eq!(cache.stats().evictions, 1);
     assert_eq!(cache.len(), 2);
 }
 
 #[test]
 fn cache_invalidates_on_generation_change() {
+    let local = TenantId::local();
     let mut cache = ModelCache::new(4);
     let key = key_with_seed(1);
-    cache.insert(&key, 1, some_model());
-    assert!(cache.lookup(&key, 1).is_some());
+    cache.insert(&local, &key, 1, some_model());
+    assert!(cache.lookup(&local, &key, 1).is_some());
     // A new counter batch bumped the machine's generation: the cached
     // model is stale and must not be served.
-    assert!(cache.lookup(&key, 2).is_none());
+    assert!(cache.lookup(&local, &key, 2).is_none());
     let stats = cache.stats();
     assert_eq!(stats.invalidations, 1);
     assert_eq!(stats.misses, 1);
@@ -98,15 +103,91 @@ fn cache_invalidates_on_generation_change() {
 
 #[test]
 fn cache_insert_keeps_newer_generation() {
+    let local = TenantId::local();
     let mut cache = ModelCache::new(2);
     let key = key_with_seed(1);
     let model = some_model();
-    cache.insert(&key, 2, model.clone());
+    cache.insert(&local, &key, 2, model.clone());
     // A straggler fit from an older snapshot must not clobber the
     // fresher entry.
-    cache.insert(&key, 1, model);
-    assert!(cache.contains(&key, 2), "newer entry survives");
-    assert!(!cache.contains(&key, 1));
+    cache.insert(&local, &key, 1, model);
+    assert!(cache.contains(&local, &key, 2), "newer entry survives");
+    assert!(!cache.contains(&local, &key, 1));
+    // The discarded stale insert counted nothing: exactly one insert
+    // (the old insert-then-adjust code tallied both).
+    assert_eq!(cache.stats().inserts, 1);
+}
+
+#[test]
+fn cache_quota_is_per_tenant_and_flooding_cannot_cross_it() {
+    let alpha = TenantId::new("alpha").unwrap();
+    let beta = TenantId::new("beta").unwrap();
+    let mut cache = ModelCache::new(2);
+    let model = some_model();
+    // Alpha fills its quota.
+    cache.insert(&alpha, &key_with_seed(1), 1, model.clone());
+    cache.insert(&alpha, &key_with_seed(2), 1, model.clone());
+    // Beta floods far past the quota: only beta's own entries rotate.
+    for seed in 10..20 {
+        cache.insert(&beta, &key_with_seed(seed), 1, model.clone());
+    }
+    assert_eq!(cache.len_for(&alpha), 2, "alpha lost nothing");
+    assert_eq!(cache.len_for(&beta), 2, "beta is clamped to its quota");
+    assert!(cache.contains(&alpha, &key_with_seed(1), 1));
+    assert!(cache.contains(&alpha, &key_with_seed(2), 1));
+    assert_eq!(cache.stats_for(&alpha).evictions, 0);
+    assert_eq!(cache.stats_for(&beta).evictions, 8);
+    // The same key cached by both tenants is two distinct entries.
+    cache.insert(&alpha, &key_with_seed(19), 1, model);
+    assert!(cache.contains(&alpha, &key_with_seed(19), 1));
+    assert!(cache.contains(&beta, &key_with_seed(19), 1));
+    // And lookups never cross tenants.
+    assert!(cache.lookup(&alpha, &key_with_seed(10), 1).is_none());
+    assert_eq!(cache.stats_for(&alpha).misses, 1);
+    assert_eq!(cache.stats_for(&beta).misses, 0);
+}
+
+/// The `promote_warm` accounting footgun (fixed): a warm promotion racing
+/// a fresher same-key insert after a generation bump must keep the
+/// counters exact — the promotion's store is discarded as stale, but the
+/// lookup-miss it reclassifies still becomes exactly one warm hit, never
+/// two, and `hits + misses` always equals total lookups.
+#[test]
+fn warm_promotion_racing_a_fresher_insert_counts_exactly_once() {
+    let local = TenantId::local();
+    let mut cache = ModelCache::new(2);
+    let key = key_with_seed(1);
+    let model = some_model();
+    // A worker misses at generation 2 (on its way to a warm disk load).
+    assert!(cache.lookup(&local, &key, 2).is_none());
+    // Meanwhile another worker fits and inserts at generation 3 (a batch
+    // landed in between).
+    cache.insert(&local, &key, 3, model.clone());
+    // The warm load finishes and promotes its older-generation model.
+    cache.promote_warm(&local, &key, 2, model.clone());
+    let stats = cache.stats_for(&local);
+    assert_eq!(stats.hits, 1, "the reclassified miss, once");
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.warm_loads, 1);
+    assert_eq!(stats.inserts, 1, "the stale promotion stored nothing");
+    assert_eq!(stats.hits + stats.misses, 1, "lookups balance");
+    // The fresher model survived the stale promotion.
+    assert!(cache.contains(&local, &key, 3));
+    assert!(!cache.contains(&local, &key, 2));
+
+    // The quota path: promotions evict like inserts, within the tenant.
+    cache.insert(&local, &key_with_seed(2), 1, model.clone());
+    assert!(cache.lookup(&local, &key_with_seed(3), 1).is_none());
+    cache.promote_warm(&local, &key_with_seed(3), 1, model);
+    let stats = cache.stats_for(&local);
+    assert_eq!(cache.len_for(&local), 2, "quota still holds");
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.warm_loads, 2);
+    assert_eq!(
+        stats.hits + stats.misses,
+        2,
+        "two lookups total, every one accounted"
+    );
 }
 
 #[test]

@@ -49,19 +49,24 @@
 //! whole server gracefully — connections drain, then the service exits.
 //!
 //! Flags: `--workers <N>` (worker shards), `--cache <N>` (model-cache
-//! capacity), `--quick` (cheap fit options, for smoke tests),
-//! `--listen <addr>` (TCP front), `--state-dir <dir>` (persist fitted
-//! models across restarts — see
-//! [`service::persist`](crate::service::persist)), `--idle-timeout <s>`
+//! capacity, per tenant), `--quick` (cheap fit options, for smoke
+//! tests), `--listen <addr>` (TCP front), `--state-dir <dir>` (persist
+//! fitted models across restarts — see
+//! [`service::persist`](crate::service::persist)),
+//! `--auth <token-file>` (multi-tenant mode: sessions must open with
+//! `hello <token>`, tokens minted by `cpistack token` — see
+//! [`service::auth`](crate::service::auth)), `--idle-timeout <s>`
 //! (0 = never) and `--max-conns <N>` (TCP limits).
 
 use crate::model::workbench::Grouping;
 use crate::model::{FitOptions, MicroarchParams};
+use crate::service::auth::{self, AuthError, TokenRegistry};
 use crate::service::persist::PersistError;
 use crate::service::{proto, CpiService, ServiceConfig};
 use crate::{CsvSource, PipelineError, SimSource, Workbench};
 use std::fmt;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// Errors surfaced to the CLI user: either the arguments never parsed, or
 /// the pipeline failed at a typed stage.
@@ -76,6 +81,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// The serve session's `--state-dir` could not be opened.
     State(PersistError),
+    /// The `--auth` token file could not be loaded, or `cpistack token`
+    /// could not mint into it.
+    Auth(AuthError),
     /// The `bench --check` regression gate tripped.
     Bench(String),
 }
@@ -87,6 +95,7 @@ impl fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "serve session i/o: {e}"),
             CliError::State(e) => write!(f, "serve state dir: {e}"),
+            CliError::Auth(e) => write!(f, "auth: {e}"),
             CliError::Bench(msg) => write!(f, "bench regression gate: {msg}"),
         }
     }
@@ -99,6 +108,7 @@ impl std::error::Error for CliError {
             CliError::Pipeline(e) => Some(e),
             CliError::Io(e) => Some(e),
             CliError::State(e) => Some(e),
+            CliError::Auth(e) => Some(e),
         }
     }
 }
@@ -124,8 +134,9 @@ USAGE:
   cpistack stack --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack demo  [--out <csv>]
   cpistack serve [--workers <N>] [--cache <N>] [--quick] [--fit-threads <N>]
-                 [--listen <addr>] [--state-dir <dir>]
+                 [--listen <addr>] [--state-dir <dir>] [--auth <token-file>]
                  [--idle-timeout <secs>] [--max-conns <N>]
+  cpistack token --auth-file <token-file> --tenant <name>
   cpistack bench [--smoke] [--out <json>] [--uops <N>] [--seed <N>]
                  [--threads <N>] [--check <baseline.json>]
 
@@ -144,7 +155,12 @@ SUBCOMMANDS:
          --listen <addr> serves the same protocol on a TCP socket with
          concurrent connections, and --state-dir <dir> persists fitted
          models so a restarted server warms up without refitting;
-         --fit-threads caps each regression's multi-start fan-out
+         --fit-threads caps each regression's multi-start fan-out.
+         --auth <token-file> makes the server multi-tenant: every
+         session must open with `hello <token>`, and each tenant gets
+         its own machine namespace, cache quota and state subdirectory
+  token  mint a session token for a tenant and append it to a token
+         file (printed to stdout; pass the file to `serve --auth`)
   bench  time the paper campaign's cold collect, cold fit (parallel vs
          sequential, asserting byte-identical parameters) and warm serve,
          then write a machine-readable snapshot (default BENCH_4.json).
@@ -175,6 +191,13 @@ pub enum Command {
     },
     /// Start a long-lived serve session (line protocol on stdin/stdout).
     Serve(ServeArgs),
+    /// Mint a tenant session token into a token file.
+    Token {
+        /// The token file to append to (created if missing).
+        auth_file: String,
+        /// The tenant the token authenticates as.
+        tenant: String,
+    },
     /// Time the cold/warm paths and write a perf snapshot.
     Bench(BenchArgs),
 }
@@ -219,6 +242,11 @@ pub struct ServeArgs {
     /// Per-regression thread budget on the workers (`None` = each fit
     /// uses its options' budget, by default one thread per core).
     pub fit_threads: Option<usize>,
+    /// Token file enabling multi-tenant auth: every session (stdio and
+    /// TCP alike) must then `hello <token>` before serving commands, and
+    /// all state is scoped to the resolved tenant. `None` = open server,
+    /// implicit local tenant.
+    pub auth: Option<String>,
 }
 
 /// Arguments shared by `fit` and `stack`.
@@ -288,7 +316,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             idle_timeout: flag_count(&flags, "idle-timeout")?,
             max_conns: flag_count(&flags, "max-conns")?,
             fit_threads: flag_count(&flags, "fit-threads")?,
+            auth: flag_text(&flags, "auth"),
         })),
+        "token" => Ok(Command::Token {
+            auth_file: get("auth-file")?.to_owned(),
+            tenant: get("tenant")?.to_owned(),
+        }),
         "bench" => Ok(Command::Bench(BenchArgs {
             smoke: flags.iter().any(|(k, _)| k == "smoke"),
             out: flag_text(&flags, "out"),
@@ -416,6 +449,12 @@ pub fn run(command: &Command) -> Result<String, CliError> {
              instead of `cli::run(...)`"
                 .into(),
         )),
+        Command::Token { auth_file, tenant } => {
+            let token = auth::issue_token(auth_file, tenant).map_err(CliError::Auth)?;
+            // Stdout carries the bare token so scripts can capture it:
+            // `TOKEN=$(cpistack token --auth-file f --tenant a)`.
+            Ok(format!("{token}\n"))
+        }
         Command::Bench(args) => run_bench_command(args),
     }
 }
@@ -502,8 +541,21 @@ pub fn serve(
     } else {
         FitOptions::default()
     };
+    let registry = args
+        .auth
+        .as_ref()
+        .map(|path| TokenRegistry::load(path).map(Arc::new))
+        .transpose()
+        .map_err(CliError::Auth)?;
     let service = CpiService::try_start(config.clone()).map_err(CliError::State)?;
     let client = service.client();
+    // With --auth, BOTH fronts gate every session behind `hello <token>`
+    // — the stdio front is only implicitly the local tenant on an open
+    // server.
+    let spec = match registry {
+        Some(registry) => proto::SessionSpec::with_auth(client, options, registry),
+        None => proto::SessionSpec::open(client, options),
+    };
     let banner = proto::banner(&config, args.quick);
     if let Some(addr) = &args.listen {
         let mut tcp = proto::TcpServerConfig::new(banner);
@@ -514,7 +566,7 @@ pub fn serve(
             tcp = tcp.with_max_connections(max);
         }
         let listener = std::net::TcpListener::bind(addr.as_str())?;
-        let server = proto::serve_tcp(listener, client, options, tcp)?;
+        let server = proto::serve_tcp(listener, spec, tcp)?;
         writeln!(output, "listening {}", server.local_addr())?;
         output.flush()?;
         // Until a connection issues `shutdown` (or the process is
@@ -522,7 +574,7 @@ pub fn serve(
         server.wait();
     } else {
         writeln!(output, "{banner}")?;
-        proto::run_session(&client, &options, input, output)?;
+        proto::run_session(&mut spec.session(), input, output)?;
     }
     service.shutdown();
     Ok(())
@@ -679,6 +731,94 @@ mod tests {
         // serve must be dispatched to serve(), not run().
         let err = run(&Command::Serve(ServeArgs::default())).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_token_command_and_serve_auth_flag() {
+        let cmd = parse_args(&strings(&[
+            "token",
+            "--auth-file",
+            "tokens.txt",
+            "--tenant",
+            "team-a",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Token {
+                auth_file: "tokens.txt".into(),
+                tenant: "team-a".into(),
+            }
+        );
+        let err = parse_args(&strings(&["token", "--tenant", "team-a"])).unwrap_err();
+        assert!(err.to_string().contains("--auth-file"));
+        let cmd = parse_args(&strings(&["serve", "--auth", "tokens.txt"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                auth: Some("tokens.txt".into()),
+                ..ServeArgs::default()
+            })
+        );
+    }
+
+    #[test]
+    fn token_mints_into_file_and_serve_gates_sessions_with_it() {
+        let dir = std::env::temp_dir().join(format!("cpistack_cli_auth_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let auth_file = dir.join("tokens.txt").to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&auth_file);
+        // Mint a token; stdout is the bare token for script capture.
+        let minted = run(&Command::Token {
+            auth_file: auth_file.clone(),
+            tenant: "team-a".into(),
+        })
+        .unwrap();
+        let token = minted.trim().to_owned();
+        assert!(crate::service::auth::validate_token(&token).is_ok());
+        // An invalid tenant name is a typed Auth error.
+        let err = run(&Command::Token {
+            auth_file: auth_file.clone(),
+            tenant: "Team A".into(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Auth(_)));
+        // A serve session with --auth rejects pre-hello commands and
+        // serves the minted tenant after the handshake.
+        let mut out = Vec::new();
+        serve(
+            &ServeArgs {
+                workers: Some(1),
+                quick: true,
+                auth: Some(auth_file),
+                ..ServeArgs::default()
+            },
+            std::io::Cursor::new(format!(
+                "stats\nhello {token}\nmachine core2 4 14 19 169 30\nstats\nquit\n"
+            )),
+            &mut out,
+        )
+        .expect("auth session runs");
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(
+            transcript.contains("err: authenticate first: hello <token>"),
+            "{transcript}"
+        );
+        assert!(transcript.contains("hello team-a"), "{transcript}");
+        assert!(transcript.contains("registered core2"), "{transcript}");
+        assert!(transcript.contains("tenant team-a"), "{transcript}");
+        // A missing token file is a typed Auth error at startup.
+        let err = serve(
+            &ServeArgs {
+                auth: Some("/nonexistent/tokens.txt".into()),
+                ..ServeArgs::default()
+            },
+            std::io::Cursor::new(String::new()),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Auth(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

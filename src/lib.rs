@@ -131,6 +131,55 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
+//! ## Multi-tenant serving
+//!
+//! The same warm service can host **mutually-invisible tenants**: bind a
+//! client per [`TenantId`] and everything it touches — machine
+//! namespaces, the model cache (per-tenant LRU quotas: one noisy tenant
+//! evicts only its own models), persisted snapshots (per-tenant
+//! `tenant-<name>/` subdirectories under the state dir) and stats — is
+//! scoped to that tenant. A cross-tenant read fails typed; it never
+//! serves another tenant's data:
+//!
+//! ```
+//! use cpistack::model::FitOptions;
+//! use cpistack::service::{CpiService, ModelKey, ServiceConfig, ServiceError, TenantId};
+//! use cpistack::sim::machine::MachineConfig;
+//! use cpistack::workbench::MachineSpec;
+//! use cpistack::SimSource;
+//! use pmu::{MachineId, Suite};
+//!
+//! let machine = MachineConfig::core2();
+//! let records = SimSource::new()
+//!     .suite(cpistack::workloads::suites::cpu2000().into_iter().take(12).collect())
+//!     .uops(5_000)
+//!     .seed(42)
+//!     .collect_config(&machine);
+//!
+//! let service = CpiService::start(ServiceConfig::new());
+//! let alpha = service.client_for(TenantId::new("alpha").unwrap());
+//! let beta = service.client_for(TenantId::new("beta").unwrap());
+//! alpha.register(MachineSpec::from(&machine)).unwrap();
+//! alpha.ingest(records).unwrap();
+//!
+//! let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+//! assert!(alpha.fit(key.clone()).is_ok());
+//! // Beta sees nothing of alpha's core2 — same machine id, own namespace.
+//! assert!(matches!(
+//!     beta.fit(key).unwrap_err(),
+//!     ServiceError::NotRegistered { .. }
+//! ));
+//! assert_eq!(beta.stats().unwrap().fits, 0);
+//! service.shutdown();
+//! ```
+//!
+//! On the wire, multi-tenancy is switched on with
+//! `cpistack serve --auth <token-file>` (mint tokens with
+//! `cpistack token --auth-file <file> --tenant <name>`): every session,
+//! stdio and TCP alike, must then open with a `hello <token>` handshake
+//! before any command is dispatched. See [`service::auth`] and the
+//! README's *Multi-tenant serve* section.
+//!
 //! ## Performance: parallel cold fits, a tracked baseline
 //!
 //! The cold paths are engineered too. A cold fit fans its 13 jittered
@@ -234,5 +283,5 @@ pub use memodel::workbench::{
 /// The long-lived serving layer (re-export of [`memodel::service`]).
 pub use memodel::service;
 pub use memodel::service::{
-    CpiClient, CpiService, ModelKey, ServiceConfig, ServiceError, ServiceStats,
+    CpiClient, CpiService, ModelKey, ServiceConfig, ServiceError, ServiceStats, TenantId,
 };

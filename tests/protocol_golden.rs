@@ -9,6 +9,12 @@
 //! transcript must match byte-for-byte on each front (and therefore the
 //! two fronts must match each other).
 //!
+//! Sessions run open (implicit local tenant) by default; goldens whose
+//! name starts with `auth` run with a fixed two-tenant token registry —
+//! the stdio front loads it from a token *file* via `--auth` while the
+//! TCP front embeds the same registry directly, so the handshake bytes
+//! are pinned across both wiring paths.
+//!
 //! Fit-bearing sessions cannot be pinned in a static file (the fitted
 //! parameters would couple the protocol tests to the regression
 //! internals), so the second half of this suite asserts the
@@ -18,10 +24,50 @@
 
 use cpistack::cli::{self, ServeArgs};
 use cpistack::model::FitOptions;
+use cpistack::service::auth::TokenRegistry;
 use cpistack::service::{proto, CpiService, ServiceConfig};
 use cpistack::sim::machine::MachineConfig;
 use cpistack::SimSource;
 use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Fixed tokens so the `hello` handshake bytes are stable in the golden
+/// files. Never reuse these outside tests.
+const TOKEN_ALPHA: &str = "tok-alpha-0123456789abcdef";
+const TOKEN_BETA: &str = "tok-beta-fedcba9876543210";
+
+/// The two-tenant registry every `auth*` golden runs under.
+fn registry() -> Arc<TokenRegistry> {
+    Arc::new(
+        TokenRegistry::new()
+            .with_token(TOKEN_ALPHA, "alpha")
+            .expect("alpha token")
+            .with_token(TOKEN_BETA, "beta")
+            .expect("beta token"),
+    )
+}
+
+/// Writes the same registry as a token file (the stdio front exercises
+/// the `--auth <file>` loading path; the TCP harness embeds the registry
+/// directly — both must produce identical transcripts). Written exactly
+/// once per process: the auth tests run in parallel in one binary, and a
+/// rewriting truncate could race another test's `TokenRegistry::load`
+/// into seeing an empty file.
+fn token_file() -> std::path::PathBuf {
+    static PATH: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("cpistack_golden_auth_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("tokens.txt");
+        std::fs::write(
+            &path,
+            format!("# golden test tokens\n{TOKEN_ALPHA} alpha\n{TOKEN_BETA} beta\n"),
+        )
+        .expect("write token file");
+        path
+    })
+    .clone()
+}
 
 /// One parsed golden session.
 struct Golden {
@@ -51,11 +97,12 @@ fn parse_golden(text: &str) -> Golden {
 
 /// The fixed session shape every golden file (and the fit session below)
 /// runs under, so banners and stats lines are deterministic.
-fn serve_args() -> ServeArgs {
+fn serve_args(auth: bool) -> ServeArgs {
     ServeArgs {
         workers: Some(2),
         cache: Some(4),
         quick: true,
+        auth: auth.then(|| token_file().to_string_lossy().into_owned()),
         ..ServeArgs::default()
     }
 }
@@ -65,10 +112,10 @@ fn service_config() -> ServiceConfig {
 }
 
 /// Runs a script through the stdio front and returns the raw transcript.
-fn stdio_transcript(script: &str) -> Vec<u8> {
+fn stdio_transcript(script: &str, auth: bool) -> Vec<u8> {
     let mut out = Vec::new();
     cli::serve(
-        &serve_args(),
+        &serve_args(auth),
         std::io::Cursor::new(script.to_owned()),
         &mut out,
     )
@@ -78,14 +125,18 @@ fn stdio_transcript(script: &str) -> Vec<u8> {
 
 /// Runs the same script through the TCP front (fresh service, ephemeral
 /// port) and returns the raw transcript the socket carried.
-fn tcp_transcript(script: &str) -> Vec<u8> {
+fn tcp_transcript(script: &str, auth: bool) -> Vec<u8> {
     let config = service_config();
     let service = CpiService::start(config.clone());
+    let spec = if auth {
+        proto::SessionSpec::with_auth(service.client(), FitOptions::quick(), registry())
+    } else {
+        proto::SessionSpec::open(service.client(), FitOptions::quick())
+    };
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
     let server = proto::serve_tcp(
         listener,
-        service.client(),
-        FitOptions::quick(),
+        spec,
         proto::TcpServerConfig::new(proto::banner(&config, true)),
     )
     .expect("tcp front starts");
@@ -109,17 +160,18 @@ fn diff_for(label: &str, actual: &[u8], expected: &[u8]) -> String {
 }
 
 fn check_golden(name: &str) {
+    let auth = name.starts_with("auth");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(name);
     let golden = parse_golden(&std::fs::read_to_string(&path).expect("golden file reads"));
-    let stdio = stdio_transcript(&golden.script);
+    let stdio = stdio_transcript(&golden.script, auth);
     assert!(
         stdio == golden.expected,
         "{}",
         diff_for(&format!("stdio:{name}"), &stdio, &golden.expected)
     );
-    let tcp = tcp_transcript(&golden.script);
+    let tcp = tcp_transcript(&golden.script, auth);
     assert!(
         tcp == golden.expected,
         "{}",
@@ -135,6 +187,11 @@ fn golden_basics_session_matches_on_both_fronts() {
 #[test]
 fn golden_errors_session_matches_on_both_fronts() {
     check_golden("errors.session");
+}
+
+#[test]
+fn golden_auth_session_matches_on_both_fronts() {
+    check_golden("auth.session");
 }
 
 /// The acceptance criterion, end to end: a scripted session that
@@ -169,8 +226,8 @@ fn fit_session_is_byte_identical_across_fronts() {
          quit\n",
         path = csv.display()
     );
-    let stdio = stdio_transcript(&script);
-    let tcp = tcp_transcript(&script);
+    let stdio = stdio_transcript(&script, false);
+    let tcp = tcp_transcript(&script, false);
     assert!(
         stdio == tcp,
         "fronts diverged.\n--- stdio ---\n{}\n--- tcp ---\n{}",
@@ -183,6 +240,57 @@ fn fit_session_is_byte_identical_across_fronts() {
     assert!(text.contains("stack "), "{text}");
     assert!(text.contains("frame stacks "), "{text}");
     assert!(text.contains("fits 1 "), "one regression total: {text}");
+    assert!(
+        text.contains("tenant local"),
+        "open sessions run as the local tenant: {text}"
+    );
+    assert!(!text.contains("err:"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same acceptance property on an auth-gated server: an
+/// authenticated tenant's fit-bearing session is byte-identical across
+/// fronts (including the handshake preamble), and its stats line names
+/// the tenant.
+#[test]
+fn authenticated_fit_session_is_byte_identical_across_fronts() {
+    let dir = std::env::temp_dir().join(format!("cpistack_golden_afit_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let records = SimSource::new()
+        .suite(
+            cpistack::workloads::suites::cpu2000()
+                .into_iter()
+                .take(12)
+                .collect(),
+        )
+        .uops(3_000)
+        .seed(42)
+        .collect_config(&MachineConfig::core2());
+    let csv = dir.join("golden.csv");
+    std::fs::write(&csv, pmu::csv::to_csv(&records)).expect("write csv");
+    let script = format!(
+        "hello {TOKEN_ALPHA}\n\
+         machine core2 4 14 19 169 30\n\
+         ingest {path}\n\
+         fit core2 cpu2000\n\
+         fit core2 cpu2000\n\
+         stats\n\
+         quit\n",
+        path = csv.display()
+    );
+    let stdio = stdio_transcript(&script, true);
+    let tcp = tcp_transcript(&script, true);
+    assert!(
+        stdio == tcp,
+        "fronts diverged.\n--- stdio ---\n{}\n--- tcp ---\n{}",
+        String::from_utf8_lossy(&stdio),
+        String::from_utf8_lossy(&tcp),
+    );
+    let text = String::from_utf8_lossy(&stdio);
+    assert!(text.contains("hello alpha"), "{text}");
+    assert!(text.contains("cache: hit"), "{text}");
+    assert!(text.contains("fits 1 "), "{text}");
+    assert!(text.contains("tenant alpha"), "{text}");
     assert!(!text.contains("err:"), "{text}");
     let _ = std::fs::remove_dir_all(&dir);
 }

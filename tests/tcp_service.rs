@@ -86,8 +86,7 @@ fn concurrent_tcp_clients_match_sequential_workbench_byte_for_byte() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
     let server = proto::serve_tcp(
         listener,
-        service.client(),
-        FitOptions::quick(),
+        proto::SessionSpec::open(service.client(), FitOptions::quick()),
         TcpServerConfig::new(proto::banner(&config, true)),
     )
     .expect("tcp front starts");
@@ -165,8 +164,7 @@ fn binary_framing_round_trips_over_the_socket() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
     let server = proto::serve_tcp(
         listener,
-        service.client(),
-        FitOptions::quick(),
+        proto::SessionSpec::open(service.client(), FitOptions::quick()),
         TcpServerConfig::new(proto::banner(&config, true)),
     )
     .expect("tcp front starts");
@@ -213,8 +211,7 @@ fn idle_connections_are_closed_and_shutdown_is_graceful() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
     let server = proto::serve_tcp(
         listener,
-        service.client(),
-        FitOptions::quick(),
+        proto::SessionSpec::open(service.client(), FitOptions::quick()),
         TcpServerConfig::new(proto::banner(&config, true))
             .with_idle_timeout(Some(Duration::from_millis(250))),
     )

@@ -1,0 +1,371 @@
+//! Adversarial multi-tenant isolation suite: two tenants sharing one
+//! `CpiService` (and its TCP front) must be unable to observe, corrupt or
+//! evict each other's state.
+//!
+//! * cross-tenant `fit`/`stack`/`stats` on another tenant's machine id
+//!   fail **typed** (`NotRegistered` in-band) and never serve data,
+//! * each tenant's served stacks are **byte-identical** to a solo
+//!   `Workbench::fit` over that tenant's records alone — even while the
+//!   other tenant ingests and fits the *same machine id* concurrently,
+//! * a tenant flooding the model cache evicts only its own entries
+//!   (asserted through per-tenant `CacheStats`),
+//! * a warm restart restores each tenant only from its own state-dir
+//!   subdirectory, and corruption in one tenant's snapshot never bleeds
+//!   into another's.
+
+use cpistack::model::{FitOptions, MicroarchParams};
+use cpistack::service::auth::TokenRegistry;
+use cpistack::service::{proto, CpiService, ModelKey, ServiceConfig, TenantId};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::workbench::{Grouping, MachineSpec};
+use cpistack::{CsvSource, SimSource, Workbench};
+use pmu::{MachineId, RunRecord, Suite};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const TOKEN_ALPHA: &str = "tok-alpha-0123456789abcdef";
+const TOKEN_BETA: &str = "tok-beta-fedcba9876543210";
+
+fn registry() -> Arc<TokenRegistry> {
+    Arc::new(
+        TokenRegistry::new()
+            .with_token(TOKEN_ALPHA, "alpha")
+            .expect("alpha token")
+            .with_token(TOKEN_BETA, "beta")
+            .expect("beta token"),
+    )
+}
+
+fn alpha() -> TenantId {
+    TenantId::new("alpha").unwrap()
+}
+
+fn beta() -> TenantId {
+    TenantId::new("beta").unwrap()
+}
+
+/// One tenant's private counter batch: same machine, same suite slice,
+/// different seed — so the two tenants' fitted models must differ.
+fn records(seed: u64) -> Vec<RunRecord> {
+    SimSource::new()
+        .suite(
+            cpistack::workloads::suites::cpu2000()
+                .into_iter()
+                .take(12)
+                .collect(),
+        )
+        .uops(3_000)
+        .seed(seed)
+        .collect_config(&MachineConfig::core2())
+}
+
+/// The solo ground truth for one record set: a one-shot `Workbench::fit`
+/// with no service, no tenancy, no cache — formatted exactly as the
+/// protocol's `stack` lines.
+fn solo_stack_lines(csv: &str) -> String {
+    let fitted = Workbench::new()
+        .arch(MicroarchParams::new(4.0, 14.0, 19.0, 169.0, 30.0))
+        .source(CsvSource::from_path(csv).expect("csv source"))
+        .grouping(Grouping::MachineSuite)
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect")
+        .fit()
+        .expect("fit");
+    fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("core2 group")
+        .stacks()
+        .into_iter()
+        .map(|(benchmark, stack)| format!("stack {benchmark} {stack}\n"))
+        .collect()
+}
+
+/// Opens a connection, sends `script`, returns everything the server
+/// wrote until it closed the connection.
+fn tcp_session(addr: std::net::SocketAddr, script: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(script.as_bytes()).expect("send script");
+    let mut transcript = Vec::new();
+    stream
+        .read_to_end(&mut transcript)
+        .expect("read transcript");
+    String::from_utf8_lossy(&transcript).into_owned()
+}
+
+fn stack_block(transcript: &str) -> String {
+    transcript
+        .lines()
+        .filter(|l| l.starts_with("stack "))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// The headline adversarial scenario: two tenants, concurrent TCP
+/// connections, same machine id. Cross-tenant reads fail typed before
+/// any data flows, each tenant's stacks equal its solo Workbench run
+/// byte-for-byte, and per-tenant stats prove nobody paid for (or hit)
+/// the other's regressions.
+#[test]
+fn concurrent_tenants_over_tcp_are_fully_isolated() {
+    let dir = std::env::temp_dir().join(format!("cpistack_tenant_tcp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv_a = dir.join("alpha.csv");
+    let csv_b = dir.join("beta.csv");
+    std::fs::write(&csv_a, pmu::csv::to_csv(&records(42))).expect("write alpha csv");
+    std::fs::write(&csv_b, pmu::csv::to_csv(&records(99))).expect("write beta csv");
+    let solo_a = solo_stack_lines(&csv_a.to_string_lossy());
+    let solo_b = solo_stack_lines(&csv_b.to_string_lossy());
+    assert_ne!(solo_a, solo_b, "different records, different models");
+
+    let config = ServiceConfig::new().with_workers(3).with_cache_capacity(8);
+    let service = CpiService::start(config.clone());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = proto::serve_tcp(
+        listener,
+        proto::SessionSpec::with_auth(service.client(), FitOptions::quick(), registry()),
+        proto::TcpServerConfig::new(proto::banner(&config, true)),
+    )
+    .expect("tcp front starts");
+    let addr = server.local_addr();
+
+    // An unauthenticated probe gets nothing — not even `shutdown`.
+    let anon = tcp_session(addr, "fit core2 cpu2000\nshutdown\nquit\n");
+    assert!(anon.contains("err: authenticate first"), "{anon}");
+    assert!(!anon.contains("model:"), "no data without a token: {anon}");
+
+    // Alpha sets up and fits first.
+    let setup_a = tcp_session(
+        addr,
+        &format!(
+            "hello {TOKEN_ALPHA}\nmachine core2 4 14 19 169 30\ningest {}\nquit\n",
+            csv_a.display()
+        ),
+    );
+    assert!(setup_a.contains("ingested 12 records"), "{setup_a}");
+
+    // Beta, before registering anything, probes alpha's machine id:
+    // typed rejection on every read path, zero bytes of alpha's data.
+    let probe = tcp_session(
+        addr,
+        &format!("hello {TOKEN_BETA}\nfit core2 cpu2000\nstack core2 cpu2000\nquit\n"),
+    );
+    assert!(
+        probe.contains("err: machine `core2` is not registered"),
+        "{probe}"
+    );
+    assert!(!probe.contains("model:"), "{probe}");
+    assert!(!probe.lines().any(|l| l.starts_with("stack ")), "{probe}");
+
+    // Now both tenants hammer the server concurrently: beta builds its
+    // own core2 from scratch (same machine id!) while alpha re-reads its
+    // stacks. Every transcript must match the right solo run.
+    let script_a = format!("hello {TOKEN_ALPHA}\nstack core2 cpu2000\nquit\n");
+    let script_b = format!(
+        "hello {TOKEN_BETA}\nmachine core2 4 14 19 169 30\ningest {}\nstack core2 cpu2000\nquit\n",
+        csv_b.display()
+    );
+    let (a_out, b_out) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            (0..3)
+                .map(|_| tcp_session(addr, &script_a))
+                .collect::<Vec<_>>()
+        });
+        let b = scope.spawn(|| tcp_session(addr, &script_b));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    for transcript in &a_out {
+        assert_eq!(
+            stack_block(transcript),
+            solo_a,
+            "alpha must always see its own solo-identical stacks"
+        );
+        assert!(!transcript.contains("err:"), "{transcript}");
+    }
+    assert_eq!(
+        stack_block(&b_out),
+        solo_b,
+        "beta's stacks equal beta's solo run — not alpha's"
+    );
+
+    // Alpha's view after beta ingested into "core2": alpha's cached
+    // model was never invalidated (exactly one alpha regression ran) and
+    // its records count never grew.
+    let again = tcp_session(
+        addr,
+        &format!("hello {TOKEN_ALPHA}\nfit core2 cpu2000\nstats\nquit\n"),
+    );
+    assert!(again.contains("cache: hit"), "{again}");
+    assert!(again.contains("records: 12"), "{again}");
+    assert!(again.contains(" fits 1 "), "{again}");
+    assert!(again.contains("tenant alpha"), "{again}");
+
+    // Per-tenant accounting straight from the service: one regression
+    // each, no cross-tenant evictions or invalidations.
+    let stats_a = service.client_for(alpha()).stats().expect("alpha stats");
+    let stats_b = service.client_for(beta()).stats().expect("beta stats");
+    assert_eq!(stats_a.fits, 1);
+    assert_eq!(stats_b.fits, 1);
+    assert_eq!(stats_a.cache.evictions, 0);
+    assert_eq!(stats_b.cache.evictions, 0);
+    assert_eq!(stats_a.cache.invalidations, 0, "beta never touched alpha");
+    assert_eq!(stats_a.ingested_records, 12);
+    assert_eq!(stats_b.ingested_records, 12);
+
+    server.shutdown();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tenant flooding the shared cache far past its quota cannot evict the
+/// other tenant's models: the quota is per tenant, and so are the
+/// eviction counters.
+#[test]
+fn cache_flooding_tenant_cannot_evict_the_other() {
+    let service = CpiService::start(ServiceConfig::new().with_workers(2).with_cache_capacity(2));
+    let small = |seed: u64| {
+        SimSource::new()
+            .suite(
+                cpistack::workloads::suites::cpu2000()
+                    .into_iter()
+                    .take(12)
+                    .collect(),
+            )
+            .uops(2_000)
+            .seed(seed)
+            .collect_config(&MachineConfig::core2())
+    };
+    let client_a = service.client_for(alpha());
+    let client_b = service.client_for(beta());
+    for client in [&client_a, &client_b] {
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+    }
+    client_a.ingest(small(7)).expect("alpha ingest");
+    client_b.ingest(small(8)).expect("beta ingest");
+
+    let key = |seed| {
+        ModelKey::new(
+            MachineId::Core2,
+            Some(Suite::Cpu2000),
+            FitOptions::quick().with_seed(seed),
+        )
+    };
+    let report_a = client_a.fit(key(0)).expect("alpha fit");
+    assert!(!report_a.cached);
+
+    // Beta floods: five distinct keys through a 2-entry quota.
+    for seed in 1..=5 {
+        assert!(!client_b.fit(key(seed)).expect("beta fit").cached);
+    }
+    let stats_b = client_b.stats().expect("beta stats");
+    assert_eq!(stats_b.fits, 5);
+    assert_eq!(stats_b.cache.evictions, 3, "beta churned its own quota");
+
+    // Alpha's model survived the flood: still a cache hit, still the
+    // same bits, and alpha saw zero evictions.
+    let again = client_a.fit(key(0)).expect("alpha refit");
+    assert!(again.cached, "the flood must not evict alpha's model");
+    assert_eq!(again.model.params(), report_a.model.params());
+    let stats_a = client_a.stats().expect("alpha stats");
+    assert_eq!(stats_a.fits, 1, "alpha never re-fitted");
+    assert_eq!(stats_a.cache.evictions, 0);
+    assert_eq!(stats_a.cache.hits, 1);
+    assert_eq!(stats_a.tenants, 2, "both tenants are visible in the count");
+
+    service.shutdown();
+}
+
+/// Warm-restart isolation: each tenant persists under (and restores
+/// from) its own state subdirectory — `tenant-<name>/` for named
+/// tenants, the root for the implicit local tenant — and corruption in
+/// one tenant's snapshot only costs *that* tenant a re-fit.
+#[test]
+fn warm_restart_restores_each_tenant_only_from_its_own_subdir() {
+    let dir = std::env::temp_dir().join(format!("cpistack_tenant_warm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+    let batches: [(TenantId, Vec<RunRecord>); 3] = [
+        (TenantId::local(), records(7)),
+        (alpha(), records(42)),
+        (beta(), records(99)),
+    ];
+
+    // One lifetime: register + ingest + fit for every tenant, returning
+    // each tenant's (cached, params, fits) observation.
+    let lifetime = |expect_cached: &dyn Fn(&TenantId) -> bool| {
+        let service = CpiService::start(ServiceConfig::new().with_workers(2).with_state_dir(&dir));
+        let mut params = Vec::new();
+        for (tenant, batch) in &batches {
+            let client = service.client_for(tenant.clone());
+            client
+                .register(MachineSpec::from(MachineConfig::core2()))
+                .expect("register");
+            client.ingest(batch.clone()).expect("ingest");
+            let report = client.fit(key.clone()).expect("fit");
+            assert_eq!(
+                report.cached,
+                expect_cached(tenant),
+                "tenant {tenant} cache expectation"
+            );
+            params.push((tenant.clone(), *report.model.params()));
+        }
+        let per_tenant_fits: Vec<(TenantId, u64)> = batches
+            .iter()
+            .map(|(t, _)| {
+                (
+                    t.clone(),
+                    service.client_for(t.clone()).stats().expect("stats").fits,
+                )
+            })
+            .collect();
+        service.shutdown();
+        (params, per_tenant_fits)
+    };
+
+    let (cold_params, cold_fits) = lifetime(&|_| false);
+    assert!(cold_fits.iter().all(|(_, fits)| *fits == 1));
+
+    // On-disk layout: the local tenant owns the root, each named tenant
+    // its own subdirectory — one snapshot apiece, nowhere else.
+    let cpis_files = |path: &std::path::Path| -> usize {
+        std::fs::read_dir(path)
+            .expect("dir reads")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "cpis"))
+            .count()
+    };
+    assert_eq!(cpis_files(&dir), 1, "local tenant persists at the root");
+    assert_eq!(cpis_files(&dir.join("tenant-alpha")), 1);
+    assert_eq!(cpis_files(&dir.join("tenant-beta")), 1);
+
+    // Restart: every tenant warm-loads its own snapshot (zero fits), and
+    // the restored params are bit-identical per tenant.
+    let (warm_params, warm_fits) = lifetime(&|_| true);
+    assert!(warm_fits.iter().all(|(_, fits)| *fits == 0));
+    assert_eq!(warm_params, cold_params);
+
+    // Corrupt beta's snapshot only: beta re-fits, everyone else still
+    // warm-loads — a typed, tenant-local failure mode.
+    let beta_dir = dir.join("tenant-beta");
+    for entry in std::fs::read_dir(&beta_dir).expect("beta dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|x| x == "cpis") {
+            let mut bytes = std::fs::read(&path).expect("read");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).expect("corrupt");
+        }
+    }
+    let beta_id = beta();
+    let (refit_params, refit_fits) = lifetime(&|tenant| tenant != &beta_id);
+    for (tenant, fits) in &refit_fits {
+        let expected = u64::from(tenant == &beta_id);
+        assert_eq!(*fits, expected, "tenant {tenant} fits after corruption");
+    }
+    // Deterministic fitting: the re-fit reproduces the same bits anyway.
+    assert_eq!(refit_params, cold_params);
+    let _ = std::fs::remove_dir_all(&dir);
+}
