@@ -104,6 +104,7 @@
 //! ```
 
 pub mod auth;
+pub mod cluster;
 pub mod persist;
 pub mod proto;
 
@@ -265,6 +266,12 @@ pub enum ServiceError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// A replicated model snapshot could not be decoded or installed
+    /// (the cluster replication path; see [`cluster`]).
+    Snapshot {
+        /// What went wrong.
+        detail: String,
+    },
     /// The service has shut down; no more requests can be served.
     Stopped,
 }
@@ -299,6 +306,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Panicked { detail } => {
                 write!(f, "the request panicked: {detail}")
+            }
+            ServiceError::Snapshot { detail } => {
+                write!(f, "snapshot replication failed: {detail}")
             }
             ServiceError::Stopped => write!(f, "the service has shut down"),
         }
@@ -702,10 +712,24 @@ impl ModelCache {
     /// Peeks whether a servable entry exists for `tenant`, without
     /// touching LRU order or the counters.
     pub fn contains(&self, tenant: &TenantId, key: &ModelKey, generation: u64) -> bool {
+        self.peek(tenant, key, generation).is_some()
+    }
+
+    /// A counter-free read of `tenant`'s servable model for `key`: no
+    /// LRU touch, no hit/miss accounting. The cluster replication path
+    /// re-encodes cached models through here so replication traffic is
+    /// invisible in the stats lines golden transcripts pin.
+    pub fn peek(
+        &self,
+        tenant: &TenantId,
+        key: &ModelKey,
+        generation: u64,
+    ) -> Option<Arc<InferredModel>> {
         let cache_key = key.cache_key();
         self.entries
             .iter()
-            .any(|e| &e.tenant == tenant && e.key == cache_key && e.generation == generation)
+            .find(|e| &e.tenant == tenant && e.key == cache_key && e.generation == generation)
+            .map(|e| Arc::clone(&e.model))
     }
 
     /// The one mutation path behind [`ModelCache::insert`] and
@@ -1572,6 +1596,134 @@ impl CpiClient {
             }
         }
         Err(ServiceError::Stopped)
+    }
+
+    /// Serializes this tenant's current servable model for `key` as
+    /// [`persist`] snapshot bytes — the payload the [`cluster`]
+    /// replication layer ships to ring successors.
+    ///
+    /// Deliberately **counter-free**: it answers inline from the shared
+    /// state (like `stats`) but increments no request/fit counter and
+    /// never touches the cache's LRU or hit/miss accounting, so
+    /// replication traffic is invisible in the per-tenant stats lines
+    /// golden transcripts pin. Resolution mirrors the read side of the
+    /// fitting path: the in-memory cache at the current generation
+    /// first (re-encoded against the live records digest), then the
+    /// tenant's on-disk store. `Ok(None)` when no fitted model exists
+    /// for the key yet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] after shutdown;
+    /// [`ServiceError::NotRegistered`] / [`ServiceError::NoRecords`]
+    /// when the key has no spec or no training records to bind a
+    /// snapshot's digest to.
+    pub fn export_snapshot(&self, key: &ModelKey) -> Result<Option<Vec<u8>>, ServiceError> {
+        if self
+            .router
+            .stopped
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            return Err(ServiceError::Stopped);
+        }
+        let (arch, batches, store, cached) = {
+            let guard = lock(&self.router.inner);
+            let state = guard
+                .tenant(&self.tenant)
+                .and_then(|t| t.machine(key.machine))
+                .ok_or(ServiceError::NotRegistered {
+                    machine: key.machine,
+                })?;
+            let spec = state.spec.as_ref().ok_or(ServiceError::NotRegistered {
+                machine: key.machine,
+            })?;
+            (
+                *spec.arch(),
+                state.batches.clone(),
+                guard.persist.clone(),
+                guard.cache.peek(&self.tenant, key, state.generation),
+            )
+        };
+        let snapshot = RecordsSnapshot {
+            batches,
+            suite: key.suite,
+        };
+        let records = snapshot.to_vec();
+        if records.is_empty() {
+            return Err(ServiceError::NoRecords {
+                machine: key.machine,
+                suite: key.suite,
+            });
+        }
+        let digest = persist::records_digest(&records);
+        if let Some(model) = cached {
+            return Ok(Some(persist::encode(&persist::ModelSnapshot {
+                machine: key.machine,
+                suite: key.suite,
+                options_fingerprint: key.options.fingerprint(),
+                records_digest: digest,
+                records: records.len() as u32,
+                arch,
+                params: *model.params(),
+                interval_cap: model.interval_cap(),
+                objective: model.objective(),
+            })));
+        }
+        // Not in memory: the node may still hold it on disk (warm-loaded
+        // then evicted, or persisted before a restart).
+        let store = store.and_then(|root| root.for_tenant(&self.tenant).ok());
+        if let Some(store) = store {
+            if let Ok(Some(snap)) =
+                store.load(key.machine, key.suite, key.options.fingerprint(), digest)
+            {
+                if snap.arch == arch {
+                    return Ok(Some(persist::encode(&snap)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Installs replicated snapshot bytes into this tenant's **on-disk**
+    /// store — the receiving half of [`cluster`] replication. Counter-
+    /// and cache-free by design: the replica only becomes servable when
+    /// a later request's records digest, options fingerprint and arch
+    /// match it exactly, at which point the normal warm-load path in the
+    /// fitting code promotes it (counted as a `warm` hit with zero
+    /// `fits` — exactly what failover asserts). A stale or foreign
+    /// replica is inert, never wrong.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] after shutdown;
+    /// [`ServiceError::Snapshot`] when the bytes do not decode as a
+    /// valid snapshot, or the service runs without a state dir (nowhere
+    /// durable to install to).
+    pub fn import_snapshot(&self, bytes: &[u8]) -> Result<(), ServiceError> {
+        if self
+            .router
+            .stopped
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            return Err(ServiceError::Stopped);
+        }
+        let snap = persist::decode(bytes).map_err(|e| ServiceError::Snapshot {
+            detail: e.to_string(),
+        })?;
+        let store = lock(&self.router.inner)
+            .persist
+            .clone()
+            .ok_or_else(|| ServiceError::Snapshot {
+                detail: "this node runs without a state dir".into(),
+            })?
+            .for_tenant(&self.tenant)
+            .map_err(|e| ServiceError::Snapshot {
+                detail: e.to_string(),
+            })?;
+        store.save(&snap).map_err(|e| ServiceError::Snapshot {
+            detail: e.to_string(),
+        })?;
+        Ok(())
     }
 }
 

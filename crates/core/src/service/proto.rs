@@ -503,6 +503,30 @@ fn run_command(
                 client.tenant()
             )?;
         }
+        // The two replication verbs the cluster router speaks between
+        // nodes (see [`super::cluster`]). Deliberately absent from
+        // `help`: they are node-to-node plumbing, not part of the client
+        // command surface, and the help text is pinned by golden
+        // transcripts. Snapshots travel hex-encoded on one line so the
+        // *inbound* protocol stays purely line-oriented (a snapshot is
+        // ~200 bytes — 2× expansion is noise next to a fit).
+        "pullsnap" => {
+            arity(2, "pullsnap <machine> <suite|all>")?;
+            let Some(bytes) = client.export_snapshot(&key(words[1], words[2])?)? else {
+                return Err(CommandError::Protocol(format!(
+                    "no snapshot for `{} {}`",
+                    words[1], words[2]
+                )));
+            };
+            writeln!(output, "snapshot {}", hex_encode(&bytes))?;
+        }
+        "pushsnap" => {
+            arity(1, "pushsnap <hex-snapshot>")?;
+            let bytes = hex_decode(words[1])
+                .ok_or_else(|| CommandError::Protocol("malformed snapshot hex".into()))?;
+            client.import_snapshot(&bytes)?;
+            writeln!(output, "installed")?;
+        }
         other => {
             return Err(CommandError::Protocol(format!(
                 "unknown command `{other}` (type `help`)"
@@ -510,6 +534,31 @@ fn run_command(
         }
     }
     Ok(())
+}
+
+/// Lower-case hex, the `pullsnap`/`pushsnap` wire encoding.
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or a non-hex digit.
+pub(crate) fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    text.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -690,6 +739,11 @@ pub struct TcpServerConfig {
     pub idle_timeout: Option<Duration>,
     /// Connections beyond this are refused with `err: server full`.
     pub max_connections: usize,
+    /// How often blocked reads and the accept loop wake to check the
+    /// stop flag (also the granularity of idle-timeout detection). The
+    /// default suits interactive servers; tests drop it to ~2 ms so
+    /// shutdown and idle paths resolve quickly.
+    pub poll_interval: Duration,
 }
 
 impl Default for TcpServerConfig {
@@ -698,6 +752,7 @@ impl Default for TcpServerConfig {
             banner: String::new(),
             idle_timeout: Some(Duration::from_secs(300)),
             max_connections: 64,
+            poll_interval: DEFAULT_POLL_INTERVAL,
         }
     }
 }
@@ -722,11 +777,17 @@ impl TcpServerConfig {
         self.max_connections = max.max(1);
         self
     }
+
+    /// Sets the stop/idle polling tick (clamped to at least 1 ms — a
+    /// zero tick would turn every blocked read into a busy loop).
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval.max(Duration::from_millis(1));
+        self
+    }
 }
 
-/// How often blocked reads and the accept loop wake to check the stop
-/// flag. Also the granularity of idle-timeout detection.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// The default stop/idle polling tick ([`TcpServerConfig::poll_interval`]).
+pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// A running TCP front: the accept loop and every connection it spawned.
 /// Obtained from [`serve_tcp`]; stop it with [`TcpServer::shutdown`] (or
@@ -831,12 +892,13 @@ fn accept_loop(
                 let mut session = spec.session();
                 let banner = config.banner.clone();
                 let idle = config.idle_timeout;
+                let poll = config.poll_interval;
                 let stop = Arc::clone(stop);
                 let conn_live = Arc::clone(&live);
                 let spawned = std::thread::Builder::new()
                     .name("cpi-tcp-conn".into())
                     .spawn(move || {
-                        let _ = connection_loop(stream, &mut session, &banner, idle, &stop);
+                        let _ = connection_loop(stream, &mut session, &banner, idle, poll, &stop);
                         conn_live.fetch_sub(1, Ordering::SeqCst);
                     });
                 match spawned {
@@ -847,7 +909,7 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
+                std::thread::sleep(config.poll_interval);
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             // A broken listener cannot serve anyone: stop the front so
@@ -869,10 +931,11 @@ fn connection_loop(
     session: &mut Session,
     banner: &str,
     idle: Option<Duration>,
+    poll: Duration,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_read_timeout(Some(poll))?;
     let mut reader = TimedLineReader::new(stream.try_clone()?);
     let mut output = std::io::BufWriter::new(stream);
     writeln!(output, "{banner}")?;
@@ -907,7 +970,7 @@ fn connection_loop(
     }
 }
 
-enum LineEvent {
+pub(crate) enum LineEvent {
     Line(String),
     Eof,
     Stopped,
@@ -919,7 +982,7 @@ enum LineEvent {
 /// line at a time, and between reads polls the server stop flag and the
 /// connection's idle deadline. A read timeout never loses buffered bytes
 /// (the pitfall of `BufRead::read_line` on a non-blocking stream).
-struct TimedLineReader {
+pub(crate) struct TimedLineReader {
     stream: TcpStream,
     buf: Vec<u8>,
     eof: bool,
@@ -927,7 +990,7 @@ struct TimedLineReader {
 }
 
 impl TimedLineReader {
-    fn new(stream: TcpStream) -> Self {
+    pub(crate) fn new(stream: TcpStream) -> Self {
         Self {
             stream,
             buf: Vec::new(),
@@ -936,7 +999,7 @@ impl TimedLineReader {
         }
     }
 
-    fn next_line(&mut self, stop: &AtomicBool, idle: Option<Duration>) -> LineEvent {
+    pub(crate) fn next_line(&mut self, stop: &AtomicBool, idle: Option<Duration>) -> LineEvent {
         // The idle clock measures time spent *waiting for the next
         // command* — it restarts here so a slow fit executed between
         // calls is never billed to the client as idleness.

@@ -1,0 +1,123 @@
+//! Property tests for the cluster's consistent-hash ring — the two
+//! invariants failover correctness rests on:
+//!
+//! 1. **Balance**: keys spread across N nodes within a bound (no node
+//!    starves or hoards), thanks to the virtual-node points.
+//! 2. **Minimal disruption**: removing one node moves *only* that
+//!    node's keys, and each moved key lands exactly where filtered
+//!    routing (the failover path) already sends it — so a crash and a
+//!    membership change agree about every key's new home.
+
+use memodel::service::cluster::HashRing;
+use proptest::prelude::*;
+
+/// A ring of `nodes` members named `node-0..`, 64 virtual nodes each
+/// (the router's default).
+fn ring_of(nodes: usize) -> HashRing {
+    let mut ring = HashRing::new(64);
+    for i in 0..nodes {
+        ring.add(&format!("node-{i}"));
+    }
+    ring
+}
+
+/// A deterministic key population: `keys` distinct `(tenant, machine)`
+/// pairs spread over a few tenants, offset by `salt` so every proptest
+/// case looks at a different slice of key space.
+fn keys_of(keys: usize, salt: u64) -> Vec<(String, String)> {
+    (0..keys)
+        .map(|i| {
+            (
+                format!("tenant-{}", (salt as usize + i) % 7),
+                format!("machine-{salt}-{i}"),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every node owns a bounded share of a large key population: at
+    /// least a quarter and at most four times the fair share. (64
+    /// virtual nodes keep real imbalance well inside that; the bound is
+    /// deliberately loose so the test pins the invariant, not the hash
+    /// function's luck.)
+    #[test]
+    fn keys_balance_across_nodes(nodes in 2usize..8, salt in 0u64..1_000) {
+        let ring = ring_of(nodes);
+        let keys = keys_of(600, salt);
+        let mut counts = vec![0usize; nodes];
+        for (tenant, machine) in &keys {
+            let owner = ring.node_for(tenant, machine).expect("non-empty ring");
+            let index: usize = owner
+                .strip_prefix("node-")
+                .and_then(|s| s.parse().ok())
+                .expect("harness node name");
+            counts[index] += 1;
+        }
+        let fair = keys.len() / nodes;
+        for (index, count) in counts.iter().enumerate() {
+            prop_assert!(
+                *count >= fair / 4,
+                "node-{index} starves: {count} of {} keys across {nodes} nodes",
+                keys.len()
+            );
+            prop_assert!(
+                *count <= fair * 4,
+                "node-{index} hoards: {count} of {} keys across {nodes} nodes",
+                keys.len()
+            );
+        }
+    }
+
+    /// Removing one node moves exactly that node's keys — every other
+    /// key keeps its owner — and each moved key lands on the node the
+    /// *filtered* route (what the router uses when a member dies) was
+    /// already naming. Crash-failover and membership change agree.
+    #[test]
+    fn removing_a_node_moves_only_its_keys(
+        nodes in 2usize..8,
+        victim in 0usize..8,
+        salt in 0u64..1_000,
+    ) {
+        let victim = victim % nodes;
+        let victim_name = format!("node-{victim}");
+        let ring = ring_of(nodes);
+        let mut shrunk = ring.clone();
+        shrunk.remove(&victim_name);
+        for (tenant, machine) in &keys_of(200, salt) {
+            let before = ring.node_for(tenant, machine).expect("owner");
+            let after = shrunk.node_for(tenant, machine).expect("survivor");
+            if before == victim_name {
+                prop_assert!(after != victim_name, "moved key stayed on the victim");
+                let failover = ring
+                    .node_for_filtered(tenant, machine, |n| n != victim_name)
+                    .expect("filtered survivor");
+                prop_assert_eq!(after, failover);
+            } else {
+                prop_assert_eq!(after, before);
+            }
+        }
+    }
+
+    /// The replica chain is sane for any key: successors are distinct,
+    /// never include the owner, and (tenant, machine) both participate
+    /// in the key — the ordered walk is a permutation of the members.
+    #[test]
+    fn successor_chains_are_distinct_permutations(
+        nodes in 2usize..8,
+        salt in 0u64..1_000,
+    ) {
+        let ring = ring_of(nodes);
+        for (tenant, machine) in &keys_of(50, salt) {
+            let owner = ring.node_for(tenant, machine).expect("owner");
+            let successors = ring.successors(tenant, machine, nodes);
+            prop_assert_eq!(successors.len(), nodes - 1);
+            prop_assert!(!successors.contains(&owner));
+            let mut all: Vec<&str> = successors.clone();
+            all.push(owner);
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), nodes);
+        }
+    }
+}

@@ -26,6 +26,18 @@ fn main() -> ExitCode {
             }
         };
     }
+    // `cluster` likewise runs in the foreground until an in-band
+    // `shutdown` arrives through the router.
+    if let cpistack::cli::Command::Cluster(args) = &command {
+        let stdout = std::io::stdout();
+        return match cpistack::cli::cluster(args, stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match cpistack::cli::run(&command) {
         Ok(output) => {
             print!("{output}");

@@ -61,6 +61,7 @@
 use crate::model::workbench::Grouping;
 use crate::model::{FitOptions, MicroarchParams};
 use crate::service::auth::{self, AuthError, TokenRegistry};
+use crate::service::cluster::{ClusterHarness, RouterConfig};
 use crate::service::persist::PersistError;
 use crate::service::{proto, CpiService, ServiceConfig};
 use crate::{CsvSource, PipelineError, SimSource, Workbench};
@@ -135,7 +136,11 @@ USAGE:
   cpistack demo  [--out <csv>]
   cpistack serve [--workers <N>] [--cache <N>] [--quick] [--fit-threads <N>]
                  [--listen <addr>] [--state-dir <dir>] [--auth <token-file>]
-                 [--idle-timeout <secs>] [--max-conns <N>]
+                 [--idle-timeout <secs>] [--max-conns <N>] [--poll-interval <ms>]
+  cpistack cluster --state-dir <dir> [--nodes <N>] [--replicas <N>]
+                 [--listen <addr>] [--workers <N>] [--cache <N>] [--quick]
+                 [--auth <token-file>] [--idle-timeout <secs>] [--max-conns <N>]
+                 [--poll-interval <ms>] [--probe-interval <ms>]
   cpistack token --auth-file <token-file> --tenant <name>
   cpistack bench [--smoke] [--out <json>] [--uops <N>] [--seed <N>]
                  [--threads <N>] [--check <baseline.json>]
@@ -158,12 +163,25 @@ SUBCOMMANDS:
          --fit-threads caps each regression's multi-start fan-out.
          --auth <token-file> makes the server multi-tenant: every
          session must open with `hello <token>`, and each tenant gets
-         its own machine namespace, cache quota and state subdirectory
+         its own machine namespace, cache quota and state subdirectory;
+         --poll-interval tunes the stop/idle polling tick in milliseconds
+  cluster
+         start a multi-node serving tier in one process: N backend serve
+         nodes plus a router that speaks the identical client protocol,
+         consistent-hashes (tenant, machine) keys across the nodes,
+         replicates fitted-model snapshots to each key's ring successors
+         (--replicas, default 1), and health-probes members so a dead
+         node's tenants are served warm by survivors with zero re-fits.
+         Prints one `node <name> <addr>` line per backend, then
+         `listening <addr>` for the router. --state-dir is required —
+         replication needs somewhere to land
   token  mint a session token for a tenant and append it to a token
          file (printed to stdout; pass the file to `serve --auth`)
   bench  time the paper campaign's cold collect, cold fit (parallel vs
          sequential, asserting byte-identical parameters) and warm serve,
-         then write a machine-readable snapshot (default BENCH_4.json).
+         then write a machine-readable snapshot (default BENCH_6.json),
+         including a cluster section (router-hop overhead vs direct
+         warm serve).
          --smoke runs reduced budgets for CI; --check <baseline> fails if
          cold-fit wall-clock regressed >25% against a comparable baseline
 
@@ -191,6 +209,8 @@ pub enum Command {
     },
     /// Start a long-lived serve session (line protocol on stdin/stdout).
     Serve(ServeArgs),
+    /// Start an in-process multi-node cluster (router + N serve nodes).
+    Cluster(ClusterArgs),
     /// Mint a tenant session token into a token file.
     Token {
         /// The token file to append to (created if missing).
@@ -207,7 +227,7 @@ pub enum Command {
 pub struct BenchArgs {
     /// Reduced budgets (CI mode).
     pub smoke: bool,
-    /// Snapshot path (`None` = `BENCH_4.json`).
+    /// Snapshot path (`None` = `BENCH_6.json`).
     pub out: Option<String>,
     /// µop budget override.
     pub uops: Option<u64>,
@@ -247,6 +267,44 @@ pub struct ServeArgs {
     /// all state is scoped to the resolved tenant. `None` = open server,
     /// implicit local tenant.
     pub auth: Option<String>,
+    /// Stop/idle polling tick in milliseconds (`None` = the transport
+    /// default, ~50 ms).
+    pub poll_interval: Option<u64>,
+}
+
+/// Arguments for the `cluster` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterArgs {
+    /// Root directory for per-node snapshot state (`<dir>/node-<i>`).
+    /// Required: replication ships snapshots to successors' stores.
+    pub state_dir: String,
+    /// Backend node count (`None` = 3).
+    pub nodes: Option<usize>,
+    /// Ring successors each key's snapshots replicate to (`None` = 1).
+    pub replicas: Option<usize>,
+    /// The router's client-facing address (`None` = an ephemeral
+    /// loopback port, printed as `listening …`).
+    pub listen: Option<String>,
+    /// Worker-shard count per node (`None` = the service default).
+    pub workers: Option<usize>,
+    /// Model-cache capacity per node (`None` = the harness default).
+    pub cache: Option<usize>,
+    /// Use [`FitOptions::quick`] on every node session.
+    pub quick: bool,
+    /// Token file gating every session behind `hello <token>` — the
+    /// router forwards the handshake verbatim, so auth semantics are
+    /// exactly a single node's.
+    pub auth: Option<String>,
+    /// Close idle client connections after this many seconds (`0` =
+    /// never; `None` = the transport default).
+    pub idle_timeout: Option<u64>,
+    /// Concurrent client connection cap (`None` = the transport default).
+    pub max_conns: Option<usize>,
+    /// Stop/idle polling tick in milliseconds (`None` = ~50 ms).
+    pub poll_interval: Option<u64>,
+    /// Health-probe period in milliseconds (`0` = no probing; `None` =
+    /// the router default, ~1 s).
+    pub probe_interval: Option<u64>,
 }
 
 /// Arguments shared by `fit` and `stack`.
@@ -317,6 +375,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             max_conns: flag_count(&flags, "max-conns")?,
             fit_threads: flag_count(&flags, "fit-threads")?,
             auth: flag_text(&flags, "auth"),
+            poll_interval: flag_count(&flags, "poll-interval")?,
+        })),
+        "cluster" => Ok(Command::Cluster(ClusterArgs {
+            state_dir: get("state-dir")?.to_owned(),
+            nodes: flag_count(&flags, "nodes")?,
+            replicas: flag_count(&flags, "replicas")?,
+            listen: flag_text(&flags, "listen"),
+            workers: flag_count(&flags, "workers")?,
+            cache: flag_count(&flags, "cache")?,
+            quick: flags.iter().any(|(k, _)| k == "quick"),
+            auth: flag_text(&flags, "auth"),
+            idle_timeout: flag_count(&flags, "idle-timeout")?,
+            max_conns: flag_count(&flags, "max-conns")?,
+            poll_interval: flag_count(&flags, "poll-interval")?,
+            probe_interval: flag_count(&flags, "probe-interval")?,
         })),
         "token" => Ok(Command::Token {
             auth_file: get("auth-file")?.to_owned(),
@@ -449,6 +522,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
              instead of `cli::run(...)`"
                 .into(),
         )),
+        Command::Cluster(_) => Err(CliError::Usage(
+            "cluster runs a foreground serving tier — dispatch it to \
+             `cli::cluster(...)` instead of `cli::run(...)`"
+                .into(),
+        )),
         Command::Token { auth_file, tenant } => {
             let token = auth::issue_token(auth_file, tenant).map_err(CliError::Auth)?;
             // Stdout carries the bare token so scripts can capture it:
@@ -477,7 +555,7 @@ fn run_bench_command(args: &BenchArgs) -> Result<String, CliError> {
         config.threads = threads;
     }
     let report = crate::perf::run_bench(config);
-    let out = args.out.clone().unwrap_or_else(|| "BENCH_4.json".into());
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_6.json".into());
     std::fs::write(&out, report.to_json()).map_err(|error| {
         CliError::Pipeline(PipelineError::Export {
             path: out.clone().into(),
@@ -565,6 +643,9 @@ pub fn serve(
         if let Some(max) = args.max_conns {
             tcp = tcp.with_max_connections(max);
         }
+        if let Some(ms) = args.poll_interval {
+            tcp = tcp.with_poll_interval(std::time::Duration::from_millis(ms));
+        }
         let listener = std::net::TcpListener::bind(addr.as_str())?;
         let server = proto::serve_tcp(listener, spec, tcp)?;
         writeln!(output, "listening {}", server.local_addr())?;
@@ -577,6 +658,90 @@ pub fn serve(
         proto::run_session(&mut spec.session(), input, output)?;
     }
     service.shutdown();
+    Ok(())
+}
+
+/// Runs the `cluster` subcommand in the foreground: boots N serve nodes
+/// and the router, announces each node as `node <name> <addr>` and the
+/// router as `listening <addr>` on `output`, then blocks until a client
+/// sends `shutdown` through the router (which takes every node down
+/// with it).
+///
+/// The router's banner is a node's banner — clients connecting to the
+/// cluster see byte-for-byte what a single `cpistack serve` would say.
+///
+/// # Errors
+///
+/// [`CliError::Io`] on bind/spawn failures (including an unopenable
+/// state dir, surfaced by the harness), [`CliError::Auth`] when the
+/// token file cannot load.
+pub fn cluster(args: &ClusterArgs, mut output: impl Write) -> Result<(), CliError> {
+    let registry = args
+        .auth
+        .as_ref()
+        .map(|path| TokenRegistry::load(path).map(Arc::new))
+        .transpose()
+        .map_err(CliError::Auth)?;
+    // The banner reflects one node's shape (that is what each client
+    // session talks to), so build the same ServiceConfig the harness
+    // gives every node.
+    let mut node_config = ServiceConfig::new();
+    if let Some(workers) = args.workers {
+        node_config = node_config.with_workers(workers);
+    }
+    if let Some(cache) = args.cache {
+        node_config = node_config.with_cache_capacity(cache);
+    }
+    let mut router = RouterConfig::new(proto::banner(&node_config, args.quick));
+    if let Some(replicas) = args.replicas {
+        router = router.with_replicas(replicas);
+    }
+    if let Some(secs) = args.idle_timeout {
+        router = router.with_idle_timeout((secs > 0).then(|| std::time::Duration::from_secs(secs)));
+    }
+    if let Some(max) = args.max_conns {
+        router = router.with_max_connections(max);
+    }
+    if let Some(ms) = args.poll_interval {
+        router = router.with_poll_interval(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = args.probe_interval {
+        router = router.with_probe_interval((ms > 0).then(|| std::time::Duration::from_millis(ms)));
+    }
+    let mut builder = ClusterHarness::builder(&args.state_dir)
+        .with_options(if args.quick {
+            FitOptions::quick()
+        } else {
+            FitOptions::default()
+        })
+        .with_router(router);
+    if let Some(nodes) = args.nodes {
+        builder = builder.with_nodes(nodes);
+    }
+    if let Some(workers) = args.workers {
+        builder = builder.with_workers(workers);
+    }
+    if let Some(cache) = args.cache {
+        builder = builder.with_cache(cache);
+    }
+    if let Some(registry) = registry {
+        builder = builder.with_registry(registry);
+    }
+    if let Some(addr) = &args.listen {
+        builder = builder.with_listen(addr.clone());
+    }
+    let harness = builder.start()?;
+    for i in 0..harness.node_count() {
+        writeln!(
+            output,
+            "node {} {}",
+            harness.node_name(i),
+            harness.node_addr(i)
+        )?;
+    }
+    writeln!(output, "listening {}", harness.router_addr())?;
+    output.flush()?;
+    harness.wait();
     Ok(())
 }
 

@@ -180,6 +180,72 @@
 //! before any command is dispatched. See [`service::auth`] and the
 //! README's *Multi-tenant serve* section.
 //!
+//! ## Run a cluster
+//!
+//! One process is not a fleet. [`service::cluster`] scales the same
+//! protocol out to N backend nodes behind a consistent-hash router:
+//! every `(tenant, machine)` key lives on one node of the ring, fresh
+//! fits replicate their persist snapshot to the key's ring successor,
+//! and a dead node's keys re-route to that successor — which serves
+//! them from the replicated snapshot with **zero re-fits**. Clients
+//! keep speaking the single-node protocol to the router's port; the
+//! golden transcripts replay byte-identical through it. On the command
+//! line this tier is `cpistack cluster --state-dir <dir> --nodes 3`;
+//! in-process it is [`service::cluster::ClusterHarness`]:
+//!
+//! ```
+//! use cpistack::service::cluster::{ClusterHarness, RouterConfig};
+//! use cpistack::sim::machine::MachineConfig;
+//! use std::io::{Read, Write};
+//!
+//! let dir = std::env::temp_dir().join(format!("cpis_facade_cluster_{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let records = cpistack::SimSource::new()
+//!     .suite(cpistack::workloads::suites::cpu2000().into_iter().take(12).collect())
+//!     .uops(2_000)
+//!     .seed(42)
+//!     .collect_config(&MachineConfig::core2());
+//! std::fs::write(dir.join("runs.csv"), pmu::csv::to_csv(&records)).unwrap();
+//!
+//! // Three nodes + router in one process; replication on (default 1).
+//! let mut cluster = ClusterHarness::builder(dir.join("state"))
+//!     .with_router(
+//!         RouterConfig::new("doc cluster")
+//!             .with_poll_interval(std::time::Duration::from_millis(2)),
+//!     )
+//!     .start()
+//!     .unwrap();
+//! let router = cluster.router_addr();
+//! let session = |script: String| {
+//!     let mut s = std::net::TcpStream::connect(router).unwrap();
+//!     s.write_all(script.as_bytes()).unwrap();
+//!     let mut out = String::new();
+//!     s.read_to_string(&mut out).unwrap();
+//!     out
+//! };
+//!
+//! // Fit through the router; the same session ships the snapshot to
+//! // the ring successor.
+//! let fit = session(format!(
+//!     "machine core2 4 14 19 169 30\ningest {}\nfit core2 cpu2000\nquit\n",
+//!     dir.join("runs.csv").display(),
+//! ));
+//! assert!(fit.contains("cache: miss") && !fit.contains("err:"), "{fit}");
+//!
+//! // Kill the owning node — its port now refuses connections, exactly
+//! // like a crashed process…
+//! let owner = cluster.owner_index("local", "core2").unwrap();
+//! cluster.kill(owner);
+//!
+//! // …and the tenant is still servable: the successor warm-loads the
+//! // replicated snapshot. Zero re-fits.
+//! let after = session("stack core2 cpu2000\nstats\nquit\n".to_string());
+//! assert!(after.contains(" fits 0 ") && after.contains(" warm 1 "), "{after}");
+//! cluster.shutdown();
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
 //! ## Performance: parallel cold fits, a tracked baseline
 //!
 //! The cold paths are engineered too. A cold fit fans its 13 jittered
@@ -195,8 +261,9 @@
 //! across runs and exposes the warm-up budget
 //! ([`SimSource::warmup`](workbench::SimSource::warmup), default
 //! unchanged). `cpistack bench` times cold collect / cold fit / warm
-//! serve on the paper campaign, asserts the parallel–sequential
-//! byte-identity, and writes the `BENCH_4.json` snapshot that CI gates
+//! serve on the paper campaign — plus the cluster tier's warm
+//! router-hop overhead — asserts the parallel–sequential
+//! byte-identity, and writes the `BENCH_6.json` snapshot that CI gates
 //! against (see the README's Performance section for current numbers):
 //!
 //! ```

@@ -9,8 +9,13 @@
 //! times all three on the paper campaign (103 benchmarks × 3 machines),
 //! verifies that the parallel multi-start fit is *byte-identical* to the
 //! strictly-sequential path while timing both, and writes a
-//! machine-readable JSON snapshot (`BENCH_4.json`) — the start of a perf
+//! machine-readable JSON snapshot (`BENCH_6.json`) — the start of a perf
 //! trajectory later PRs append to and CI guards against.
+//!
+//! Since the cluster tier (PR 6), the report also carries a **cluster**
+//! section: the same warm `stack` request timed against a backend node
+//! directly and through the consistent-hash router, so the router-hop
+//! overhead is a tracked number rather than folklore.
 //!
 //! The JSON carries a `config_fingerprint` folding every knob that shapes
 //! the numbers (µop budget, seed, suite sizes, fit options fingerprint);
@@ -19,11 +24,14 @@
 
 use crate::model::workbench::{SimSource, Workbench};
 use crate::model::FitOptions;
+use crate::service::cluster::{ClusterHarness, RouterConfig};
 use crate::service::{CpiService, ModelKey, Response, ServiceConfig};
 use crate::sim::machine::MachineConfig;
-use pmu::{RunRecord, Suite};
+use pmu::{MachineId, RunRecord, Suite};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 /// Scale and knobs of one bench run.
 #[derive(Debug, Clone)]
@@ -107,6 +115,14 @@ pub struct BenchReport {
     pub fit_speedup: f64,
     /// Mean wall-clock of one warm `stacks` request, ms.
     pub warm_serve_ms: f64,
+    /// Mean warm `stack` round-trip straight to the owning cluster node, ms.
+    pub cluster_warm_direct_ms: f64,
+    /// The same warm `stack` round-trip through the cluster router, ms.
+    pub cluster_warm_router_ms: f64,
+    /// `cluster_warm_router_ms - cluster_warm_direct_ms`: what one router
+    /// hop costs (raw difference, so timing noise can make it slightly
+    /// negative on very fast hosts).
+    pub router_hop_ms: f64,
     /// FNV-1a digest over every fitted parameter's bits, in key order —
     /// equal for the parallel and sequential paths by construction (the
     /// run fails otherwise).
@@ -118,7 +134,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"schema\": 2,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"config\": {{");
         let _ = writeln!(s, "    \"uops\": {},", self.config.uops);
@@ -139,6 +155,17 @@ impl BenchReport {
         let _ = writeln!(s, "  \"cold_fit_seq_ms\": {:.3},", self.cold_fit_seq_ms);
         let _ = writeln!(s, "  \"fit_speedup\": {:.3},", self.fit_speedup);
         let _ = writeln!(s, "  \"warm_serve_ms\": {:.4},", self.warm_serve_ms);
+        let _ = writeln!(
+            s,
+            "  \"cluster_warm_direct_ms\": {:.4},",
+            self.cluster_warm_direct_ms
+        );
+        let _ = writeln!(
+            s,
+            "  \"cluster_warm_router_ms\": {:.4},",
+            self.cluster_warm_router_ms
+        );
+        let _ = writeln!(s, "  \"router_hop_ms\": {:.4},", self.router_hop_ms);
         let _ = writeln!(s, "  \"params_digest\": \"{:016x}\"", self.params_digest);
         let _ = writeln!(s, "}}");
         s
@@ -151,7 +178,8 @@ impl BenchReport {
              cold collect   {:>10.1} ms\n\
              cold fit       {:>10.1} ms  ({} keys, parallel multi-start)\n\
              cold fit (seq) {:>10.1} ms  → speedup {:.2}×, params byte-identical\n\
-             warm serve     {:>10.3} ms/request (all cache hits)\n",
+             warm serve     {:>10.3} ms/request (all cache hits)\n\
+             cluster warm   {:>10.3} ms direct / {:.3} ms via router (hop {:+.3} ms)\n",
             self.mode,
             self.benchmarks,
             self.machines,
@@ -163,6 +191,9 @@ impl BenchReport {
             self.cold_fit_seq_ms,
             self.fit_speedup,
             self.warm_serve_ms,
+            self.cluster_warm_direct_ms,
+            self.cluster_warm_router_ms,
+            self.router_hop_ms,
         )
     }
 }
@@ -217,6 +248,118 @@ fn timed_fits(
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
     service.shutdown();
     (elapsed, digest)
+}
+
+/// Opens a protocol connection and swallows the banner line.
+fn protocol_conn(addr: SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect to cluster node");
+    stream.set_nodelay(true).ok();
+    let mut conn = BufReader::new(stream);
+    let mut banner = String::new();
+    conn.read_line(&mut banner).expect("banner");
+    conn
+}
+
+/// Sends one protocol line and reads the complete response — payload
+/// lines up to and including the `ok` / `err: ` terminator.
+fn roundtrip(conn: &mut BufReader<TcpStream>, line: &str) -> String {
+    conn.get_mut()
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send command");
+    let mut response = String::new();
+    loop {
+        let mut next = String::new();
+        if conn.read_line(&mut next).expect("read response") == 0 {
+            panic!("server closed the connection mid-response");
+        }
+        response.push_str(&next);
+        let trimmed = next.trim_end();
+        if trimmed == "ok" || trimmed.starts_with("err: ") {
+            return response;
+        }
+    }
+}
+
+/// Mean wall-clock of `iters` warm `stack core2 cpu2000` round-trips on
+/// one pooled connection, ms.
+fn timed_warm_stacks(conn: &mut BufReader<TcpStream>, iters: usize) -> f64 {
+    // One untimed request first: the node loads the snapshot / primes the
+    // cache, so the timed loop measures the steady warm path only.
+    let warm_up = roundtrip(conn, "stack core2 cpu2000");
+    assert!(
+        !warm_up.contains("err: "),
+        "cluster warm-up failed: {warm_up}"
+    );
+    let iters = iters.max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let resp = roundtrip(conn, "stack core2 cpu2000");
+        assert!(!resp.contains("err: "), "cluster warm serve failed: {resp}");
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// The cluster section of the bench: boots a 3-node tier, fits Core 2 /
+/// CPU2000 once through the router (untimed), then times the same warm
+/// `stack` request direct-to-owner and through the router. Returns
+/// `(direct ms, router ms)`.
+///
+/// The fit itself uses [`FitOptions::quick`] — the section measures the
+/// serving transport, and a warm `stack` round-trip does not depend on
+/// how the cached model was fitted.
+fn cluster_warm_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64) {
+    let dir = std::env::temp_dir().join(format!("cpistack_bench_cluster_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench cluster scratch dir");
+    let core2: Vec<RunRecord> = records
+        .iter()
+        .filter(|r| r.machine() == MachineId::Core2)
+        .cloned()
+        .collect();
+    let csv = dir.join("core2.csv");
+    std::fs::write(&csv, pmu::csv::to_csv(&core2)).expect("write bench csv");
+
+    let harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(3)
+        .with_workers(2)
+        .with_cache(8)
+        .with_options(FitOptions::quick())
+        .with_router(
+            RouterConfig::new("cpistack bench cluster")
+                .with_poll_interval(Duration::from_millis(2))
+                .with_idle_timeout(Some(Duration::from_secs(60))),
+        )
+        .start()
+        .expect("bench cluster boots");
+
+    // Untimed setup through the router: register, ingest, cold fit.
+    let mut router = protocol_conn(harness.router_addr());
+    for line in [
+        "machine core2 4 14 19 169 30".to_string(),
+        format!("ingest {}", csv.display()),
+        "fit core2 cpu2000".to_string(),
+    ] {
+        let resp = roundtrip(&mut router, &line);
+        assert!(
+            !resp.contains("err: "),
+            "bench cluster setup failed at `{line}`: {resp}"
+        );
+    }
+
+    let owner = harness
+        .owner_index("local", "core2")
+        .expect("core2 has an owner");
+    let mut direct = protocol_conn(harness.node_addr(owner));
+    let direct_ms = timed_warm_stacks(&mut direct, config.warm_iters);
+    let router_ms = timed_warm_stacks(&mut router, config.warm_iters);
+
+    roundtrip(&mut router, "quit");
+    roundtrip(&mut direct, "quit");
+    drop(router);
+    drop(direct);
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (direct_ms, router_ms)
 }
 
 /// Runs the whole bench: cold collect, cold fit (parallel and sequential,
@@ -292,6 +435,9 @@ pub fn run_bench(config: BenchConfig) -> BenchReport {
     let warm_serve_ms = start.elapsed().as_secs_f64() * 1e3 / served.max(1) as f64;
     service.shutdown();
 
+    // --- Cluster warm serve: router hop vs direct-to-owner. ------------
+    let (cluster_warm_direct_ms, cluster_warm_router_ms) = cluster_warm_bench(&config, &records);
+
     let config_fingerprint = config.fingerprint(benchmarks, machines.len());
     BenchReport {
         mode: if config.smoke { "smoke" } else { "full" },
@@ -304,6 +450,9 @@ pub fn run_bench(config: BenchConfig) -> BenchReport {
         cold_fit_seq_ms,
         fit_speedup: cold_fit_seq_ms / cold_fit_ms.max(1e-9),
         warm_serve_ms,
+        cluster_warm_direct_ms,
+        cluster_warm_router_ms,
+        router_hop_ms: cluster_warm_router_ms - cluster_warm_direct_ms,
         params_digest: digest,
         config,
     }
@@ -399,8 +548,11 @@ mod tests {
         assert_eq!(report.benchmarks, 103);
         assert!(report.cold_collect_ms > 0.0);
         assert!(report.cold_fit_ms > 0.0);
+        assert!(report.cluster_warm_direct_ms > 0.0);
+        assert!(report.cluster_warm_router_ms > 0.0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"cluster_warm_router_ms\""));
         let parsed = json_number(&json, "cold_collect_ms").expect("field present");
         assert!((parsed - report.cold_collect_ms).abs() < 0.01);
 
@@ -438,6 +590,9 @@ mod tests {
             cold_fit_seq_ms: 1.0,
             fit_speedup: 1.0,
             warm_serve_ms: 0.1,
+            cluster_warm_direct_ms: 0.1,
+            cluster_warm_router_ms: 0.2,
+            router_hop_ms: 0.1,
             params_digest: 2,
         };
         assert!(check_against(&report, "not json", 0.25).is_err());

@@ -1,0 +1,354 @@
+//! The multi-node serving tier, end to end: consistent-hash routing
+//! through the router front, snapshot replication to ring successors,
+//! and — the acceptance criterion — kill-a-node warm failover: killing
+//! a backend mid-session leaves its tenants servable by survivors from
+//! replicated snapshots with **zero re-fits** and stacks byte-identical
+//! to a solo `Workbench::fit()` run. Also: router transcripts are
+//! byte-identical to a single node's (text lines AND binstack frames)
+//! for two tenants concurrently, draining takes a node out of rotation
+//! without touching it, and cluster failures surface as typed errors.
+
+use cpistack::model::{FitOptions, MicroarchParams};
+use cpistack::service::auth::TokenRegistry;
+use cpistack::service::cluster::{ClusterError, ClusterHarness, RouterConfig};
+use cpistack::service::{proto, CpiService, ServiceConfig};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::workbench::Grouping;
+use cpistack::{CsvSource, SimSource, Workbench};
+use pmu::{MachineId, Suite};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Core 2 constants as the protocol's `machine` command states them.
+const ARCH: [f64; 5] = [4.0, 14.0, 19.0, 169.0, 30.0];
+
+const TOKEN_ALPHA: &str = "tok-alpha-0123456789abcdef";
+const TOKEN_BETA: &str = "tok-beta-fedcba9876543210";
+
+/// A fresh scratch dir per test (name disambiguates parallel tests in
+/// one process).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpistack_cluster_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Writes the fixed-seed counter CSV every party fits from.
+fn counters_csv(dir: &std::path::Path) -> String {
+    let records = SimSource::new()
+        .suite(
+            cpistack::workloads::suites::cpu2000()
+                .into_iter()
+                .take(12)
+                .collect(),
+        )
+        .uops(3_000)
+        .seed(42)
+        .collect_config(&MachineConfig::core2());
+    let path = dir.join("campaign.csv");
+    std::fs::write(&path, pmu::csv::to_csv(&records)).expect("write csv");
+    path.to_string_lossy().into_owned()
+}
+
+/// The solo ground truth: the same CSV through `Workbench::fit()`,
+/// stacks formatted exactly as the protocol's `stack` lines.
+fn sequential_stack_lines(csv: &str) -> String {
+    let fitted = Workbench::new()
+        .arch(MicroarchParams::new(
+            ARCH[0], ARCH[1], ARCH[2], ARCH[3], ARCH[4],
+        ))
+        .source(CsvSource::from_path(csv).expect("csv source"))
+        .grouping(Grouping::MachineSuite)
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect")
+        .fit()
+        .expect("fit");
+    let group = fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("core2 group");
+    group
+        .stacks()
+        .into_iter()
+        .map(|(benchmark, stack)| format!("stack {benchmark} {stack}\n"))
+        .collect()
+}
+
+/// Opens a connection, sends `script`, and returns everything the server
+/// wrote until it closed the connection.
+fn tcp_session(addr: std::net::SocketAddr, script: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(script.as_bytes()).expect("send script");
+    let mut transcript = Vec::new();
+    stream
+        .read_to_end(&mut transcript)
+        .expect("read transcript");
+    transcript
+}
+
+/// Just the `stack ` lines of a transcript, newline-joined.
+fn stack_lines(transcript: &[u8]) -> String {
+    String::from_utf8_lossy(transcript)
+        .lines()
+        .filter(|l| l.starts_with("stack "))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// A fast-polling router config for tests (a short idle timeout bounds
+/// any accidental hang at seconds, not minutes).
+fn test_router(banner: impl Into<String>) -> RouterConfig {
+    RouterConfig::new(banner)
+        .with_poll_interval(Duration::from_millis(2))
+        .with_idle_timeout(Some(Duration::from_secs(10)))
+}
+
+/// The acceptance criterion: 3 nodes, replication on; a session fits
+/// through the router; the owner node is killed for real; a new session
+/// re-queries the dead node's key and the ring successor serves it from
+/// the replicated snapshot — `warm 1`, `fits 0`, stacks byte-identical
+/// to the solo Workbench run.
+#[test]
+fn killing_a_node_serves_its_tenants_warm_with_zero_refits() {
+    let dir = scratch("failover");
+    let csv = counters_csv(&dir);
+    let expected = sequential_stack_lines(&csv);
+
+    let mut harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(3)
+        .with_router(test_router("cluster"))
+        .start()
+        .expect("cluster boots");
+    let router = harness.router_addr();
+
+    // Fit through the router; the response must already be the solo
+    // stacks, byte for byte.
+    let fit_session = tcp_session(
+        router,
+        &format!("machine core2 4 14 19 169 30\ningest {csv}\nfit core2 cpu2000\nstack core2 cpu2000\nquit\n"),
+    );
+    let text = String::from_utf8_lossy(&fit_session);
+    assert!(text.contains("ingested 12 records"), "{text}");
+    assert!(text.contains("cache: miss"), "{text}");
+    assert!(!text.contains("err:"), "{text}");
+    assert_eq!(stack_lines(&fit_session), expected);
+
+    // Kill the node that owns (local, core2) — its port now refuses
+    // connections, exactly like a crashed process.
+    let owner = harness
+        .owner_index("local", "core2")
+        .expect("core2 has an owner");
+    harness.kill(owner);
+
+    // A fresh session re-queries the dead node's key through the router:
+    // the ring successor must serve it from the replicated snapshot.
+    let after = tcp_session(router, "stack core2 cpu2000\nstats\nquit\n");
+    let after_text = String::from_utf8_lossy(&after);
+    assert!(
+        !after_text.contains("err:"),
+        "failover must be invisible: {after_text}"
+    );
+    assert_eq!(
+        stack_lines(&after),
+        expected,
+        "failover stacks must equal the solo Workbench run byte-for-byte"
+    );
+    // Zero re-fits: the survivor warm-loaded the replicated snapshot.
+    assert!(after_text.contains(" fits 0 "), "{after_text}");
+    assert!(after_text.contains(" warm 1 "), "{after_text}");
+
+    // The dead node is typed Down once probed.
+    let dead = harness.node_name(owner).to_owned();
+    match harness.router().probe(&dead) {
+        Err(ClusterError::NodeDown { node, .. }) => assert_eq!(node, dead),
+        other => panic!("expected NodeDown for `{dead}`, got {other:?}"),
+    }
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a fit-bearing session through the router is byte-identical
+/// (text lines AND the binstack frame) to the same session against a
+/// single node — for two tenants running concurrently.
+#[test]
+fn router_transcripts_match_single_node_byte_for_byte_for_two_tenants() {
+    let dir = scratch("proxy");
+    let csv = counters_csv(&dir);
+    let registry = Arc::new(
+        TokenRegistry::new()
+            .with_token(TOKEN_ALPHA, "alpha")
+            .expect("alpha token")
+            .with_token(TOKEN_BETA, "beta")
+            .expect("beta token"),
+    );
+    let script_for = |token: &str| {
+        format!(
+            "hello {token}\n\
+             machine core2 4 14 19 169 30\n\
+             ingest {csv}\n\
+             fit core2 cpu2000\n\
+             fit core2 cpu2000\n\
+             stack core2 cpu2000\n\
+             predict core2 cpu2000\n\
+             binstack core2 cpu2000\n\
+             stats\n\
+             quit\n"
+        )
+    };
+
+    // Ground truth: each tenant against its own fresh single node, same
+    // banner the cluster announces.
+    let solo_for = |token: &str| {
+        let config = ServiceConfig::new().with_workers(2).with_cache_capacity(8);
+        let service = CpiService::start(config);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let server = proto::serve_tcp(
+            listener,
+            proto::SessionSpec::with_auth(
+                service.client(),
+                FitOptions::quick(),
+                Arc::clone(&registry),
+            ),
+            proto::TcpServerConfig::new("cluster").with_poll_interval(Duration::from_millis(2)),
+        )
+        .expect("solo front");
+        let transcript = tcp_session(server.local_addr(), &script_for(token));
+        server.shutdown();
+        service.shutdown();
+        transcript
+    };
+    let solo_alpha = solo_for(TOKEN_ALPHA);
+    let solo_beta = solo_for(TOKEN_BETA);
+
+    let harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(3)
+        .with_registry(Arc::clone(&registry))
+        .with_router(test_router("cluster"))
+        .start()
+        .expect("cluster boots");
+    let router = harness.router_addr();
+    let (via_alpha, via_beta) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| tcp_session(router, &script_for(TOKEN_ALPHA)));
+        let b = scope.spawn(|| tcp_session(router, &script_for(TOKEN_BETA)));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    for (tenant, via, solo) in [
+        ("alpha", &via_alpha, &solo_alpha),
+        ("beta", &via_beta, &solo_beta),
+    ] {
+        assert!(
+            via == solo,
+            "tenant {tenant} diverged through the router.\n--- solo ---\n{}\n--- router ---\n{}",
+            String::from_utf8_lossy(solo),
+            String::from_utf8_lossy(via),
+        );
+        let text = String::from_utf8_lossy(via);
+        assert!(text.contains(&format!("hello {tenant}")), "{text}");
+        assert!(text.contains("cache: hit"), "{text}");
+        assert!(text.contains("frame stacks "), "{text}");
+        assert!(text.contains(&format!("tenant {tenant}")), "{text}");
+    }
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Draining removes a node from rotation without touching it: its keys
+/// reroute, new work lands on survivors, and the drained node itself
+/// keeps serving direct connections.
+#[test]
+fn draining_reroutes_keys_while_the_node_keeps_running() {
+    let dir = scratch("drain");
+    let harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(2)
+        .with_router(test_router("cluster"))
+        .start()
+        .expect("cluster boots");
+
+    let owner = harness
+        .owner_index("local", "core2")
+        .expect("core2 has an owner");
+    harness.drain(owner).expect("drain by index");
+    let rerouted = harness
+        .owner_index("local", "core2")
+        .expect("a live owner remains");
+    assert_ne!(rerouted, owner, "draining must move the key");
+
+    // Through the router, the key's commands now land on the survivor.
+    let via = tcp_session(
+        harness.router_addr(),
+        "machine core2 4 14 19 169 30\nstats\nquit\n",
+    );
+    let text = String::from_utf8_lossy(&via);
+    assert!(text.contains("registered core2"), "{text}");
+    assert!(!text.contains("err:"), "{text}");
+
+    // The drained node still answers direct connections (it was never
+    // stopped) — draining is routing state, not node state.
+    let direct = tcp_session(harness.node_addr(owner), "stats\nquit\n");
+    assert!(String::from_utf8_lossy(&direct).contains("stats:"));
+
+    // Unknown member names are a typed error.
+    assert!(matches!(
+        harness.router().drain("node-99"),
+        Err(ClusterError::UnknownNode { .. })
+    ));
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With every backend dead the router stays up and reports the failure
+/// in-band, per command, instead of hanging up.
+#[test]
+fn a_cluster_with_no_live_backends_reports_in_band_errors() {
+    let dir = scratch("nobackends");
+    let mut harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(1)
+        .with_router(test_router("cluster"))
+        .start()
+        .expect("cluster boots");
+    harness.kill(0);
+
+    let via = tcp_session(harness.router_addr(), "stats\nquit\n");
+    let text = String::from_utf8_lossy(&via);
+    assert!(
+        text.contains("err: node `node-0` is down") || text.contains("err: no live backend nodes"),
+        "dead backends must surface as typed in-band errors: {text}"
+    );
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An in-band `shutdown` through the router stops the router *and*
+/// every backend — the whole tier goes down as one unit.
+#[test]
+fn shutdown_through_the_router_stops_the_whole_tier() {
+    let dir = scratch("shutdown");
+    let harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(2)
+        .with_router(test_router("cluster"))
+        .start()
+        .expect("cluster boots");
+    let router = harness.router_addr();
+    let node0 = harness.node_addr(0);
+    let node1 = harness.node_addr(1);
+
+    let farewell = tcp_session(router, "shutdown\n");
+    assert!(String::from_utf8_lossy(&farewell).ends_with("ok\n"));
+    harness.wait();
+
+    for addr in [router, node0, node1] {
+        assert!(
+            TcpStream::connect(addr).is_err(),
+            "{addr} still accepting after tier shutdown"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

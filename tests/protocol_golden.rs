@@ -1,8 +1,12 @@
 //! Golden-file protocol tests: scripted serve sessions (requests plus
 //! expected responses) checked in under `tests/golden/`, replayed against
-//! **both** protocol fronts — stdio and TCP — from one shared harness.
-//! Any drift in the command surface, an error message, the stats line or
-//! the banner fails these tests loudly, with a diff against the file.
+//! **all three** protocol fronts — stdio, TCP, and the cluster router
+//! (a one-node cluster, so every counter-bearing line stays pinned) —
+//! from one shared harness. Any drift in the command surface, an error
+//! message, the stats line or the banner fails these tests loudly, with
+//! a diff against the file. The router front doubles as the tentpole
+//! proof that the cluster tier is protocol-transparent: clients cannot
+//! tell the router from a node, byte for byte.
 //!
 //! Golden-file format: `#` lines are comments, `> ` lines are sent to the
 //! session in order, every other line is expected output. The expected
@@ -25,11 +29,14 @@
 use cpistack::cli::{self, ServeArgs};
 use cpistack::model::FitOptions;
 use cpistack::service::auth::TokenRegistry;
+use cpistack::service::cluster::{ClusterHarness, RouterConfig};
 use cpistack::service::{proto, CpiService, ServiceConfig};
 use cpistack::sim::machine::MachineConfig;
 use cpistack::SimSource;
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Fixed tokens so the `hello` handshake bytes are stable in the golden
 /// files. Never reuse these outside tests.
@@ -137,7 +144,8 @@ fn tcp_transcript(script: &str, auth: bool) -> Vec<u8> {
     let server = proto::serve_tcp(
         listener,
         spec,
-        proto::TcpServerConfig::new(proto::banner(&config, true)),
+        proto::TcpServerConfig::new(proto::banner(&config, true))
+            .with_poll_interval(Duration::from_millis(2)),
     )
     .expect("tcp front starts");
     let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
@@ -148,6 +156,41 @@ fn tcp_transcript(script: &str, auth: bool) -> Vec<u8> {
         .expect("read transcript");
     server.shutdown();
     service.shutdown();
+    transcript
+}
+
+/// Runs the same script through the cluster router fronting a one-node
+/// cluster (one node, so requests/fits counters accumulate exactly as
+/// on a single server — the protocol-transparency the tentpole
+/// promises) and returns the raw transcript.
+fn router_transcript(script: &str, auth: bool) -> Vec<u8> {
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cpistack_golden_router_{}_{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::SeqCst)
+    ));
+    let mut builder = ClusterHarness::builder(&dir)
+        .with_nodes(1)
+        .with_workers(2)
+        .with_cache(4)
+        .with_options(FitOptions::quick())
+        .with_router(
+            RouterConfig::new(proto::banner(&service_config(), true))
+                .with_poll_interval(Duration::from_millis(2)),
+        );
+    if auth {
+        builder = builder.with_registry(registry());
+    }
+    let harness = builder.start().expect("cluster boots");
+    let mut stream = std::net::TcpStream::connect(harness.router_addr()).expect("connect");
+    stream.write_all(script.as_bytes()).expect("send script");
+    let mut transcript = Vec::new();
+    stream
+        .read_to_end(&mut transcript)
+        .expect("read transcript");
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
     transcript
 }
 
@@ -176,6 +219,12 @@ fn check_golden(name: &str) {
         tcp == golden.expected,
         "{}",
         diff_for(&format!("tcp:{name}"), &tcp, &golden.expected)
+    );
+    let router = router_transcript(&golden.script, auth);
+    assert!(
+        router == golden.expected,
+        "{}",
+        diff_for(&format!("router:{name}"), &router, &golden.expected)
     );
 }
 
@@ -234,6 +283,13 @@ fn fit_session_is_byte_identical_across_fronts() {
         String::from_utf8_lossy(&stdio),
         String::from_utf8_lossy(&tcp),
     );
+    let router = router_transcript(&script, false);
+    assert!(
+        router == tcp,
+        "router front diverged.\n--- tcp ---\n{}\n--- router ---\n{}",
+        String::from_utf8_lossy(&tcp),
+        String::from_utf8_lossy(&router),
+    );
     let text = String::from_utf8_lossy(&stdio);
     assert!(text.contains("cache: miss"), "{text}");
     assert!(text.contains("cache: hit"), "{text}");
@@ -285,6 +341,13 @@ fn authenticated_fit_session_is_byte_identical_across_fronts() {
         "fronts diverged.\n--- stdio ---\n{}\n--- tcp ---\n{}",
         String::from_utf8_lossy(&stdio),
         String::from_utf8_lossy(&tcp),
+    );
+    let router = router_transcript(&script, true);
+    assert!(
+        router == tcp,
+        "router front diverged.\n--- tcp ---\n{}\n--- router ---\n{}",
+        String::from_utf8_lossy(&tcp),
+        String::from_utf8_lossy(&router),
     );
     let text = String::from_utf8_lossy(&stdio);
     assert!(text.contains("hello alpha"), "{text}");

@@ -87,7 +87,8 @@ fn concurrent_tcp_clients_match_sequential_workbench_byte_for_byte() {
     let server = proto::serve_tcp(
         listener,
         proto::SessionSpec::open(service.client(), FitOptions::quick()),
-        TcpServerConfig::new(proto::banner(&config, true)),
+        TcpServerConfig::new(proto::banner(&config, true))
+            .with_poll_interval(Duration::from_millis(2)),
     )
     .expect("tcp front starts");
     let addr = server.local_addr();
@@ -165,7 +166,8 @@ fn binary_framing_round_trips_over_the_socket() {
     let server = proto::serve_tcp(
         listener,
         proto::SessionSpec::open(service.client(), FitOptions::quick()),
-        TcpServerConfig::new(proto::banner(&config, true)),
+        TcpServerConfig::new(proto::banner(&config, true))
+            .with_poll_interval(Duration::from_millis(2)),
     )
     .expect("tcp front starts");
 
@@ -213,7 +215,8 @@ fn idle_connections_are_closed_and_shutdown_is_graceful() {
         listener,
         proto::SessionSpec::open(service.client(), FitOptions::quick()),
         TcpServerConfig::new(proto::banner(&config, true))
-            .with_idle_timeout(Some(Duration::from_millis(250))),
+            .with_idle_timeout(Some(Duration::from_millis(250)))
+            .with_poll_interval(Duration::from_millis(2)),
     )
     .expect("tcp front starts");
     let addr = server.local_addr();

@@ -125,7 +125,8 @@ fn concurrent_tenants_over_tcp_are_fully_isolated() {
     let server = proto::serve_tcp(
         listener,
         proto::SessionSpec::with_auth(service.client(), FitOptions::quick(), registry()),
-        proto::TcpServerConfig::new(proto::banner(&config, true)),
+        proto::TcpServerConfig::new(proto::banner(&config, true))
+            .with_poll_interval(std::time::Duration::from_millis(2)),
     )
     .expect("tcp front starts");
     let addr = server.local_addr();
