@@ -10,7 +10,7 @@ use crate::inputs::ModelInputs;
 use crate::params::{MicroarchParams, ModelParams};
 use crate::stack::CpiStack;
 use pmu::RunRecord;
-use regress::nelder_mead::{MultiStart, Options};
+use regress::nelder_mead::{refine, MultiStart, Options};
 use std::fmt;
 
 /// Options controlling model inference.
@@ -335,6 +335,69 @@ impl InferredModel {
         })
     }
 
+    /// Incrementally refits the model on a fresh record set, warm-starting
+    /// a single bounded Nelder–Mead polish from the current parameters
+    /// instead of the full [`MultiStart`] fan-out.
+    ///
+    /// This is the steady-state path of the streaming pipeline: when new
+    /// counter batches arrive for a workload that has not drifted, the
+    /// previous parameters already sit in the right basin and a local polish
+    /// with a small `max_evals` budget (thousands, not hundreds of
+    /// thousands of evaluations) tracks the optimum. The caller owns drift
+    /// detection: compare the refit objective against a periodic full fit
+    /// and fall back to [`InferredModel::fit`] when the bound is exceeded.
+    ///
+    /// Uses the model's own architecture constants and interval cap; only
+    /// `opts.absolute_objective` is read from `opts` so the objective
+    /// matches the one the model was originally fitted under. Deterministic
+    /// for fixed inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] under the same conditions as
+    /// [`InferredModel::fit`].
+    pub fn refit(
+        &self,
+        records: &[RunRecord],
+        opts: &FitOptions,
+        max_evals: usize,
+    ) -> Result<Self, FitError> {
+        let inputs: Vec<ModelInputs> = records.iter().map(ModelInputs::from_record).collect();
+        if inputs.len() <= ModelParams::COUNT {
+            return Err(FitError::TooFewRecords { got: inputs.len() });
+        }
+        if let Some(index) = inputs.iter().position(|i| !i.is_sane()) {
+            return Err(FitError::BadRecord {
+                benchmark: records[index].benchmark().to_owned(),
+            });
+        }
+        let arch = self.arch;
+        let cap = self.interval_cap;
+        let absolute = opts.absolute_objective;
+        let objective = |b: &[f64]| -> f64 {
+            let params = ModelParams::from_slice(b);
+            inputs
+                .iter()
+                .map(|i| {
+                    let pred = predict_with_cap(&arch, &params, i, cap);
+                    let err = pred - i.measured_cpi;
+                    if absolute {
+                        err * err
+                    } else {
+                        err * err / i.measured_cpi
+                    }
+                })
+                .sum()
+        };
+        let best = refine(objective, &self.params.b, &ModelParams::bounds(), max_evals);
+        Ok(Self {
+            arch,
+            params: ModelParams::from_slice(&best.params),
+            interval_cap: cap,
+            objective: best.value,
+        })
+    }
+
     /// Re-assembles a model from persisted parts without refitting — the
     /// restore path of [`crate::service::persist`]. Fitting is
     /// deterministic, so a model rebuilt from a snapshot of its own parts
@@ -539,6 +602,53 @@ mod tests {
         for (v, (lo, hi)) in model.params().b.iter().zip(ModelParams::bounds()) {
             assert!(*v >= lo && *v <= hi, "{v} outside [{lo}, {hi}]");
         }
+    }
+
+    #[test]
+    fn refit_tracks_a_perturbed_training_set_cheaply() {
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let records = training_records();
+        let opts = FitOptions::quick();
+        let model = InferredModel::fit(&arch, &records, &opts).unwrap();
+        // Same records: the warm polish must not make the objective worse.
+        let same = model.refit(&records, &opts, 2_000).unwrap();
+        assert!(same.objective() <= model.objective() * (1.0 + 1e-9));
+        // Mildly jittered records (a stationary live stream): the warm refit
+        // should land near the full fit of the jittered set.
+        let jittered: Vec<RunRecord> = {
+            let mut src = pmu::live::ReplaySource::new(records.clone())
+                .batch_size(records.len())
+                .rounds(2)
+                .jitter(99);
+            use pmu::live::LiveSource as _;
+            src.next_batch(); // round 0 (verbatim)
+            src.next_batch().unwrap() // round 1 (jittered)
+        };
+        let warm = model.refit(&jittered, &opts, 2_000).unwrap();
+        let full = InferredModel::fit(&arch, &jittered, &opts).unwrap();
+        let n = jittered.len() as f64;
+        assert!(
+            warm.objective() / n <= full.objective() / n * 2.0,
+            "warm {} vs full {}",
+            warm.objective(),
+            full.objective()
+        );
+        // Determinism.
+        let again = model.refit(&jittered, &opts, 2_000).unwrap();
+        assert_eq!(warm, again);
+    }
+
+    #[test]
+    fn refit_validates_like_fit() {
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let records = training_records();
+        let opts = FitOptions::quick();
+        let model = InferredModel::fit(&arch, &records, &opts).unwrap();
+        let few: Vec<RunRecord> = records.iter().take(5).cloned().collect();
+        assert!(matches!(
+            model.refit(&few, &opts, 1_000),
+            Err(FitError::TooFewRecords { got: 5 })
+        ));
     }
 
     #[test]

@@ -79,8 +79,8 @@ pub use fit::{FitError, FitOptions, InferredModel};
 pub use inputs::ModelInputs;
 pub use params::{MicroarchParams, ModelParams};
 pub use service::{
-    CpiClient, CpiService, ModelKey, Request, Response, ServiceConfig, ServiceError, ServiceStats,
-    TenantId,
+    CpiClient, CpiService, ModelKey, RefitMode, RefitPolicy, Request, Response, ServiceConfig,
+    ServiceError, ServiceStats, TenantId,
 };
 pub use stack::CpiStack;
 pub use workbench::{

@@ -107,6 +107,7 @@ pub mod auth;
 pub mod cluster;
 pub mod persist;
 pub mod proto;
+pub mod stream;
 
 use crate::delta::{suite_delta, DeltaStacks};
 use crate::fit::{FitError, FitOptions, InferredModel};
@@ -416,8 +417,68 @@ pub enum Request {
         /// Fit options for both models.
         options: FitOptions,
     },
+    /// Streaming ingest: **upsert** a live counter batch into one
+    /// machine's store. Unlike [`Request::IngestRecords`] (which appends),
+    /// a stream batch *replaces* any earlier record for the same
+    /// `(benchmark, suite)` — a live source re-samples the same workloads
+    /// every window, and the store must track the latest measurement
+    /// instead of growing without bound. Bumps the machine's generation,
+    /// retiring cached models. Records for other machines are dropped
+    /// client-side before routing.
+    StreamBatch {
+        /// The machine the stream is bound to.
+        machine: MachineId,
+        /// The batch, as sampled by a [`pmu::live::LiveSource`].
+        records: Vec<RunRecord>,
+    },
+    /// Streaming refit: serve the key's model, preferring the incremental
+    /// warm-start polish over the full multi-start fan-out. The worker
+    /// picks the cheapest safe mode (see [`RefitMode`]) under the
+    /// service's [`RefitPolicy`]: cache hit when the generation is
+    /// unchanged; warm-start polish when a baseline fit exists, the
+    /// workload is unchanged, and the drift guard accepts the result;
+    /// the full fan-out otherwise. Responds with one [`Response::Refit`].
+    Refit {
+        /// The model key to serve.
+        key: ModelKey,
+        /// Force the full fan-out (and skip the cache), re-anchoring the
+        /// baseline — the stream-close reconciliation path, which makes
+        /// final parameters a pure function of the final record set.
+        force_full: bool,
+    },
     /// Snapshot the service counters into one [`Response::Stats`].
     Stats,
+}
+
+/// How a [`Request::Refit`] was served, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitMode {
+    /// Cache hit at the current generation: no regression ran.
+    Cached,
+    /// Warm-start polish from the baseline parameters
+    /// ([`InferredModel::refit`]), accepted by the drift guard.
+    Incremental,
+    /// Full multi-start fan-out ([`InferredModel::fit`]): first fit,
+    /// periodic re-anchor, workload shift, drift-guard fallback, or a
+    /// forced reconciliation.
+    Full,
+}
+
+impl RefitMode {
+    /// Stable lowercase name (used by the line protocol and watch output).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefitMode::Cached => "cached",
+            RefitMode::Incremental => "incremental",
+            RefitMode::Full => "full",
+        }
+    }
+}
+
+impl fmt::Display for RefitMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// One benchmark's `(name, measured CPI, predicted CPI)` row, as collected
@@ -481,6 +542,13 @@ pub enum Response {
     },
     /// CPI-delta stacks between two machines.
     Delta(DeltaStacks),
+    /// A streaming refit was served; `mode` says what it cost.
+    Refit {
+        /// The served model (as [`Response::Model`] would report it).
+        report: ModelReport,
+        /// How the refit was served: cached, incremental, or full.
+        mode: RefitMode,
+    },
     /// Service counters snapshot.
     Stats(ServiceStats),
     /// The request failed.
@@ -560,6 +628,14 @@ pub struct CacheStats {
     /// ([`persist::SnapshotStore`]) instead of a regression — these count
     /// as `hits`, not `misses`: the caller got a model without a fit.
     pub warm_loads: u64,
+    /// Streaming refits that ran the full multi-start fan-out — the first
+    /// fit of a stream, the periodic re-anchor, and every drift-guard
+    /// fallback ([`Request::Refit`]).
+    pub full_refits: u64,
+    /// Streaming refits served by the warm-start polish
+    /// ([`InferredModel::refit`]) — the steady-state path whose cost the
+    /// bench's streaming section measures against `full_refits`.
+    pub incremental_refits: u64,
 }
 
 impl CacheStats {
@@ -574,6 +650,8 @@ impl CacheStats {
             invalidations,
             inserts,
             warm_loads,
+            full_refits,
+            incremental_refits,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -581,6 +659,8 @@ impl CacheStats {
         self.invalidations += invalidations;
         self.inserts += inserts;
         self.warm_loads += warm_loads;
+        self.full_refits += full_refits;
+        self.incremental_refits += incremental_refits;
     }
 }
 
@@ -866,6 +946,53 @@ struct MachineState {
     /// and do all record filtering/copying *outside* it.
     batches: Vec<Arc<Vec<RunRecord>>>,
     generation: u64,
+    /// Per-(suite, options) streaming baselines: the last full-fit anchor
+    /// each [`Request::Refit`] key warm-starts from and drift-checks
+    /// against. Invisible to the plain fitting path.
+    baselines: Vec<(BaselineKey, RefitBaseline)>,
+}
+
+impl MachineState {
+    fn baseline(&self, key: &BaselineKey) -> Option<&RefitBaseline> {
+        self.baselines
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, b)| b)
+    }
+
+    fn set_baseline(&mut self, key: BaselineKey, baseline: RefitBaseline) {
+        if let Some(i) = self.baselines.iter().position(|(k, _)| *k == key) {
+            self.baselines[i].1 = baseline;
+        } else {
+            self.baselines.push((key, baseline));
+        }
+    }
+}
+
+/// Identifies one streaming baseline within a machine: the suite group and
+/// the fit-options fingerprint (same scoping as the model cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BaselineKey {
+    suite: Option<Suite>,
+    options: u64,
+}
+
+/// The anchor a streaming key's incremental refits polish from: the last
+/// full fit's parameters, its per-record objective (the drift bound), the
+/// workload's identity digest, and how many incremental refits have run
+/// since the anchor was set.
+#[derive(Debug, Clone)]
+struct RefitBaseline {
+    params: crate::params::ModelParams,
+    interval_cap: f64,
+    /// The anchor full fit's objective divided by its record count — the
+    /// scale-free quantity the drift guard compares against.
+    full_norm_objective: f64,
+    /// Digest of the distinct benchmark names the anchor trained on; a
+    /// change means the workload itself shifted and the basin may have
+    /// moved, so the guard forces a full refit.
+    workload_digest: u64,
+    since_full: u64,
 }
 
 /// One tenant's private slice of the service: its machine namespace and
@@ -909,6 +1036,8 @@ struct Inner {
     persist: Option<SnapshotStore>,
     /// Deployment-wide cap on per-regression thread fan-out.
     fit_threads: Option<usize>,
+    /// Streaming refit policy (drift guard + budgets), deployment-wide.
+    refit: RefitPolicy,
     workers: usize,
 }
 
@@ -1001,6 +1130,84 @@ pub struct ServiceConfig {
     /// and vice versa. Scheduling only: fitted bits never depend on it,
     /// and it is invisible to cache keys and persisted snapshots.
     pub fit_threads: Option<usize>,
+    /// Streaming refit policy: warm-start budget, drift bound and full-
+    /// refit cadence for [`Request::Refit`].
+    pub refit: RefitPolicy,
+}
+
+/// Policy governing streaming refits ([`Request::Refit`]): when the
+/// warm-start polish may serve a batch and when the full multi-start
+/// fan-out must re-anchor the baseline.
+///
+/// Like [`FitOptions`] it is `#[non_exhaustive]`: construct via
+/// [`Default`] and refine with the `with_*` setters. Unlike `FitOptions`,
+/// none of these knobs enter cache keys or persisted snapshots — they
+/// steer *scheduling* between two deterministic fit paths, and the
+/// stream-close reconciliation (a forced full refit) erases any
+/// policy-dependent parameter history.
+///
+/// # Examples
+///
+/// ```
+/// use memodel::service::RefitPolicy;
+///
+/// let policy = RefitPolicy::default().with_warm_evals(500).with_full_every(4);
+/// assert_eq!(policy.warm_evals, 500);
+/// assert_eq!(policy.full_every, 4);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RefitPolicy {
+    /// Objective-evaluation budget of one incremental polish
+    /// ([`InferredModel::refit`]). The full fan-out spends
+    /// `(1 + extra_starts) × max_evals`; keeping this a small fraction of
+    /// that is what makes steady-state streaming cheap.
+    pub warm_evals: usize,
+    /// Re-anchor with a full fit after this many consecutive incremental
+    /// refits (minimum 1 = always full). Bounds how far the polished
+    /// parameters can random-walk from a globally-optimal anchor.
+    pub full_every: u64,
+    /// Drift bound: an incremental refit is accepted only while its
+    /// per-record objective stays within this factor of the baseline full
+    /// fit's. Above it, the workload is assumed to have drifted out of
+    /// the anchor's basin and the full fan-out runs instead.
+    pub drift_factor: f64,
+}
+
+impl Default for RefitPolicy {
+    fn default() -> Self {
+        Self {
+            warm_evals: 2_000,
+            full_every: 16,
+            drift_factor: 1.5,
+        }
+    }
+}
+
+impl RefitPolicy {
+    /// The default policy: 2 000-evaluation polishes, a full re-anchor
+    /// every 16 batches, drift bound 1.5×.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the incremental polish's evaluation budget (minimum 1).
+    pub fn with_warm_evals(mut self, evals: usize) -> Self {
+        self.warm_evals = evals.max(1);
+        self
+    }
+
+    /// Sets the full-refit cadence (minimum 1 = every refit is full).
+    pub fn with_full_every(mut self, every: u64) -> Self {
+        self.full_every = every.max(1);
+        self
+    }
+
+    /// Sets the drift bound (minimum 1.0).
+    pub fn with_drift_factor(mut self, factor: f64) -> Self {
+        self.drift_factor = factor.max(1.0);
+        self
+    }
 }
 
 impl Default for ServiceConfig {
@@ -1013,6 +1220,7 @@ impl Default for ServiceConfig {
             cache_capacity: 32,
             state_dir: None,
             fit_threads: None,
+            refit: RefitPolicy::default(),
         }
     }
 }
@@ -1050,6 +1258,12 @@ impl ServiceConfig {
         self.fit_threads = Some(threads.max(1));
         self
     }
+
+    /// Sets the streaming refit policy (see [`RefitPolicy`]).
+    pub fn with_refit_policy(mut self, policy: RefitPolicy) -> Self {
+        self.refit = policy;
+        self
+    }
 }
 
 enum WorkerMsg {
@@ -1068,6 +1282,14 @@ enum Task {
     Ingest {
         machine: MachineId,
         records: Vec<RunRecord>,
+    },
+    StreamBatch {
+        machine: MachineId,
+        records: Vec<RunRecord>,
+    },
+    Refit {
+        key: ModelKey,
+        force_full: bool,
     },
     Fit(ModelKey),
     Stacks(ModelKey),
@@ -1163,6 +1385,7 @@ impl CpiService {
             cache: ModelCache::new(config.cache_capacity),
             persist,
             fit_threads: config.fit_threads,
+            refit: config.refit.clone(),
             workers,
         }));
         let mut shards = Vec::with_capacity(workers);
@@ -1369,6 +1592,22 @@ impl CpiClient {
                     .map_err(|error| ServiceError::Parse { origin, error })?;
                 return self.route(Request::IngestRecords(records));
             }
+            Request::StreamBatch {
+                machine,
+                mut records,
+            } => {
+                // A live source is bound to one machine; records tagged
+                // for another are dropped here, never silently upserted
+                // into the wrong store.
+                records.retain(|r| r.machine() == machine);
+                vec![(
+                    r.shard_of(t, machine),
+                    Task::StreamBatch { machine, records },
+                )]
+            }
+            Request::Refit { key, force_full } => {
+                vec![(r.shard_of_key(t, &key), Task::Refit { key, force_full })]
+            }
             Request::Fit(key) => vec![(r.shard_of_key(t, &key), Task::Fit(key))],
             Request::Stacks(key) => vec![(r.shard_of_key(t, &key), Task::Stacks(key))],
             Request::Group(key) => vec![(r.shard_of_key(t, &key), Task::Group(key))],
@@ -1449,6 +1688,56 @@ impl CpiClient {
             }
         }
         Ok(total)
+    }
+
+    /// Upserts one live counter batch into `machine`'s store (see
+    /// [`Request::StreamBatch`]) and waits for the ack. Returns the
+    /// records landed and the machine's new generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] when the service is gone.
+    pub fn stream_batch(
+        &self,
+        machine: MachineId,
+        records: Vec<RunRecord>,
+    ) -> Result<(usize, u64), ServiceError> {
+        for response in self.submit(Request::StreamBatch { machine, records }) {
+            match response {
+                Response::Ingested {
+                    records,
+                    generation,
+                    ..
+                } => return Ok((records, generation)),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
+    }
+
+    /// Serves one model on the streaming path (see [`Request::Refit`]):
+    /// cache hit, incremental warm-start polish, or full fan-out —
+    /// whichever is cheapest and safe under the service's
+    /// [`RefitPolicy`]. `force_full` forces the fan-out and re-anchors
+    /// the baseline (the stream-close reconciliation).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] the refit produced.
+    pub fn refit(
+        &self,
+        key: ModelKey,
+        force_full: bool,
+    ) -> Result<(ModelReport, RefitMode), ServiceError> {
+        for response in self.submit(Request::Refit { key, force_full }) {
+            match response {
+                Response::Refit { report, mode } => return Ok((report, mode)),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
     }
 
     /// Fits (or fetches) one model.
@@ -1819,6 +2108,70 @@ fn handle_task(
                 generation,
             });
         }
+        Task::StreamBatch { machine, records } => {
+            // Within-batch dedupe first: keep only the *last* record per
+            // (benchmark, suite), so the final store never depends on how
+            // the stream was chopped into batches — a batch carrying two
+            // samples of one workload behaves exactly like two batches
+            // carrying one each.
+            let mut batch = records;
+            let mut i = 0;
+            while i < batch.len() {
+                let superseded = batch[i + 1..].iter().any(|newer| {
+                    newer.suite() == batch[i].suite() && newer.benchmark() == batch[i].benchmark()
+                });
+                if superseded {
+                    batch.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            let count = batch.len();
+            let mut guard = lock(inner);
+            let state = guard.tenant_mut(tenant);
+            if count == 0 {
+                let generation = state.machine_mut(machine).generation;
+                drop(guard);
+                send(Response::Ingested {
+                    machine,
+                    records: 0,
+                    generation,
+                });
+                return;
+            }
+            state.ingested_records += count as u64;
+            let machine_state = state.machine_mut(machine);
+            // Upsert: copy-on-write removal of superseded records from
+            // earlier batches. Batches are shared `Arc`s (snapshots taken
+            // by in-flight fits keep the old view), so a touched batch is
+            // rebuilt rather than mutated.
+            let supersedes = |old: &RunRecord| {
+                batch
+                    .iter()
+                    .any(|new| new.suite() == old.suite() && new.benchmark() == old.benchmark())
+            };
+            for slot in machine_state.batches.iter_mut() {
+                if slot.iter().any(&supersedes) {
+                    let kept: Vec<RunRecord> =
+                        slot.iter().filter(|r| !supersedes(r)).cloned().collect();
+                    *slot = Arc::new(kept);
+                }
+            }
+            machine_state.batches.retain(|b| !b.is_empty());
+            machine_state.batches.push(Arc::new(batch));
+            machine_state.generation += 1;
+            let generation = machine_state.generation;
+            drop(guard);
+            send(Response::Ingested {
+                machine,
+                records: count,
+                generation,
+            });
+        }
+        Task::Refit { key, force_full } => match refit_key(inner, tenant, &key, force_full) {
+            Ok((report, mode)) => send(Response::Refit { report, mode }),
+            Err(e) => send(Response::Error(e)),
+        },
         Task::Fit(key) => match fit_key(inner, tenant, &key) {
             Ok((report, _, _)) => send(Response::Model(report)),
             Err(e) => send(Response::Error(e)),
@@ -2045,6 +2398,189 @@ fn fit_key(
     Ok((report(model, false), snapshot, Some(records)))
 }
 
+/// Digest of the *workload's identity*: the distinct benchmark names in a
+/// training set, order-free. Two record sets that re-sample the same
+/// workloads (a stationary stream) share a digest; adding, dropping or
+/// renaming a benchmark changes it — the cheap signal the drift guard uses
+/// to force a full refit on a workload shift without fitting anything.
+fn workload_digest(records: &[RunRecord]) -> u64 {
+    let mut names: Vec<&str> = records.iter().map(|r| r.benchmark()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut h = DefaultHasher::new();
+    for name in names {
+        name.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Serves one model key on the streaming path. Mode selection, cheapest
+/// first:
+///
+/// 1. **Cached** — the cache holds the key at the current generation
+///    (skipped under `force_full`).
+/// 2. **Incremental** — a baseline anchor exists, the workload digest is
+///    unchanged, the periodic full-refit cadence is not due, and the
+///    warm-start polish's per-record objective stays within the policy's
+///    drift bound of the anchor's. The polished parameters become the next
+///    polish's starting point; the anchor objective does not move.
+/// 3. **Full** — everything else: first fit of a stream, a workload
+///    shift, cadence due, drift-guard rejection, or `force_full` (the
+///    stream-close reconciliation). Re-anchors the baseline and persists
+///    the model (incremental results are never persisted: on restart the
+///    stream re-anchors from a full fit, so disk state is always the
+///    product of a full fan-out).
+///
+/// Both fitting modes insert into the model cache (same generation
+/// semantics as [`fit_key`]) and count one `fits`; the `full_refits` /
+/// `incremental_refits` split lands in [`CacheStats`] so the steady-state
+/// saving is observable per tenant.
+fn refit_key(
+    inner: &Mutex<Inner>,
+    tenant: &TenantId,
+    key: &ModelKey,
+    force_full: bool,
+) -> Result<(ModelReport, RefitMode), ServiceError> {
+    let baseline_key = BaselineKey {
+        suite: key.suite,
+        options: key.options.fingerprint(),
+    };
+    let (arch, batches, generation, store, fit_threads, policy, baseline) = {
+        let guard = lock(inner);
+        let state = guard
+            .tenant(tenant)
+            .and_then(|t| t.machine(key.machine))
+            .ok_or(ServiceError::NotRegistered {
+                machine: key.machine,
+            })?;
+        let spec = state.spec.as_ref().ok_or(ServiceError::NotRegistered {
+            machine: key.machine,
+        })?;
+        (
+            *spec.arch(),
+            state.batches.clone(),
+            state.generation,
+            guard.persist.clone(),
+            guard.fit_threads,
+            guard.refit.clone(),
+            state.baseline(&baseline_key).cloned(),
+        )
+    };
+    let snapshot = RecordsSnapshot {
+        batches,
+        suite: key.suite,
+    };
+    let count = snapshot.iter().count();
+    if count == 0 {
+        return Err(ServiceError::NoRecords {
+            machine: key.machine,
+            suite: key.suite,
+        });
+    }
+    let report = |model: Arc<InferredModel>, cached: bool| ModelReport {
+        machine: key.machine,
+        suite: key.suite,
+        records: count,
+        model,
+        cached,
+        generation,
+    };
+    if !force_full {
+        let hit = lock(inner).cache.lookup(tenant, key, generation);
+        if let Some(model) = hit {
+            return Ok((report(model, true), RefitMode::Cached));
+        }
+    }
+    let records = snapshot.to_vec();
+    let digest = workload_digest(&records);
+    let fit_error = |error: FitError| ServiceError::Fit {
+        machine: key.machine,
+        suite: key.suite,
+        error,
+    };
+    // Try the warm-start polish when the guard allows it.
+    let warm = match (&baseline, force_full) {
+        (Some(b), false) if b.workload_digest == digest && b.since_full + 1 < policy.full_every => {
+            let anchor = InferredModel::from_parts(arch, b.params, b.interval_cap, 0.0);
+            let polished = anchor
+                .refit(&records, &key.options, policy.warm_evals)
+                .map_err(fit_error)?;
+            let norm = polished.objective() / count as f64;
+            // The drift guard: accept only while the polish tracks the
+            // anchor's quality. A rejected polish is discarded entirely —
+            // its cost was bounded by `warm_evals`.
+            (norm <= b.full_norm_objective * policy.drift_factor).then_some(polished)
+        }
+        _ => None,
+    };
+    if let Some(polished) = warm {
+        let model = Arc::new(polished);
+        let mut guard = lock(inner);
+        guard.tenant_mut(tenant).fits += 1;
+        guard.cache.stats_mut(tenant).incremental_refits += 1;
+        guard
+            .cache
+            .insert(tenant, key, generation, Arc::clone(&model));
+        let baseline = baseline.expect("warm polish requires a baseline");
+        guard
+            .tenant_mut(tenant)
+            .machine_mut(key.machine)
+            .set_baseline(
+                baseline_key,
+                RefitBaseline {
+                    params: *model.params(),
+                    since_full: baseline.since_full + 1,
+                    ..baseline
+                },
+            );
+        drop(guard);
+        return Ok((report(model, false), RefitMode::Incremental));
+    }
+    // Full fan-out: fit, re-anchor, persist.
+    let options = match fit_threads {
+        Some(threads) => key.options.clone().with_threads(threads),
+        None => key.options.clone(),
+    };
+    let model = Arc::new(InferredModel::fit(&arch, &records, &options).map_err(fit_error)?);
+    {
+        let mut guard = lock(inner);
+        guard.tenant_mut(tenant).fits += 1;
+        guard.cache.stats_mut(tenant).full_refits += 1;
+        guard
+            .cache
+            .insert(tenant, key, generation, Arc::clone(&model));
+        guard
+            .tenant_mut(tenant)
+            .machine_mut(key.machine)
+            .set_baseline(
+                baseline_key,
+                RefitBaseline {
+                    params: *model.params(),
+                    interval_cap: model.interval_cap(),
+                    full_norm_objective: model.objective() / count as f64,
+                    workload_digest: digest,
+                    since_full: 0,
+                },
+            );
+    }
+    // Best-effort write-behind, exactly as the plain fitting path does.
+    let store = store.and_then(|root| root.for_tenant(tenant).ok());
+    if let Some(store) = store {
+        let _ = store.save(&persist::ModelSnapshot {
+            machine: key.machine,
+            suite: key.suite,
+            options_fingerprint: key.options.fingerprint(),
+            records_digest: persist::records_digest(&records),
+            records: count as u32,
+            arch,
+            params: *model.params(),
+            interval_cap: model.interval_cap(),
+            objective: model.objective(),
+        });
+    }
+    Ok((report(model, false), RefitMode::Full))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2259,5 +2795,126 @@ mod tests {
         assert!(!other.cached, "different options are a different key");
         let stats = service.shutdown();
         assert_eq!(stats.fits, 2);
+    }
+
+    /// One jittered round of a stationary live stream: the same workloads,
+    /// counters perturbed ±1%.
+    fn jitter_round(records: &[RunRecord], seed: u64) -> Vec<RunRecord> {
+        use pmu::live::{LiveSource, ReplaySource};
+        let mut src = ReplaySource::new(records.to_vec())
+            .batch_size(records.len().max(1))
+            .rounds(2)
+            .jitter(seed);
+        src.next_batch(); // round 0: verbatim
+        src.next_batch().expect("round 1")
+    }
+
+    #[test]
+    fn streaming_refits_pick_the_cheapest_safe_mode() {
+        let (service, client) = warm_service();
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        // First refit of a stream: no baseline yet, so the fan-out runs.
+        let (first, mode) = client.refit(key.clone(), false).expect("anchor");
+        assert_eq!(mode, RefitMode::Full);
+        assert!(!first.cached);
+        // Nothing new arrived: the cache serves.
+        let (_, mode) = client.refit(key.clone(), false).expect("cached");
+        assert_eq!(mode, RefitMode::Cached);
+        // A stationary batch (same workloads, jittered counters): the
+        // warm-start polish is accepted, and the upsert keeps the store at
+        // 12 records instead of growing it to 24.
+        let batch = jitter_round(&core2_records(12, 3_000, 7), 5);
+        client
+            .stream_batch(MachineId::Core2, batch)
+            .expect("stream batch");
+        let (second, mode) = client.refit(key.clone(), false).expect("incremental");
+        assert_eq!(mode, RefitMode::Incremental);
+        assert_eq!(second.records, 12, "stream batches upsert, not append");
+        // Forced reconciliation bypasses the cache and re-anchors.
+        let (reconciled, mode) = client.refit(key, true).expect("reconcile");
+        assert_eq!(mode, RefitMode::Full);
+        assert!(!reconciled.cached);
+        let stats = service.shutdown();
+        assert_eq!(stats.cache.full_refits, 2);
+        assert_eq!(stats.cache.incremental_refits, 1);
+        assert_eq!(stats.fits, 3);
+    }
+
+    #[test]
+    fn workload_shift_forces_the_full_fanout() {
+        let (service, client) = warm_service();
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        client.refit(key.clone(), false).expect("anchor");
+        // Stationary: incremental, proving the guard was letting polishes
+        // through before the shift.
+        client
+            .stream_batch(
+                MachineId::Core2,
+                jitter_round(&core2_records(12, 3_000, 7), 1),
+            )
+            .expect("stationary batch");
+        let (_, mode) = client.refit(key.clone(), false).expect("incremental");
+        assert_eq!(mode, RefitMode::Incremental);
+        // Shift: a batch of *different* benchmarks changes the workload
+        // digest, so the guard must fall back to the full fan-out without
+        // even running the polish.
+        let shifted = SimSource::new()
+            .suite(
+                specgen::suites::cpu2000()
+                    .into_iter()
+                    .skip(12)
+                    .take(12)
+                    .collect(),
+            )
+            .uops(3_000)
+            .seed(8)
+            .collect_config(&MachineConfig::core2());
+        client
+            .stream_batch(MachineId::Core2, shifted)
+            .expect("shifted batch");
+        let (report, mode) = client.refit(key, false).expect("post-shift refit");
+        assert_eq!(mode, RefitMode::Full, "workload shift must re-anchor");
+        assert_eq!(report.records, 24, "new workloads add, same ones replace");
+        let stats = service.shutdown();
+        assert_eq!(stats.cache.full_refits, 2);
+        assert_eq!(stats.cache.incremental_refits, 1);
+    }
+
+    #[test]
+    fn periodic_full_refit_reanchors() {
+        let service = CpiService::start(
+            ServiceConfig::new()
+                .with_workers(2)
+                .with_refit_policy(RefitPolicy::default().with_full_every(2)),
+        );
+        let client = service.client();
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+        let records = core2_records(12, 3_000, 7);
+        client.ingest(records.clone()).expect("ingest");
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let mut modes = Vec::new();
+        for seed in 1..=4u64 {
+            let (_, mode) = client.refit(key.clone(), false).expect("refit");
+            modes.push(mode);
+            client
+                .stream_batch(MachineId::Core2, jitter_round(&records, seed))
+                .expect("batch");
+        }
+        let (_, last) = client.refit(key, false).expect("final refit");
+        modes.push(last);
+        // full_every = 2: anchor, one polish, re-anchor, one polish, ...
+        assert_eq!(
+            modes,
+            vec![
+                RefitMode::Full,
+                RefitMode::Incremental,
+                RefitMode::Full,
+                RefitMode::Incremental,
+                RefitMode::Full
+            ]
+        );
+        service.shutdown();
     }
 }

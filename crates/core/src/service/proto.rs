@@ -68,12 +68,14 @@
 
 use super::auth::TokenRegistry;
 use super::persist::fnv64;
-use super::{CpiClient, ModelKey, Request, Response, ServiceConfig, ServiceError, TenantId};
+use super::{
+    CpiClient, ModelKey, RefitMode, Request, Response, ServiceConfig, ServiceError, TenantId,
+};
 use crate::fit::FitOptions;
 use crate::params::MicroarchParams;
 use crate::stack::CpiStack;
 use crate::workbench::MachineSpec;
-use pmu::{MachineId, Suite};
+use pmu::{MachineId, RunRecord, Suite};
 use std::io::{BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::str::FromStr;
@@ -194,6 +196,7 @@ impl SessionSpec {
             options: self.options.clone(),
             registry: self.registry.clone(),
             authenticated: self.registry.is_none(),
+            stream: None,
         }
     }
 }
@@ -207,6 +210,40 @@ pub struct Session {
     options: FitOptions,
     registry: Option<Arc<TokenRegistry>>,
     authenticated: bool,
+    stream: Option<StreamState>,
+}
+
+/// An open `stream` session's buffer and tallies (see [`run_stream`]).
+/// Dropped with the session: rows never flushed are never ingested.
+#[derive(Debug)]
+struct StreamState {
+    machine: MachineId,
+    suite: Option<Suite>,
+    pending: Vec<RunRecord>,
+    batches: u64,
+    records: u64,
+    full: u64,
+    incremental: u64,
+    cached: u64,
+    /// Whether an incremental refit has served since the last full one —
+    /// `stream close` reconciles with a forced full refit iff set.
+    dirty: bool,
+}
+
+impl StreamState {
+    fn new(machine: MachineId, suite: Option<Suite>) -> Self {
+        Self {
+            machine,
+            suite,
+            pending: Vec::new(),
+            batches: 0,
+            records: 0,
+            full: 0,
+            incremental: 0,
+            cached: 0,
+            dirty: false,
+        }
+    }
 }
 
 impl Session {
@@ -290,12 +327,182 @@ pub fn execute_line(
             LineOutcome::Shutdown
         });
     }
+    // The streaming verbs mutate per-session state (the open stream's
+    // buffer and tallies), so they dispatch here rather than through the
+    // stateless `run_command`.
+    if first == "stream" {
+        match run_stream(session, &words, output) {
+            Ok(()) => writeln!(output, "ok")?,
+            Err(CommandError::Protocol(msg)) => writeln!(output, "err: {msg}")?,
+            Err(CommandError::Io(e)) => return Err(e),
+        }
+        return Ok(LineOutcome::Continue);
+    }
     match run_command(&session.client, &session.options, &words, output) {
         Ok(()) => writeln!(output, "ok")?,
         Err(CommandError::Protocol(msg)) => writeln!(output, "err: {msg}")?,
         Err(CommandError::Io(e)) => return Err(e),
     }
     Ok(LineOutcome::Continue)
+}
+
+/// The streamed-ingest verbs. Session-stateful, and — like the cluster's
+/// `pullsnap`/`pushsnap` — deliberately absent from `help` (whose text is
+/// pinned by golden transcripts): `cpistack watch` is the intended driver,
+/// speaking this vocabulary over either front.
+///
+/// ```text
+/// stream open <machine> <suite|all>   start a streamed session
+/// stream rec <csv-row>                buffer one counter row (no header)
+/// stream flush                        upsert the buffer, refit, report
+/// stream close                        flush, reconcile, summarize
+/// ```
+///
+/// `flush` answers `batch <n> records <r> generation <g> refit
+/// <full|incremental|cached> objective <o>`; `close` reconciles with one
+/// forced full refit when any incremental refit served the stream, so the
+/// final model depends only on the final record set.
+fn run_stream(
+    session: &mut Session,
+    words: &[&str],
+    output: &mut impl Write,
+) -> Result<(), CommandError> {
+    // The session's client/options are cheap clones; taking them up front
+    // keeps the mutable borrow of `session.stream` free of conflicts.
+    let client = session.client.clone();
+    let options = session.options.clone();
+    match words.get(1).copied() {
+        Some("open") => {
+            if words.len() != 4 {
+                return Err(CommandError::Protocol(
+                    "usage: stream open <machine> <suite|all>".into(),
+                ));
+            }
+            if session.stream.is_some() {
+                return Err(CommandError::Protocol(
+                    "a stream is already open (flush or close it first)".into(),
+                ));
+            }
+            let machine = parse_machine(words[2])?;
+            let suite = parse_suite(words[3])?;
+            session.stream = Some(StreamState::new(machine, suite));
+            writeln!(
+                output,
+                "streaming {} {}",
+                machine.name(),
+                suite.map_or("all", Suite::name)
+            )?;
+        }
+        Some("rec") => {
+            if words.len() != 3 {
+                return Err(CommandError::Protocol("usage: stream rec <csv-row>".into()));
+            }
+            let state = session
+                .stream
+                .as_mut()
+                .ok_or_else(|| CommandError::Protocol("no stream is open".into()))?;
+            let record = pmu::csv::from_csv_row(words[2])
+                .map_err(|e| CommandError::Protocol(e.to_string()))?;
+            if record.machine() != state.machine {
+                return Err(CommandError::Protocol(format!(
+                    "row is for {}, stream is for {}",
+                    record.machine().name(),
+                    state.machine.name()
+                )));
+            }
+            if state.suite.is_some_and(|s| record.suite() != s) {
+                return Err(CommandError::Protocol(format!(
+                    "row is for {}, stream is for {}",
+                    record.suite().name(),
+                    state.suite.map_or("all", Suite::name)
+                )));
+            }
+            state.pending.push(record);
+        }
+        Some("flush") => {
+            if words.len() != 2 {
+                return Err(CommandError::Protocol("usage: stream flush".into()));
+            }
+            let state = session
+                .stream
+                .as_mut()
+                .ok_or_else(|| CommandError::Protocol("no stream is open".into()))?;
+            flush_stream_batch(&client, &options, state, output)?;
+        }
+        Some("close") => {
+            if words.len() != 2 {
+                return Err(CommandError::Protocol("usage: stream close".into()));
+            }
+            // Take the state up front: even a failing close leaves the
+            // session ready for a fresh `stream open`.
+            let mut state = session
+                .stream
+                .take()
+                .ok_or_else(|| CommandError::Protocol("no stream is open".into()))?;
+            if !state.pending.is_empty() {
+                flush_stream_batch(&client, &options, &mut state, output)?;
+            }
+            if state.dirty {
+                let key = ModelKey::new(state.machine, state.suite, options);
+                let (report, mode) = client.refit(key, true)?;
+                writeln!(
+                    output,
+                    "reconciled {} objective {:.6}",
+                    mode,
+                    report.model.objective()
+                )?;
+            }
+            writeln!(
+                output,
+                "stream closed: batches {} records {} refits full {} incremental {} cached {}",
+                state.batches, state.records, state.full, state.incremental, state.cached
+            )?;
+        }
+        _ => {
+            return Err(CommandError::Protocol(
+                "usage: stream <open|rec|flush|close>".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Upserts the buffered rows as one batch and serves a refit, reporting
+/// what the refit cost — the shared tail of `stream flush` and the
+/// implicit flush inside `stream close`.
+fn flush_stream_batch(
+    client: &CpiClient,
+    options: &FitOptions,
+    state: &mut StreamState,
+    output: &mut impl Write,
+) -> Result<(), CommandError> {
+    if state.pending.is_empty() {
+        return Err(CommandError::Protocol("nothing to flush".into()));
+    }
+    let rows: Vec<RunRecord> = state.pending.drain(..).collect();
+    let (landed, generation) = client.stream_batch(state.machine, rows)?;
+    let key = ModelKey::new(state.machine, state.suite, options.clone());
+    let (report, mode) = client.refit(key, false)?;
+    state.batches += 1;
+    state.records += landed as u64;
+    match mode {
+        RefitMode::Full => state.full += 1,
+        RefitMode::Incremental => {
+            state.incremental += 1;
+            state.dirty = true;
+        }
+        RefitMode::Cached => state.cached += 1,
+    }
+    writeln!(
+        output,
+        "batch {} records {} generation {} refit {} objective {:.6}",
+        state.batches,
+        landed,
+        generation,
+        mode,
+        report.model.objective()
+    )?;
+    Ok(())
 }
 
 /// Runs a whole scripted session over a blocking `BufRead` — the stdio
@@ -487,8 +694,7 @@ fn run_command(
             // session's tenant, so one tenant's counters are invisible in
             // another's stats line.
             let stats = client.stats()?;
-            writeln!(
-                output,
+            let mut line = format!(
                 "stats: requests {} fits {} hits {} misses {} warm {} evictions {} \
                  invalidations {} records {} workers {} tenant {}",
                 stats.requests,
@@ -501,7 +707,19 @@ fn run_command(
                 stats.ingested_records,
                 stats.workers,
                 client.tenant()
-            )?;
+            );
+            // The refit split rides along only once a refit has actually
+            // run: the zero-state line is pinned byte-exact by golden
+            // transcripts that predate streaming.
+            if stats.cache.full_refits + stats.cache.incremental_refits > 0 {
+                use std::fmt::Write as _;
+                let _ = write!(
+                    line,
+                    " refits full {} incremental {}",
+                    stats.cache.full_refits, stats.cache.incremental_refits
+                );
+            }
+            writeln!(output, "{line}")?;
         }
         // The two replication verbs the cluster router speaks between
         // nodes (see [`super::cluster`]). Deliberately absent from
@@ -1124,5 +1342,109 @@ mod tests {
             text,
             "cpistack serve: 2 workers, cache 4 models, quick fits (type `help`)"
         );
+    }
+
+    fn streaming_service() -> (super::super::CpiService, CpiClient) {
+        use crate::workbench::MachineSpec;
+        use oosim::machine::MachineConfig;
+        let service = super::super::CpiService::start(ServiceConfig::new().with_workers(2));
+        let client = service.client();
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+        (service, client)
+    }
+
+    #[test]
+    fn stream_verbs_ingest_refit_and_reconcile() {
+        use crate::workbench::SimSource;
+        use oosim::machine::MachineConfig;
+        use pmu::live::LiveSource as _;
+        let (service, client) = streaming_service();
+        let records = SimSource::new()
+            .suite(specgen::suites::cpu2000().into_iter().take(12).collect())
+            .uops(3_000)
+            .seed(7)
+            .collect_config(&MachineConfig::core2());
+        // Round 0 replays verbatim (anchors a full fit); round 1 is
+        // jittered but stationary (served by the warm polish).
+        let mut source = pmu::live::ReplaySource::new(records)
+            .batch_size(12)
+            .rounds(2)
+            .jitter(3);
+        let mut script = String::from("stream open core2 cpu2000\n");
+        while let Some(batch) = source.next_batch() {
+            for row in pmu::csv::to_csv_rows(&batch).lines() {
+                script.push_str("stream rec ");
+                script.push_str(row);
+                script.push('\n');
+            }
+            script.push_str("stream flush\n");
+        }
+        script.push_str("stream close\nstats\nquit\n");
+        let mut session = SessionSpec::open(client, FitOptions::quick()).session();
+        let mut out = Vec::new();
+        let end = run_session(&mut session, script.as_bytes(), &mut out).expect("session runs");
+        assert_eq!(end, SessionEnd::Quit);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(!text.contains("err:"), "clean transcript, got:\n{text}");
+        assert!(text.contains("streaming core2 cpu2000"), "{text}");
+        assert!(text.contains("refit full"), "{text}");
+        assert!(text.contains("refit incremental"), "{text}");
+        assert!(text.contains("reconciled full"), "{text}");
+        assert!(
+            text.contains(
+                "stream closed: batches 2 records 24 refits full 1 incremental 1 cached 0"
+            ),
+            "{text}"
+        );
+        // The stats suffix appears exactly once a refit has run: one
+        // in-stream full, one polish, one reconciliation.
+        assert!(text.contains(" refits full 2 incremental 1"), "{text}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn stream_misuse_is_reported_in_band() {
+        let (service, client) = streaming_service();
+        let script = "stream\n\
+                      stream rec a,b,c\n\
+                      stream flush\n\
+                      stream close\n\
+                      stream open core2 cpu2000\n\
+                      stream open core2 all\n\
+                      stream flush\n\
+                      stream rec not-a-row\n\
+                      stream close\n\
+                      stats\n\
+                      quit\n";
+        let mut session = SessionSpec::open(client, FitOptions::quick()).session();
+        let mut out = Vec::new();
+        run_session(&mut session, script.as_bytes(), &mut out).expect("session runs");
+        let text = String::from_utf8(out).expect("utf8");
+        let errs: Vec<&str> = text.lines().filter(|l| l.starts_with("err: ")).collect();
+        assert_eq!(errs.len(), 7, "one err per misuse, got:\n{text}");
+        assert!(errs[0].contains("usage: stream"), "{text}");
+        assert!(errs[1].contains("no stream is open"), "{text}");
+        assert!(errs[2].contains("no stream is open"), "{text}");
+        assert!(errs[3].contains("no stream is open"), "{text}");
+        assert!(errs[4].contains("already open"), "{text}");
+        assert!(errs[5].contains("nothing to flush"), "{text}");
+        // errs[6]: the malformed csv row.
+        // Misuse never reached a refit, so the close summary is all
+        // zeroes and the pinned stats line keeps its pre-streaming shape
+        // (no ` refits …` suffix).
+        assert!(
+            text.contains(
+                "stream closed: batches 0 records 0 refits full 0 incremental 0 cached 0"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("stats: ") && !l.contains("refits")),
+            "{text}"
+        );
+        service.shutdown();
     }
 }

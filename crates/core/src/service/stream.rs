@@ -1,0 +1,337 @@
+//! The streaming pump: drives a [`LiveSource`] into a running service.
+//!
+//! This is the shared engine behind `cpistack watch` and the bench
+//! harness's streaming section: pull counter batches from a live source,
+//! upsert each into the tenant's machine ([`Request::StreamBatch`]), serve
+//! a refit ([`Request::Refit`]) and report what it cost, then — once the
+//! source runs dry — reconcile with one forced full refit so the final
+//! parameters are a pure function of the final record set, independent of
+//! how the stream was chopped into batches.
+//!
+//! [`Request::StreamBatch`]: super::Request::StreamBatch
+//! [`Request::Refit`]: super::Request::Refit
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use memodel::service::{stream, CpiService, ModelKey, ServiceConfig};
+//! use memodel::FitOptions;
+//! use pmu::live::ReplaySource;
+//! use pmu::{MachineId, Suite};
+//!
+//! let service = CpiService::start(ServiceConfig::new());
+//! let client = service.client();
+//! // ... register the machine, build a source ...
+//! # let records = Vec::new();
+//! let mut source = ReplaySource::new(records).batch_size(8).rounds(3).jitter(1);
+//! let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+//! let summary = stream::pump(
+//!     &client,
+//!     &key,
+//!     &mut source,
+//!     &stream::PumpOptions::default(),
+//!     |batch, _records| {
+//!         let mode = batch.mode.map_or("deferred", |m| m.name());
+//!         println!("batch {} refit {mode}", batch.batch);
+//!     },
+//! ).unwrap();
+//! println!("{} incremental refits", summary.incremental_refits);
+//! ```
+
+use super::{CpiClient, ModelKey, ModelReport, RefitMode, ServiceError};
+use crate::fit::FitError;
+use pmu::live::LiveSource;
+use pmu::RunRecord;
+use std::time::{Duration, Instant};
+
+/// Options for [`pump`]. Construct via [`Default`] and refine with the
+/// `with_*` setters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct PumpOptions {
+    /// Pause between batches — the sampling cadence of a watch session.
+    /// Zero (the default) pumps flat out, which is what replays and CI
+    /// smokes want.
+    pub interval: Duration,
+    /// Reconcile on close: after the source runs dry, run one forced full
+    /// refit *if* any incremental refit served the stream, erasing the
+    /// polish history from the final parameters. On by default.
+    pub reconcile: bool,
+}
+
+impl Default for PumpOptions {
+    fn default() -> Self {
+        Self {
+            interval: Duration::ZERO,
+            reconcile: true,
+        }
+    }
+}
+
+impl PumpOptions {
+    /// Sets the inter-batch pause.
+    #[must_use]
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Enables or disables the closing reconciliation refit.
+    #[must_use]
+    pub fn with_reconcile(mut self, reconcile: bool) -> Self {
+        self.reconcile = reconcile;
+        self
+    }
+}
+
+/// What one pumped batch cost, handed to the [`pump`] callback.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct BatchReport {
+    /// 1-based batch index.
+    pub batch: usize,
+    /// Records upserted by this batch.
+    pub records: usize,
+    /// The machine's generation after the upsert.
+    pub generation: u64,
+    /// How the refit was served — `None` when it was deferred because
+    /// the store cannot determine the 10 parameters yet (a live stream's
+    /// earliest batches; the records are ingested and a later batch will
+    /// fit them).
+    pub mode: Option<RefitMode>,
+    /// The served model's objective value (`NaN` when deferred).
+    pub objective: f64,
+    /// Wall-clock of the refit request, in milliseconds.
+    pub millis: f64,
+}
+
+/// Totals for one pumped stream, returned by [`pump`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct WatchSummary {
+    /// Batches pumped (excluding the closing reconciliation).
+    pub batches: usize,
+    /// Total records upserted.
+    pub records: usize,
+    /// In-stream refits served by the full fan-out.
+    pub full_refits: u64,
+    /// In-stream refits served by the warm-start polish.
+    pub incremental_refits: u64,
+    /// In-stream refits served straight from the cache.
+    pub cached: u64,
+    /// Batches upserted without a refit: the store was still too small
+    /// to determine the parameters.
+    pub deferred: u64,
+    /// Whether a closing reconciliation (forced full refit) ran.
+    pub reconciled: bool,
+    /// The final served model, if any batch was pumped.
+    pub report: Option<ModelReport>,
+}
+
+/// Pumps `source` dry into `client`'s service: upsert each batch, refit,
+/// report, pause, repeat — then reconcile (see [`PumpOptions`]). The
+/// callback observes every batch (including the reconciliation, with
+/// `records == 0`) together with the records it carried, so callers can
+/// print progress lines or append rows to a record file.
+///
+/// A live stream's earliest batches may land before the store can
+/// determine the 10 parameters; those refits are *deferred* (the records
+/// stay ingested, [`BatchReport::mode`] is `None`, and
+/// [`WatchSummary::deferred`] counts them) rather than failing the pump.
+///
+/// # Errors
+///
+/// The first [`ServiceError`] any upsert or refit produces — except an
+/// underdetermined fit, which defers as described above; batches already
+/// pumped stay ingested.
+pub fn pump(
+    client: &CpiClient,
+    key: &ModelKey,
+    source: &mut dyn LiveSource,
+    opts: &PumpOptions,
+    mut on_batch: impl FnMut(&BatchReport, &[RunRecord]),
+) -> Result<WatchSummary, ServiceError> {
+    let mut summary = WatchSummary {
+        batches: 0,
+        records: 0,
+        full_refits: 0,
+        incremental_refits: 0,
+        cached: 0,
+        deferred: 0,
+        reconciled: false,
+        report: None,
+    };
+    while let Some(batch) = source.next_batch() {
+        if batch.is_empty() {
+            continue;
+        }
+        let (landed, generation) = client.stream_batch(key.machine, batch.clone())?;
+        let started = Instant::now();
+        let refit = client.refit(key.clone(), false);
+        let millis = started.elapsed().as_secs_f64() * 1_000.0;
+        summary.batches += 1;
+        summary.records += landed;
+        let (mode, objective) = match refit {
+            Ok((report, mode)) => {
+                match mode {
+                    RefitMode::Full => summary.full_refits += 1,
+                    RefitMode::Incremental => summary.incremental_refits += 1,
+                    RefitMode::Cached => summary.cached += 1,
+                }
+                let objective = report.model.objective();
+                summary.report = Some(report);
+                (Some(mode), objective)
+            }
+            Err(ServiceError::Fit {
+                error: FitError::TooFewRecords { .. },
+                ..
+            }) => {
+                summary.deferred += 1;
+                (None, f64::NAN)
+            }
+            Err(e) => return Err(e),
+        };
+        let progress = BatchReport {
+            batch: summary.batches,
+            records: landed,
+            generation,
+            mode,
+            objective,
+            millis,
+        };
+        on_batch(&progress, &batch);
+        if !opts.interval.is_zero() {
+            std::thread::sleep(opts.interval);
+        }
+    }
+    // Close: when any polish served the stream, re-anchor with one forced
+    // full refit so the final parameters depend only on the final records.
+    if opts.reconcile && summary.incremental_refits > 0 {
+        let started = Instant::now();
+        let (report, mode) = client.refit(key.clone(), true)?;
+        let millis = started.elapsed().as_secs_f64() * 1_000.0;
+        summary.reconciled = true;
+        let progress = BatchReport {
+            batch: summary.batches + 1,
+            records: 0,
+            generation: report.generation,
+            mode: Some(mode),
+            objective: report.model.objective(),
+            millis,
+        };
+        summary.report = Some(report);
+        on_batch(&progress, &[]);
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CpiService, ServiceConfig};
+    use super::*;
+    use crate::fit::FitOptions;
+    use crate::workbench::{MachineSpec, SimSource};
+    use oosim::machine::MachineConfig;
+    use pmu::live::ReplaySource;
+    use pmu::{MachineId, Suite};
+
+    #[test]
+    fn pump_streams_refits_and_reconciles() {
+        let service = CpiService::start(ServiceConfig::new().with_workers(2));
+        let client = service.client();
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+        let records = SimSource::new()
+            .suite(specgen::suites::cpu2000().into_iter().take(12).collect())
+            .uops(3_000)
+            .seed(7)
+            .collect_config(&MachineConfig::core2());
+        let mut source = ReplaySource::new(records)
+            .batch_size(12)
+            .rounds(3)
+            .jitter(9);
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let mut seen = Vec::new();
+        let summary = pump(
+            &client,
+            &key,
+            &mut source,
+            &PumpOptions::default(),
+            |batch, records| seen.push((batch.batch, batch.mode, records.len())),
+        )
+        .expect("pump");
+        assert_eq!(summary.batches, 3);
+        assert_eq!(summary.records, 36);
+        assert_eq!(summary.full_refits, 1, "round 0 anchors");
+        assert_eq!(summary.incremental_refits, 2, "stationary rounds polish");
+        assert!(summary.reconciled);
+        assert_eq!(seen.len(), 4, "3 batches + the reconciliation");
+        assert_eq!(seen[3], (4, Some(RefitMode::Full), 0));
+        let report = summary.report.expect("final model");
+        assert_eq!(report.records, 12, "upserts keep the store bounded");
+        let stats = service.shutdown();
+        assert_eq!(stats.cache.full_refits, 2);
+        assert_eq!(stats.cache.incremental_refits, 2);
+    }
+
+    #[test]
+    fn early_small_batches_defer_instead_of_failing() {
+        let service = CpiService::start(ServiceConfig::new().with_workers(2));
+        let client = service.client();
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+        let records = SimSource::new()
+            .suite(specgen::suites::cpu2000().into_iter().take(12).collect())
+            .uops(3_000)
+            .seed(7)
+            .collect_config(&MachineConfig::core2());
+        // 12 records in 4-record batches: the store holds 4, then 8 —
+        // both short of the 11 the regression needs — then 12.
+        let mut source = ReplaySource::new(records).batch_size(4);
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let mut modes = Vec::new();
+        let summary = pump(
+            &client,
+            &key,
+            &mut source,
+            &PumpOptions::default(),
+            |batch, _| modes.push((batch.mode, batch.objective.is_nan())),
+        )
+        .expect("small batches defer, not fail");
+        assert_eq!(summary.batches, 3);
+        assert_eq!(summary.deferred, 2, "4- and 8-record stores defer");
+        assert_eq!(summary.full_refits, 1, "the 12-record store anchors");
+        assert_eq!(
+            modes,
+            vec![(None, true), (None, true), (Some(RefitMode::Full), false)]
+        );
+        assert!(!summary.reconciled, "no polish ran; nothing to reconcile");
+        assert_eq!(summary.report.expect("final model").records, 12);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pump_of_an_empty_source_is_a_no_op() {
+        let service = CpiService::start(ServiceConfig::new().with_workers(1));
+        let client = service.client();
+        client
+            .register(MachineSpec::from(MachineConfig::core2()))
+            .expect("register");
+        let mut source = ReplaySource::new(Vec::new());
+        let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+        let summary = pump(
+            &client,
+            &key,
+            &mut source,
+            &PumpOptions::default(),
+            |_, _| panic!("no batches expected"),
+        )
+        .expect("pump");
+        assert_eq!(summary.batches, 0);
+        assert!(!summary.reconciled);
+        assert!(summary.report.is_none());
+        service.shutdown();
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the streaming refit path — the three invariants
+//! the continuous-modeling pipeline rests on:
+//!
+//! 1. **Stationary streams polish safely**: on a jittered but stationary
+//!    workload the drift guard serves warm-start incremental refits, and
+//!    the polished model's normalised objective stays within the drift
+//!    bound of a full multi-start fan-out over the same final records.
+//! 2. **Workload shifts always fall back**: a batch that changes the
+//!    benchmark population is never served by the polish — the digest
+//!    check forces the full fan-out, whatever the seeds.
+//! 3. **Batch-split determinism**: the same record stream chopped at
+//!    different batch boundaries converges to bit-identical final
+//!    parameters once the stream closes (upsert semantics + the closing
+//!    reconciliation make the result a pure function of the final
+//!    record set).
+
+use memodel::service::{stream, CpiService, ModelKey, RefitMode, ServiceConfig};
+use memodel::workbench::{MachineSpec, SimSource};
+use memodel::FitOptions;
+use oosim::machine::MachineConfig;
+use pmu::live::ReplaySource;
+use pmu::{MachineId, RunRecord, Suite};
+use proptest::prelude::*;
+
+/// 12 CPU2000 benchmarks on the Core 2 preset — enough records for the
+/// 10-parameter regression, cheap enough for many proptest cases.
+fn base_records(seed: u64) -> Vec<RunRecord> {
+    SimSource::new()
+        .suite(specgen::suites::cpu2000().into_iter().take(12).collect())
+        .uops(3_000)
+        .seed(seed)
+        .collect_config(&MachineConfig::core2())
+}
+
+/// A different slice of the benchmark population: same machine, same
+/// suite key, disjoint benchmark names — a genuine workload shift.
+fn shifted_records(seed: u64) -> Vec<RunRecord> {
+    SimSource::new()
+        .suite(
+            specgen::suites::cpu2000()
+                .into_iter()
+                .skip(12)
+                .take(12)
+                .collect(),
+        )
+        .uops(3_000)
+        .seed(seed)
+        .collect_config(&MachineConfig::core2())
+}
+
+fn model_key() -> ModelKey {
+    ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick())
+}
+
+/// A fresh two-worker service with the Core 2 machine registered.
+fn warm_service() -> CpiService {
+    let service = CpiService::start(ServiceConfig::new().with_workers(2));
+    service
+        .client()
+        .register(MachineSpec::from(MachineConfig::core2()))
+        .expect("register core2");
+    service
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Stationary jittered streams are served by the incremental polish,
+    /// and the polish never drifts: its normalised objective stays within
+    /// a small factor of the full fan-out over the same final records.
+    /// (The guard enforces 1.5× against its *anchor* baseline; the 2×
+    /// bound here adds slack for the ±1% counter jitter between the
+    /// anchor's records and the final round's.)
+    #[test]
+    fn stationary_streams_polish_within_the_drift_bound(
+        seed in 1u64..1_000,
+        jitter in 1u64..1_000,
+    ) {
+        let service = warm_service();
+        let client = service.client();
+        let records = base_records(seed);
+        let batch = records.len();
+        let mut source = ReplaySource::new(records)
+            .batch_size(batch)
+            .rounds(3)
+            .jitter(jitter);
+        // Reconciliation off: the summary's final model must be the
+        // incremental one, so the bound is checked against the polish.
+        let opts = stream::PumpOptions::default().with_reconcile(false);
+        let summary = stream::pump(&client, &model_key(), &mut source, &opts, |_, _| {})
+            .expect("pump");
+        prop_assert_eq!(summary.full_refits, 1); // round 0 anchors
+        prop_assert!(summary.incremental_refits >= 1, "stationary rounds polish");
+        let polished = summary.report.expect("final model");
+        let count = polished.records as f64;
+
+        let (full, mode) = client.refit(model_key(), true).expect("full reconcile");
+        prop_assert_eq!(mode, RefitMode::Full);
+        let full_norm = full.model.objective() / count;
+        let polished_norm = polished.model.objective() / count;
+        prop_assert!(
+            polished_norm <= full_norm * 2.0 + 1e-12,
+            "polish drifted: {} vs full {}",
+            polished_norm,
+            full_norm
+        );
+        service.shutdown();
+    }
+
+    /// A mid-stream workload shift (different benchmark population under
+    /// the same model key) always forces the full multi-start fan-out —
+    /// the digest guard never lets the polish paper over a new workload.
+    #[test]
+    fn workload_shift_always_falls_back(seed in 1u64..1_000, jitter in 1u64..1_000) {
+        let service = warm_service();
+        let client = service.client();
+        let key = model_key();
+
+        // Anchor, then one stationary polish so the warm path is live.
+        let records = base_records(seed);
+        let batch = records.len();
+        let mut source = ReplaySource::new(records)
+            .batch_size(batch)
+            .rounds(2)
+            .jitter(jitter);
+        let opts = stream::PumpOptions::default().with_reconcile(false);
+        let summary = stream::pump(&client, &key, &mut source, &opts, |_, _| {})
+            .expect("stationary pump");
+        prop_assert_eq!(summary.incremental_refits, 1); // warm path is live
+
+        // Shift the workload: disjoint benchmarks stream in.
+        client
+            .stream_batch(MachineId::Core2, shifted_records(seed))
+            .expect("shifted batch lands");
+        let (report, mode) = client.refit(key, false).expect("refit after shift");
+        prop_assert_eq!(mode, RefitMode::Full); // digest change forces the fan-out
+        prop_assert_eq!(report.records, 24); // both populations are in the store
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.cache.incremental_refits, 1);
+        prop_assert_eq!(stats.cache.full_refits, 2); // anchor + fallback
+    }
+
+    /// Chopping the same stream at different batch boundaries cannot
+    /// change the final model: once the stream closes (reconciliation
+    /// on), the parameters are bit-identical to the single-batch run.
+    #[test]
+    fn batch_boundaries_do_not_change_the_final_params(
+        seed in 1u64..1_000,
+        jitter in 1u64..1_000,
+        split in 1usize..12,
+    ) {
+        let mut params = Vec::new();
+        for batch_size in [split, 12] {
+            let service = warm_service();
+            let client = service.client();
+            let mut source = ReplaySource::new(base_records(seed))
+                .batch_size(batch_size)
+                .rounds(2)
+                .jitter(jitter);
+            let summary = stream::pump(
+                &client,
+                &model_key(),
+                &mut source,
+                &stream::PumpOptions::default(),
+                |_, _| {},
+            )
+            .expect("pump");
+            let report = summary.report.expect("final model");
+            prop_assert_eq!(report.records, 12); // upserts bound the store
+            params.push(report.model.params().b.map(f64::to_bits));
+            service.shutdown();
+        }
+        // Equal params prove batch boundaries never leak into the model.
+        prop_assert_eq!(params[0], params[1]);
+    }
+}

@@ -68,12 +68,72 @@ impl std::fmt::Display for ParseCsvError {
 impl std::error::Error for ParseCsvError {}
 
 /// The canonical header: identification columns followed by every event.
-fn header() -> String {
+///
+/// Public so streaming writers (`cpistack watch --record`) can emit the
+/// header once and then append rows from [`to_csv_rows`] batch by batch.
+pub fn header() -> String {
     let mut h = String::from("benchmark,suite,machine");
     for e in Event::ALL {
         let _ = write!(h, ",{}", e.name());
     }
     h
+}
+
+/// Serializes records to CSV rows only (no header), one `\n`-terminated row
+/// per record — the append half of record-and-replay. A file built as
+/// [`header`] + `"\n"` + concatenated [`to_csv_rows`] batches parses back
+/// with [`from_csv`] byte-exact.
+///
+/// # Examples
+///
+/// ```
+/// use pmu::{CounterSet, Event, MachineId, RunRecord, Suite};
+/// use pmu::csv::{from_csv, header, to_csv_rows};
+///
+/// let mut c = CounterSet::new();
+/// c.add(Event::Cycles, 7);
+/// let batch = vec![RunRecord::new("mcf", Suite::Cpu2006, MachineId::Core2, c)];
+/// let mut file = header();
+/// file.push('\n');
+/// file.push_str(&to_csv_rows(&batch)); // repeat per streamed batch
+/// assert_eq!(from_csv(&file).unwrap(), batch);
+/// ```
+pub fn to_csv_rows(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = write!(
+            out,
+            "{},{},{}",
+            r.benchmark(),
+            r.suite().name(),
+            r.machine().name()
+        );
+        for e in Event::ALL {
+            let _ = write!(out, ",{}", r.counters().get(e));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a single CSV data row (no header) into a [`RunRecord`].
+///
+/// Used by the streaming protocol (`stream rec <row>`), where each record
+/// arrives as one row without re-sending the header.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] on arity or field errors, or `BadHeader` when
+/// the row is blank.
+pub fn from_csv_row(row: &str) -> Result<RunRecord, ParseCsvError> {
+    if row.trim().is_empty() {
+        return Err(ParseCsvError::BadHeader(String::new()));
+    }
+    let text = format!("{}\n{}", header(), row.trim());
+    let mut records = from_csv(&text)?;
+    records
+        .pop()
+        .ok_or_else(|| ParseCsvError::BadHeader(String::new()))
 }
 
 /// Serializes records to CSV text (header + one row per record).
@@ -95,19 +155,7 @@ fn header() -> String {
 pub fn to_csv(records: &[RunRecord]) -> String {
     let mut out = header();
     out.push('\n');
-    for r in records {
-        let _ = write!(
-            out,
-            "{},{},{}",
-            r.benchmark(),
-            r.suite().name(),
-            r.machine().name()
-        );
-        for e in Event::ALL {
-            let _ = write!(out, ",{}", r.counters().get(e));
-        }
-        out.push('\n');
-    }
+    out.push_str(&to_csv_rows(records));
     out
 }
 
@@ -228,6 +276,30 @@ mod tests {
         let mut text = to_csv(&records);
         text.push('\n');
         assert_eq!(from_csv(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn appended_batches_round_trip_byte_exact() {
+        let records = sample_records();
+        // Streamed: header once, then per-batch appends of one row each.
+        let mut file = header();
+        file.push('\n');
+        for r in &records {
+            file.push_str(&to_csv_rows(std::slice::from_ref(r)));
+        }
+        assert_eq!(file, to_csv(&records));
+        assert_eq!(from_csv(&file).unwrap(), records);
+    }
+
+    #[test]
+    fn single_rows_parse_without_a_header() {
+        let records = sample_records();
+        for r in &records {
+            let row = to_csv_rows(std::slice::from_ref(r));
+            assert_eq!(&from_csv_row(row.trim_end()).unwrap(), r);
+        }
+        assert!(from_csv_row("").is_err());
+        assert!(from_csv_row("too,short").is_err());
     }
 
     #[test]

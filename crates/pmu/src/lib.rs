@@ -15,7 +15,10 @@
 //! * [`RunRecord`] — one benchmark run on one machine: identification plus a
 //!   finished [`CounterSet`], with the derived per-µop rates the model needs,
 //! * CSV import/export so records can round-trip to disk like the perfex logs
-//!   the paper's authors kept.
+//!   the paper's authors kept,
+//! * [`LiveSource`] — streaming batch sources: a deterministic
+//!   [`ReplaySource`] for CI and recorded sessions, plus a Linux
+//!   `perf_event_open` backend behind the `perf-events` feature.
 //!
 //! # Examples
 //!
@@ -33,8 +36,10 @@
 pub mod counters;
 pub mod csv;
 pub mod event;
+pub mod live;
 pub mod record;
 
 pub use counters::CounterSet;
 pub use event::Event;
+pub use live::{LiveSource, ReplaySource};
 pub use record::{MachineId, RunRecord, Suite};

@@ -251,6 +251,49 @@ pub fn minimize_bounded<F: FnMut(&[f64]) -> f64>(
     }
 }
 
+/// Warm-start refinement: a single bounded simplex run seeded *at* `x0` with
+/// a deliberately small initial step and a caller-capped evaluation budget.
+///
+/// This is the incremental-refit primitive: when new counter batches arrive
+/// for a workload that has not drifted, the previous fit's parameters are
+/// already inside the right basin, so a tight local polish replaces the full
+/// [`MultiStart`] fan-out (13 starts × 30 000 evaluations in the default
+/// campaign configuration). Callers remain responsible for detecting drift
+/// and falling back to the full fan-out when the basin may have moved.
+///
+/// Deterministic: same inputs, same minimum, bit for bit.
+///
+/// # Examples
+///
+/// ```
+/// use regress::nelder_mead::refine;
+///
+/// let f = |p: &[f64]| (p[0] - 3.0).powi(2);
+/// // Start near the optimum, polish with a small budget.
+/// let m = refine(f, &[2.9], &[(0.0, 10.0)], 500);
+/// assert!((m.params[0] - 3.0).abs() < 1e-6);
+/// assert!(m.evals <= 500);
+/// ```
+///
+/// # Panics
+///
+/// Panics on the same degenerate inputs as [`minimize_bounded`].
+pub fn refine<F: FnMut(&[f64]) -> f64>(
+    f: F,
+    x0: &[f64],
+    bounds: &[(f64, f64)],
+    max_evals: usize,
+) -> Minimum {
+    let opts = Options {
+        max_evals: max_evals.max(1),
+        // A small step keeps the polish local: the warm start is trusted to
+        // sit in the right basin, so the simplex should not leap out of it.
+        initial_step: 0.05,
+        ..Options::default()
+    };
+    minimize_bounded(f, x0, bounds, &opts)
+}
+
 /// Deterministic multi-start driver around [`minimize_bounded`].
 ///
 /// Runs one simplex from the caller's initial guess plus `extra_starts`
@@ -484,6 +527,39 @@ mod tests {
             &Options::default(),
         );
         assert!((m.params[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn refine_polishes_cheaply_and_deterministically() {
+        let f = |p: &[f64]| (p[0] - 1.5).powi(2) + (p[1] + 0.5).powi(2);
+        let a = refine(f, &[1.45, -0.55], &[(0.0, 2.0), (-2.0, 0.0)], 1_000);
+        let b = refine(f, &[1.45, -0.55], &[(0.0, 2.0), (-2.0, 0.0)], 1_000);
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.value, b.value);
+        assert!((a.params[0] - 1.5).abs() < 1e-6 && (a.params[1] + 0.5).abs() < 1e-6);
+        assert!(a.evals <= 1_000);
+    }
+
+    #[test]
+    fn refine_stays_local() {
+        // Shallow well at x=-2, deep well at x=4: a warm start in the shallow
+        // well must polish locally rather than jump basins.
+        let f = |p: &[f64]| ((p[0] + 2.0).powi(2) - 1.0).min((p[0] - 4.0).powi(2) - 5.0);
+        let m = refine(f, &[-2.05], &[(-10.0, 10.0)], 2_000);
+        assert!(
+            (m.params[0] + 2.0).abs() < 1e-3,
+            "left the basin: {:?}",
+            m.params
+        );
+    }
+
+    #[test]
+    fn refine_respects_eval_budget() {
+        let f = |p: &[f64]| (p[0].sin() * 5.0) + 0.1 * p[0] * p[0];
+        let m = refine(f, &[9.0], &[(-20.0, 20.0)], 25);
+        // Budget is a cap per iteration check; a full iteration may overshoot
+        // by the few evaluations it was already committed to.
+        assert!(m.evals <= 40, "spent {} evals", m.evals);
     }
 
     #[test]

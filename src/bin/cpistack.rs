@@ -38,6 +38,17 @@ fn main() -> ExitCode {
             }
         };
     }
+    // `watch` prints one progress line per streamed batch as it happens.
+    if let cpistack::cli::Command::Watch(args) = &command {
+        let stdout = std::io::stdout();
+        return match cpistack::cli::watch(args, stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match cpistack::cli::run(&command) {
         Ok(output) => {
             print!("{output}");

@@ -63,7 +63,7 @@ use crate::model::{FitOptions, MicroarchParams};
 use crate::service::auth::{self, AuthError, TokenRegistry};
 use crate::service::cluster::{ClusterHarness, RouterConfig};
 use crate::service::persist::PersistError;
-use crate::service::{proto, CpiService, ServiceConfig};
+use crate::service::{proto, stream, CpiService, ServiceConfig, ServiceError};
 use crate::{CsvSource, PipelineError, SimSource, Workbench};
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -87,6 +87,8 @@ pub enum CliError {
     Auth(AuthError),
     /// The `bench --check` regression gate tripped.
     Bench(String),
+    /// The `watch` stream's service rejected a batch or refit.
+    Watch(ServiceError),
 }
 
 impl fmt::Display for CliError {
@@ -98,6 +100,7 @@ impl fmt::Display for CliError {
             CliError::State(e) => write!(f, "serve state dir: {e}"),
             CliError::Auth(e) => write!(f, "auth: {e}"),
             CliError::Bench(msg) => write!(f, "bench regression gate: {msg}"),
+            CliError::Watch(e) => write!(f, "watch stream: {e}"),
         }
     }
 }
@@ -110,6 +113,7 @@ impl std::error::Error for CliError {
             CliError::Io(e) => Some(e),
             CliError::State(e) => Some(e),
             CliError::Auth(e) => Some(e),
+            CliError::Watch(e) => Some(e),
         }
     }
 }
@@ -142,6 +146,10 @@ USAGE:
                  [--auth <token-file>] [--idle-timeout <secs>] [--max-conns <N>]
                  [--poll-interval <ms>] [--probe-interval <ms>]
   cpistack token --auth-file <token-file> --tenant <name>
+  cpistack watch [--replay <csv>] [--machine <name>] [--suite <s|all>]
+                 [--batch <N>] [--rounds <K>] [--interval-ms <M>]
+                 [--jitter <seed>] [--record <csv>] [--quick]
+                 [--uops <N>] [--seed <N>] [--benchmarks <N>]
   cpistack bench [--smoke] [--out <json>] [--uops <N>] [--seed <N>]
                  [--threads <N>] [--check <baseline.json>]
 
@@ -177,9 +185,21 @@ SUBCOMMANDS:
          replication needs somewhere to land
   token  mint a session token for a tenant and append it to a token
          file (printed to stdout; pass the file to `serve --auth`)
+  watch  pump live counter batches into a warm service and keep the model
+         continuously refit: every batch is upserted, then served by the
+         cheapest safe refit (cache hit, warm-start polish, or the full
+         multi-start fan-out when the workload drifts or the periodic
+         re-anchor is due), and the session closes with one
+         reconciliation full refit. Batches come from --replay <csv>
+         (deterministic replay of recorded counters) or, by default, the
+         built-in simulator; --rounds replays the set K times and
+         --jitter <seed> perturbs rounds after the first by ±1% to mimic
+         run-to-run noise. --interval-ms paces the stream; --record
+         appends every streamed batch to a CSV that replays byte-exact
+         through --replay; --batch sets records per batch
   bench  time the paper campaign's cold collect, cold fit (parallel vs
          sequential, asserting byte-identical parameters) and warm serve,
-         then write a machine-readable snapshot (default BENCH_6.json),
+         then write a machine-readable snapshot (default BENCH_7.json),
          including a cluster section (router-hop overhead vs direct
          warm serve).
          --smoke runs reduced budgets for CI; --check <baseline> fails if
@@ -218,8 +238,44 @@ pub enum Command {
         /// The tenant the token authenticates as.
         tenant: String,
     },
+    /// Stream counter batches into a warm service with incremental refits.
+    Watch(WatchArgs),
     /// Time the cold/warm paths and write a perf snapshot.
     Bench(BenchArgs),
+}
+
+/// Arguments for the `watch` subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WatchArgs {
+    /// Counters CSV to replay (`None` = generate batches with the
+    /// built-in simulator).
+    pub replay: Option<String>,
+    /// Machine to stream into (`None` = `core2`; simulator batches use
+    /// the machine's preset config).
+    pub machine: Option<String>,
+    /// Suite key to refit (`None` = `cpu2000`; `all` pools suites).
+    pub suite: Option<String>,
+    /// Records per streamed batch (`None` = the whole record set, one
+    /// batch per round).
+    pub batch: Option<usize>,
+    /// Times the record set is replayed (`None` = 3).
+    pub rounds: Option<usize>,
+    /// Pause between batches in milliseconds (`None` = flat out).
+    pub interval_ms: Option<u64>,
+    /// Jitter seed: rounds after the first perturb every counter by ±1%
+    /// deterministically (`None` = byte-exact rounds).
+    pub jitter: Option<u64>,
+    /// Append every streamed batch to this CSV (header written once), so
+    /// the live session replays later via `--replay`.
+    pub record: Option<String>,
+    /// Use [`FitOptions::quick`] instead of the full-budget defaults.
+    pub quick: bool,
+    /// Simulator µop budget per benchmark run (`None` = 20000).
+    pub uops: Option<u64>,
+    /// Simulator campaign seed (`None` = 42).
+    pub seed: Option<u64>,
+    /// Benchmarks per suite in simulator batches (`None` = 12).
+    pub benchmarks: Option<usize>,
 }
 
 /// Arguments for the `bench` subcommand.
@@ -227,7 +283,7 @@ pub enum Command {
 pub struct BenchArgs {
     /// Reduced budgets (CI mode).
     pub smoke: bool,
-    /// Snapshot path (`None` = `BENCH_6.json`).
+    /// Snapshot path (`None` = `BENCH_7.json`).
     pub out: Option<String>,
     /// µop budget override.
     pub uops: Option<u64>,
@@ -395,6 +451,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             auth_file: get("auth-file")?.to_owned(),
             tenant: get("tenant")?.to_owned(),
         }),
+        "watch" => Ok(Command::Watch(WatchArgs {
+            replay: flag_text(&flags, "replay"),
+            machine: flag_text(&flags, "machine"),
+            suite: flag_text(&flags, "suite"),
+            batch: flag_count(&flags, "batch")?,
+            rounds: flag_count(&flags, "rounds")?,
+            interval_ms: flag_count(&flags, "interval-ms")?,
+            jitter: flag_count(&flags, "jitter")?,
+            record: flag_text(&flags, "record"),
+            quick: flags.iter().any(|(k, _)| k == "quick"),
+            uops: flag_count(&flags, "uops")?,
+            seed: flag_count(&flags, "seed")?,
+            benchmarks: flag_count(&flags, "benchmarks")?,
+        })),
         "bench" => Ok(Command::Bench(BenchArgs {
             smoke: flags.iter().any(|(k, _)| k == "smoke"),
             out: flag_text(&flags, "out"),
@@ -533,8 +603,186 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             // `TOKEN=$(cpistack token --auth-file f --tenant a)`.
             Ok(format!("{token}\n"))
         }
+        Command::Watch(_) => Err(CliError::Usage(
+            "watch streams progress for its whole session — dispatch it to \
+             `cli::watch(...)` instead of `cli::run(...)`"
+                .into(),
+        )),
         Command::Bench(args) => run_bench_command(args),
     }
+}
+
+/// Runs the `watch` subcommand: build a [`LiveSource`](pmu::live) from
+/// the arguments (a recorded-CSV replay, or simulator batches), pump it
+/// into a fresh warm [`CpiService`] via [`stream::pump`], and print one
+/// progress line per batch plus a closing summary.
+///
+/// # Errors
+///
+/// [`CliError::Pipeline`] when `--replay` cannot be read or `--record`
+/// cannot be written, [`CliError::Watch`] when the service rejects a
+/// batch or refit, [`CliError::Usage`] on bad machine/suite words.
+pub fn watch(args: &WatchArgs, mut output: impl Write) -> Result<(), CliError> {
+    use pmu::live::{LiveSource as _, ReplaySource};
+    use std::str::FromStr as _;
+
+    let machine = pmu::MachineId::from_str(args.machine.as_deref().unwrap_or("core2"))
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let suite_word = args.suite.as_deref().unwrap_or("cpu2000");
+    let suite = if suite_word == "all" {
+        None
+    } else {
+        Some(pmu::Suite::from_str(suite_word).map_err(|e| CliError::Usage(e.to_string()))?)
+    };
+    let config = crate::sim::machine::MachineConfig::preset(machine);
+    let records = if let Some(path) = &args.replay {
+        let source = CsvSource::from_path(path).map_err(PipelineError::from)?;
+        let records: Vec<_> = source
+            .records()
+            .iter()
+            .filter(|r| r.machine() == machine)
+            .cloned()
+            .collect();
+        if records.is_empty() {
+            return Err(CliError::Usage(format!(
+                "`{path}` has no records for machine `{}`",
+                machine.name()
+            )));
+        }
+        records
+    } else {
+        let take = args.benchmarks.unwrap_or(12);
+        let mut sim = SimSource::new()
+            .uops(args.uops.unwrap_or(20_000))
+            .seed(args.seed.unwrap_or(42));
+        // `all` pools both paper suites under one key; a concrete suite
+        // streams only its own benchmarks.
+        for profiles in [
+            crate::workloads::suites::cpu2000(),
+            crate::workloads::suites::cpu2006(),
+        ] {
+            if suite.is_none() || profiles.first().map(|p| p.suite) == suite {
+                sim = sim.suite(profiles.into_iter().take(take).collect());
+            }
+        }
+        sim.collect_config(&config)
+    };
+    let batch = args.batch.unwrap_or(records.len().max(1));
+    let mut source = ReplaySource::new(records)
+        .rounds(args.rounds.unwrap_or(3))
+        .batch_size(batch);
+    if let Some(seed) = args.jitter {
+        source = source.jitter(seed);
+    }
+    let options = if args.quick {
+        FitOptions::quick()
+    } else {
+        FitOptions::default()
+    };
+    let key = crate::service::ModelKey::new(machine, suite, options);
+    let service = CpiService::start(ServiceConfig::new());
+    let client = service.client();
+    client
+        .register(crate::workbench::MachineSpec::from(&config))
+        .map_err(CliError::Watch)?;
+    let mut recorder = match &args.record {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|error| {
+                    CliError::Pipeline(PipelineError::Export {
+                        path: path.into(),
+                        error,
+                    })
+                })?;
+            let need_header = std::fs::metadata(path)
+                .map(|m| m.len() == 0)
+                .unwrap_or(true);
+            Some((file, need_header, path.clone()))
+        }
+        None => None,
+    };
+    writeln!(
+        output,
+        "watching {} {} via {}",
+        machine.name(),
+        suite.map_or("all", pmu::Suite::name),
+        source.describe()
+    )?;
+    let opts = stream::PumpOptions::default().with_interval(std::time::Duration::from_millis(
+        args.interval_ms.unwrap_or(0),
+    ));
+    // The callback cannot abort the pump, so the first I/O failure is
+    // parked and re-raised after the stream drains.
+    let mut io_error: Option<std::io::Error> = None;
+    let summary = stream::pump(&client, &key, &mut source, &opts, |batch, rows| {
+        if io_error.is_some() {
+            return;
+        }
+        let mut emit = |output: &mut dyn Write| -> std::io::Result<()> {
+            match batch.mode {
+                None => writeln!(
+                    output,
+                    "batch {} records {} generation {} refit deferred (store too small)",
+                    batch.batch, batch.records, batch.generation,
+                )?,
+                Some(mode) if batch.records == 0 => writeln!(
+                    output,
+                    "reconcile refit {} {:.2} ms objective {:.6}",
+                    mode, batch.millis, batch.objective
+                )?,
+                Some(mode) => writeln!(
+                    output,
+                    "batch {} records {} generation {} refit {} {:.2} ms objective {:.6}",
+                    batch.batch,
+                    batch.records,
+                    batch.generation,
+                    mode,
+                    batch.millis,
+                    batch.objective
+                )?,
+            }
+            if let Some((file, need_header, _)) = recorder.as_mut() {
+                if !rows.is_empty() {
+                    if *need_header {
+                        writeln!(file, "{}", pmu::csv::header())?;
+                        *need_header = false;
+                    }
+                    file.write_all(pmu::csv::to_csv_rows(rows).as_bytes())?;
+                }
+            }
+            Ok(())
+        };
+        if let Err(e) = emit(&mut output) {
+            io_error = Some(e);
+        }
+    })
+    .map_err(CliError::Watch)?;
+    if let Some(e) = io_error {
+        return Err(CliError::Io(e));
+    }
+    writeln!(
+        output,
+        "watched {} batches, {} records: refits full {} incremental {} cached {}{}",
+        summary.batches,
+        summary.records,
+        summary.full_refits,
+        summary.incremental_refits,
+        summary.cached,
+        if summary.reconciled {
+            ", reconciled"
+        } else {
+            ""
+        }
+    )?;
+    if let Some((file, _, path)) = recorder.as_mut() {
+        file.flush()?;
+        writeln!(output, "recorded stream appended to {path}")?;
+    }
+    service.shutdown();
+    Ok(())
 }
 
 /// The `bench` subcommand: run the perf harness, write the snapshot,
@@ -555,7 +803,7 @@ fn run_bench_command(args: &BenchArgs) -> Result<String, CliError> {
         config.threads = threads;
     }
     let report = crate::perf::run_bench(config);
-    let out = args.out.clone().unwrap_or_else(|| "BENCH_6.json".into());
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_7.json".into());
     std::fs::write(&out, report.to_json()).map_err(|error| {
         CliError::Pipeline(PipelineError::Export {
             path: out.clone().into(),
@@ -1131,6 +1379,103 @@ mod tests {
         assert!(transcript.contains("err: delta needs a concrete suite"));
         assert!(transcript.contains("machine <name>"), "help prints");
         assert!(transcript.ends_with("ok\n"), "quit still acks");
+    }
+
+    #[test]
+    fn parses_watch_command() {
+        let cmd = parse_args(&strings(&[
+            "watch",
+            "--machine",
+            "core2",
+            "--suite",
+            "cpu2000",
+            "--batch",
+            "4",
+            "--rounds",
+            "2",
+            "--jitter",
+            "9",
+            "--record",
+            "live.csv",
+            "--quick",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Watch(WatchArgs {
+                machine: Some("core2".into()),
+                suite: Some("cpu2000".into()),
+                batch: Some(4),
+                rounds: Some(2),
+                jitter: Some(9),
+                record: Some("live.csv".into()),
+                quick: true,
+                ..WatchArgs::default()
+            })
+        );
+        // watch streams for its whole session, so run() refuses it.
+        let err = run(&Command::Watch(WatchArgs::default())).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = parse_args(&strings(&["watch", "--rounds", "many"])).unwrap_err();
+        assert!(err.to_string().contains("--rounds must be a count"));
+    }
+
+    #[test]
+    fn watch_records_a_replayable_stream() {
+        let dir = std::env::temp_dir().join(format!("cpistack_watch_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let live = dir.join("live.csv").to_string_lossy().into_owned();
+        let replayed = dir.join("replayed.csv").to_string_lossy().into_owned();
+
+        // A jittered 2-round simulator stream: round 1 anchors with a full
+        // fit, round 2 should polish incrementally, and the dirty stream
+        // reconciles with one more full fan-out at close.
+        let mut out = Vec::new();
+        watch(
+            &WatchArgs {
+                rounds: Some(2),
+                jitter: Some(7),
+                record: Some(live.clone()),
+                quick: true,
+                uops: Some(3_000),
+                benchmarks: Some(12),
+                ..WatchArgs::default()
+            },
+            &mut out,
+        )
+        .expect("simulated watch runs");
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(
+            transcript.contains("watching core2 cpu2000"),
+            "{transcript}"
+        );
+        assert!(transcript.contains("refit full"), "{transcript}");
+        assert!(transcript.contains("refit incremental"), "{transcript}");
+        assert!(transcript.contains(", reconciled"), "{transcript}");
+        assert!(transcript.contains("recorded stream appended to"));
+
+        // The recorded CSV replays: streaming it back out through --record
+        // reproduces the file byte-exact (header once, rows in order).
+        let mut out = Vec::new();
+        watch(
+            &WatchArgs {
+                replay: Some(live.clone()),
+                rounds: Some(1),
+                record: Some(replayed.clone()),
+                quick: true,
+                ..WatchArgs::default()
+            },
+            &mut out,
+        )
+        .expect("replayed watch runs");
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(transcript.contains("replay:"), "{transcript}");
+        assert_eq!(
+            std::fs::read(&live).unwrap(),
+            std::fs::read(&replayed).unwrap(),
+            "record → replay → record round-trips byte-exact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -246,6 +246,79 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
+//! ## Watch live counters
+//!
+//! Static CSV ingest is one way to feed the service; a **live stream**
+//! is the other. [`pmu::live`] abstracts timed counter sampling behind
+//! the `LiveSource` trait: `ReplaySource` replays a recorded campaign
+//! (or any record set) in batches, deterministically — optionally over
+//! several rounds with ±1% counter jitter — and, on Linux with the
+//! `perf-events` feature enabled, `PerfSource` samples real hardware
+//! counters via `perf_event_open`. [`service::stream::pump`] drives any
+//! such source into a warm service: each batch **upserts** its records
+//! (same benchmark + suite replaces, so the store never grows without
+//! bound), then a drift-guarded **incremental refit** serves the new
+//! model — a warm-start Nelder–Mead polish at a small budget instead of
+//! the full multi-start fan-out, falling back to the fan-out when the
+//! workload digest changes, the polish drifts past the guard's bound,
+//! or the periodic re-anchor cadence comes due. Closing the stream
+//! reconciles with one forced full refit, which makes the final
+//! parameters a pure function of the final record set — independent of
+//! how the stream was chopped into batches:
+//!
+//! ```
+//! use cpistack::model::FitOptions;
+//! use cpistack::service::{stream, CpiService, ModelKey, ServiceConfig};
+//! use cpistack::sim::machine::MachineConfig;
+//! use cpistack::workbench::MachineSpec;
+//! use cpistack::SimSource;
+//! use pmu::live::ReplaySource;
+//! use pmu::{MachineId, Suite};
+//!
+//! let machine = MachineConfig::core2();
+//! let records = SimSource::new()
+//!     .suite(cpistack::workloads::suites::cpu2000().into_iter().take(12).collect())
+//!     .uops(3_000)
+//!     .seed(42)
+//!     .collect_config(&machine);
+//!
+//! let service = CpiService::start(ServiceConfig::new());
+//! let client = service.client();
+//! client.register(MachineSpec::from(&machine)).unwrap();
+//!
+//! // Replay the campaign as three "live" rounds: round one anchors with
+//! // a full fit, the jittered repeats are incremental polishes, and the
+//! // close reconciles with one forced fan-out.
+//! let mut source = ReplaySource::new(records).batch_size(12).rounds(3).jitter(7);
+//! let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), FitOptions::quick());
+//! let summary = stream::pump(
+//!     &client,
+//!     &key,
+//!     &mut source,
+//!     &stream::PumpOptions::default(),
+//!     |batch, _records| {
+//!         let mode = batch.mode.map_or("deferred", |m| m.name());
+//!         println!("batch {}: refit {mode}", batch.batch);
+//!     },
+//! )
+//! .unwrap();
+//! assert_eq!(summary.full_refits, 1, "one anchor");
+//! assert!(summary.incremental_refits >= 1, "steady state is cheap");
+//! assert!(summary.reconciled);
+//! let stats = service.shutdown();
+//! assert!(stats.cache.incremental_refits >= 1);
+//! ```
+//!
+//! The command-line twin is `cpistack watch`: it pumps a simulator
+//! campaign (or `--replay <csv>` a recorded one) into a fresh service at
+//! a configurable cadence, printing one line per batch, and `--record
+//! <csv>` appends every streamed batch to a file that replays byte-exact
+//! later. The refit split shows up in `stats` as `refits full N
+//! incremental M`, and the steady-state saving is a tracked number in
+//! `BENCH_7.json` (`stream_speedup`). The `perf-events` backend is
+//! feature-gated (`cargo check --features perf-events`) so the default
+//! build never touches raw syscalls.
+//!
 //! ## Performance: parallel cold fits, a tracked baseline
 //!
 //! The cold paths are engineered too. A cold fit fans its 13 jittered
@@ -262,9 +335,10 @@
 //! ([`SimSource::warmup`](workbench::SimSource::warmup), default
 //! unchanged). `cpistack bench` times cold collect / cold fit / warm
 //! serve on the paper campaign — plus the cluster tier's warm
-//! router-hop overhead — asserts the parallel–sequential
-//! byte-identity, and writes the `BENCH_6.json` snapshot that CI gates
-//! against (see the README's Performance section for current numbers):
+//! router-hop overhead and the streaming tier's incremental-vs-full
+//! refit split — asserts the parallel–sequential byte-identity, and
+//! writes the `BENCH_7.json` snapshot that CI gates against (see the
+//! README's Performance section for current numbers):
 //!
 //! ```
 //! use cpistack::model::FitOptions;
@@ -350,5 +424,6 @@ pub use memodel::workbench::{
 /// The long-lived serving layer (re-export of [`memodel::service`]).
 pub use memodel::service;
 pub use memodel::service::{
-    CpiClient, CpiService, ModelKey, ServiceConfig, ServiceError, ServiceStats, TenantId,
+    CpiClient, CpiService, ModelKey, RefitMode, RefitPolicy, ServiceConfig, ServiceError,
+    ServiceStats, TenantId,
 };

@@ -9,13 +9,22 @@
 //! times all three on the paper campaign (103 benchmarks × 3 machines),
 //! verifies that the parallel multi-start fit is *byte-identical* to the
 //! strictly-sequential path while timing both, and writes a
-//! machine-readable JSON snapshot (`BENCH_6.json`) — the start of a perf
+//! machine-readable JSON snapshot (`BENCH_7.json`) — the start of a perf
 //! trajectory later PRs append to and CI guards against.
 //!
 //! Since the cluster tier (PR 6), the report also carries a **cluster**
 //! section: the same warm `stack` request timed against a backend node
 //! directly and through the consistent-hash router, so the router-hop
 //! overhead is a tracked number rather than folklore.
+//!
+//! Since the streaming subsystem (PR 7), a **streaming** section replays
+//! a jittered multi-round counter stream through [`stream::pump`] and
+//! splits the steady-state refit cost into the full multi-start fan-out
+//! versus the warm-start incremental polish — the order-of-magnitude
+//! saving the drift-guarded refit path claims is a recorded number here,
+//! not an assertion. The streamed campaign also runs the simulator with a
+//! quarter-length warm-up ([`SimSource::warmup`]), and the µops that
+//! saves per workload is reported alongside.
 //!
 //! The JSON carries a `config_fingerprint` folding every knob that shapes
 //! the numbers (µop budget, seed, suite sizes, fit options fingerprint);
@@ -25,8 +34,9 @@
 use crate::model::workbench::{SimSource, Workbench};
 use crate::model::FitOptions;
 use crate::service::cluster::{ClusterHarness, RouterConfig};
-use crate::service::{CpiService, ModelKey, Response, ServiceConfig};
+use crate::service::{stream, CpiService, ModelKey, RefitMode, Response, ServiceConfig};
 use crate::sim::machine::MachineConfig;
+use pmu::live::ReplaySource;
 use pmu::{MachineId, RunRecord, Suite};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
@@ -123,6 +133,22 @@ pub struct BenchReport {
     /// hop costs (raw difference, so timing noise can make it slightly
     /// negative on very fast hosts).
     pub router_hop_ms: f64,
+    /// Batches pumped by the streaming section (reconciliation included).
+    pub stream_batches: usize,
+    /// Streaming refits served by the full multi-start fan-out.
+    pub stream_full_refits: u64,
+    /// Streaming refits served by the warm-start incremental polish.
+    pub stream_incremental_refits: u64,
+    /// Mean wall-clock of one full streaming refit, ms.
+    pub stream_full_ms: f64,
+    /// Mean wall-clock of one incremental streaming refit, ms.
+    pub stream_incremental_ms: f64,
+    /// `stream_full_ms / stream_incremental_ms`: the steady-state saving
+    /// the incremental path buys on a stationary stream.
+    pub stream_speedup: f64,
+    /// µops the streaming campaign's quarter-length warm-up saves per
+    /// workload versus the default (warm-up = measurement length).
+    pub warmup_saved_uops: u64,
     /// FNV-1a digest over every fitted parameter's bits, in key order —
     /// equal for the parallel and sequential paths by construction (the
     /// run fails otherwise).
@@ -134,7 +160,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 2,");
+        let _ = writeln!(s, "  \"schema\": 3,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"config\": {{");
         let _ = writeln!(s, "    \"uops\": {},", self.config.uops);
@@ -166,6 +192,21 @@ impl BenchReport {
             self.cluster_warm_router_ms
         );
         let _ = writeln!(s, "  \"router_hop_ms\": {:.4},", self.router_hop_ms);
+        let _ = writeln!(s, "  \"stream_batches\": {},", self.stream_batches);
+        let _ = writeln!(s, "  \"stream_full_refits\": {},", self.stream_full_refits);
+        let _ = writeln!(
+            s,
+            "  \"stream_incremental_refits\": {},",
+            self.stream_incremental_refits
+        );
+        let _ = writeln!(s, "  \"stream_full_ms\": {:.3},", self.stream_full_ms);
+        let _ = writeln!(
+            s,
+            "  \"stream_incremental_ms\": {:.4},",
+            self.stream_incremental_ms
+        );
+        let _ = writeln!(s, "  \"stream_speedup\": {:.2},", self.stream_speedup);
+        let _ = writeln!(s, "  \"warmup_saved_uops\": {},", self.warmup_saved_uops);
         let _ = writeln!(s, "  \"params_digest\": \"{:016x}\"", self.params_digest);
         let _ = writeln!(s, "}}");
         s
@@ -179,7 +220,10 @@ impl BenchReport {
              cold fit       {:>10.1} ms  ({} keys, parallel multi-start)\n\
              cold fit (seq) {:>10.1} ms  → speedup {:.2}×, params byte-identical\n\
              warm serve     {:>10.3} ms/request (all cache hits)\n\
-             cluster warm   {:>10.3} ms direct / {:.3} ms via router (hop {:+.3} ms)\n",
+             cluster warm   {:>10.3} ms direct / {:.3} ms via router (hop {:+.3} ms)\n\
+             streaming      {:>10.1} ms full / {:.2} ms incremental per refit → \
+             {:.1}× ({} full / {} incremental over {} batches)\n\
+             warm-up        quarter-length streaming warm-up saves {} µops/workload\n",
             self.mode,
             self.benchmarks,
             self.machines,
@@ -194,6 +238,13 @@ impl BenchReport {
             self.cluster_warm_direct_ms,
             self.cluster_warm_router_ms,
             self.router_hop_ms,
+            self.stream_full_ms,
+            self.stream_incremental_ms,
+            self.stream_speedup,
+            self.stream_full_refits,
+            self.stream_incremental_refits,
+            self.stream_batches,
+            self.warmup_saved_uops,
         )
     }
 }
@@ -362,6 +413,72 @@ fn cluster_warm_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64)
     (direct_ms, router_ms)
 }
 
+/// The streaming section's measured numbers.
+struct StreamingNumbers {
+    batches: usize,
+    full_refits: u64,
+    incremental_refits: u64,
+    full_ms: f64,
+    incremental_ms: f64,
+    saved_uops: u64,
+}
+
+/// The streaming section: collect a Core 2 / CPU2000 campaign with a
+/// quarter-length warm-up, replay it as a jittered multi-round stream
+/// through [`stream::pump`] (one batch per round, full-budget options so
+/// the fan-out cost matches the cold-fit section), and split the mean
+/// refit wall-clock by mode. Rounds derive from `warm_iters` so the
+/// config fingerprint is untouched.
+fn streaming_bench(config: &BenchConfig) -> StreamingNumbers {
+    let machine = MachineConfig::core2();
+    let warmup = config.uops / 4;
+    let records = SimSource::new()
+        .suite(crate::workloads::suites::cpu2000())
+        .uops(config.uops)
+        .warmup(warmup)
+        .seed(config.seed)
+        .collect_config(&machine);
+    let batch = records.len().max(1);
+    let mut source = ReplaySource::new(records)
+        .batch_size(batch)
+        .rounds(config.warm_iters.max(3))
+        .jitter(config.seed);
+    let options = FitOptions::default().with_threads(config.threads);
+    let key = ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), options);
+    let service = CpiService::start(ServiceConfig::new().with_workers(2));
+    let client = service.client();
+    client.register((&machine).into()).expect("register");
+    let (mut full_ms, mut full_n) = (0.0f64, 0u64);
+    let (mut incr_ms, mut incr_n) = (0.0f64, 0u64);
+    let summary = stream::pump(
+        &client,
+        &key,
+        &mut source,
+        &stream::PumpOptions::default(),
+        |batch, _| match batch.mode {
+            Some(RefitMode::Full) => {
+                full_ms += batch.millis;
+                full_n += 1;
+            }
+            Some(RefitMode::Incremental) => {
+                incr_ms += batch.millis;
+                incr_n += 1;
+            }
+            _ => {}
+        },
+    )
+    .expect("streaming pump");
+    service.shutdown();
+    StreamingNumbers {
+        batches: summary.batches + usize::from(summary.reconciled),
+        full_refits: full_n,
+        incremental_refits: incr_n,
+        full_ms: full_ms / full_n.max(1) as f64,
+        incremental_ms: incr_ms / incr_n.max(1) as f64,
+        saved_uops: config.uops - warmup,
+    }
+}
+
 /// Runs the whole bench: cold collect, cold fit (parallel and sequential,
 /// asserting byte-identical parameters), warm serve.
 ///
@@ -438,6 +555,9 @@ pub fn run_bench(config: BenchConfig) -> BenchReport {
     // --- Cluster warm serve: router hop vs direct-to-owner. ------------
     let (cluster_warm_direct_ms, cluster_warm_router_ms) = cluster_warm_bench(&config, &records);
 
+    // --- Streaming: incremental vs full refit on a jittered stream. ----
+    let streaming = streaming_bench(&config);
+
     let config_fingerprint = config.fingerprint(benchmarks, machines.len());
     BenchReport {
         mode: if config.smoke { "smoke" } else { "full" },
@@ -453,6 +573,17 @@ pub fn run_bench(config: BenchConfig) -> BenchReport {
         cluster_warm_direct_ms,
         cluster_warm_router_ms,
         router_hop_ms: cluster_warm_router_ms - cluster_warm_direct_ms,
+        stream_batches: streaming.batches,
+        stream_full_refits: streaming.full_refits,
+        stream_incremental_refits: streaming.incremental_refits,
+        stream_full_ms: streaming.full_ms,
+        stream_incremental_ms: streaming.incremental_ms,
+        stream_speedup: if streaming.incremental_refits > 0 {
+            streaming.full_ms / streaming.incremental_ms.max(1e-9)
+        } else {
+            0.0
+        },
+        warmup_saved_uops: streaming.saved_uops,
         params_digest: digest,
         config,
     }
@@ -550,9 +681,21 @@ mod tests {
         assert!(report.cold_fit_ms > 0.0);
         assert!(report.cluster_warm_direct_ms > 0.0);
         assert!(report.cluster_warm_router_ms > 0.0);
+        // Streaming: the first round anchors full, later jittered rounds
+        // polish incrementally, and the polish must be the cheaper path.
+        assert!(report.stream_full_refits >= 1);
+        assert!(report.stream_incremental_refits >= 1);
+        assert!(
+            report.stream_speedup > 1.0,
+            "incremental refits should beat the full fan-out ({:.2}×)",
+            report.stream_speedup
+        );
+        assert_eq!(report.warmup_saved_uops, 750, "1000 µops - 250 warm-up");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"cluster_warm_router_ms\""));
+        assert!(json.contains("\"stream_speedup\""));
+        assert!(json.contains("\"warmup_saved_uops\": 750"));
         let parsed = json_number(&json, "cold_collect_ms").expect("field present");
         assert!((parsed - report.cold_collect_ms).abs() < 0.01);
 
@@ -593,6 +736,13 @@ mod tests {
             cluster_warm_direct_ms: 0.1,
             cluster_warm_router_ms: 0.2,
             router_hop_ms: 0.1,
+            stream_batches: 4,
+            stream_full_refits: 2,
+            stream_incremental_refits: 2,
+            stream_full_ms: 10.0,
+            stream_incremental_ms: 1.0,
+            stream_speedup: 10.0,
+            warmup_saved_uops: 750,
             params_digest: 2,
         };
         assert!(check_against(&report, "not json", 0.25).is_err());
