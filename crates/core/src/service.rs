@@ -106,6 +106,7 @@
 pub mod auth;
 pub mod cluster;
 pub mod persist;
+pub mod poller;
 pub mod proto;
 pub mod stream;
 

@@ -32,6 +32,7 @@
 
 use super::auth::TokenRegistry;
 use super::persist::fnv64_update;
+use super::poller::{self, Dispatch, LoopConfig, Poller, ServeBackend};
 use super::proto::{
     self, LineEvent, SessionSpec, TcpServer, TcpServerConfig, TimedLineReader,
     DEFAULT_POLL_INTERVAL,
@@ -359,10 +360,14 @@ pub struct RouterConfig {
     /// Client connections idle longer than this are closed in-band;
     /// `None` disables the timeout.
     pub idle_timeout: Option<Duration>,
-    /// Client connections beyond this are refused with `err: server full`.
+    /// Client connections beyond this are refused with an immediate
+    /// in-band `err: busy` and a close.
     pub max_connections: usize,
-    /// Stop/idle polling tick, as in [`TcpServerConfig::poll_interval`].
+    /// Timer granularity, as in [`TcpServerConfig::poll_interval`].
     pub poll_interval: Duration,
+    /// Which connection engine fronts clients, as in
+    /// [`TcpServerConfig::backend`].
+    pub backend: ServeBackend,
     /// Ring successors each key's snapshots replicate to (0 disables
     /// replication — and with it, warm failover).
     pub replicas: usize,
@@ -386,6 +391,7 @@ impl Default for RouterConfig {
             idle_timeout: Some(Duration::from_secs(300)),
             max_connections: 64,
             poll_interval: DEFAULT_POLL_INTERVAL,
+            backend: ServeBackend::default(),
             replicas: 1,
             virtual_nodes: 64,
             probe_interval: Some(Duration::from_secs(1)),
@@ -419,6 +425,12 @@ impl RouterConfig {
     /// Sets the stop/idle polling tick (clamped to at least 1 ms).
     pub fn with_poll_interval(mut self, interval: Duration) -> Self {
         self.poll_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Selects the client-facing connection engine.
+    pub fn with_backend(mut self, backend: ServeBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -1157,9 +1169,18 @@ pub fn serve_router(
     let stop = Arc::new(AtomicBool::new(false));
     let accept_shared = Arc::clone(&shared);
     let accept_stop = Arc::clone(&stop);
+    // Unsupported platforms fall back to the threaded engine, exactly
+    // as in `proto::serve_tcp`.
+    let poller = match shared.config.backend {
+        ServeBackend::Events => Poller::new().ok(),
+        ServeBackend::Threads => None,
+    };
     let accept = std::thread::Builder::new()
-        .name("cpi-router-accept".into())
-        .spawn(move || router_accept_loop(&listener, &accept_shared, &accept_stop))?;
+        .name("cpi-router-front".into())
+        .spawn(move || match poller {
+            Some(poller) => router_event_front(poller, &listener, &accept_shared, &accept_stop),
+            None => router_accept_loop(&listener, &accept_shared, &accept_stop),
+        })?;
     let prober = match shared.config.probe_interval {
         Some(period) => {
             let probe_shared = Arc::clone(&shared);
@@ -1181,6 +1202,34 @@ pub fn serve_router(
     })
 }
 
+/// The readiness-loop router front: one thread multiplexing every
+/// client connection, each line dispatched through a [`ProxySession`].
+/// Backend hops inside a dispatch reuse the session's pooled blocking
+/// connections — the polling the loop eliminates is all client-side.
+fn router_event_front(
+    poller: Poller,
+    listener: &TcpListener,
+    shared: &Arc<RouterShared>,
+    stop: &AtomicBool,
+) {
+    let loop_config = LoopConfig {
+        banner: shared.config.banner.clone(),
+        idle_timeout: shared.config.idle_timeout,
+        max_connections: shared.config.max_connections,
+        tick: shared.config.poll_interval,
+    };
+    poller::run_event_loop(poller, listener, &loop_config, stop, || {
+        let mut session = ProxySession::new(shared);
+        move |line: &str, out: &mut Vec<u8>| {
+            session.handle_line(line, out).map(|outcome| match outcome {
+                ProxyOutcome::Continue => Dispatch::Continue,
+                ProxyOutcome::Quit => Dispatch::Close,
+                ProxyOutcome::Shutdown => Dispatch::Shutdown,
+            })
+        }
+    });
+}
+
 fn router_accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>, stop: &Arc<AtomicBool>) {
     let live = Arc::new(AtomicUsize::new(0));
     let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -1189,12 +1238,9 @@ fn router_accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>, stop: 
         match listener.accept() {
             Ok((stream, _)) => {
                 if live.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    // Same rejection bytes as the events engine.
                     let mut stream = stream;
-                    let _ = writeln!(
-                        stream,
-                        "err: server full ({} connections)",
-                        shared.config.max_connections
-                    );
+                    let _ = stream.write_all(b"err: busy\n");
                     continue;
                 }
                 live.fetch_add(1, Ordering::SeqCst);
@@ -1503,13 +1549,18 @@ impl ClusterHarnessBuilder {
             // Nodes share the router's banner (so a one-node cluster is
             // transparent even on direct connects) and never idle-close:
             // the router pools its backend connections across client
-            // think time.
+            // think time. Engine and connection cap follow the router's
+            // too — every admitted client may pool one backend
+            // connection per node, so a tighter node cap would refuse
+            // backends for clients the router already accepted.
             let server = proto::serve_tcp(
                 listener,
                 spec,
                 TcpServerConfig::new(self.router.banner.clone())
                     .with_idle_timeout(None)
-                    .with_poll_interval(self.router.poll_interval),
+                    .with_poll_interval(self.router.poll_interval)
+                    .with_max_connections(self.router.max_connections)
+                    .with_backend(self.router.backend),
             )?;
             let addr = server.local_addr();
             backends.push((name.clone(), addr));

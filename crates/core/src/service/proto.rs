@@ -68,6 +68,7 @@
 
 use super::auth::TokenRegistry;
 use super::persist::fnv64;
+use super::poller::{self, Dispatch, LoopConfig, Poller, ServeBackend};
 use super::{
     CpiClient, ModelKey, RefitMode, Request, Response, ServiceConfig, ServiceError, TenantId,
 };
@@ -955,13 +956,22 @@ pub struct TcpServerConfig {
     /// Close a connection after this long without a complete command
     /// (`None` = never).
     pub idle_timeout: Option<Duration>,
-    /// Connections beyond this are refused with `err: server full`.
+    /// Connections beyond this are refused with an immediate in-band
+    /// `err: busy` and a close. On the default [`ServeBackend::Events`]
+    /// engine the check is deterministic: a closed predecessor frees
+    /// its slot before the next accept is processed.
     pub max_connections: usize,
-    /// How often blocked reads and the accept loop wake to check the
-    /// stop flag (also the granularity of idle-timeout detection). The
-    /// default suits interactive servers; tests drop it to ~2 ms so
-    /// shutdown and idle paths resolve quickly.
+    /// Timer granularity. On [`ServeBackend::Events`] this bounds how
+    /// stale idle-deadline and stop-flag checks can be (the loop itself
+    /// sleeps in the kernel, waking early for socket readiness); on
+    /// [`ServeBackend::Threads`] it is the legacy stop/idle polling
+    /// tick. Tests drop it to ~2 ms so shutdown and idle paths resolve
+    /// quickly.
     pub poll_interval: Duration,
+    /// Which connection engine runs the front (readiness event loop by
+    /// default; the retained thread-per-connection loops are the
+    /// measured baseline and the portable fallback).
+    pub backend: ServeBackend,
 }
 
 impl Default for TcpServerConfig {
@@ -971,6 +981,7 @@ impl Default for TcpServerConfig {
             idle_timeout: Some(Duration::from_secs(300)),
             max_connections: 64,
             poll_interval: DEFAULT_POLL_INTERVAL,
+            backend: ServeBackend::default(),
         }
     }
 }
@@ -1000,6 +1011,12 @@ impl TcpServerConfig {
     /// zero tick would turn every blocked read into a busy loop).
     pub fn with_poll_interval(mut self, interval: Duration) -> Self {
         self.poll_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Selects the connection engine.
+    pub fn with_backend(mut self, backend: ServeBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -1059,10 +1076,16 @@ impl Drop for TcpServer {
 /// as the stdio front. The service itself is *not* owned here — the
 /// caller keeps it, and shuts it down after [`TcpServer::wait`] returns.
 ///
+/// With the default [`ServeBackend::Events`] engine one readiness
+/// event loop multiplexes every connection (see
+/// [`poller`](super::poller)); [`ServeBackend::Threads`] runs the
+/// legacy thread-per-connection polling loops. Both serve byte-identical
+/// transcripts.
+///
 /// # Errors
 ///
 /// Setup failures only (the listener cannot be made non-blocking or the
-/// accept thread cannot spawn); per-connection errors close that
+/// serving thread cannot spawn); per-connection errors close that
 /// connection and never take the server down.
 pub fn serve_tcp(
     listener: TcpListener,
@@ -1075,14 +1098,53 @@ pub fn serve_tcp(
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
+    // The poller opens here (not in the thread) so an unsupported
+    // platform falls back to the threaded engine instead of a dead
+    // server.
+    let poller = match config.backend {
+        ServeBackend::Events => Poller::new().ok(),
+        ServeBackend::Threads => None,
+    };
     let accept = std::thread::Builder::new()
-        .name("cpi-tcp-accept".into())
-        .spawn(move || accept_loop(&listener, &spec, &config, &accept_stop))?;
+        .name("cpi-tcp-front".into())
+        .spawn(move || match poller {
+            Some(poller) => event_front(poller, &listener, &spec, &config, &accept_stop),
+            None => accept_loop(&listener, &spec, &config, &accept_stop),
+        })?;
     Ok(TcpServer {
         local_addr,
         stop,
         accept: Some(accept),
     })
+}
+
+/// The readiness-loop front: one thread, every connection. Each line a
+/// connection completes runs through the same [`execute_line`] codec as
+/// the stdio front, with responses buffered and flushed on write
+/// readiness.
+fn event_front(
+    poller: Poller,
+    listener: &TcpListener,
+    spec: &SessionSpec,
+    config: &TcpServerConfig,
+    stop: &AtomicBool,
+) {
+    let loop_config = LoopConfig {
+        banner: config.banner.clone(),
+        idle_timeout: config.idle_timeout,
+        max_connections: config.max_connections,
+        tick: config.poll_interval,
+    };
+    poller::run_event_loop(poller, listener, &loop_config, stop, || {
+        let mut session = spec.session();
+        move |line: &str, out: &mut Vec<u8>| {
+            execute_line(&mut session, line, out).map(|outcome| match outcome {
+                LineOutcome::Continue => Dispatch::Continue,
+                LineOutcome::Quit => Dispatch::Close,
+                LineOutcome::Shutdown => Dispatch::Shutdown,
+            })
+        }
+    });
 }
 
 fn accept_loop(
@@ -1098,12 +1160,11 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 if live.load(Ordering::SeqCst) >= config.max_connections {
+                    // Same rejection bytes as the events engine. Unlike
+                    // there, the freed-slot timing here depends on when a
+                    // departed connection's thread noticed its own EOF.
                     let mut stream = stream;
-                    let _ = writeln!(
-                        stream,
-                        "err: server full ({} connections)",
-                        config.max_connections
-                    );
+                    let _ = stream.write_all(b"err: busy\n");
                     continue;
                 }
                 live.fetch_add(1, Ordering::SeqCst);

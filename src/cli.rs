@@ -63,6 +63,7 @@ use crate::model::{FitOptions, MicroarchParams};
 use crate::service::auth::{self, AuthError, TokenRegistry};
 use crate::service::cluster::{ClusterHarness, RouterConfig};
 use crate::service::persist::PersistError;
+use crate::service::poller::ServeBackend;
 use crate::service::{proto, stream, CpiService, ServiceConfig, ServiceError};
 use crate::{CsvSource, PipelineError, SimSource, Workbench};
 use std::fmt;
@@ -89,6 +90,9 @@ pub enum CliError {
     Bench(String),
     /// The `watch` stream's service rejected a batch or refit.
     Watch(ServiceError),
+    /// The `loadgen` run saw protocol errors, dropped connections, or
+    /// blew its `--budget-ms` latency budget.
+    Loadgen(String),
 }
 
 impl fmt::Display for CliError {
@@ -101,6 +105,7 @@ impl fmt::Display for CliError {
             CliError::Auth(e) => write!(f, "auth: {e}"),
             CliError::Bench(msg) => write!(f, "bench regression gate: {msg}"),
             CliError::Watch(e) => write!(f, "watch stream: {e}"),
+            CliError::Loadgen(msg) => write!(f, "loadgen gate: {msg}"),
         }
     }
 }
@@ -108,7 +113,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Usage(_) | CliError::Bench(_) => None,
+            CliError::Usage(_) | CliError::Bench(_) | CliError::Loadgen(_) => None,
             CliError::Pipeline(e) => Some(e),
             CliError::Io(e) => Some(e),
             CliError::State(e) => Some(e),
@@ -141,6 +146,7 @@ USAGE:
   cpistack serve [--workers <N>] [--cache <N>] [--quick] [--fit-threads <N>]
                  [--listen <addr>] [--state-dir <dir>] [--auth <token-file>]
                  [--idle-timeout <secs>] [--max-conns <N>] [--poll-interval <ms>]
+                 [--engine <events|threads>]
   cpistack cluster --state-dir <dir> [--nodes <N>] [--replicas <N>]
                  [--listen <addr>] [--workers <N>] [--cache <N>] [--quick]
                  [--auth <token-file>] [--idle-timeout <secs>] [--max-conns <N>]
@@ -152,6 +158,10 @@ USAGE:
                  [--uops <N>] [--seed <N>] [--benchmarks <N>]
   cpistack bench [--smoke] [--out <json>] [--uops <N>] [--seed <N>]
                  [--threads <N>] [--check <baseline.json>]
+  cpistack loadgen --connect <addr> [--conns <N>] [--rate <R>]
+                 [--duration-ms <D>] [--mix <text|bin|mixed>]
+                 [--machine <name>] [--suite <s>] [--hello <token>]
+                 [--budget-ms <X>]
 
 SUBCOMMANDS:
   fit    infer the ten model parameters from the counter data, report
@@ -172,7 +182,10 @@ SUBCOMMANDS:
          --auth <token-file> makes the server multi-tenant: every
          session must open with `hello <token>`, and each tenant gets
          its own machine namespace, cache quota and state subdirectory;
-         --poll-interval tunes the stop/idle polling tick in milliseconds
+         --poll-interval tunes the stop/idle polling tick in milliseconds;
+         --engine picks the TCP accept/dispatch engine: `events` (the
+         default readiness loop) or `threads` (one thread per connection,
+         the pre-event-loop behaviour — useful for A/B load tests)
   cluster
          start a multi-node serving tier in one process: N backend serve
          nodes plus a router that speaks the identical client protocol,
@@ -199,11 +212,23 @@ SUBCOMMANDS:
          through --replay; --batch sets records per batch
   bench  time the paper campaign's cold collect, cold fit (parallel vs
          sequential, asserting byte-identical parameters) and warm serve,
-         then write a machine-readable snapshot (default BENCH_7.json),
-         including a cluster section (router-hop overhead vs direct
-         warm serve).
+         then write a machine-readable snapshot (default BENCH_8.json),
+         including a cluster section (router-hop overhead vs direct warm
+         serve) and a connection-scaling section (readiness-loop front vs
+         the legacy thread-per-connection engine under loadgen traffic).
          --smoke runs reduced budgets for CI; --check <baseline> fails if
          cold-fit wall-clock regressed >25% against a comparable baseline
+  loadgen
+         drive open-loop load at a running server (a `serve --listen`
+         front or a `cluster` router): --conns concurrent connections ×
+         --rate requests/second each of warm `stack`/`binstack` traffic
+         for --duration-ms, then print completion counts, in-band error
+         and dropped-connection tallies, and p50/p95/p99 latency. The
+         target machine/suite (default core2/cpu2000) must already be
+         registered and fitted on the server. --mix picks the traffic
+         shape (default mixed), --hello authenticates multi-tenant
+         servers, and --budget-ms makes the exit status a gate: nonzero
+         if any error or drop occurred or p99 exceeded the budget
 
 All subcommands drive the same fitting code path the library exposes:
 counters from a pluggable source (CSV here, the simulator for `demo`),
@@ -242,6 +267,32 @@ pub enum Command {
     Watch(WatchArgs),
     /// Time the cold/warm paths and write a perf snapshot.
     Bench(BenchArgs),
+    /// Drive open-loop load at a running server and report latency.
+    Loadgen(LoadgenArgs),
+}
+
+/// Arguments for the `loadgen` subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadgenArgs {
+    /// Server address to drive (`host:port`).
+    pub connect: String,
+    /// Concurrent connections (`None` = 16).
+    pub conns: Option<usize>,
+    /// Requests per second per connection (`None` = 10).
+    pub rate: Option<f64>,
+    /// Traffic duration in milliseconds (`None` = 2000).
+    pub duration_ms: Option<u64>,
+    /// Traffic shape: `text`, `bin`, or `mixed` (`None` = mixed).
+    pub mix: Option<String>,
+    /// Machine to request stacks for (`None` = `core2`).
+    pub machine: Option<String>,
+    /// Suite to request stacks for (`None` = `cpu2000`).
+    pub suite: Option<String>,
+    /// Session token for multi-tenant servers.
+    pub hello: Option<String>,
+    /// p99 latency budget in milliseconds; exceeding it (or any error
+    /// or drop) makes the exit status nonzero.
+    pub budget_ms: Option<f64>,
 }
 
 /// Arguments for the `watch` subcommand.
@@ -283,7 +334,7 @@ pub struct WatchArgs {
 pub struct BenchArgs {
     /// Reduced budgets (CI mode).
     pub smoke: bool,
-    /// Snapshot path (`None` = `BENCH_7.json`).
+    /// Snapshot path (`None` = `BENCH_8.json`).
     pub out: Option<String>,
     /// µop budget override.
     pub uops: Option<u64>,
@@ -326,6 +377,9 @@ pub struct ServeArgs {
     /// Stop/idle polling tick in milliseconds (`None` = the transport
     /// default, ~50 ms).
     pub poll_interval: Option<u64>,
+    /// TCP accept/dispatch engine (`None` = the transport default,
+    /// the readiness event loop).
+    pub engine: Option<ServeBackend>,
 }
 
 /// Arguments for the `cluster` subcommand.
@@ -432,6 +486,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             fit_threads: flag_count(&flags, "fit-threads")?,
             auth: flag_text(&flags, "auth"),
             poll_interval: flag_count(&flags, "poll-interval")?,
+            engine: flag_engine(&flags)?,
         })),
         "cluster" => Ok(Command::Cluster(ClusterArgs {
             state_dir: get("state-dir")?.to_owned(),
@@ -473,6 +528,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             threads: flag_count(&flags, "threads")?,
             check: flag_text(&flags, "check"),
         })),
+        "loadgen" => Ok(Command::Loadgen(LoadgenArgs {
+            connect: get("connect")?.to_owned(),
+            conns: flag_count(&flags, "conns")?,
+            rate: flag_float(&flags, "rate")?,
+            duration_ms: flag_count(&flags, "duration-ms")?,
+            mix: flag_text(&flags, "mix"),
+            machine: flag_text(&flags, "machine"),
+            suite: flag_text(&flags, "suite"),
+            hello: flag_text(&flags, "hello"),
+            budget_ms: flag_float(&flags, "budget-ms")?,
+        })),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -483,6 +549,18 @@ fn flag_text(flags: &[(String, String)], name: &str) -> Option<String> {
         .iter()
         .find(|(k, _)| k == name)
         .map(|(_, v)| v.clone())
+}
+
+/// The optional `--engine <events|threads>` flag as a [`ServeBackend`].
+fn flag_engine(flags: &[(String, String)]) -> Result<Option<ServeBackend>, CliError> {
+    match flag_text(flags, "engine").as_deref() {
+        None => Ok(None),
+        Some("events") => Ok(Some(ServeBackend::Events)),
+        Some("threads") => Ok(Some(ServeBackend::Threads)),
+        Some(other) => Err(CliError::Usage(format!(
+            "--engine must be `events` or `threads`, got `{other}`"
+        ))),
+    }
 }
 
 /// An optional `--name <value>` flag parsed as an unsigned count.
@@ -496,6 +574,18 @@ fn flag_count<T: std::str::FromStr>(
         .map(|(_, v)| {
             v.parse()
                 .map_err(|_| CliError::Usage(format!("--{name} must be a count")))
+        })
+        .transpose()
+}
+
+/// An optional `--name <value>` flag parsed as a float.
+fn flag_float(flags: &[(String, String)], name: &str) -> Result<Option<f64>, CliError> {
+    flags
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("--{name} must be a number")))
         })
         .transpose()
 }
@@ -609,7 +699,65 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 .into(),
         )),
         Command::Bench(args) => run_bench_command(args),
+        Command::Loadgen(args) => run_loadgen_command(args),
     }
+}
+
+/// Runs the `loadgen` subcommand: resolve the target, build the request
+/// mix, drive the open-loop campaign, and gate the exit status.
+fn run_loadgen_command(args: &LoadgenArgs) -> Result<String, CliError> {
+    use std::net::ToSocketAddrs as _;
+    let addr = args
+        .connect
+        .to_socket_addrs()
+        .map_err(|e| CliError::Usage(format!("--connect `{}`: {e}", args.connect)))?
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("--connect `{}` resolved nowhere", args.connect)))?;
+    let machine = args.machine.as_deref().unwrap_or("core2");
+    let suite = args.suite.as_deref().unwrap_or("cpu2000");
+    let stack = crate::loadgen::RequestTemplate::new(format!("stack {machine} {suite}"));
+    let binstack = crate::loadgen::RequestTemplate::new(format!("binstack {machine} {suite}"));
+    let requests = match args.mix.as_deref().unwrap_or("mixed") {
+        "text" => vec![stack],
+        "bin" => vec![binstack],
+        "mixed" => vec![stack, binstack],
+        other => {
+            return Err(CliError::Usage(format!(
+                "--mix must be text, bin or mixed (got `{other}`)"
+            )))
+        }
+    };
+    let mut config = crate::loadgen::LoadgenConfig::new(addr, machine, suite)
+        .with_requests(requests)
+        .with_connections(args.conns.unwrap_or(16))
+        .with_rate(args.rate.unwrap_or(10.0))
+        .with_duration(std::time::Duration::from_millis(
+            args.duration_ms.unwrap_or(2000),
+        ));
+    if let Some(token) = &args.hello {
+        config = config.with_hello(token.clone());
+    }
+    let report = crate::loadgen::run(&config)?;
+    let mut text = report.summary();
+    text.push('\n');
+    let p99_ms = report.p99.as_secs_f64() * 1e3;
+    if report.errors > 0 || report.dropped > 0 {
+        return Err(CliError::Loadgen(format!(
+            "{} in-band errors, {} dropped connections (want zero)\n{text}",
+            report.errors, report.dropped
+        )));
+    }
+    if let Some(budget) = args.budget_ms {
+        if p99_ms > budget {
+            return Err(CliError::Loadgen(format!(
+                "p99 {p99_ms:.3} ms exceeds budget {budget:.3} ms\n{text}"
+            )));
+        }
+        text.push_str(&format!(
+            "gate: p99 {p99_ms:.3} ms within budget {budget:.3} ms\n"
+        ));
+    }
+    Ok(text)
 }
 
 /// Runs the `watch` subcommand: build a [`LiveSource`](pmu::live) from
@@ -803,7 +951,7 @@ fn run_bench_command(args: &BenchArgs) -> Result<String, CliError> {
         config.threads = threads;
     }
     let report = crate::perf::run_bench(config);
-    let out = args.out.clone().unwrap_or_else(|| "BENCH_7.json".into());
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_8.json".into());
     std::fs::write(&out, report.to_json()).map_err(|error| {
         CliError::Pipeline(PipelineError::Export {
             path: out.clone().into(),
@@ -893,6 +1041,9 @@ pub fn serve(
         }
         if let Some(ms) = args.poll_interval {
             tcp = tcp.with_poll_interval(std::time::Duration::from_millis(ms));
+        }
+        if let Some(engine) = args.engine {
+            tcp = tcp.with_backend(engine);
         }
         let listener = std::net::TcpListener::bind(addr.as_str())?;
         let server = proto::serve_tcp(listener, spec, tcp)?;
@@ -1147,6 +1298,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_engine_flag() {
+        let cmd = parse_args(&strings(&["serve", "--engine", "threads"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                engine: Some(ServeBackend::Threads),
+                ..ServeArgs::default()
+            })
+        );
+        let cmd = parse_args(&strings(&["serve", "--engine", "events"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                engine: Some(ServeBackend::Events),
+                ..ServeArgs::default()
+            })
+        );
+        let err = parse_args(&strings(&["serve", "--engine", "fibers"])).unwrap_err();
+        assert!(err.to_string().contains("--engine must be"));
+    }
+
+    #[test]
     fn parses_token_command_and_serve_auth_flag() {
         let cmd = parse_args(&strings(&[
             "token",
@@ -1260,6 +1433,56 @@ mod tests {
         );
         let err = parse_args(&strings(&["bench", "--uops", "lots"])).unwrap_err();
         assert!(err.to_string().contains("--uops must be a count"));
+    }
+
+    #[test]
+    fn parses_loadgen_command() {
+        let cmd = parse_args(&strings(&[
+            "loadgen",
+            "--connect",
+            "127.0.0.1:7070",
+            "--conns",
+            "64",
+            "--rate",
+            "2.5",
+            "--duration-ms",
+            "500",
+            "--mix",
+            "bin",
+            "--hello",
+            "tok123",
+            "--budget-ms",
+            "40",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Loadgen(LoadgenArgs {
+                connect: "127.0.0.1:7070".into(),
+                conns: Some(64),
+                rate: Some(2.5),
+                duration_ms: Some(500),
+                mix: Some("bin".into()),
+                machine: None,
+                suite: None,
+                hello: Some("tok123".into()),
+                budget_ms: Some(40.0),
+            })
+        );
+        // --connect is mandatory; --rate must parse as a number.
+        let err = parse_args(&strings(&["loadgen"])).unwrap_err();
+        assert!(err.to_string().contains("missing --connect"), "{err}");
+        let err =
+            parse_args(&strings(&["loadgen", "--connect", "x:1", "--rate", "fast"])).unwrap_err();
+        assert!(err.to_string().contains("--rate must be a number"), "{err}");
+        // A bad --mix word is rejected at run time with a usage error.
+        let err = run(&Command::Loadgen(LoadgenArgs {
+            connect: "127.0.0.1:1".into(),
+            mix: Some("binary".into()),
+            ..LoadgenArgs::default()
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("--mix must be"), "{err}");
     }
 
     #[test]

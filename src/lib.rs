@@ -315,9 +315,81 @@
 //! <csv>` appends every streamed batch to a file that replays byte-exact
 //! later. The refit split shows up in `stats` as `refits full N
 //! incremental M`, and the steady-state saving is a tracked number in
-//! `BENCH_7.json` (`stream_speedup`). The `perf-events` backend is
+//! `BENCH_8.json` (`stream_speedup`). The `perf-events` backend is
 //! feature-gated (`cargo check --features perf-events`) so the default
 //! build never touches raw syscalls.
+//!
+//! ## Load-test the serving tier
+//!
+//! Every TCP front here is a readiness **event loop** by default — one
+//! thread drives all connections through
+//! [`service::poller::Poller`] (epoll on Linux, `poll(2)` elsewhere;
+//! [`ServeBackend::Threads`](service::poller::ServeBackend) restores
+//! thread-per-connection for A/B runs) — and [`loadgen`] is the
+//! matching measurement harness: an **open-loop** generator that fires
+//! warm `stack`/`binstack` requests on a fixed per-connection schedule
+//! and measures each response against its *scheduled* send slot, so
+//! server-side queueing shows up in the percentiles instead of slowing
+//! the client down (no coordinated omission):
+//!
+//! ```
+//! use cpistack::loadgen::{self, LoadgenConfig};
+//! use cpistack::model::FitOptions;
+//! use cpistack::service::proto::{self, SessionSpec, TcpServerConfig};
+//! use cpistack::service::{CpiService, ModelKey, ServiceConfig};
+//! use cpistack::sim::machine::MachineConfig;
+//! use cpistack::SimSource;
+//! use pmu::{MachineId, Suite};
+//! use std::time::Duration;
+//!
+//! // A warm server: one fitted model behind the readiness TCP front.
+//! let machine = MachineConfig::core2();
+//! let records = SimSource::new()
+//!     .suite(cpistack::workloads::suites::cpu2000().into_iter().take(12).collect())
+//!     .uops(2_000)
+//!     .seed(7)
+//!     .collect_config(&machine);
+//! let service = CpiService::start(ServiceConfig::new());
+//! let client = service.client();
+//! client.register((&machine).into()).unwrap();
+//! client.ingest(records).unwrap();
+//! let options = FitOptions::quick();
+//! client
+//!     .fit(ModelKey::new(MachineId::Core2, Some(Suite::Cpu2000), options.clone()))
+//!     .unwrap();
+//! let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! let server = proto::serve_tcp(
+//!     listener,
+//!     SessionSpec::open(client, options),
+//!     TcpServerConfig::new("doc bench"),
+//! )
+//! .unwrap();
+//!
+//! // Eight connections × 50 req/s of mixed warm traffic for 300 ms.
+//! let report = loadgen::run(
+//!     &LoadgenConfig::new(server.local_addr(), "core2", "cpu2000")
+//!         .with_connections(8)
+//!         .with_rate(50.0)
+//!         .with_duration(Duration::from_millis(300)),
+//! )
+//! .unwrap();
+//! assert_eq!(report.sustained, 8);
+//! assert_eq!(report.errors, 0);
+//! assert_eq!(report.dropped, 0);
+//! assert_eq!(report.completed, report.sent);
+//! assert!(report.p99 > Duration::ZERO);
+//! server.shutdown();
+//! service.shutdown();
+//! ```
+//!
+//! The client itself multiplexes every connection on one thread over
+//! the same [`Poller`](service::poller::Poller), so at hundreds of
+//! connections the harness measures the server, not client scheduler
+//! jitter. The CLI twin is `cpistack loadgen --connect <addr>`
+//! (`--budget-ms` makes it a CI gate), and `cpistack bench` records the
+//! connection-scaling comparison — the readiness engine sustaining 4×
+//! the thread engine's connection count at equal-or-better p99 — in
+//! `BENCH_8.json`.
 //!
 //! ## Performance: parallel cold fits, a tracked baseline
 //!
@@ -335,10 +407,11 @@
 //! ([`SimSource::warmup`](workbench::SimSource::warmup), default
 //! unchanged). `cpistack bench` times cold collect / cold fit / warm
 //! serve on the paper campaign — plus the cluster tier's warm
-//! router-hop overhead and the streaming tier's incremental-vs-full
-//! refit split — asserts the parallel–sequential byte-identity, and
-//! writes the `BENCH_7.json` snapshot that CI gates against (see the
-//! README's Performance section for current numbers):
+//! router-hop overhead, the streaming tier's incremental-vs-full refit
+//! split, and the connection-scaling loadgen campaigns — asserts the
+//! parallel–sequential byte-identity, and writes the `BENCH_8.json`
+//! snapshot that CI gates against (see the README's Performance section
+//! for current numbers):
 //!
 //! ```
 //! use cpistack::model::FitOptions;
@@ -404,6 +477,7 @@
 //! ```
 
 pub mod cli;
+pub mod loadgen;
 pub mod perf;
 
 pub use calibrate as latency;

@@ -9,7 +9,7 @@
 //! times all three on the paper campaign (103 benchmarks × 3 machines),
 //! verifies that the parallel multi-start fit is *byte-identical* to the
 //! strictly-sequential path while timing both, and writes a
-//! machine-readable JSON snapshot (`BENCH_7.json`) — the start of a perf
+//! machine-readable JSON snapshot (`BENCH_8.json`) — the start of a perf
 //! trajectory later PRs append to and CI guards against.
 //!
 //! Since the cluster tier (PR 6), the report also carries a **cluster**
@@ -26,14 +26,26 @@
 //! quarter-length warm-up ([`SimSource::warmup`]), and the µops that
 //! saves per workload is reported alongside.
 //!
+//! Since the readiness-loop fronts (PR 8), a **connection-scaling**
+//! section drives the [`loadgen`](crate::loadgen) harness at three
+//! targets over the same warm model: the legacy thread-per-connection
+//! engine at the baseline connection count, the readiness event loop at
+//! 4× that count, and the cluster router (readiness engine) at 4× — each
+//! an open-loop campaign asserting zero in-band errors and zero dropped
+//! connections, with the p99 latencies recorded. That turns the event
+//! loop's connection-ceiling claim into a tracked number.
+//!
 //! The JSON carries a `config_fingerprint` folding every knob that shapes
 //! the numbers (µop budget, seed, suite sizes, fit options fingerprint);
 //! [`check_against`] only compares runs with equal fingerprints, so a
 //! smoke run is never judged against a full-scale baseline.
 
+use crate::loadgen::{self, LoadgenConfig};
 use crate::model::workbench::{SimSource, Workbench};
 use crate::model::FitOptions;
 use crate::service::cluster::{ClusterHarness, RouterConfig};
+use crate::service::poller::ServeBackend;
+use crate::service::proto::{self, SessionSpec, TcpServerConfig};
 use crate::service::{stream, CpiService, ModelKey, RefitMode, Response, ServiceConfig};
 use crate::sim::machine::MachineConfig;
 use pmu::live::ReplaySource;
@@ -56,6 +68,10 @@ pub struct BenchConfig {
     pub threads: usize,
     /// Warm-serve repetitions per model key.
     pub warm_iters: usize,
+    /// Connection-scaling baseline: the thread-per-connection engine is
+    /// measured at this many concurrent connections, the readiness
+    /// engine and the router at 4× as many.
+    pub conns: usize,
 }
 
 impl BenchConfig {
@@ -67,6 +83,7 @@ impl BenchConfig {
             seed: 12345,
             threads: 0,
             warm_iters: 20,
+            conns: 64,
         }
     }
 
@@ -75,6 +92,7 @@ impl BenchConfig {
         Self {
             smoke: true,
             uops: 10_000,
+            conns: 16,
             ..Self::full()
         }
     }
@@ -93,6 +111,7 @@ impl BenchConfig {
         self.seed.hash(&mut h);
         self.smoke.hash(&mut h);
         self.threads.hash(&mut h);
+        self.conns.hash(&mut h);
         benchmarks.hash(&mut h);
         machines.hash(&mut h);
         FitOptions::default().fingerprint().hash(&mut h);
@@ -149,6 +168,24 @@ pub struct BenchReport {
     /// µops the streaming campaign's quarter-length warm-up saves per
     /// workload versus the default (warm-up = measurement length).
     pub warmup_saved_uops: u64,
+    /// Open-loop request rate per connection in the scaling sections,
+    /// requests/second.
+    pub loadgen_rate: f64,
+    /// Connections sustained by the legacy thread-per-connection engine
+    /// (zero errors, zero drops).
+    pub serve_threads_conns: usize,
+    /// p99 latency at that load on the threaded engine, ms.
+    pub serve_threads_p99_ms: f64,
+    /// Connections sustained by the readiness event loop — 4× the
+    /// threaded baseline by construction.
+    pub serve_events_conns: usize,
+    /// p99 latency at that load on the readiness engine, ms.
+    pub serve_events_p99_ms: f64,
+    /// Connections sustained through the cluster router (readiness
+    /// engine, backed by pooled per-node connections).
+    pub router_events_conns: usize,
+    /// p99 latency at that load through the router, ms.
+    pub router_events_p99_ms: f64,
     /// FNV-1a digest over every fitted parameter's bits, in key order —
     /// equal for the parallel and sequential paths by construction (the
     /// run fails otherwise).
@@ -160,13 +197,14 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": 3,");
+        let _ = writeln!(s, "  \"schema\": 4,");
         let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(s, "  \"config\": {{");
         let _ = writeln!(s, "    \"uops\": {},", self.config.uops);
         let _ = writeln!(s, "    \"seed\": {},", self.config.seed);
         let _ = writeln!(s, "    \"threads\": {},", self.config.threads);
         let _ = writeln!(s, "    \"warm_iters\": {},", self.config.warm_iters);
+        let _ = writeln!(s, "    \"conns\": {},", self.config.conns);
         let _ = writeln!(s, "    \"benchmarks\": {},", self.benchmarks);
         let _ = writeln!(s, "    \"machines\": {}", self.machines);
         let _ = writeln!(s, "  }},");
@@ -207,6 +245,33 @@ impl BenchReport {
         );
         let _ = writeln!(s, "  \"stream_speedup\": {:.2},", self.stream_speedup);
         let _ = writeln!(s, "  \"warmup_saved_uops\": {},", self.warmup_saved_uops);
+        let _ = writeln!(s, "  \"loadgen_rate\": {:.1},", self.loadgen_rate);
+        let _ = writeln!(
+            s,
+            "  \"serve_threads_conns\": {},",
+            self.serve_threads_conns
+        );
+        let _ = writeln!(
+            s,
+            "  \"serve_threads_p99_ms\": {:.3},",
+            self.serve_threads_p99_ms
+        );
+        let _ = writeln!(s, "  \"serve_events_conns\": {},", self.serve_events_conns);
+        let _ = writeln!(
+            s,
+            "  \"serve_events_p99_ms\": {:.3},",
+            self.serve_events_p99_ms
+        );
+        let _ = writeln!(
+            s,
+            "  \"router_events_conns\": {},",
+            self.router_events_conns
+        );
+        let _ = writeln!(
+            s,
+            "  \"router_events_p99_ms\": {:.3},",
+            self.router_events_p99_ms
+        );
         let _ = writeln!(s, "  \"params_digest\": \"{:016x}\"", self.params_digest);
         let _ = writeln!(s, "}}");
         s
@@ -223,7 +288,10 @@ impl BenchReport {
              cluster warm   {:>10.3} ms direct / {:.3} ms via router (hop {:+.3} ms)\n\
              streaming      {:>10.1} ms full / {:.2} ms incremental per refit → \
              {:.1}× ({} full / {} incremental over {} batches)\n\
-             warm-up        quarter-length streaming warm-up saves {} µops/workload\n",
+             warm-up        quarter-length streaming warm-up saves {} µops/workload\n\
+             connections    threads {} conns p99 {:.3} ms | events {} conns p99 {:.3} ms \
+             ({:.0} req/s aggregate open-loop) | router {} conns p99 {:.3} ms (half aggregate; \
+             zero errors/drops throughout)\n",
             self.mode,
             self.benchmarks,
             self.machines,
@@ -245,6 +313,13 @@ impl BenchReport {
             self.stream_incremental_refits,
             self.stream_batches,
             self.warmup_saved_uops,
+            self.serve_threads_conns,
+            self.serve_threads_p99_ms,
+            self.serve_events_conns,
+            self.serve_events_p99_ms,
+            self.loadgen_rate * self.serve_threads_conns as f64,
+            self.router_events_conns,
+            self.router_events_p99_ms,
         )
     }
 }
@@ -350,15 +425,160 @@ fn timed_warm_stacks(conn: &mut BufReader<TcpStream>, iters: usize) -> f64 {
     start.elapsed().as_secs_f64() * 1e3 / iters as f64
 }
 
+/// The open-loop traffic shape of the connection-scaling sections,
+/// derived from the bench mode: smoke keeps campaigns short for CI, full
+/// runs longer at a gentler per-connection cadence.
+struct ScalingLoad {
+    rate: f64,
+    duration: Duration,
+    /// Campaigns per engine; the recorded p99 is the median. On a small
+    /// box the scheduler's bad luck can double a single campaign's tail,
+    /// so full mode runs three and smoke (CI) keeps one for speed.
+    trials: usize,
+}
+
+impl ScalingLoad {
+    fn of(config: &BenchConfig) -> Self {
+        if config.smoke {
+            Self {
+                rate: 20.0,
+                duration: Duration::from_millis(750),
+                trials: 1,
+            }
+        } else {
+            // 64 conns × 5 req/s = 320 req/s aggregate: comfortably
+            // below the single-loop engines' rendering saturation on a
+            // small box, so every section measures steady-state latency
+            // rather than queue backlog. Four seconds per campaign keeps
+            // the p99 from being set by a single scheduler stall.
+            Self {
+                rate: 5.0,
+                duration: Duration::from_secs(4),
+                trials: 3,
+            }
+        }
+    }
+
+    /// Per-connection cadence at `scale`× the baseline connection
+    /// count, holding the *aggregate* offered load constant — the
+    /// scaling sections compare connection counts, not throughputs.
+    fn rate_at(&self, scale: usize) -> f64 {
+        self.rate / scale.max(1) as f64
+    }
+}
+
+/// Drives [`ScalingLoad::trials`] open-loop loadgen campaigns of mixed
+/// warm `stack` / `binstack` traffic at `addr` and returns the median
+/// p99 latency in ms.
+///
+/// # Panics
+///
+/// Panics on any in-band protocol error or dropped connection — the
+/// scaling sections report latency *at sustained load*, never latency
+/// with casualties.
+fn scaling_loadgen(
+    addr: SocketAddr,
+    conns: usize,
+    scale: usize,
+    load: &ScalingLoad,
+    what: &str,
+) -> f64 {
+    let config = LoadgenConfig::new(addr, "core2", "cpu2000")
+        .with_connections(conns)
+        .with_rate(load.rate_at(scale))
+        .with_duration(load.duration);
+    let mut p99s: Vec<f64> = (0..load.trials.max(1))
+        .map(|_| {
+            let report = loadgen::run(&config).expect("loadgen campaign");
+            assert_eq!(
+                report.errors, 0,
+                "{what}: in-band errors under {conns}-connection load"
+            );
+            assert_eq!(
+                report.dropped, 0,
+                "{what}: dropped connections under {conns}-connection load"
+            );
+            report.p99.as_secs_f64() * 1e3
+        })
+        .collect();
+    p99s.sort_by(|a, b| a.total_cmp(b));
+    p99s[p99s.len() / 2]
+}
+
+/// The direct-serve half of the connection-scaling section: one warm
+/// service fronted twice — by the legacy thread-per-connection engine at
+/// the baseline connection count and by the readiness event loop at 4×.
+/// Returns `(threads p99 ms, events p99 ms)`.
+fn connection_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64) {
+    let machine = MachineConfig::core2();
+    let core2: Vec<RunRecord> = records
+        .iter()
+        .filter(|r| r.machine() == MachineId::Core2)
+        .cloned()
+        .collect();
+    let service = CpiService::start(ServiceConfig::new().with_workers(2).with_cache_capacity(8));
+    let client = service.client();
+    client.register((&machine).into()).expect("register");
+    client.ingest(core2).expect("ingest");
+    let options = FitOptions::quick();
+    client
+        .fit(ModelKey::new(
+            MachineId::Core2,
+            Some(Suite::Cpu2000),
+            options.clone(),
+        ))
+        .expect("warm fit");
+    let spec = SessionSpec::open(client, options);
+    let load = ScalingLoad::of(config);
+    let front = |backend: ServeBackend, cap: usize| {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind bench front");
+        proto::serve_tcp(
+            listener,
+            spec.clone(),
+            TcpServerConfig::new("cpistack bench")
+                .with_idle_timeout(None)
+                .with_poll_interval(Duration::from_millis(2))
+                .with_max_connections(cap)
+                .with_backend(backend),
+        )
+        .expect("bench front starts")
+    };
+
+    let threads_front = front(ServeBackend::Threads, config.conns + 8);
+    let threads_p99 = scaling_loadgen(
+        threads_front.local_addr(),
+        config.conns,
+        1,
+        &load,
+        "threaded engine",
+    );
+    threads_front.shutdown();
+
+    let events_conns = config.conns * 4;
+    let events_front = front(ServeBackend::Events, events_conns + 8);
+    let events_p99 = scaling_loadgen(
+        events_front.local_addr(),
+        events_conns,
+        4,
+        &load,
+        "readiness engine",
+    );
+    events_front.shutdown();
+    service.shutdown();
+    (threads_p99, events_p99)
+}
+
 /// The cluster section of the bench: boots a 3-node tier, fits Core 2 /
 /// CPU2000 once through the router (untimed), then times the same warm
-/// `stack` request direct-to-owner and through the router. Returns
-/// `(direct ms, router ms)`.
+/// `stack` request direct-to-owner and through the router, and finally
+/// drives the router half of the connection-scaling section (4× the
+/// baseline connection count through the readiness-engine router).
+/// Returns `(direct ms, router ms, router loadgen p99 ms)`.
 ///
 /// The fit itself uses [`FitOptions::quick`] — the section measures the
 /// serving transport, and a warm `stack` round-trip does not depend on
 /// how the cached model was fitted.
-fn cluster_warm_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64) {
+fn cluster_warm_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64, f64) {
     let dir = std::env::temp_dir().join(format!("cpistack_bench_cluster_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("bench cluster scratch dir");
@@ -370,6 +590,7 @@ fn cluster_warm_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64)
     let csv = dir.join("core2.csv");
     std::fs::write(&csv, pmu::csv::to_csv(&core2)).expect("write bench csv");
 
+    let router_conns = config.conns * 4;
     let harness = ClusterHarness::builder(dir.join("state"))
         .with_nodes(3)
         .with_workers(2)
@@ -378,7 +599,8 @@ fn cluster_warm_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64)
         .with_router(
             RouterConfig::new("cpistack bench cluster")
                 .with_poll_interval(Duration::from_millis(2))
-                .with_idle_timeout(Some(Duration::from_secs(60))),
+                .with_idle_timeout(Some(Duration::from_secs(60)))
+                .with_max_connections(router_conns + 8),
         )
         .start()
         .expect("bench cluster boots");
@@ -404,13 +626,28 @@ fn cluster_warm_bench(config: &BenchConfig, records: &[RunRecord]) -> (f64, f64)
     let direct_ms = timed_warm_stacks(&mut direct, config.warm_iters);
     let router_ms = timed_warm_stacks(&mut router, config.warm_iters);
 
+    // Router scaling: the same warm traffic at 4× the threaded
+    // baseline's connection count through the router, at HALF the
+    // direct sections' aggregate rate (scale 8, not 4). One readiness
+    // loop proxies both directions of every request here while the
+    // 3-node tier shares the same cores, so the direct sections' full
+    // aggregate is past this topology's steady state on a small bench
+    // box — and a saturated queue measures backlog, not latency.
+    let router_p99 = scaling_loadgen(
+        harness.router_addr(),
+        router_conns,
+        8,
+        &ScalingLoad::of(config),
+        "router",
+    );
+
     roundtrip(&mut router, "quit");
     roundtrip(&mut direct, "quit");
     drop(router);
     drop(direct);
     harness.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
-    (direct_ms, router_ms)
+    (direct_ms, router_ms, router_p99)
 }
 
 /// The streaming section's measured numbers.
@@ -552,8 +789,14 @@ pub fn run_bench(config: BenchConfig) -> BenchReport {
     let warm_serve_ms = start.elapsed().as_secs_f64() * 1e3 / served.max(1) as f64;
     service.shutdown();
 
-    // --- Cluster warm serve: router hop vs direct-to-owner. ------------
-    let (cluster_warm_direct_ms, cluster_warm_router_ms) = cluster_warm_bench(&config, &records);
+    // --- Cluster warm serve: router hop vs direct-to-owner, plus the
+    // --- router half of the connection-scaling section. ----------------
+    let (cluster_warm_direct_ms, cluster_warm_router_ms, router_events_p99_ms) =
+        cluster_warm_bench(&config, &records);
+
+    // --- Connection scaling: threaded engine vs readiness loop. --------
+    let (serve_threads_p99_ms, serve_events_p99_ms) = connection_bench(&config, &records);
+    let scaling_load = ScalingLoad::of(&config);
 
     // --- Streaming: incremental vs full refit on a jittered stream. ----
     let streaming = streaming_bench(&config);
@@ -584,6 +827,13 @@ pub fn run_bench(config: BenchConfig) -> BenchReport {
             0.0
         },
         warmup_saved_uops: streaming.saved_uops,
+        loadgen_rate: scaling_load.rate,
+        serve_threads_conns: config.conns,
+        serve_threads_p99_ms,
+        serve_events_conns: config.conns * 4,
+        serve_events_p99_ms,
+        router_events_conns: config.conns * 4,
+        router_events_p99_ms,
         params_digest: digest,
         config,
     }
@@ -645,8 +895,28 @@ pub fn check_against(
             tolerance * 100.0
         ));
     }
+    // Schema-4 baselines also gate the readiness engine's p99 under the
+    // connection-scaling load. Latency tails are far noisier than a
+    // six-fit wall-clock, so the slack is 4× the cold-fit tolerance
+    // (+100% at the default 0.25) — the gate catches an engine that
+    // collapsed, not one that wobbled. Schema-3 baselines lack the field
+    // and skip this check.
+    let mut p99_note = String::new();
+    if let Some(base_p99) = json_number(baseline_json, "serve_events_p99_ms") {
+        let p99_limit = base_p99 * (1.0 + 4.0 * tolerance);
+        if current.serve_events_p99_ms > p99_limit {
+            return Err(format!(
+                "readiness-engine p99 regressed: {:.3} ms vs baseline {:.3} ms (limit {:.3} ms)",
+                current.serve_events_p99_ms, base_p99, p99_limit
+            ));
+        }
+        p99_note = format!(
+            "; events p99 {:.3} ms within {:.3} ms budget",
+            current.serve_events_p99_ms, p99_limit
+        );
+    }
     Ok(format!(
-        "cold fit {:.1} ms within {:.1} ms budget (baseline {:.1} ms +{:.0}%)",
+        "cold fit {:.1} ms within {:.1} ms budget (baseline {:.1} ms +{:.0}%){p99_note}",
         current.cold_fit_ms,
         limit,
         base_fit,
@@ -665,6 +935,9 @@ mod tests {
             seed: 7,
             threads: 0,
             warm_iters: 1,
+            // Keeps the scaling sections cheap in unit tests: threads at
+            // 2 connections, events and router at 8.
+            conns: 2,
         }
     }
 
@@ -691,11 +964,22 @@ mod tests {
             report.stream_speedup
         );
         assert_eq!(report.warmup_saved_uops, 750, "1000 µops - 250 warm-up");
+        // Connection scaling: the readiness engine and the router carried
+        // 4× the threaded baseline with zero errors/drops (asserted
+        // inside the sections) and real latency numbers.
+        assert_eq!(report.serve_threads_conns, 2);
+        assert_eq!(report.serve_events_conns, 8);
+        assert_eq!(report.router_events_conns, 8);
+        assert!(report.serve_threads_p99_ms > 0.0);
+        assert!(report.serve_events_p99_ms > 0.0);
+        assert!(report.router_events_p99_ms > 0.0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"cluster_warm_router_ms\""));
         assert!(json.contains("\"stream_speedup\""));
         assert!(json.contains("\"warmup_saved_uops\": 750"));
+        assert!(json.contains("\"serve_events_conns\": 8"));
+        assert!(json.contains("\"serve_events_p99_ms\""));
         let parsed = json_number(&json, "cold_collect_ms").expect("field present");
         assert!((parsed - report.cold_collect_ms).abs() < 0.01);
 
@@ -709,6 +993,13 @@ mod tests {
         );
         let err = check_against(&report, &doctored, 0.25).expect_err("regression detected");
         assert!(err.contains("regressed"), "{err}");
+        // …and the p99 gate trips against an impossibly tight baseline.
+        let doctored = json.replace(
+            &format!("\"serve_events_p99_ms\": {:.3}", report.serve_events_p99_ms),
+            "\"serve_events_p99_ms\": 0.00001",
+        );
+        let err = check_against(&report, &doctored, 0.25).expect_err("p99 regression detected");
+        assert!(err.contains("p99 regressed"), "{err}");
 
         // Different fingerprint: incomparable, never a failure.
         let other = json.replace(
@@ -743,6 +1034,13 @@ mod tests {
             stream_incremental_ms: 1.0,
             stream_speedup: 10.0,
             warmup_saved_uops: 750,
+            loadgen_rate: 20.0,
+            serve_threads_conns: 2,
+            serve_threads_p99_ms: 1.0,
+            serve_events_conns: 8,
+            serve_events_p99_ms: 1.0,
+            router_events_conns: 8,
+            router_events_p99_ms: 1.0,
             params_digest: 2,
         };
         assert!(check_against(&report, "not json", 0.25).is_err());

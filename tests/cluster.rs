@@ -8,6 +8,7 @@
 //! for two tenants concurrently, draining takes a node out of rotation
 //! without touching it, and cluster failures surface as typed errors.
 
+use cpistack::loadgen::{self, LoadgenConfig, RequestTemplate};
 use cpistack::model::{FitOptions, MicroarchParams};
 use cpistack::service::auth::TokenRegistry;
 use cpistack::service::cluster::{ClusterError, ClusterHarness, RouterConfig};
@@ -166,6 +167,114 @@ fn killing_a_node_serves_its_tenants_warm_with_zero_refits() {
         Err(ClusterError::NodeDown { node, .. }) => assert_eq!(node, dead),
         other => panic!("expected NodeDown for `{dead}`, got {other:?}"),
     }
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Failover under fire: while an open-loop loadgen campaign hammers a
+/// survivor-owned tenant through the router, the node owning another
+/// tenant's key is killed mid-campaign. The bystander traffic must not
+/// notice — zero drops, zero in-band errors, every response still
+/// byte-identical to the solo baseline — and the dead tenant's key must
+/// still fail over warm (`fits 0`, `warm 1`, solo-identical stacks).
+#[test]
+fn killing_a_node_under_concurrent_loadgen_leaves_survivors_clean() {
+    let dir = scratch("failover_load");
+    let csv = counters_csv(&dir);
+    let expected = sequential_stack_lines(&csv);
+    let mut expected_wire = expected.clone().into_bytes();
+    expected_wire.extend_from_slice(b"ok\n");
+
+    let registry = Arc::new(
+        TokenRegistry::new()
+            .with_token(TOKEN_ALPHA, "alpha")
+            .expect("alpha token")
+            .with_token(TOKEN_BETA, "beta")
+            .expect("beta token"),
+    );
+    let mut harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(3)
+        .with_registry(Arc::clone(&registry))
+        .with_router(test_router("cluster").with_max_connections(96))
+        .start()
+        .expect("cluster boots");
+    let router = harness.router_addr();
+
+    // The two tenants hash to different ring positions for the same
+    // machine — killing beta's owner makes alpha's campaign a pure
+    // bystander.
+    let beta_owner = harness
+        .owner_index("beta", "core2")
+        .expect("beta core2 owner");
+    let alpha_owner = harness
+        .owner_index("alpha", "core2")
+        .expect("alpha core2 owner");
+    assert_ne!(
+        beta_owner, alpha_owner,
+        "ring placement must separate the tenants for this scenario"
+    );
+
+    // Warm both tenants through the router (fit → replicated snapshot).
+    for token in [TOKEN_ALPHA, TOKEN_BETA] {
+        let setup = tcp_session(
+            router,
+            &format!(
+                "hello {token}\nmachine core2 4 14 19 169 30\ningest {csv}\nfit core2 cpu2000\nquit\n"
+            ),
+        );
+        assert!(
+            !String::from_utf8_lossy(&setup).contains("err:"),
+            "{}",
+            String::from_utf8_lossy(&setup)
+        );
+    }
+
+    // Alpha's campaign runs while the kill lands ~a third of the way in.
+    let config = LoadgenConfig::new(router, "core2", "cpu2000")
+        .with_connections(32)
+        .with_rate(5.0)
+        .with_duration(Duration::from_millis(1500))
+        .with_hello(TOKEN_ALPHA)
+        .with_requests(vec![
+            RequestTemplate::expecting("stack core2 cpu2000", expected_wire.clone()),
+            RequestTemplate::new("binstack core2 cpu2000"),
+        ]);
+    let report = std::thread::scope(|scope| {
+        let campaign = scope.spawn(|| loadgen::run(&config).expect("campaign runs"));
+        std::thread::sleep(Duration::from_millis(500));
+        harness.kill(beta_owner);
+        campaign.join().unwrap()
+    });
+    assert_eq!(
+        report.dropped,
+        0,
+        "a bystander tenant must not lose connections to another tenant's node dying\n{}",
+        report.summary()
+    );
+    assert_eq!(
+        report.errors,
+        0,
+        "bystander responses must stay byte-identical through the kill\n{}",
+        report.summary()
+    );
+    assert_eq!(report.sustained, 32, "{}", report.summary());
+    assert_eq!(report.completed, report.sent, "{}", report.summary());
+
+    // And the dead tenant's key still fails over warm, as in the quiet
+    // scenario: the successor serves the replicated snapshot, no re-fit.
+    let after = tcp_session(
+        router,
+        &format!("hello {TOKEN_BETA}\nstack core2 cpu2000\nstats\nquit\n"),
+    );
+    let after_text = String::from_utf8_lossy(&after);
+    assert!(
+        !after_text.contains("err:"),
+        "failover must be invisible: {after_text}"
+    );
+    assert_eq!(stack_lines(&after), expected);
+    assert!(after_text.contains(" fits 0 "), "{after_text}");
+    assert!(after_text.contains(" warm 1 "), "{after_text}");
 
     harness.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,187 @@
+//! The connection-scaling soak: 256 concurrent connections (two tenants
+//! × 128) of mixed text `stack` / binary `binstack` traffic against one
+//! readiness-loop TCP front at 2 ms timer granularity, driven by the
+//! open-loop [`loadgen`](cpistack::loadgen) harness.
+//!
+//! The suite's bar is strict on purpose: **zero** dropped connections,
+//! **zero** in-band protocol errors, and every response — all ~3000 of
+//! them, across both tenants — byte-identical to a sequential in-process
+//! `Workbench::fit()` baseline under the same fixed seed. Concurrency
+//! and the event loop may reorder *scheduling*; they must never change
+//! *bytes*.
+
+use cpistack::loadgen::{self, LoadgenConfig, RequestTemplate};
+use cpistack::model::{FitOptions, MicroarchParams};
+use cpistack::service::auth::TokenRegistry;
+use cpistack::service::proto::{self, encode_stack_frame, TcpServerConfig};
+use cpistack::service::{CpiService, ServiceConfig};
+use cpistack::sim::machine::MachineConfig;
+use cpistack::workbench::Grouping;
+use cpistack::{CsvSource, SimSource, Workbench};
+use pmu::{MachineId, Suite};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TOKEN_ALPHA: &str = "soak-alpha-0123456789abcdef";
+const TOKEN_BETA: &str = "soak-beta-0123456789abcdef";
+
+/// Connections per tenant; the front carries both tenants at once.
+const CONNS_PER_TENANT: usize = 128;
+
+/// Writes the fixed-seed counter CSV every party fits from.
+fn counters_csv(dir: &std::path::Path) -> String {
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let records = SimSource::new()
+        .suite(
+            cpistack::workloads::suites::cpu2000()
+                .into_iter()
+                .take(12)
+                .collect(),
+        )
+        .uops(3_000)
+        .seed(42)
+        .collect_config(&MachineConfig::core2());
+    let path = dir.join("campaign.csv");
+    std::fs::write(&path, pmu::csv::to_csv(&records)).expect("write csv");
+    path.to_string_lossy().into_owned()
+}
+
+/// The sequential ground truth, rendered as complete wire responses: the
+/// same CSV through `Workbench::fit()`, formatted exactly as the
+/// protocol answers `stack` (text lines + `ok`) and `binstack` (frame
+/// announcement + frame bytes + `ok`).
+fn expected_responses(csv: &str) -> (Vec<u8>, Vec<u8>) {
+    let fitted = Workbench::new()
+        .arch(MicroarchParams::new(4.0, 14.0, 19.0, 169.0, 30.0))
+        .source(CsvSource::from_path(csv).expect("csv source"))
+        .grouping(Grouping::MachineSuite)
+        .fit_options(FitOptions::quick())
+        .collect()
+        .expect("collect")
+        .fit()
+        .expect("fit");
+    let group = fitted
+        .group(MachineId::Core2, Suite::Cpu2000)
+        .expect("core2 group");
+    let stacks: Vec<_> = group
+        .stacks()
+        .into_iter()
+        .map(|(benchmark, stack)| (benchmark.to_string(), stack))
+        .collect();
+    let mut text = Vec::new();
+    for (benchmark, stack) in &stacks {
+        text.extend_from_slice(format!("stack {benchmark} {stack}\n").as_bytes());
+    }
+    text.extend_from_slice(b"ok\n");
+    let frame = encode_stack_frame(&stacks);
+    let mut bin = format!("frame stacks {}\n", frame.len()).into_bytes();
+    bin.extend_from_slice(&frame);
+    bin.extend_from_slice(b"ok\n");
+    (text, bin)
+}
+
+/// Opens a connection, sends `script`, and returns the full transcript.
+fn tcp_session(addr: std::net::SocketAddr, script: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(script.as_bytes()).expect("send script");
+    let mut transcript = String::new();
+    stream
+        .read_to_string(&mut transcript)
+        .expect("read transcript");
+    transcript
+}
+
+#[test]
+fn soak_256_connections_of_mixed_traffic_stay_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("cpistack_soak_{}", std::process::id()));
+    let csv = counters_csv(&dir);
+    let (expected_text, expected_bin) = expected_responses(&csv);
+
+    let registry = Arc::new(
+        TokenRegistry::new()
+            .with_token(TOKEN_ALPHA, "alpha")
+            .expect("alpha token")
+            .with_token(TOKEN_BETA, "beta")
+            .expect("beta token"),
+    );
+    let config = ServiceConfig::new().with_workers(4).with_cache_capacity(8);
+    let service = CpiService::start(config.clone());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = proto::serve_tcp(
+        listener,
+        proto::SessionSpec::with_auth(service.client(), FitOptions::quick(), registry),
+        TcpServerConfig::new(proto::banner(&config, true))
+            .with_poll_interval(Duration::from_millis(2))
+            .with_idle_timeout(Some(Duration::from_secs(30)))
+            .with_max_connections(CONNS_PER_TENANT * 2 + 16),
+    )
+    .expect("tcp front starts");
+    let addr = server.local_addr();
+
+    // One setup session per tenant: authenticate, register the machine,
+    // ingest the campaign, and fit — so the soak traffic below is all
+    // warm cache hits and the measured path is the serving loop itself.
+    for token in [TOKEN_ALPHA, TOKEN_BETA] {
+        let setup = tcp_session(
+            addr,
+            &format!(
+                "hello {token}\nmachine core2 4 14 19 169 30\ningest {csv}\nfit core2 cpu2000\nquit\n"
+            ),
+        );
+        assert!(setup.contains("ingested 12 records"), "{setup}");
+        assert!(!setup.contains("err:"), "{setup}");
+    }
+
+    // Both tenants soak concurrently: 128 connections each, alternating
+    // text and binary requests, every response pinned to the sequential
+    // baseline's bytes.
+    let campaign = |token: &str| {
+        LoadgenConfig::new(addr, "core2", "cpu2000")
+            .with_connections(CONNS_PER_TENANT)
+            .with_rate(4.0)
+            .with_duration(Duration::from_millis(1500))
+            .with_hello(token)
+            .with_requests(vec![
+                RequestTemplate::expecting("stack core2 cpu2000", expected_text.clone()),
+                RequestTemplate::expecting("binstack core2 cpu2000", expected_bin.clone()),
+            ])
+    };
+    let (alpha, beta) = std::thread::scope(|scope| {
+        let alpha = scope.spawn(|| loadgen::run(&campaign(TOKEN_ALPHA)).expect("alpha campaign"));
+        let beta = scope.spawn(|| loadgen::run(&campaign(TOKEN_BETA)).expect("beta campaign"));
+        (alpha.join().unwrap(), beta.join().unwrap())
+    });
+
+    for (tenant, report) in [("alpha", &alpha), ("beta", &beta)] {
+        assert_eq!(
+            report.dropped,
+            0,
+            "{tenant}: every connection must survive the soak\n{}",
+            report.summary()
+        );
+        assert_eq!(
+            report.errors,
+            0,
+            "{tenant}: every response must be byte-identical to the sequential baseline\n{}",
+            report.summary()
+        );
+        assert_eq!(report.sustained, CONNS_PER_TENANT, "{tenant}");
+        assert_eq!(
+            report.completed,
+            report.sent,
+            "{tenant}: every scheduled request must complete\n{}",
+            report.summary()
+        );
+        assert!(
+            report.sent >= CONNS_PER_TENANT as u64 * 4,
+            "{tenant}: the open-loop schedule should land several requests per connection, got {}",
+            report.sent
+        );
+    }
+
+    server.shutdown();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
