@@ -1,0 +1,87 @@
+//! Benchmark guard for the work-stealing collect pool: the full paper
+//! campaign (3 machines × both suites) drained from one (machine ×
+//! suite-chunk) work-list must be **byte-identical** to the strictly
+//! sequential path at any worker count, and must never be meaningfully
+//! slower (on multicore hardware it should approach a cores-fold
+//! speedup — work items steal independently, so a slow machine no longer
+//! serialises the tail the way the old per-machine fan-out did).
+//!
+//! Exits non-zero on a mismatch or a regression, so this doubles as an
+//! assertion, not just a report.
+//!
+//! Run with `cargo bench -p bench --bench collect_scaling`.
+
+use memodel::workbench::{SimSource, Workbench};
+use oosim::machine::MachineConfig;
+use std::time::{Duration, Instant};
+
+const UOPS: u64 = 10_000;
+const SEED: u64 = 777;
+const RUNS: usize = 3;
+
+/// On a single-core box the pool has no wins to offset worker spawn and
+/// scheduling noise; allow a modest margin before failing.
+const MAX_SLOWDOWN: f64 = 1.25;
+
+fn collect(parallel: bool, threads: usize) -> (String, Duration) {
+    let machines = MachineConfig::paper_machines();
+    let start = Instant::now();
+    let collected = Workbench::new()
+        .machines(machines.iter())
+        .source(SimSource::paper_suites().uops(UOPS).seed(SEED))
+        .parallel(parallel)
+        .threads(threads)
+        .collect()
+        .expect("simulator collection cannot fail");
+    let elapsed = start.elapsed();
+    (collected.to_csv(), elapsed)
+}
+
+fn best_of(parallel: bool, threads: usize) -> (String, Duration) {
+    let mut best = Duration::MAX;
+    let mut csv = String::new();
+    for _ in 0..RUNS {
+        let (text, t) = collect(parallel, threads);
+        best = best.min(t);
+        csv = text;
+    }
+    (csv, best)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "collect_scaling: full paper campaign (103 benchmarks x 3 machines), \
+         {UOPS} µops, best of {RUNS} ({cores} hardware threads)"
+    );
+    let (seq_csv, seq) = best_of(false, 0);
+    println!(
+        "  sequential (1 worker):  {:>8.1} ms",
+        seq.as_secs_f64() * 1e3
+    );
+    for threads in [2usize, 0] {
+        let (csv, t) = best_of(true, threads);
+        assert_eq!(
+            seq_csv, csv,
+            "threads={threads}: pooled collect must be byte-identical to sequential"
+        );
+        let ratio = t.as_secs_f64() / seq.as_secs_f64();
+        let label = if threads == 0 {
+            format!("auto ({cores})")
+        } else {
+            threads.to_string()
+        };
+        println!(
+            "  pool (threads={label}): {:>8.1} ms  ({ratio:.2}x)",
+            t.as_secs_f64() * 1e3
+        );
+        assert!(
+            ratio <= MAX_SLOWDOWN,
+            "pooled collect regressed: {ratio:.2}x sequential at threads={threads} \
+             (tolerance {MAX_SLOWDOWN}x)"
+        );
+    }
+    println!("  ok: bit-identical at every worker count, within tolerance");
+}

@@ -140,6 +140,20 @@ impl FitOptions {
     }
 }
 
+/// Effort profile of one model inference, returned by
+/// [`InferredModel::fit_profiled`] and [`InferredModel::refit_profiled`]:
+/// the simplex starts that actually ran and the objective evaluations they
+/// spent. Purely observational — the fitted bits never depend on it — and
+/// schedule-independent: every thread budget reports the same counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FitProfile {
+    /// Simplex starts minimised (after duplicate-origin dedupe); always 1
+    /// for a warm-start polish.
+    pub starts: u64,
+    /// Objective evaluations summed across every start.
+    pub evals: u64,
+}
+
 /// Error returned by [`InferredModel::fit`].
 ///
 /// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm, so
@@ -201,6 +215,21 @@ impl InferredModel {
         records: &[RunRecord],
         opts: &FitOptions,
     ) -> Result<Self, FitError> {
+        Self::fit_profiled(arch, records, opts).map(|(model, _)| model)
+    }
+
+    /// [`InferredModel::fit`] plus effort accounting: the model and a
+    /// [`FitProfile`] of the multi-start fan-out that produced it. The
+    /// model is bit-identical to [`InferredModel::fit`]'s.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferredModel::fit`].
+    pub fn fit_profiled(
+        arch: &MicroarchParams,
+        records: &[RunRecord],
+        opts: &FitOptions,
+    ) -> Result<(Self, FitProfile), FitError> {
         let inputs: Vec<ModelInputs> = records.iter().map(ModelInputs::from_record).collect();
         Self::fit_inputs(arch, &inputs, opts).map_err(|idx| match idx {
             FitInputError::TooFew { got } => FitError::TooFewRecords { got },
@@ -221,12 +250,14 @@ impl InferredModel {
         inputs: &[ModelInputs],
         opts: &FitOptions,
     ) -> Result<Self, FitError> {
-        Self::fit_inputs(arch, inputs, opts).map_err(|e| match e {
-            FitInputError::TooFew { got } => FitError::TooFewRecords { got },
-            FitInputError::Bad { index } => FitError::BadRecord {
-                benchmark: format!("input #{index}"),
-            },
-        })
+        Self::fit_inputs(arch, inputs, opts)
+            .map(|(model, _)| model)
+            .map_err(|e| match e {
+                FitInputError::TooFew { got } => FitError::TooFewRecords { got },
+                FitInputError::Bad { index } => FitError::BadRecord {
+                    benchmark: format!("input #{index}"),
+                },
+            })
     }
 
     /// Infers the model by Levenberg–Marquardt instead of Nelder–Mead —
@@ -279,60 +310,52 @@ impl InferredModel {
         arch: &MicroarchParams,
         inputs: &[ModelInputs],
         opts: &FitOptions,
-    ) -> Result<Self, FitInputError> {
+    ) -> Result<(Self, FitProfile), FitInputError> {
         if inputs.len() <= ModelParams::COUNT {
             return Err(FitInputError::TooFew { got: inputs.len() });
         }
         if let Some(index) = inputs.iter().position(|i| !i.is_sane()) {
             return Err(FitInputError::Bad { index });
         }
-        // The objective is the regression's hot path: it runs up to
-        // `(1 + extra_starts) × max_evals` times per fit. Everything it
-        // needs is precomputed per key — the `ModelInputs` slice was
-        // derived from the records exactly once by the caller, and the
-        // closure captures only plain copies/borrows — so each evaluation
-        // is allocation-free (`ModelParams::from_slice` lands in a stack
-        // array). The per-point division by `measured_cpi` is deliberately
-        // *not* hoisted into reciprocal weights: `e*e * (1/y)` rounds
-        // differently from `e*e / y`, and fitted bits must not change.
-        // It is `Fn + Sync`, so `MultiStart` can fan its jittered starts
-        // across threads sharing one borrow.
         let arch = *arch;
-        let cap = opts.interval_cap;
-        let absolute = opts.absolute_objective;
-        let objective = |b: &[f64]| -> f64 {
-            let params = ModelParams::from_slice(b);
-            inputs
-                .iter()
-                .map(|i| {
-                    let pred = predict_with_cap(&arch, &params, i, cap);
-                    let err = pred - i.measured_cpi;
-                    if absolute {
-                        err * err
-                    } else {
-                        err * err / i.measured_cpi
-                    }
-                })
-                .sum()
-        };
+        let threads = opts.effective_threads();
+        // The thread budget splits across two levels: independent simplex
+        // starts first (coarse-grained, zero synchronisation), then — only
+        // with budget the starts cannot soak and a training set large
+        // enough to amortise the fan-out — across the per-benchmark terms
+        // inside one objective evaluation (see [`objective_for`]). Both
+        // levels are bit-identity-preserving, so the split is purely a
+        // wall-clock decision.
+        let guess = ModelParams::initial_guess().b;
+        let bounds = ModelParams::bounds();
+        let multi_start = MultiStart::new(opts.extra_starts, opts.seed);
+        let surviving = multi_start.start_points(&guess, &bounds).len();
+        let objective = objective_for(
+            arch,
+            opts.interval_cap,
+            opts.absolute_objective,
+            inputs,
+            objective_threads(threads, surviving, inputs.len()),
+        );
         let nm_opts = Options {
             max_evals: opts.max_evals,
             ..Options::default()
         };
-        let best = MultiStart::new(opts.extra_starts, opts.seed)
-            .threads(opts.effective_threads())
-            .run(
-                objective,
-                &ModelParams::initial_guess().b,
-                &ModelParams::bounds(),
-                &nm_opts,
-            );
-        Ok(Self {
-            arch,
-            params: ModelParams::from_slice(&best.params),
-            interval_cap: cap,
-            objective: best.value,
-        })
+        let (best, profile) = multi_start
+            .threads(threads)
+            .run_profiled(objective, &guess, &bounds, &nm_opts);
+        Ok((
+            Self {
+                arch,
+                params: ModelParams::from_slice(&best.params),
+                interval_cap: opts.interval_cap,
+                objective: best.value,
+            },
+            FitProfile {
+                starts: profile.starts,
+                evals: profile.evals,
+            },
+        ))
     }
 
     /// Incrementally refits the model on a fresh record set, warm-starting
@@ -362,6 +385,23 @@ impl InferredModel {
         opts: &FitOptions,
         max_evals: usize,
     ) -> Result<Self, FitError> {
+        self.refit_profiled(records, opts, max_evals)
+            .map(|(model, _)| model)
+    }
+
+    /// [`InferredModel::refit`] plus effort accounting — the polish's
+    /// single start and its evaluation count as a [`FitProfile`]. The
+    /// model is bit-identical to [`InferredModel::refit`]'s.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferredModel::refit`].
+    pub fn refit_profiled(
+        &self,
+        records: &[RunRecord],
+        opts: &FitOptions,
+        max_evals: usize,
+    ) -> Result<(Self, FitProfile), FitError> {
         let inputs: Vec<ModelInputs> = records.iter().map(ModelInputs::from_record).collect();
         if inputs.len() <= ModelParams::COUNT {
             return Err(FitError::TooFewRecords { got: inputs.len() });
@@ -373,29 +413,29 @@ impl InferredModel {
         }
         let arch = self.arch;
         let cap = self.interval_cap;
-        let absolute = opts.absolute_objective;
-        let objective = |b: &[f64]| -> f64 {
-            let params = ModelParams::from_slice(b);
-            inputs
-                .iter()
-                .map(|i| {
-                    let pred = predict_with_cap(&arch, &params, i, cap);
-                    let err = pred - i.measured_cpi;
-                    if absolute {
-                        err * err
-                    } else {
-                        err * err / i.measured_cpi
-                    }
-                })
-                .sum()
-        };
-        let best = refine(objective, &self.params.b, &ModelParams::bounds(), max_evals);
-        Ok(Self {
+        // One warm start: any spare budget can only help inside the
+        // objective, and only on a training set big enough to pay for it.
+        let objective = objective_for(
             arch,
-            params: ModelParams::from_slice(&best.params),
-            interval_cap: cap,
-            objective: best.value,
-        })
+            cap,
+            opts.absolute_objective,
+            &inputs,
+            objective_threads(opts.effective_threads(), 1, inputs.len()),
+        );
+        let best = refine(objective, &self.params.b, &ModelParams::bounds(), max_evals);
+        let profile = FitProfile {
+            starts: 1,
+            evals: best.evals as u64,
+        };
+        Ok((
+            Self {
+                arch,
+                params: ModelParams::from_slice(&best.params),
+                interval_cap: cap,
+                objective: best.value,
+            },
+            profile,
+        ))
     }
 
     /// Re-assembles a model from persisted parts without refitting — the
@@ -492,6 +532,62 @@ pub(crate) enum FitInputError {
     Bad { index: usize },
 }
 
+/// Builds the regression objective over `inputs`: the sum of relative (or
+/// absolute) squared errors the simplex minimises.
+///
+/// This is the fit's hot path — it runs up to `(1 + extra_starts) ×
+/// max_evals` times per fit. Everything it needs is precomputed per key
+/// and captured by plain copy/borrow, so each evaluation is
+/// allocation-free on the serial path (`ModelParams::from_slice` lands in
+/// a stack array). The per-point division by `measured_cpi` is
+/// deliberately *not* hoisted into reciprocal weights: `e*e * (1/y)`
+/// rounds differently from `e*e / y`, and fitted bits must not change.
+///
+/// With `threads > 1` the per-benchmark terms fan across scoped workers
+/// via [`regress::par::sum_ordered`], whose index-ordered buffer and
+/// sequential fold associate exactly like the serial loop — bit-identical
+/// at every thread count. The closure is `Fn + Sync`, so [`MultiStart`]
+/// can also share it across start-level workers.
+fn objective_for(
+    arch: MicroarchParams,
+    cap: f64,
+    absolute: bool,
+    inputs: &[ModelInputs],
+    threads: usize,
+) -> impl Fn(&[f64]) -> f64 + Sync + '_ {
+    move |b: &[f64]| -> f64 {
+        let params = ModelParams::from_slice(b);
+        let term = |i: &ModelInputs| {
+            let pred = predict_with_cap(&arch, &params, i, cap);
+            let err = pred - i.measured_cpi;
+            if absolute {
+                err * err
+            } else {
+                err * err / i.measured_cpi
+            }
+        };
+        if threads > 1 {
+            regress::par::sum_ordered(inputs.len(), threads, |i| term(&inputs[i]))
+        } else {
+            inputs.iter().map(term).sum()
+        }
+    }
+}
+
+/// How many workers one objective evaluation may fan its terms across:
+/// the share of the thread budget the start-level fan-out cannot use,
+/// capped so every worker keeps enough terms to amortise the scoped-thread
+/// spawn (tens of microseconds against ~40 ns a term). The paper campaign
+/// (~50 inputs per key, ~2 µs an evaluation) therefore stays serial and
+/// draws its speedup from start- and key-level parallelism; resampled or
+/// pooled training sets in the many-thousands engage the inner level.
+fn objective_threads(budget: usize, starts: usize, inputs: usize) -> usize {
+    const MIN_INPUTS_PER_WORKER: usize = 4096;
+    (budget / starts.max(1))
+        .min(inputs / MIN_INPUTS_PER_WORKER)
+        .max(1)
+}
+
 fn predict_with_cap(
     arch: &MicroarchParams,
     params: &ModelParams,
@@ -583,6 +679,76 @@ mod tests {
                 pred
             );
         }
+    }
+
+    #[test]
+    fn fit_profiled_matches_fit_and_is_schedule_independent() {
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let records = training_records();
+        let opts = FitOptions::quick().with_threads(1);
+        let (model, profile) = InferredModel::fit_profiled(&arch, &records, &opts).unwrap();
+        assert_eq!(model, InferredModel::fit(&arch, &records, &opts).unwrap());
+        // quick() schedules 1 + 3 starts; dedupe may only shrink that.
+        assert!((1..=4).contains(&profile.starts), "{profile:?}");
+        assert!(profile.evals >= profile.starts, "{profile:?}");
+        for threads in [2, 8] {
+            let threaded = FitOptions::quick().with_threads(threads);
+            let (m, p) = InferredModel::fit_profiled(&arch, &records, &threaded).unwrap();
+            assert_eq!(m, model, "threads={threads}");
+            assert_eq!(p, profile, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn refit_profiled_counts_the_polish() {
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let records = training_records();
+        let opts = FitOptions::quick();
+        let model = InferredModel::fit(&arch, &records, &opts).unwrap();
+        let (polished, profile) = model.refit_profiled(&records, &opts, 2_000).unwrap();
+        assert_eq!(polished, model.refit(&records, &opts, 2_000).unwrap());
+        assert_eq!(profile.starts, 1);
+        assert!(profile.evals > 0);
+    }
+
+    #[test]
+    fn parallel_objective_is_bit_identical_to_serial() {
+        let arch = MicroarchParams::from_machine(&MachineConfig::core2());
+        let records = training_records();
+        let inputs: Vec<ModelInputs> = records.iter().map(ModelInputs::from_record).collect();
+        // Inflate to a size where the inner fan-out genuinely engages.
+        let big: Vec<ModelInputs> = inputs.iter().cycle().take(10_000).copied().collect();
+        let guess = ModelParams::initial_guess().b;
+        for absolute in [false, true] {
+            let serial =
+                objective_for(arch, crate::equations::INTERVAL_CAP, absolute, &big, 1)(&guess);
+            for threads in [2, 3, 8] {
+                let parallel = objective_for(
+                    arch,
+                    crate::equations::INTERVAL_CAP,
+                    absolute,
+                    &big,
+                    threads,
+                )(&guess);
+                assert_eq!(
+                    parallel.to_bits(),
+                    serial.to_bits(),
+                    "threads={threads} absolute={absolute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objective_thread_split_favours_starts_then_size() {
+        // The paper campaign (~50–103 inputs/key) never fans inside the
+        // objective, whatever the budget…
+        assert_eq!(objective_threads(8, 1, 103), 1);
+        // …a full start fan-out soaks the whole budget first…
+        assert_eq!(objective_threads(8, 13, 100_000), 1);
+        // …and only spare budget over a large set engages the inner level.
+        assert_eq!(objective_threads(8, 2, 100_000), 4);
+        assert_eq!(objective_threads(2, 1, 10_000), 2);
     }
 
     #[test]

@@ -122,6 +122,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Tenants
@@ -637,6 +638,14 @@ pub struct CacheStats {
     /// ([`InferredModel::refit`]) — the steady-state path whose cost the
     /// bench's streaming section measures against `full_refits`.
     pub incremental_refits: u64,
+    /// Objective evaluations spent by every regression this tenant paid
+    /// for — full fan-outs and incremental polishes alike (see
+    /// [`crate::fit::FitProfile`]). With `fit_wall_us` this turns "the
+    /// fit is slow" into *which* fits burned *how many* evaluations.
+    pub fit_evals: u64,
+    /// Wall-clock those regressions took, µs (summed; divide by the
+    /// service's `fits` counter for a mean).
+    pub fit_wall_us: u64,
 }
 
 impl CacheStats {
@@ -653,6 +662,8 @@ impl CacheStats {
             warm_loads,
             full_refits,
             incremental_refits,
+            fit_evals,
+            fit_wall_us,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -662,6 +673,8 @@ impl CacheStats {
         self.warm_loads += warm_loads;
         self.full_refits += full_refits;
         self.incremental_refits += incremental_refits;
+        self.fit_evals += fit_evals;
+        self.fit_wall_us += fit_wall_us;
     }
 }
 
@@ -2367,16 +2380,23 @@ fn fit_key(
         Some(threads) => key.options.clone().with_threads(threads),
         None => key.options.clone(),
     };
-    let model = Arc::new(
-        InferredModel::fit(&arch, &records, &options).map_err(|error| ServiceError::Fit {
-            machine: key.machine,
-            suite: key.suite,
-            error,
-        })?,
-    );
+    let fit_start = Instant::now();
+    let (model, profile) =
+        InferredModel::fit_profiled(&arch, &records, &options).map_err(|error| {
+            ServiceError::Fit {
+                machine: key.machine,
+                suite: key.suite,
+                error,
+            }
+        })?;
+    let fit_wall_us = fit_start.elapsed().as_micros() as u64;
+    let model = Arc::new(model);
     {
         let mut guard = lock(inner);
         guard.tenant_mut(tenant).fits += 1;
+        let stats = guard.cache.stats_mut(tenant);
+        stats.fit_evals += profile.evals;
+        stats.fit_wall_us += fit_wall_us;
         guard
             .cache
             .insert(tenant, key, generation, Arc::clone(&model));
@@ -2499,13 +2519,18 @@ fn refit_key(
         suite: key.suite,
         error,
     };
-    // Try the warm-start polish when the guard allows it.
+    // Try the warm-start polish when the guard allows it. Its effort is
+    // tallied whether or not the guard accepts the result — a rejected
+    // polish still spent its (warm_evals-bounded) budget.
+    let mut polish_cost = (0u64, 0u64); // (evals, wall µs)
     let warm = match (&baseline, force_full) {
         (Some(b), false) if b.workload_digest == digest && b.since_full + 1 < policy.full_every => {
             let anchor = InferredModel::from_parts(arch, b.params, b.interval_cap, 0.0);
-            let polished = anchor
-                .refit(&records, &key.options, policy.warm_evals)
+            let polish_start = Instant::now();
+            let (polished, profile) = anchor
+                .refit_profiled(&records, &key.options, policy.warm_evals)
                 .map_err(fit_error)?;
+            polish_cost = (profile.evals, polish_start.elapsed().as_micros() as u64);
             let norm = polished.objective() / count as f64;
             // The drift guard: accept only while the polish tracks the
             // anchor's quality. A rejected polish is discarded entirely —
@@ -2518,7 +2543,10 @@ fn refit_key(
         let model = Arc::new(polished);
         let mut guard = lock(inner);
         guard.tenant_mut(tenant).fits += 1;
-        guard.cache.stats_mut(tenant).incremental_refits += 1;
+        let stats = guard.cache.stats_mut(tenant);
+        stats.incremental_refits += 1;
+        stats.fit_evals += polish_cost.0;
+        stats.fit_wall_us += polish_cost.1;
         guard
             .cache
             .insert(tenant, key, generation, Arc::clone(&model));
@@ -2542,11 +2570,18 @@ fn refit_key(
         Some(threads) => key.options.clone().with_threads(threads),
         None => key.options.clone(),
     };
-    let model = Arc::new(InferredModel::fit(&arch, &records, &options).map_err(fit_error)?);
+    let fit_start = Instant::now();
+    let (model, profile) =
+        InferredModel::fit_profiled(&arch, &records, &options).map_err(fit_error)?;
+    let fit_wall_us = fit_start.elapsed().as_micros() as u64;
+    let model = Arc::new(model);
     {
         let mut guard = lock(inner);
         guard.tenant_mut(tenant).fits += 1;
-        guard.cache.stats_mut(tenant).full_refits += 1;
+        let stats = guard.cache.stats_mut(tenant);
+        stats.full_refits += 1;
+        stats.fit_evals += profile.evals + polish_cost.0;
+        stats.fit_wall_us += fit_wall_us + polish_cost.1;
         guard
             .cache
             .insert(tenant, key, generation, Arc::clone(&model));

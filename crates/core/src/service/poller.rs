@@ -44,7 +44,7 @@ pub enum ServeBackend {
     #[default]
     Events,
     /// The legacy thread-per-connection polling loops. Retained as the
-    /// measured baseline for `cpistack loadgen` / `BENCH_8.json`
+    /// measured baseline for `cpistack loadgen` / `BENCH_9.json`
     /// comparisons and as the portable fallback.
     Threads,
 }

@@ -720,6 +720,17 @@ fn run_command(
                     stats.cache.full_refits, stats.cache.incremental_refits
                 );
             }
+            // Fit-effort profile, same deal: it only appears once a
+            // regression has actually spent objective evaluations, so the
+            // pinned zero-state transcripts stay byte-exact. Eval counts
+            // only — they are schedule-independent, so transcripts stay
+            // deterministic (and router-vs-direct byte-identical); the
+            // wall-clock half of the profile lives in `CacheStats::
+            // fit_wall_us` for in-process callers and the bench snapshot.
+            if stats.cache.fit_evals > 0 {
+                use std::fmt::Write as _;
+                let _ = write!(line, " fit evals {}", stats.cache.fit_evals);
+            }
             writeln!(output, "{line}")?;
         }
         // The two replication verbs the cluster router speaks between

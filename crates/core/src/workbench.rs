@@ -13,11 +13,12 @@
 //!   logs exported through `pmu::csv`),
 //! * [`RecordsSource`] — in-memory records, for tests and embedding.
 //!
-//! Multi-machine collection fans out one OS thread per machine (and, for
-//! the simulator, one per suite within a machine) via
-//! [`std::thread::scope`]; because every source is deterministic for a
-//! fixed seed, the parallel path produces **byte-identical** records to
-//! the sequential one. Failures at any stage surface as one typed
+//! Multi-machine collection runs on a single work-stealing pool under one
+//! thread budget ([`Workbench::threads`], `0` = auto): the simulator
+//! flattens the whole campaign into (machine × benchmark) work items whose
+//! output slots are pre-assigned in sequential order, so any schedule —
+//! and any thread count — produces **byte-identical** records to the
+//! sequential path. Failures at any stage surface as one typed
 //! [`PipelineError`] that says *which stage* (source → fit → export) and
 //! *which machine* went wrong.
 //!
@@ -292,6 +293,55 @@ pub trait CounterSource: Sync {
     /// internal fan-out (1 = strictly sequential).
     fn collect(&self, machine: &MachineSpec, threads: usize)
         -> Result<Vec<RunRecord>, SourceError>;
+
+    /// Collects every machine of a campaign under **one** thread budget
+    /// (the returned vector is parallel to `specs`).
+    ///
+    /// The default fans machines out across at most `threads` scoped
+    /// workers pulling from a shared atomic work index, each collecting
+    /// one machine sequentially — so the budget is an upper bound on live
+    /// threads rather than a per-machine multiplier. Sources that can
+    /// parallelise *within* a machine (the simulator) override this with
+    /// a finer-grained pool. Every implementation must return records in
+    /// an order independent of the schedule.
+    fn collect_all(
+        &self,
+        specs: &[MachineSpec],
+        threads: usize,
+    ) -> Vec<Result<Vec<RunRecord>, SourceError>> {
+        let workers = threads.clamp(1, specs.len().max(1));
+        if workers == 1 {
+            return specs.iter().map(|s| self.collect(s, 1)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<Vec<RunRecord>, SourceError>>> = Vec::new();
+        slots.resize_with(specs.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(spec) = specs.get(i) else {
+                                break done;
+                            };
+                            done.push((i, self.collect(spec, 1)));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in join_unwinding(handle) {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every machine was collected"))
+            .collect()
+    }
 }
 
 /// Counter collection by running the built-in out-of-order simulator —
@@ -379,24 +429,69 @@ impl SimSource {
         }
     }
 
-    fn run_chunk(&self, machine: &MachineConfig, chunk: &[WorkloadProfile]) -> Vec<RunRecord> {
-        // One scratch per chunk: the simulation buffers are allocated once
-        // and reused across every workload this worker runs.
-        let mut scratch = oosim::pipeline::SimScratch::new();
+    /// Runs the flattened `(machine × benchmark)` work-list on `workers`
+    /// threads pulling items from one shared atomic index — the
+    /// work-stealing pool behind both `collect` and `collect_all`.
+    ///
+    /// Determinism: each item's output slot is assigned *before* any worker
+    /// starts (item `i` writes slot `i`, and the item list is in exact
+    /// sequential order: machine-major, then suite, then benchmark), and
+    /// every workload is independently seeded, so which worker simulates
+    /// which benchmark — and in what order — can never change a single
+    /// record byte. Each worker reuses one [`oosim::pipeline::SimScratch`]
+    /// across all its items (machine switches included; `prepare` resizes).
+    fn run_pool(
+        &self,
+        items: &[(&MachineConfig, &WorkloadProfile)],
+        workers: usize,
+    ) -> Vec<RunRecord> {
         let warmup = self.warmup.unwrap_or(self.uops);
-        chunk
-            .iter()
-            .map(|profile| {
-                oosim::run::run_workload_with(
-                    machine,
-                    profile,
-                    warmup,
-                    self.uops,
-                    self.seed,
-                    &mut oosim::observer::NullObserver,
-                    &mut scratch,
-                )
-            })
+        let run_one = |(config, profile): &(&MachineConfig, &WorkloadProfile),
+                       scratch: &mut oosim::pipeline::SimScratch| {
+            oosim::run::run_workload_with(
+                config,
+                profile,
+                warmup,
+                self.uops,
+                self.seed,
+                &mut oosim::observer::NullObserver,
+                scratch,
+            )
+        };
+        if workers <= 1 {
+            let mut scratch = oosim::pipeline::SimScratch::new();
+            return items
+                .iter()
+                .map(|item| run_one(item, &mut scratch))
+                .collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<RunRecord>> = vec![None; items.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = oosim::pipeline::SimScratch::new();
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(item) = items.get(i) else {
+                                break done;
+                            };
+                            done.push((i, run_one(item, &mut scratch)));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, record) in join_unwinding(handle) {
+                    slots[i] = Some(record);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every work item was simulated"))
             .collect()
     }
 }
@@ -431,38 +526,46 @@ impl CounterSource for SimSource {
         machine: &MachineSpec,
         threads: usize,
     ) -> Result<Vec<RunRecord>, SourceError> {
-        let config = machine.config().ok_or(SourceError::NeedsMachineConfig {
-            machine: machine.id,
-        })?;
+        self.collect_all(std::slice::from_ref(machine), threads)
+            .pop()
+            .expect("one spec in, one result out")
+    }
+
+    /// The work-stealing pool: every `(machine, benchmark)` pair of the
+    /// campaign becomes one item in a single flattened work-list shared by
+    /// at most `threads` workers — so the budget never multiplies across
+    /// machines, and no worker idles behind a heavy suite while another
+    /// machine still has benchmarks queued. Output slots are pre-assigned
+    /// in sequential order; see [`SimSource::run_pool`] for why any
+    /// schedule yields byte-identical records.
+    fn collect_all(
+        &self,
+        specs: &[MachineSpec],
+        threads: usize,
+    ) -> Vec<Result<Vec<RunRecord>, SourceError>> {
         let suites = self.effective_suites();
-        // Honour the thread budget: at most `threads` workers, each
-        // simulating a contiguous run of suite chunks in order, writing
-        // into pre-assigned slots so output order never depends on the
-        // schedule.
-        let workers = threads.clamp(1, suites.len().max(1));
-        let mut per_suite: Vec<Vec<RunRecord>> = vec![Vec::new(); suites.len()];
-        if workers > 1 {
-            let group = suites.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = per_suite
-                    .chunks_mut(group)
-                    .zip(suites.chunks(group))
-                    .map(|(slots, chunks)| {
-                        scope.spawn(move || {
-                            for (slot, chunk) in slots.iter_mut().zip(chunks) {
-                                *slot = self.run_chunk(config, chunk);
-                            }
-                        })
-                    })
-                    .collect();
-                handles.into_iter().for_each(|h| join_unwinding(h));
-            });
-        } else {
-            for (slot, chunk) in per_suite.iter_mut().zip(&suites) {
-                *slot = self.run_chunk(config, chunk);
+        let benchmarks: Vec<&WorkloadProfile> = suites.iter().flatten().collect();
+        // Machine-major, suite-order, benchmark-order: the exact sequential
+        // record order, so machine `m`'s records are the contiguous slot
+        // range starting at its offset.
+        let mut items: Vec<(&MachineConfig, &WorkloadProfile)> = Vec::new();
+        for spec in specs {
+            if let Some(config) = spec.config() {
+                items.extend(benchmarks.iter().map(|&p| (config, p)));
             }
         }
-        Ok(per_suite.into_iter().flatten().collect())
+        let workers = threads.clamp(1, items.len().max(1));
+        let mut records = self.run_pool(&items, workers).into_iter();
+        specs
+            .iter()
+            .map(|spec| {
+                if spec.config().is_some() {
+                    Ok(records.by_ref().take(benchmarks.len()).collect())
+                } else {
+                    Err(SourceError::NeedsMachineConfig { machine: spec.id })
+                }
+            })
+            .collect()
     }
 }
 
@@ -637,6 +740,7 @@ pub struct Workbench {
     options: FitOptions,
     grouping: Grouping,
     parallel: bool,
+    threads: usize,
 }
 
 impl Default for Workbench {
@@ -655,6 +759,7 @@ impl Workbench {
             options: FitOptions::default(),
             grouping: Grouping::default(),
             parallel: true,
+            threads: 0,
         }
     }
 
@@ -710,6 +815,16 @@ impl Workbench {
     /// useful for measurement baselines and debugging.
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Sets the collection thread budget (`0` = one worker per hardware
+    /// thread). This is the **total** budget for the whole campaign — the
+    /// source's pool spreads it across every (machine × benchmark) work
+    /// item, so it never multiplies with the machine count. Purely a
+    /// scheduling knob: records are byte-identical for every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -770,29 +885,20 @@ impl Workbench {
             }
         }
 
-        let inner_threads = if self.parallel {
+        // One budget for the whole campaign: the source's pool decides how
+        // to spread it across machines and benchmarks (historically the
+        // per-machine fan-out here *multiplied* with the source's inner
+        // suite workers — machines × threads live threads on a 2-core box).
+        let budget = if !self.parallel {
+            1
+        } else if self.threads > 0 {
+            self.threads
+        } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .max(2)
-        } else {
-            1
         };
-        let results: Vec<Result<Vec<RunRecord>, SourceError>> = if self.parallel && specs.len() > 1
-        {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = specs
-                    .iter()
-                    .map(|spec| scope.spawn(move || source.collect(spec, inner_threads)))
-                    .collect();
-                handles.into_iter().map(join_unwinding).collect()
-            })
-        } else {
-            specs
-                .iter()
-                .map(|spec| source.collect(spec, inner_threads))
-                .collect()
-        };
+        let results = source.collect_all(&specs, budget);
         let mut records = Vec::with_capacity(specs.len());
         for result in results {
             records.push(result?);

@@ -14,7 +14,10 @@
 //!   with Adam, matching the paper's ANN description (§4),
 //! * [`metrics`] — mean/max absolute relative error, error quantiles and
 //!   sorted error CDFs (the units of Figures 2–4),
-//! * [`matrix`] — the small dense linear-algebra kernel backing OLS.
+//! * [`matrix`] — the small dense linear-algebra kernel backing OLS,
+//! * [`par`] — deterministic parallel reduction (index-ordered term buffer,
+//!   sequential fold) for fanning a single objective evaluation across
+//!   threads without changing one bit of the sum.
 //!
 //! Everything is deterministic: stochastic components (ANN initialisation,
 //! multi-start jitter) take explicit seeds.
@@ -39,10 +42,11 @@ pub mod lm;
 pub mod matrix;
 pub mod metrics;
 pub mod nelder_mead;
+pub mod par;
 
 pub use ann::{AnnModel, AnnOptions};
 pub use bootstrap::{bootstrap_params, r_squared, ParamSpread};
 pub use linear::LinearModel;
 pub use lm::{levenberg_marquardt, LmOptions, LmResult};
 pub use metrics::ErrorSummary;
-pub use nelder_mead::{minimize, minimize_bounded, MultiStart, Options};
+pub use nelder_mead::{minimize, minimize_bounded, MultiStart, MultiStartProfile, Options};

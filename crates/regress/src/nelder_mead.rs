@@ -55,6 +55,17 @@ pub struct Minimum {
     pub evals: usize,
 }
 
+/// Effort accounting for one [`MultiStart::run_profiled`] call — the whole
+/// fan-out, not just the winning start (a [`Minimum`]'s `evals` field only
+/// counts the winner's own budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MultiStartProfile {
+    /// Starts actually minimised, after clamped-duplicate dedupe.
+    pub starts: u64,
+    /// Objective evaluations summed across every start.
+    pub evals: u64,
+}
+
 /// Minimises `f` starting from `x0`, unconstrained.
 ///
 /// Convenience wrapper over [`minimize_bounded`] with infinite bounds.
@@ -418,11 +429,30 @@ impl MultiStart {
         bounds: &[(f64, f64)],
         opts: &Options,
     ) -> Minimum {
+        self.run_profiled(f, x0, bounds, opts).0
+    }
+
+    /// [`MultiStart::run`] plus effort accounting: the minimum and a
+    /// [`MultiStartProfile`] totalling the evaluations every start spent.
+    /// The minimum is bit-identical to [`MultiStart::run`]'s, and the
+    /// profile is schedule-independent (each start's evaluation count is a
+    /// function of its origin alone, and the totals sum over all of them).
+    pub fn run_profiled<F: Fn(&[f64]) -> f64 + Sync>(
+        &self,
+        f: F,
+        x0: &[f64],
+        bounds: &[(f64, f64)],
+        opts: &Options,
+    ) -> (Minimum, MultiStartProfile) {
         let starts = self.start_points(x0, bounds);
         let minima = run_starts(&f, &starts, bounds, opts, self.threads);
+        let profile = MultiStartProfile {
+            starts: minima.len() as u64,
+            evals: minima.iter().map(|m| m.evals as u64).sum(),
+        };
         // Winner: lowest value, ties to the lowest start index — the same
         // start a sequential `candidate.value < best.value` fold keeps.
-        minima
+        let best = minima
             .into_iter()
             .reduce(|best, candidate| {
                 if candidate.value < best.value {
@@ -431,7 +461,8 @@ impl MultiStart {
                     best
                 }
             })
-            .expect("at least one start")
+            .expect("at least one start");
+        (best, profile)
     }
 }
 
@@ -444,6 +475,7 @@ fn run_starts<F: Fn(&[f64]) -> f64 + Sync>(
     opts: &Options,
     threads: usize,
 ) -> Vec<Minimum> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     let workers = threads.clamp(1, starts.len().max(1));
     if workers == 1 {
         return starts
@@ -452,20 +484,26 @@ fn run_starts<F: Fn(&[f64]) -> f64 + Sync>(
             .collect();
     }
     let mut slots: Vec<Option<Minimum>> = vec![None; starts.len()];
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        // Static stride schedule: worker w minimises starts w, w+workers, …
+        // Work-stealing schedule: each worker pulls the next unclaimed
+        // start index off a shared counter, so a worker whose starts
+        // converge early moves on to the stragglers instead of idling out
+        // a static stride (starts differ wildly in evaluations spent).
         // Which worker runs which start never matters — every slot is
         // written exactly once with a deterministic result.
         let handles: Vec<_> = (0..workers)
-            .map(|w| {
+            .map(|_| {
+                let next = &next;
                 scope.spawn(move || -> Vec<(usize, Minimum)> {
-                    starts
-                        .iter()
-                        .enumerate()
-                        .skip(w)
-                        .step_by(workers)
-                        .map(|(i, s)| (i, minimize_bounded(f, s, bounds, opts)))
-                        .collect()
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(start) = starts.get(i) else {
+                            return done;
+                        };
+                        done.push((i, minimize_bounded(f, start, bounds, opts)));
+                    }
                 })
             })
             .collect();
@@ -611,6 +649,37 @@ mod tests {
                 sequential.value.to_bits(),
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn run_profiled_totals_every_start_and_is_schedule_independent() {
+        let f = |p: &[f64]| (p[0].sin() * 5.0) + 0.1 * p[0] * p[0];
+        let bounds = [(-20.0, 20.0)];
+        let ms = MultiStart::new(8, 42);
+        let (m, profile) = ms.run_profiled(f, &[9.0], &bounds, &Options::default());
+        let plain = ms.run(f, &[9.0], &bounds, &Options::default());
+        assert_eq!(m.params, plain.params);
+        assert_eq!(m.value.to_bits(), plain.value.to_bits());
+        assert_eq!(
+            profile.starts,
+            ms.start_points(&[9.0], &bounds).len() as u64,
+            "every surviving start is counted"
+        );
+        assert!(
+            profile.evals >= m.evals as u64,
+            "fan-out total at least the winner's own budget"
+        );
+        // Evaluation totals are a function of the starts, not the schedule.
+        for threads in [2, 3, 8] {
+            let (tm, tp) = MultiStart::new(8, 42).threads(threads).run_profiled(
+                f,
+                &[9.0],
+                &bounds,
+                &Options::default(),
+            );
+            assert_eq!(tm.params, m.params, "threads={threads}");
+            assert_eq!(tp, profile, "threads={threads}");
         }
     }
 

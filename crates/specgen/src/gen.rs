@@ -19,6 +19,7 @@ use crate::profile::{AccessPattern, Cracking, WorkloadProfile};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Base virtual address of the code segment.
 const CODE_BASE: u64 = 0x0040_0000;
@@ -28,6 +29,59 @@ const DATA_BASE: u64 = 0x1000_0000;
 const DATA_SPACING: u64 = 0x1000_0000;
 /// Bytes per macro-instruction in the synthetic ISA.
 const INSTR_BYTES: u64 = 4;
+
+/// The geometric dep-distance sample the per-µop path historically computed:
+/// `clamp(ceil(ln(max(m·2⁻⁵³, 1e-12)) / ln_q), 1, 512)` where `m` is the
+/// 53-bit uniform mantissa drawn from the RNG. Kept as the oracle that
+/// [`geometric_cutoffs`] tabulates (and that tests validate against).
+fn geometric_sample(m: u64, ln_q: f64) -> u32 {
+    let u = ((m as f64) * (1.0 / (1u64 << 53) as f64)).max(1e-12);
+    let d = (u.ln() / ln_q).ceil();
+    (d as u32).clamp(1, 512)
+}
+
+/// Exact integer cutoffs for the geometric dep-distance sampler.
+///
+/// `geometric_sample(m, ln_q)` is a monotone non-increasing step function of
+/// the integer mantissa `m` (ln is monotone for faithful rounding —
+/// `u·|ln u| ≤ 1/e` keeps adjacent mantissa steps strictly larger than the
+/// rounding error — and division by the negative constant plus `ceil`
+/// preserve monotonicity). So the whole f64 pipeline collapses into a table:
+/// `cutoffs[i]` is the smallest `m` whose sample is `i + 1`, found by binary
+/// search *using the original formula as the oracle* — the table path is
+/// bit-identical to the formula path by construction, with no per-µop `ln`.
+///
+/// Tables are cached per `ln_q` bit pattern (one per distinct
+/// `mean_dep_distance` across all profiles, ever).
+fn geometric_cutoffs(ln_q: f64) -> Arc<[u64]> {
+    type CutoffCache = Mutex<Vec<(u64, Arc<[u64]>)>>;
+    static CACHE: OnceLock<CutoffCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let key = ln_q.to_bits();
+    let mut guard = cache.lock().expect("cutoff cache lock");
+    if let Some((_, table)) = guard.iter().find(|(k, _)| *k == key) {
+        return Arc::clone(table);
+    }
+    let dmax = geometric_sample(0, ln_q);
+    let mut cutoffs = Vec::with_capacity(dmax as usize);
+    for d in 1..=dmax {
+        // Smallest m with sample(m) <= d; the predicate sample(m) > d is
+        // true on a (possibly empty) prefix of m-space.
+        let (mut lo, mut hi) = (0u64, 1u64 << 53);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if geometric_sample(mid, ln_q) > d {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        cutoffs.push(lo);
+    }
+    let table: Arc<[u64]> = cutoffs.into();
+    guard.push((key, Arc::clone(&table)));
+    table
+}
 
 /// Splitmix64: cheap deterministic per-PC hashing.
 #[inline]
@@ -50,6 +104,9 @@ struct StaticInstr {
     region: usize,
     /// Patterned branches: repeat period (2..=9).
     period: u32,
+    /// Patterned branches: the per-PC hash that picks the sub-style and
+    /// toggle slot (cached here so the dynamic path never rehashes).
+    pat_h: u64,
 }
 
 /// Per-region address-generation state.
@@ -124,6 +181,15 @@ pub struct TraceGenerator {
     /// Execution counts per static patterned branch (hash-indexed, aliased):
     /// drives run-length direction toggling.
     pattern_counts: Vec<u32>,
+    /// Memoised [`TraceGenerator::decode`] results, indexed by static
+    /// instruction slot. The decode of a PC is a pure function of
+    /// `pc ^ pc_seed` and the (fixed) profile, so each static instruction
+    /// is decoded at most once per run instead of once per dynamic visit.
+    decode_cache: Vec<Option<StaticInstr>>,
+    /// Tabulated geometric sampler (see [`geometric_cutoffs`]): maps the
+    /// RNG's 53-bit mantissa straight to a dep distance, bit-identical to
+    /// the historical `ceil(ln(u)/ln(1-p))` computation.
+    dep_cutoffs: Arc<[u64]>,
 }
 
 impl TraceGenerator {
@@ -181,6 +247,11 @@ impl TraceGenerator {
             code_instrs,
             hot_instrs,
             pattern_counts: vec![0; 2048],
+            decode_cache: vec![None; code_instrs as usize],
+            dep_cutoffs: {
+                let p = 1.0 / profile.mean_dep_distance;
+                geometric_cutoffs((1.0f64 - p).ln())
+            },
         };
         this.begin_loop();
         this
@@ -242,6 +313,25 @@ impl TraceGenerator {
             skip: 1 + (h >> 17) % 6,
             region,
             period: 2 + ((h >> 23) % 8) as u32,
+            pat_h: splitmix64(pc ^ self.pc_seed ^ 0xA17),
+        }
+    }
+
+    /// Memoised [`TraceGenerator::decode`]: every PC the walk can visit lies
+    /// in `[CODE_BASE, CODE_BASE + code_instrs × INSTR_BYTES)` (loops are
+    /// placed inside the code span and skips clamp to the body), so the
+    /// static instruction slot indexes the cache directly. Out-of-range PCs
+    /// (none today) fall back to a direct decode.
+    fn decode_cached(&mut self, pc: u64) -> StaticInstr {
+        let slot = pc.wrapping_sub(CODE_BASE) / INSTR_BYTES;
+        match self.decode_cache.get(slot as usize) {
+            Some(Some(instr)) => *instr,
+            Some(None) => {
+                let instr = self.decode(pc);
+                self.decode_cache[slot as usize] = Some(instr);
+                instr
+            }
+            None => self.decode(pc),
         }
     }
 
@@ -320,12 +410,11 @@ impl TraceGenerator {
     /// Samples a register dependence distance (geometric, mean
     /// `mean_dep_distance`, at least 1).
     fn dep_distance(&mut self) -> u32 {
-        let mean = self.profile.mean_dep_distance;
-        let p = 1.0 / mean;
-        // Inverse-CDF geometric sampling.
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
-        let d = (u.ln() / (1.0f64 - p).ln()).ceil();
-        (d as u32).clamp(1, 512)
+        // Inverse-CDF geometric sampling via the precomputed cutoff table:
+        // one RNG draw (the same draw the f64 path consumed) and a short
+        // binary search, no per-µop `ln`.
+        let m = self.rng.next_u64() >> 11;
+        self.dep_cutoffs.partition_point(|&c| c > m) as u32 + 1
     }
 
     /// Cracks one macro-instruction into µops and pushes them on the queue.
@@ -404,7 +493,7 @@ impl TraceGenerator {
                 target: self.current.start_pc,
                 class: BranchClass::Loop,
             };
-            let mut instr = self.decode(pc);
+            let mut instr = self.decode_cached(pc);
             instr.kind = UopKind::Branch;
             self.emit_macro(pc, instr, Some(info));
             if last_iter {
@@ -417,7 +506,7 @@ impl TraceGenerator {
             return;
         }
 
-        let instr = self.decode(pc);
+        let instr = self.decode_cached(pc);
         if instr.kind == UopKind::Branch {
             let (taken, class) = match instr.branch_class {
                 BranchClass::Biased => (self.rng.gen_bool(0.015), BranchClass::Biased),
@@ -431,7 +520,7 @@ impl TraceGenerator {
                     // * slow run-length toggling — the branch holds one
                     //   direction for a stretch, then flips; 2-bit counters
                     //   mispredict only at the flips.
-                    let h = splitmix64(pc ^ self.pc_seed ^ 0xA17);
+                    let h = instr.pat_h;
                     let taken = if h & 1 == 0 {
                         self.current.iter_index.is_multiple_of(2)
                     } else {
@@ -670,6 +759,33 @@ mod tests {
         for op in TraceGenerator::new(&p, Cracking::default(), 4).take(20_000) {
             assert!(op.pc >= CODE_BASE);
             assert!(op.pc < CODE_BASE + 32 * 1024);
+        }
+    }
+
+    #[test]
+    fn cutoff_table_matches_formula_oracle() {
+        // The tabulated sampler must agree with the historical f64 formula
+        // for every 53-bit mantissa. Exhaustive sweep is 2^53, so probe
+        // where disagreement could hide: every table boundary ±1 (where the
+        // binary search and the ceil/ln rounding must flip in lockstep),
+        // the mantissa extremes, and a deterministic stride across the rest.
+        for mean in [1.5f64, 3.0, 7.0, 15.0, 40.0, 120.0] {
+            let ln_q = (1.0f64 - 1.0 / mean).ln();
+            let table = geometric_cutoffs(ln_q);
+            let lookup = |m: u64| table.partition_point(|&c| c > m) as u32 + 1;
+            let mut probes: Vec<u64> = vec![0, 1, (1u64 << 53) - 1];
+            for &c in table.iter() {
+                probes.extend([c.saturating_sub(1), c, c + 1]);
+            }
+            probes.extend((0..4096u64).map(|i| i * ((1u64 << 53) / 4096) + 17));
+            for m in probes {
+                let m = m.min((1u64 << 53) - 1);
+                assert_eq!(
+                    lookup(m),
+                    geometric_sample(m, ln_q),
+                    "table and formula disagree at mean {mean}, mantissa {m}"
+                );
+            }
         }
     }
 }

@@ -315,7 +315,7 @@
 //! <csv>` appends every streamed batch to a file that replays byte-exact
 //! later. The refit split shows up in `stats` as `refits full N
 //! incremental M`, and the steady-state saving is a tracked number in
-//! `BENCH_8.json` (`stream_speedup`). The `perf-events` backend is
+//! `BENCH_9.json` (`stream_speedup`). The `perf-events` backend is
 //! feature-gated (`cargo check --features perf-events`) so the default
 //! build never touches raw syscalls.
 //!
@@ -389,29 +389,37 @@
 //! (`--budget-ms` makes it a CI gate), and `cpistack bench` records the
 //! connection-scaling comparison — the readiness engine sustaining 4×
 //! the thread engine's connection count at equal-or-better p99 — in
-//! `BENCH_8.json`.
+//! `BENCH_9.json`.
 //!
-//! ## Performance: parallel cold fits, a tracked baseline
+//! ## Performance: parallel cold paths, a tracked baseline
 //!
-//! The cold paths are engineered too. A cold fit fans its 13 jittered
-//! Nelder–Mead starts across threads
-//! ([`FitOptions::threads`](model::FitOptions::threads), `0` = one
-//! per core) and returns **bit-identical** parameters at any thread
-//! count — the budget is pure scheduling, excluded from
+//! The cold paths are engineered too, and everything parallel is
+//! **bit-identical** to sequential by construction. Campaign collection
+//! drains one shared (machine × benchmark) work-list through a
+//! work-stealing pool ([`Workbench::threads`](workbench::Workbench::threads),
+//! `0` = one worker per core) with pre-assigned output slots, so the
+//! records come back byte-for-byte equal at any worker count. A cold
+//! fit fans its 13 jittered Nelder–Mead starts across work-stealing
+//! threads ([`FitOptions::threads`](model::FitOptions::threads)) and
+//! splits each objective evaluation into fixed-size chunks reduced in
+//! deterministic order, so parameters *and* objective-evaluation counts
+//! are identical at any thread count — the budget is pure scheduling,
+//! excluded from
 //! [`FitOptions::fingerprint`](model::FitOptions::fingerprint), so it
 //! never splits a cache key and persisted snapshots stay warm across
 //! budget changes. Cap a deployment's per-fit fan-out with
 //! [`ServiceConfig::with_fit_threads`](service::ServiceConfig::with_fit_threads)
-//! (peak regression threads ≈ worker shards × fit threads). Campaign collection reuses simulation buffers
-//! across runs and exposes the warm-up budget
+//! (concurrent fits time-share the budget). Campaign collection reuses
+//! simulation buffers across runs and exposes the warm-up budget
 //! ([`SimSource::warmup`](workbench::SimSource::warmup), default
-//! unchanged). `cpistack bench` times cold collect / cold fit / warm
+//! unchanged). `cpistack bench` times cold collect (pool vs sequential)
+//! / cold fit (parallel vs sequential, eval counts included) / warm
 //! serve on the paper campaign — plus the cluster tier's warm
 //! router-hop overhead, the streaming tier's incremental-vs-full refit
 //! split, and the connection-scaling loadgen campaigns — asserts the
-//! parallel–sequential byte-identity, and writes the `BENCH_8.json`
-//! snapshot that CI gates against (see the README's Performance section
-//! for current numbers):
+//! byte-identities, and writes the `BENCH_9.json` snapshot that CI
+//! gates against (see the README's Performance section for current
+//! numbers):
 //!
 //! ```
 //! use cpistack::model::FitOptions;

@@ -17,7 +17,7 @@
 //! measured from the *scheduled* send time to response completion.
 //!
 //! Three consumers share this engine: the `cpistack loadgen` CLI
-//! subcommand, the `BENCH_8.json` connection-scaling section in
+//! subcommand, the `BENCH_9.json` connection-scaling section in
 //! [`perf`](crate::perf), and the `loadgen_soak` integration suite
 //! (which additionally pins every response byte-identical to a
 //! sequential `Workbench::fit` baseline via [`RequestTemplate::expect`]).

@@ -1,10 +1,13 @@
-//! Byte-identity lockdown for the parallel multi-start fit (PR 4's
-//! non-negotiable invariant): any thread budget must produce bit-identical
-//! `ModelParams` and objective to the strictly-sequential path, for every
-//! paper machine — and because thread budgets are invisible to cache keys
-//! and records digests, snapshots persisted under one budget must
-//! warm-load under any other.
+//! Byte-identity lockdown for the parallel perf paths (PR 4's
+//! non-negotiable invariant, extended by PR 9): any thread budget must
+//! produce bit-identical `ModelParams` and objective to the
+//! strictly-sequential path, for every paper machine; the work-stealing
+//! collect pool must produce byte-identical record streams at any worker
+//! count; and because thread budgets are invisible to cache keys and
+//! records digests, snapshots persisted under one budget must warm-load
+//! under any other.
 
+use cpistack::model::workbench::Workbench;
 use cpistack::model::{FitOptions, InferredModel, MicroarchParams};
 use cpistack::service::{CpiService, ModelKey, ServiceConfig};
 use cpistack::sim::machine::MachineConfig;
@@ -51,6 +54,80 @@ fn parallel_fit_is_bit_identical_for_every_paper_machine() {
                 machine.id
             );
         }
+    }
+}
+
+/// FNV-1a over the canonical CSV rendering of a record stream — a
+/// byte-level witness, not a structural comparison.
+fn records_digest(records: &[RunRecord]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in pmu::csv::to_csv(records).as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn work_stealing_collect_is_byte_identical_at_any_worker_count() {
+    // The full paper campaign (103 benchmarks × 3 machines) at a reduced
+    // µop budget: the work-stealing pool pre-assigns output slots, so the
+    // record stream must hash identically whether one worker drains the
+    // whole work-list or eight race over it.
+    let machines = MachineConfig::paper_machines();
+    let collect = |threads: usize, parallel: bool| {
+        let collected = Workbench::new()
+            .machines(machines.iter())
+            .source(SimSource::paper_suites().uops(2_000).seed(SEED))
+            .parallel(parallel)
+            .threads(threads)
+            .collect()
+            .expect("campaign collects");
+        let records: Vec<RunRecord> = collected.records().cloned().collect();
+        (records.len(), records_digest(&records))
+    };
+    let (count, sequential) = collect(1, false);
+    assert_eq!(count, 103 * 3, "the whole campaign, no dropped work items");
+    for threads in [1, 2, 8] {
+        let (n, digest) = collect(threads, true);
+        assert_eq!(n, count, "threads={threads} changed the record count");
+        assert_eq!(
+            digest, sequential,
+            "threads={threads}: pooled collect must be byte-identical to sequential"
+        );
+    }
+}
+
+#[test]
+fn parallel_objective_fit_is_bit_identical_for_every_paper_machine() {
+    // A training set big enough to cross the inner fan-out's
+    // 4096-inputs-per-worker floor (the paper campaign never does, so the
+    // per-term parallel reduction needs its own lockdown): one start and
+    // a generous budget routes all the parallelism into the objective
+    // itself, and the fitted bits must not move.
+    for machine in MachineConfig::paper_machines() {
+        let arch = MicroarchParams::from_machine(&machine);
+        let base = records_for(&machine);
+        let records: Vec<RunRecord> = base.iter().cycle().take(9_000).cloned().collect();
+        let opts = |threads: usize| {
+            FitOptions::quick()
+                .with_extra_starts(0)
+                .with_threads(threads)
+        };
+        let sequential = InferredModel::fit(&arch, &records, &opts(1)).expect("sequential fit");
+        let parallel = InferredModel::fit(&arch, &records, &opts(8)).expect("parallel fit");
+        assert_eq!(
+            sequential.params(),
+            parallel.params(),
+            "{:?}: parallel objective changed the fitted params",
+            machine.id
+        );
+        assert_eq!(
+            sequential.objective().to_bits(),
+            parallel.objective().to_bits(),
+            "{:?}: parallel objective changed the objective bits",
+            machine.id
+        );
     }
 }
 
