@@ -109,10 +109,12 @@ pub mod persist;
 pub mod poller;
 pub mod proto;
 pub mod stream;
+pub mod sweep;
 
 use crate::delta::{suite_delta, DeltaStacks};
 use crate::fit::{FitError, FitOptions, InferredModel};
-use crate::workbench::{FittedGroup, MachineSpec};
+use crate::workbench::{CounterSource, FittedGroup, MachineSpec, SimSource};
+use oosim::machine::MachineConfig;
 use persist::SnapshotStore;
 use pmu::csv::ParseCsvError;
 use pmu::{MachineId, RunRecord, Suite};
@@ -123,6 +125,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use sweep::{SweepError, SweepSpec, SweepSummary, SweepVariant, SweepVariantResult};
 
 // ---------------------------------------------------------------------------
 // Tenants
@@ -275,6 +278,12 @@ pub enum ServiceError {
         /// What went wrong.
         detail: String,
     },
+    /// A design-space sweep could not be set up (bad grid, variant base,
+    /// invalid grid point — see [`sweep::SweepError`]).
+    Sweep {
+        /// The underlying sweep error.
+        error: SweepError,
+    },
     /// The service has shut down; no more requests can be served.
     Stopped,
 }
@@ -313,6 +322,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Snapshot { detail } => {
                 write!(f, "snapshot replication failed: {detail}")
             }
+            ServiceError::Sweep { error } => write!(f, "sweep failed: {error}"),
             ServiceError::Stopped => write!(f, "the service has shut down"),
         }
     }
@@ -323,6 +333,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Fit { error, .. } => Some(error),
             ServiceError::Parse { error, .. } => Some(error),
+            ServiceError::Sweep { error } => Some(error),
             _ => None,
         }
     }
@@ -448,6 +459,39 @@ pub enum Request {
         /// final parameters a pure function of the final record set.
         force_full: bool,
     },
+    /// Ensure the sweep's base and every expanded grid variant has
+    /// counter records for the spec's suite, simulating only the
+    /// *missing* configs on the work-stealing collect pool (one trace per
+    /// workload per distinct config — never per variant-request). Runs on
+    /// the base machine's store shard so concurrent sweeps over one base
+    /// serialize their collections; responds with one
+    /// [`Response::SweepReady`] carrying what it had to simulate.
+    SweepCollect(Box<SweepSpec>),
+    /// Run a design-space sweep: expand the grid, ensure records (as
+    /// [`Request::SweepCollect`]), fit base + every variant, and stream
+    /// one [`Response::SweepVariant`] per variant in grid-expansion order
+    /// followed by one [`Response::SweepSummary`]. The combining task
+    /// runs on the *base key's* shard and serves each variant through the
+    /// one fitting path — so a raw submit fits cold variants serially on
+    /// that worker (each fan-out still using the shared fit-thread
+    /// budget). [`CpiClient::sweep`] instead collects first and warms
+    /// every variant key on its home shard, fanning the fits across the
+    /// pool and making this task all cache hits.
+    Sweep(Box<SweepSpec>),
+    /// Replace one machine's record store wholesale with a replicated
+    /// copy (the cluster's record-shipping path for two-machine joins;
+    /// see [`cluster`]). Digest-idempotent: when the machine's current
+    /// records already digest-match the payload the store, spec and
+    /// generation are left untouched (cached models stay warm) and the
+    /// ack reports 0 records; otherwise the spec and full batch list are
+    /// replaced and the generation bumps.
+    ImportRecords {
+        /// The machine's spec (rebuilt from the id on the wire — a
+        /// variant name is its own recipe).
+        spec: Box<MachineSpec>,
+        /// The complete record store to install (all suites).
+        records: Vec<RunRecord>,
+    },
     /// Snapshot the service counters into one [`Response::Stats`].
     Stats,
 }
@@ -551,6 +595,17 @@ pub enum Response {
         /// How the refit was served: cached, incremental, or full.
         mode: RefitMode,
     },
+    /// A sweep's record-collection phase finished ([`Request::SweepCollect`]).
+    SweepReady {
+        /// Distinct configs that had to be simulated (0 when warm).
+        configs: usize,
+        /// Benchmark traces simulated (`configs × workloads`).
+        runs: usize,
+    },
+    /// One variant's sweep result, streamed in grid-expansion order.
+    SweepVariant(Box<SweepVariantResult>),
+    /// The ranked sweep outcome (after every [`Response::SweepVariant`]).
+    SweepSummary(Box<SweepSummary>),
     /// Service counters snapshot.
     Stats(ServiceStats),
     /// The request failed.
@@ -1315,6 +1370,12 @@ enum Task {
         suite: Suite,
         options: FitOptions,
     },
+    SweepCollect(Box<SweepSpec>),
+    Sweep(Box<SweepSpec>),
+    ImportRecords {
+        spec: Box<MachineSpec>,
+        records: Vec<RunRecord>,
+    },
 }
 
 struct Router {
@@ -1642,6 +1703,20 @@ impl CpiClient {
                     options,
                 },
             )],
+            Request::SweepCollect(spec) => {
+                // The base's *store* shard: collection mutates every
+                // variant's store, and serializing on one shard keeps two
+                // overlapping sweeps from simulating the same config twice.
+                vec![(r.shard_of(t, spec.base), Task::SweepCollect(spec))]
+            }
+            Request::Sweep(spec) => {
+                let key = ModelKey::new(spec.base, Some(spec.suite), spec.options.clone());
+                vec![(r.shard_of_key(t, &key), Task::Sweep(spec))]
+            }
+            Request::ImportRecords { spec, records } => vec![(
+                r.shard_of(t, spec.id()),
+                Task::ImportRecords { spec, records },
+            )],
             // Answered inline by `submit` before routing.
             Request::Stats => Vec::new(),
         })
@@ -1883,6 +1958,169 @@ impl CpiClient {
             }
         }
         Err(ServiceError::Stopped)
+    }
+
+    /// Runs a design-space sweep end to end and returns the ranked
+    /// summary: expand the grid, simulate only missing configs on the
+    /// collect pool, warm every variant's model on its *home* shard
+    /// (fanning the fits across the worker pool, each under the shared
+    /// fit-thread budget), then combine — per-variant CPI, delta stacks
+    /// vs. the base, and the Pareto front over (CPI,
+    /// component-of-interest). A re-sweep of an already-swept grid
+    /// simulates nothing and refits nothing: every variant serves from
+    /// the model cache or the persisted snapshot store.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Sweep`] on a bad grid; any [`ServiceError`] a
+    /// variant's fit produced; [`ServiceError::Stopped`] when the
+    /// service is gone.
+    pub fn sweep(&self, spec: SweepSpec) -> Result<SweepSummary, ServiceError> {
+        let (simulated, stream) = self.sweep_begin(spec)?;
+        let mut summary = None;
+        for response in stream {
+            match response {
+                Response::SweepSummary(s) => summary = Some(*s),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        let mut summary = summary.ok_or(ServiceError::Stopped)?;
+        // The combining task only counts what *it* simulated (nothing —
+        // the collect phase below ran first); fold the real collection
+        // cost back in.
+        summary.simulated_configs += simulated.0;
+        summary.simulated_runs += simulated.1;
+        Ok(summary)
+    }
+
+    /// The streaming form of [`CpiClient::sweep`]: runs the collect
+    /// phase, warms every variant key on its home shard, then submits
+    /// [`Request::Sweep`] and hands back the live stream — one
+    /// [`Response::SweepVariant`] per variant in grid-expansion order,
+    /// then one [`Response::SweepSummary`]. Returns `(simulated configs,
+    /// simulated runs)` from the collect phase alongside the stream (the
+    /// streamed summary's own counters cover only the combining task,
+    /// which collects nothing here).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Sweep`] on a bad grid; any error the collect or
+    /// warming fits produced.
+    pub fn sweep_begin(
+        &self,
+        spec: SweepSpec,
+    ) -> Result<((usize, usize), ResponseStream), ServiceError> {
+        let variants =
+            sweep::expand_selected(&spec).map_err(|error| ServiceError::Sweep { error })?;
+        let mut simulated = (0, 0);
+        for response in self.submit(Request::SweepCollect(Box::new(spec.clone()))) {
+            match response {
+                Response::SweepReady { configs, runs } => simulated = (configs, runs),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        // Warm base + variants concurrently, each on its key's home
+        // shard — the same trick `delta` uses, scaled to the grid: the
+        // expensive regressions run in parallel across the pool, and the
+        // combining task below then serves pure cache hits.
+        let keys = std::iter::once(spec.base)
+            .chain(variants.iter().map(|v| v.id).filter(|&id| id != spec.base));
+        let warms: Vec<ResponseStream> = keys
+            .map(|id| {
+                self.submit(Request::Fit(ModelKey::new(
+                    id,
+                    Some(spec.suite),
+                    spec.options.clone(),
+                )))
+            })
+            .collect();
+        for stream in warms {
+            for response in stream {
+                if let Response::Error(e) = response {
+                    return Err(e);
+                }
+            }
+        }
+        Ok((simulated, self.submit(Request::Sweep(Box::new(spec)))))
+    }
+
+    /// Installs a replicated record store for one machine (see
+    /// [`Request::ImportRecords`]) and waits for the ack. Returns the
+    /// records installed (0 when the store already digest-matched) and
+    /// the machine's generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] when the service is gone.
+    pub fn import_records(
+        &self,
+        spec: MachineSpec,
+        records: Vec<RunRecord>,
+    ) -> Result<(usize, u64), ServiceError> {
+        for response in self.submit(Request::ImportRecords {
+            spec: Box::new(spec),
+            records,
+        }) {
+            match response {
+                Response::Ingested {
+                    records,
+                    generation,
+                    ..
+                } => return Ok((records, generation)),
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(ServiceError::Stopped)
+    }
+
+    /// Reads one machine's complete record store (every suite, batch
+    /// order preserved) — the payload the [`cluster`] router ships when a
+    /// two-machine request spans ring owners. Counter-free like
+    /// [`CpiClient::export_snapshot`]: answered inline from the shared
+    /// state without touching request or cache accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] after shutdown;
+    /// [`ServiceError::NotRegistered`] when the machine has no spec;
+    /// [`ServiceError::NoRecords`] when it has no records at all.
+    pub fn export_records(
+        &self,
+        machine: MachineId,
+    ) -> Result<(crate::params::MicroarchParams, Vec<RunRecord>), ServiceError> {
+        if self
+            .router
+            .stopped
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            return Err(ServiceError::Stopped);
+        }
+        let guard = lock(&self.router.inner);
+        let state = guard
+            .tenant(&self.tenant)
+            .and_then(|t| t.machine(machine))
+            .ok_or(ServiceError::NotRegistered { machine })?;
+        let arch = *state
+            .spec
+            .as_ref()
+            .ok_or(ServiceError::NotRegistered { machine })?
+            .arch();
+        let records: Vec<RunRecord> = state
+            .batches
+            .iter()
+            .flat_map(|b| b.iter())
+            .cloned()
+            .collect();
+        if records.is_empty() {
+            return Err(ServiceError::NoRecords {
+                machine,
+                suite: None,
+            });
+        }
+        Ok((arch, records))
     }
 
     /// Snapshots the service counters.
@@ -2247,7 +2485,234 @@ fn handle_task(
                 Err(e) => send(Response::Error(e)),
             }
         }
+        Task::SweepCollect(spec) => match sweep_ensure(inner, tenant, &spec) {
+            Ok((configs, runs)) => send(Response::SweepReady { configs, runs }),
+            Err(e) => send(Response::Error(e)),
+        },
+        Task::Sweep(spec) => {
+            if let Err(e) = serve_sweep(inner, tenant, &spec, reply) {
+                send(Response::Error(e));
+            }
+        }
+        Task::ImportRecords { spec, records } => {
+            let machine = spec.id();
+            let incoming = persist::records_digest(&records);
+            let count = records.len();
+            let mut guard = lock(inner);
+            let state = guard.tenant_mut(tenant);
+            let unchanged = state.machine(machine).is_some_and(|m| {
+                let existing: Vec<RunRecord> =
+                    m.batches.iter().flat_map(|b| b.iter()).cloned().collect();
+                m.spec.is_some()
+                    && !existing.is_empty()
+                    && persist::records_digest(&existing) == incoming
+            });
+            if unchanged {
+                let generation = state.machine_mut(machine).generation;
+                drop(guard);
+                send(Response::Ingested {
+                    machine,
+                    records: 0,
+                    generation,
+                });
+                return;
+            }
+            state.ingested_records += count as u64;
+            let machine_state = state.machine_mut(machine);
+            machine_state.spec = Some(*spec);
+            machine_state.batches = vec![Arc::new(records)];
+            machine_state.generation += 1;
+            let generation = machine_state.generation;
+            guard.cache.invalidate_machine(tenant, machine);
+            drop(guard);
+            send(Response::Ingested {
+                machine,
+                records: count,
+                generation,
+            });
+        }
     }
+}
+
+/// The suite's workload profiles, in campaign order.
+fn suite_profiles(suite: Suite) -> Vec<specgen::profile::WorkloadProfile> {
+    match suite {
+        Suite::Cpu2000 => specgen::suites::cpu2000(),
+        Suite::Cpu2006 => specgen::suites::cpu2006(),
+    }
+}
+
+/// The collection phase of a sweep: expand the grid and make sure the
+/// base and every variant hold records for the spec's suite, simulating
+/// only what is missing. Returns `(distinct configs simulated, traces
+/// run)` — `(0, 0)` on a warm re-sweep.
+fn sweep_ensure(
+    inner: &Mutex<Inner>,
+    tenant: &TenantId,
+    spec: &SweepSpec,
+) -> Result<(usize, usize), ServiceError> {
+    let variants = sweep::expand_selected(spec).map_err(|error| ServiceError::Sweep { error })?;
+    sweep_ensure_variants(inner, tenant, spec, &variants)
+}
+
+/// [`sweep_ensure`] with the grid already expanded.
+///
+/// The workload set is pinned by the *base*: once the base machine has
+/// records for the suite, every variant simulates exactly the base's
+/// benchmark set (so delta stacks pair benchmark-for-benchmark); on a
+/// fresh store the suite (optionally truncated by `spec.limit`) defines
+/// it. Missing configs are simulated in one flattened work-list on the
+/// work-stealing collect pool — each workload's trace runs once per
+/// distinct config, never once per variant-request — and ingested under
+/// the lock afterwards. A machine that already carries a registered spec
+/// keeps it; collection only fills gaps.
+fn sweep_ensure_variants(
+    inner: &Mutex<Inner>,
+    tenant: &TenantId,
+    spec: &SweepSpec,
+    variants: &[SweepVariant],
+) -> Result<(usize, usize), ServiceError> {
+    // The base participates even when the grid skips its point: every
+    // variant's delta is relative to it.
+    let mut configs: Vec<oosim::machine::MachineConfig> = vec![MachineConfig::preset(spec.base)];
+    for variant in variants {
+        if configs.iter().all(|c| c.id != variant.id) {
+            configs.push(variant.config.clone());
+        }
+    }
+    let (need, base_benchmarks, workers) = {
+        let guard = lock(inner);
+        let tenant_state = guard.tenant(tenant);
+        let has_records = |id: MachineId| {
+            tenant_state.and_then(|t| t.machine(id)).is_some_and(|m| {
+                m.spec.is_some()
+                    && m.batches
+                        .iter()
+                        .flat_map(|b| b.iter())
+                        .any(|r| r.suite() == spec.suite)
+            })
+        };
+        let need: Vec<oosim::machine::MachineConfig> = configs
+            .iter()
+            .filter(|c| !has_records(c.id))
+            .cloned()
+            .collect();
+        let base_benchmarks: Vec<String> = tenant_state
+            .and_then(|t| t.machine(spec.base))
+            .map(|m| {
+                m.batches
+                    .iter()
+                    .flat_map(|b| b.iter())
+                    .filter(|r| r.suite() == spec.suite)
+                    .map(|r| r.benchmark().to_owned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        (need, base_benchmarks, guard.workers)
+    };
+    if need.is_empty() {
+        return Ok((0, 0));
+    }
+    let profiles = suite_profiles(spec.suite);
+    let profiles: Vec<specgen::profile::WorkloadProfile> = if base_benchmarks.is_empty() {
+        match spec.limit {
+            Some(n) => profiles.into_iter().take(n).collect(),
+            None => profiles,
+        }
+    } else {
+        profiles
+            .into_iter()
+            .filter(|p| {
+                base_benchmarks
+                    .iter()
+                    .any(|n| n.as_str() == p.name.as_ref())
+            })
+            .collect()
+    };
+    let source = SimSource::new()
+        .suite(profiles)
+        .uops(spec.uops)
+        .seed(spec.seed);
+    let specs: Vec<MachineSpec> = need.iter().map(MachineSpec::from).collect();
+    let results = source.collect_all(&specs, workers);
+    let mut runs = 0;
+    let mut guard = lock(inner);
+    let state = guard.tenant_mut(tenant);
+    for (machine_spec, result) in specs.into_iter().zip(results) {
+        let records = result.expect("simulated specs always carry configs");
+        runs += records.len();
+        state.ingested_records += records.len() as u64;
+        let machine_state = state.machine_mut(machine_spec.id());
+        if machine_state.spec.is_none() {
+            machine_state.spec = Some(machine_spec);
+        }
+        machine_state.batches.push(Arc::new(records));
+        machine_state.generation += 1;
+    }
+    Ok((need.len(), runs))
+}
+
+/// Serves one [`Task::Sweep`]: collection (idempotent; usually already
+/// done by [`Request::SweepCollect`]), then base + every variant through
+/// the one fitting path ([`fit_key`] — cache, warm snapshot store, or a
+/// fresh fit under the shared thread budget), streaming each variant's
+/// result as soon as it is ready and the ranked summary last.
+fn serve_sweep(
+    inner: &Mutex<Inner>,
+    tenant: &TenantId,
+    spec: &SweepSpec,
+    reply: &mpsc::Sender<Response>,
+) -> Result<(), ServiceError> {
+    let variants = sweep::expand_selected(spec).map_err(|error| ServiceError::Sweep { error })?;
+    let (simulated_configs, simulated_runs) =
+        sweep_ensure_variants(inner, tenant, spec, &variants)?;
+    let base_key = ModelKey::new(spec.base, Some(spec.suite), spec.options.clone());
+    let (base_report, base_snapshot, base_trained) = fit_key(inner, tenant, &base_key)?;
+    let base_records = base_trained.unwrap_or_else(|| base_snapshot.to_vec());
+    let mut results: Vec<SweepVariantResult> = Vec::with_capacity(variants.len());
+    for variant in &variants {
+        let (report, records) = if variant.id == spec.base {
+            (base_report.clone(), base_records.clone())
+        } else {
+            let key = ModelKey::new(variant.id, Some(spec.suite), spec.options.clone());
+            let (report, snapshot, trained) = fit_key(inner, tenant, &key)?;
+            let records = trained.unwrap_or_else(|| snapshot.to_vec());
+            (report, records)
+        };
+        let mut cpi = 0.0;
+        let mut component = 0.0;
+        for record in &records {
+            let stack = report.model.cpi_stack(record);
+            cpi += stack.total();
+            component += spec.component.value(&stack);
+        }
+        let n = records.len().max(1) as f64;
+        let result = SweepVariantResult {
+            id: variant.id,
+            cpi: cpi / n,
+            component: component / n,
+            delta: suite_delta(&base_report.model, &base_records, &report.model, &records),
+            cached: report.cached,
+            benchmarks: records.len(),
+        };
+        let _ = reply.send(Response::SweepVariant(Box::new(result.clone())));
+        results.push(result);
+    }
+    let points: Vec<(f64, f64)> = results.iter().map(|r| (r.cpi, r.component)).collect();
+    let pareto = sweep::pareto_front(&points)
+        .into_iter()
+        .map(|i| results[i].id)
+        .collect();
+    let _ = reply.send(Response::SweepSummary(Box::new(SweepSummary {
+        base: spec.base,
+        suite: spec.suite,
+        component: spec.component,
+        results,
+        pareto,
+        simulated_configs,
+        simulated_runs,
+    })));
+    Ok(())
 }
 
 /// A point-in-time, suite-filtered view of one machine's ingested

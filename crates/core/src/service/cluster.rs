@@ -37,8 +37,10 @@ use super::proto::{
     self, LineEvent, SessionSpec, TcpServer, TcpServerConfig, TimedLineReader,
     DEFAULT_POLL_INTERVAL,
 };
+use super::sweep::{self, SweepGrid, SweepSpec};
 use super::{CpiService, ServiceConfig};
 use crate::fit::FitOptions;
+use pmu::{MachineId, Suite};
 use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -242,6 +244,17 @@ pub enum ClusterError {
         /// The offending name.
         node: String,
     },
+    /// A partitioned sweep lost part of its grid: the surviving
+    /// variants' lines (and a partial summary) were already streamed
+    /// in-band before this terminator, which names exactly what is
+    /// missing and why.
+    SweepPartial {
+        /// Expansion-order names of the variants whose slice failed.
+        lost: Vec<String>,
+        /// The failure that took the slice out (a dead node, or the
+        /// backend's own error line).
+        detail: String,
+    },
     /// Client-side transport failure (ends the proxy session).
     Io(std::io::Error),
 }
@@ -254,6 +267,9 @@ impl std::fmt::Display for ClusterError {
             }
             ClusterError::NoBackends => write!(f, "no live backend nodes"),
             ClusterError::UnknownNode { node } => write!(f, "unknown node `{node}`"),
+            ClusterError::SweepPartial { lost, detail } => {
+                write!(f, "sweep partial: lost {} ({detail})", lost.join(" "))
+            }
             ClusterError::Io(e) => write!(f, "client transport error: {e}"),
         }
     }
@@ -593,6 +609,93 @@ fn snapshot_hex(resp: &[u8]) -> Option<&str> {
     std::str::from_utf8(first).ok()?.strip_prefix("snapshot ")
 }
 
+/// Extracts the `(hex-arch, hex-csv)` payload of a successful
+/// `pullrecs` response.
+fn records_payload(resp: &[u8]) -> Option<(String, String)> {
+    if !resp.ends_with(b"ok\n") {
+        return None;
+    }
+    let first = resp.split(|b| *b == b'\n').next()?;
+    let rest = std::str::from_utf8(first).ok()?.strip_prefix("records ")?;
+    let mut fields = rest.split_whitespace().skip(1);
+    Some((fields.next()?.to_owned(), fields.next()?.to_owned()))
+}
+
+/// Parses just enough of a client `sweep` line to partition it across
+/// the ring: the base, the concrete suite, the grid axes, and any
+/// `only=` filter — producing the same expansion-order variant list a
+/// node computes ([`sweep::expand_selected`]). `None` means the line
+/// cannot be planned here (malformed words, an `all` suite, a bad
+/// axis); the caller then forwards it verbatim so a backend produces
+/// its exact error bytes.
+fn sweep_expansion(words: &[&str]) -> Option<(MachineId, Vec<MachineId>)> {
+    let base: MachineId = words[1].parse().ok()?;
+    let suite: Suite = words[2].parse().ok()?;
+    let mut grid = SweepGrid::new();
+    let mut only: Option<Vec<MachineId>> = None;
+    for arg in &words[3..] {
+        let (key, value) = arg.split_once('=')?;
+        match key {
+            // Forwarded verbatim; they do not change the variant set.
+            "uops" | "seed" | "limit" | "component" => {}
+            "only" => {
+                let mut ids = Vec::new();
+                for name in value.split(',') {
+                    ids.push(name.parse().ok()?);
+                }
+                only = Some(ids);
+            }
+            _ => grid.parse_arg(arg).ok()?,
+        }
+    }
+    let mut spec = SweepSpec::new(base, grid, suite);
+    spec.only = only;
+    let variants = sweep::expand_selected(&spec).ok()?;
+    Some((base, variants.into_iter().map(|v| v.id).collect()))
+}
+
+/// One `variant …` line parsed out of a backend's sweep response: the
+/// raw bytes for re-emission plus the fields the router needs to merge
+/// (Pareto recomputation, replication of fresh fits).
+struct SweptVariant {
+    name: String,
+    raw: String,
+    cpi: f64,
+    component: f64,
+    cached: bool,
+}
+
+/// Splits a backend's sweep response into its variant lines and the
+/// summary's simulated-work counters. `Err` carries the backend's own
+/// `err:` message — the whole slice failed with those exact words.
+fn parse_sweep_response(resp: &[u8]) -> Result<(Vec<SweptVariant>, u64, u64), String> {
+    let text = String::from_utf8_lossy(resp);
+    let mut variants = Vec::new();
+    let (mut configs, mut runs) = (0u64, 0u64);
+    for line in text.lines() {
+        if let Some(message) = line.strip_prefix("err: ") {
+            return Err(message.to_owned());
+        }
+        let w: Vec<&str> = line.split_whitespace().collect();
+        if w.first() == Some(&"variant") && w.len() == 12 {
+            let (Ok(cpi), Ok(component)) = (w[3].parse::<f64>(), w[5].parse::<f64>()) else {
+                continue;
+            };
+            variants.push(SweptVariant {
+                name: w[1].to_owned(),
+                raw: line.to_owned(),
+                cpi,
+                component,
+                cached: w[11] == "hit",
+            });
+        } else if w.first() == Some(&"sweep:") && w.len() == 8 {
+            configs = w[5].parse().unwrap_or(0);
+            runs = w[7].parse().unwrap_or(0);
+        }
+    }
+    Ok((variants, configs, runs))
+}
+
 /// What a proxied command decided about the session.
 enum ProxyOutcome {
     Continue,
@@ -619,6 +722,11 @@ struct ProxySession<'a> {
     /// `(machine, suite)` pairs already replicated since their last
     /// write — resets on writes and on tenant changes.
     clean: HashSet<(String, String)>,
+    /// `(node, machine)` pairs whose records this session already
+    /// shipped for a cross-owner join (`delta`, partitioned `sweep`) —
+    /// resets on writes and tenant changes, like `clean`. Purely an
+    /// economy: the receiving node is digest-idempotent.
+    shipped: HashSet<(String, String)>,
 }
 
 impl<'a> ProxySession<'a> {
@@ -630,6 +738,7 @@ impl<'a> ProxySession<'a> {
             conns: Vec::new(),
             focus: None,
             clean: HashSet::new(),
+            shipped: HashSet::new(),
         }
     }
 
@@ -803,6 +912,66 @@ impl<'a> ProxySession<'a> {
         }
     }
 
+    /// Ships `machine`'s records (arch constants included) from its
+    /// ring owner to `to`, so `to` can run any single-node fitting
+    /// path over the exact same bytes. `Ok(false)` means the owner had
+    /// nothing to export (never ingested — the data will come from
+    /// deterministic simulation instead), which is not a failure.
+    fn ship_records(&mut self, machine: &str, to: &NodeInfo) -> Result<bool, ClusterError> {
+        let key = (to.name.clone(), machine.to_owned());
+        if self.shipped.contains(&key) {
+            return Ok(true);
+        }
+        let (_, resp) = self.forward_routed(machine, &format!("pullrecs {machine}"))?;
+        let Some((arch, csv)) = records_payload(&resp) else {
+            return Ok(false);
+        };
+        let resp = self.forward_to(to, &format!("pushrecs {machine} {arch} {csv}"))?;
+        let installed = resp.ends_with(b"ok\n");
+        if installed {
+            self.shipped.insert(key);
+        }
+        Ok(installed)
+    }
+
+    /// Best-effort warm transfer: pulls `(machine, suite)`'s snapshot
+    /// from its owner and pushes it to `to`, so the next fit there is
+    /// a digest-matched warm load instead of a re-fit. Failures cost
+    /// only time — a fresh fit over the shipped records is
+    /// deterministic, so results never depend on this succeeding.
+    fn warm_snapshot(&mut self, machine: &str, suite: &str, to: &NodeInfo) {
+        let pull = format!("pullsnap {machine} {suite}");
+        let Ok((_, resp)) = self.forward_routed(machine, &pull) else {
+            return;
+        };
+        if let Some(hex) = snapshot_hex(&resp).map(str::to_owned) {
+            let _ = self.forward_to(to, &format!("pushsnap {hex}"));
+        }
+    }
+
+    /// Satisfies a two-machine command's data dependency: `delta <old>
+    /// <new> <suite>` serves from the *old* machine's owner, which
+    /// needs the new machine's records too. When the ring puts them on
+    /// different nodes, ship the new side's records (and its fitted
+    /// snapshot, so the join is warm) to the serving node first — the
+    /// forwarded command then runs the unchanged single-node path,
+    /// byte-identical output included. Best-effort by design: a
+    /// machine missing everywhere still errors with the backend's
+    /// exact bytes on the forward.
+    fn prepare_join(&mut self, serving: &str, missing: &str, suite: &str) {
+        let (Ok(serving_owner), Ok(missing_owner)) =
+            (self.route_machine(serving), self.route_machine(missing))
+        else {
+            return;
+        };
+        if serving_owner.name == missing_owner.name {
+            return;
+        }
+        if matches!(self.ship_records(missing, &serving_owner), Ok(true)) {
+            self.warm_snapshot(missing, suite, &serving_owner);
+        }
+    }
+
     /// Replays the active greeting on every pooled connection except
     /// `just_used`, dropping connections that reject it — after a
     /// rebind, every backend this session talks to must agree on the
@@ -861,6 +1030,7 @@ impl<'a> ProxySession<'a> {
                     // A rebind changes the routing key space wholesale.
                     self.focus = None;
                     self.clean.clear();
+                    self.shipped.clear();
                     self.replay_greeting(&node.name);
                 }
                 Ok(ProxyOutcome::Continue)
@@ -872,6 +1042,7 @@ impl<'a> ProxySession<'a> {
                 out.write_all(&resp)?;
                 self.focus = Some(owner.name.clone());
                 self.clean.retain(|(m, _)| m != words[1]);
+                self.shipped.retain(|(_, m)| m != words[1]);
                 if resp.ends_with(b"ok\n") {
                     for succ in self.successor_set(&owner, words[1]) {
                         let _ = self.forward_to(&succ, line);
@@ -893,7 +1064,12 @@ impl<'a> ProxySession<'a> {
             }
             "delta" if words.len() == 4 => {
                 // `delta <old> <new> <suite>` fits both machines on the
-                // old machine's owner; replicate what that node now holds.
+                // old machine's owner. The ring hashes the two machines
+                // independently, so the new side may live elsewhere —
+                // ship its records (and warm snapshot) over first, then
+                // forward; the owner runs the unchanged single-node
+                // path. Replicate what that node now holds.
+                self.prepare_join(words[1], words[2], words[3]);
                 let (owner, resp) = self.forward_routed(words[1], line)?;
                 out.write_all(&resp)?;
                 self.focus = Some(owner.name.clone());
@@ -902,6 +1078,7 @@ impl<'a> ProxySession<'a> {
                 }
                 Ok(ProxyOutcome::Continue)
             }
+            "sweep" if words.len() >= 3 => self.dispatch_sweep(&words, line, out),
             "quit" => {
                 let resp = match self.forward_primary(line) {
                     Ok((_, resp)) => resp,
@@ -957,6 +1134,152 @@ impl<'a> ProxySession<'a> {
         }
     }
 
+    /// `sweep <base> <suite> …` fans a design-space grid across the
+    /// ring. Each variant hashes to its own owner, so the router
+    /// expands the grid exactly like a node would, partitions the
+    /// expansion-order variant list by live owner, ships the base
+    /// machine's records to every involved node (each node fits the
+    /// base itself for the delta columns), and forwards each node its
+    /// slice as `sweep … only=<subset>` — the node-side serving path
+    /// is unchanged. Variant lines come back merged in expansion
+    /// order, the Pareto front is recomputed over the merged results
+    /// with the same minimization a node runs, and fresh fits (cache
+    /// misses) replicate like any other model-bearing write. A node
+    /// dying mid-sweep costs only its slice: survivors' lines still
+    /// stream, followed by a typed partial error naming what was lost.
+    fn dispatch_sweep(
+        &mut self,
+        words: &[&str],
+        line: &str,
+        out: &mut impl Write,
+    ) -> Result<ProxyOutcome, ClusterError> {
+        let plan = sweep_expansion(words);
+        let Some((base, variants)) = plan.filter(|(_, v)| !v.is_empty()) else {
+            // Unplannable (malformed axis, `all` suite, empty `only=`):
+            // one backend produces its exact error bytes.
+            let (owner, resp) = self.forward_routed(words[1], line)?;
+            out.write_all(&resp)?;
+            self.focus = Some(owner.name.clone());
+            return Ok(ProxyOutcome::Continue);
+        };
+        // Partition by live owner, preserving expansion order within
+        // and across groups.
+        let mut groups: Vec<(NodeInfo, Vec<MachineId>)> = Vec::new();
+        for id in &variants {
+            let owner = self.route_machine(id.name())?;
+            match groups.iter_mut().find(|(node, _)| node.name == owner.name) {
+                Some((_, ids)) => ids.push(*id),
+                None => groups.push((owner, vec![*id])),
+            }
+        }
+        self.focus = groups.first().map(|(node, _)| node.name.clone());
+        let mut results: Vec<Option<SweptVariant>> = variants.iter().map(|_| None).collect();
+        let (mut configs, mut runs) = (0u64, 0u64);
+        let mut lost: Vec<String> = Vec::new();
+        let mut lost_detail = String::new();
+        for (node, ids) in groups {
+            // The original line minus any client `only=`, plus this
+            // slice's own selection.
+            let mut cmd = format!("sweep {} {}", words[1], words[2]);
+            for arg in &words[3..] {
+                if !arg.starts_with("only=") {
+                    cmd.push(' ');
+                    cmd.push_str(arg);
+                }
+            }
+            let names: Vec<&str> = ids.iter().map(|id| id.name()).collect();
+            cmd.push_str(" only=");
+            cmd.push_str(&names.join(","));
+            let resp = match self.sweep_slice(&node, base, &cmd) {
+                Ok(resp) => Ok(resp),
+                Err(ClusterError::NodeDown { node: name, detail }) => {
+                    // The slice never reached the client; mark the
+                    // owner down, let the ring reroute its variants,
+                    // and retry the buffered slice on the successor.
+                    self.mark_down(&name, &detail);
+                    self.route_machine(ids[0].name())
+                        .and_then(|successor| self.sweep_slice(&successor, base, &cmd))
+                }
+                Err(e) => Err(e),
+            };
+            let parsed = match &resp {
+                Ok(bytes) => parse_sweep_response(bytes),
+                Err(e) => Err(e.to_string()),
+            };
+            match parsed {
+                Ok((swept, slice_configs, slice_runs)) => {
+                    configs += slice_configs;
+                    runs += slice_runs;
+                    for variant in swept {
+                        if let Some(i) = variants.iter().position(|id| id.name() == variant.name) {
+                            results[i] = Some(variant);
+                        }
+                    }
+                }
+                Err(detail) => {
+                    lost.extend(names.iter().map(|n| (*n).to_owned()));
+                    lost_detail = detail;
+                }
+            }
+        }
+        // Merged output, byte-shaped exactly like a node's: variant
+        // lines in expansion order, the Pareto line, the summary.
+        let mut served: Vec<(usize, f64, f64)> = Vec::new();
+        for (i, slot) in results.iter().enumerate() {
+            if let Some(v) = slot {
+                writeln!(out, "{}", v.raw)?;
+                served.push((i, v.cpi, v.component));
+            }
+        }
+        let fresh: Vec<String> = results
+            .iter()
+            .flatten()
+            .filter(|v| !v.cached)
+            .map(|v| v.name.clone())
+            .collect();
+        for name in fresh {
+            self.replicate(&name, words[2]);
+        }
+        let points: Vec<(f64, f64)> = served.iter().map(|&(_, c, v)| (c, v)).collect();
+        let front: Vec<&str> = sweep::pareto_front(&points)
+            .into_iter()
+            .map(|k| variants[served[k].0].name())
+            .collect();
+        writeln!(out, "pareto {}", front.join(" "))?;
+        writeln!(
+            out,
+            "sweep: variants {} simulated configs {configs} runs {runs}",
+            served.len()
+        )?;
+        if lost.is_empty() {
+            writeln!(out, "ok")?;
+            Ok(ProxyOutcome::Continue)
+        } else {
+            Err(ClusterError::SweepPartial {
+                lost,
+                detail: lost_detail,
+            })
+        }
+    }
+
+    /// Forwards one sweep slice to `node`, first making sure the node
+    /// holds the base machine's records (skipped when the node owns
+    /// them already, or when the base has nothing ingested — every
+    /// node then simulates identical records deterministically).
+    fn sweep_slice(
+        &mut self,
+        node: &NodeInfo,
+        base: MachineId,
+        cmd: &str,
+    ) -> Result<Vec<u8>, ClusterError> {
+        if let Ok(owner) = self.route_machine(base.name()) {
+            if owner.name != node.name {
+                self.ship_records(base.name(), node)?;
+            }
+        }
+        self.forward_to(node, cmd)
+    }
+
     /// `ingest <path>` writes records for every machine named in the
     /// CSV. The router reads the file itself to learn that machine set,
     /// relays the owner's response for the first machine, and mirrors
@@ -1001,6 +1324,8 @@ impl<'a> ProxySession<'a> {
         self.focus = Some(owner.name.clone());
         self.clean
             .retain(|(m, _)| !machines.iter().any(|name| name == m));
+        self.shipped
+            .retain(|(_, m)| !machines.iter().any(|name| name == m));
         if resp.ends_with(b"ok\n") {
             let mut targets: Vec<NodeInfo> = Vec::new();
             for machine in &machines {

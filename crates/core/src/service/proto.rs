@@ -49,6 +49,7 @@
 //! binstack <machine> <suite|all>                    same stacks, one binary frame
 //! predict <machine> <suite|all>                     measured vs predicted CPI
 //! delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
+//! sweep <base> <suite> <axis=v,v ...>               design-space sweep, ranked
 //! stats                                             service counters (this tenant)
 //! help                                              reprint this list
 //! quit                                              close this session
@@ -69,6 +70,7 @@
 use super::auth::TokenRegistry;
 use super::persist::fnv64;
 use super::poller::{self, Dispatch, LoopConfig, Poller, ServeBackend};
+use super::sweep::{SweepGrid, SweepSpec};
 use super::{
     CpiClient, ModelKey, RefitMode, Request, Response, ServiceConfig, ServiceError, TenantId,
 };
@@ -95,6 +97,7 @@ commands (one per line; every command ends with `ok` or `err: ...`):
   binstack <machine> <suite|all>                    same stacks as one binary frame
   predict <machine> <suite|all>                     measured vs predicted CPI
   delta <old> <new> <suite>                         CPI-delta stacks (Fig. 6)
+  sweep <base> <suite> <axis=v,v ...>               design-space sweep, ranked
   stats                                             service counters (this tenant)
   help                                              this list
   quit                                              close this session
@@ -554,6 +557,58 @@ fn parse_suite(word: &str) -> Result<Option<Suite>, CommandError> {
         .map_err(|e| CommandError::Protocol(e.to_string()))
 }
 
+/// Parses the `sweep` verb's words into a [`SweepSpec`]:
+/// `sweep <base> <suite> [rob|mshr|dw|pf=v,v...] [uops=N] [seed=N]
+/// [limit=N] [component=NAME] [only=v1,v2]`. The grid may be empty (the
+/// sweep then serves the base alone); the session's fit options become
+/// the spec's.
+fn parse_sweep_spec(words: &[&str], options: &FitOptions) -> Result<SweepSpec, CommandError> {
+    const USAGE: &str = "usage: sweep <base> <suite> [rob|mshr|dw|pf=v,v...] \
+                         [uops=N] [seed=N] [limit=N] [component=NAME] [only=v1,v2]";
+    if words.len() < 3 {
+        return Err(CommandError::Protocol(USAGE.into()));
+    }
+    let base = parse_machine(words[1])?;
+    let suite = parse_suite(words[2])?
+        .ok_or_else(|| CommandError::Protocol("sweep needs a concrete suite, not `all`".into()))?;
+    let mut spec = SweepSpec::new(base, SweepGrid::new(), suite);
+    spec.options = options.clone();
+    let number = |key: &str, value: &str| -> Result<u64, CommandError> {
+        value
+            .parse::<u64>()
+            .map_err(|_| CommandError::Protocol(format!("bad {key} value `{value}`")))
+    };
+    for arg in &words[3..] {
+        let Some((key, value)) = arg.split_once('=') else {
+            return Err(CommandError::Protocol(format!(
+                "expected key=value, got `{arg}` ({USAGE})"
+            )));
+        };
+        match key {
+            "uops" => spec.uops = number(key, value)?,
+            "seed" => spec.seed = number(key, value)?,
+            "limit" => spec.limit = Some(number(key, value)? as usize),
+            "component" => {
+                spec.component = value
+                    .parse()
+                    .map_err(|e: super::sweep::SweepError| CommandError::Protocol(e.to_string()))?;
+            }
+            "only" => {
+                let mut ids = Vec::new();
+                for name in value.split(',') {
+                    ids.push(parse_machine(name)?);
+                }
+                spec.only = Some(ids);
+            }
+            _ => spec
+                .grid
+                .parse_arg(arg)
+                .map_err(|e| CommandError::Protocol(e.to_string()))?,
+        }
+    }
+    Ok(spec)
+}
+
 fn run_command(
     client: &CpiClient,
     options: &FitOptions,
@@ -689,6 +744,44 @@ fn run_command(
             )?;
             writeln!(output, "{delta}")?;
         }
+        "sweep" => {
+            // Streaming like `stack`: one `variant …` line per grid point
+            // as its model is served, then the Pareto front and a summary
+            // tallying what the sweep actually had to simulate — `configs
+            // 0 runs 0` is the warm re-sweep signature the CI smoke pins.
+            let spec = parse_sweep_spec(words, options)?;
+            let component = spec.component;
+            let ((configs, runs), stream) = client.sweep_begin(spec)?;
+            let mut summary = None;
+            for response in stream {
+                match response {
+                    Response::SweepVariant(v) => writeln!(
+                        output,
+                        "variant {} cpi {:.4} {} {:.4} delta {:+.4} benchmarks {} cache {}",
+                        v.id.name(),
+                        v.cpi,
+                        component,
+                        v.component,
+                        v.delta.overall.total(),
+                        v.benchmarks,
+                        if v.cached { "hit" } else { "miss" }
+                    )?,
+                    Response::SweepSummary(s) => summary = Some(*s),
+                    Response::Error(e) => return Err(e.into()),
+                    _ => {}
+                }
+            }
+            let summary = summary.ok_or(ServiceError::Stopped)?;
+            let front: Vec<&str> = summary.pareto.iter().map(|id| id.name()).collect();
+            writeln!(output, "pareto {}", front.join(" "))?;
+            writeln!(
+                output,
+                "sweep: variants {} simulated configs {} runs {}",
+                summary.results.len(),
+                configs + summary.simulated_configs,
+                runs + summary.simulated_runs
+            )?;
+        }
         "stats" => {
             arity(0, "stats")?;
             // Tenant-scoped by construction: the client is bound to the
@@ -756,6 +849,62 @@ fn run_command(
                 .ok_or_else(|| CommandError::Protocol("malformed snapshot hex".into()))?;
             client.import_snapshot(&bytes)?;
             writeln!(output, "installed")?;
+        }
+        // The record-shipping pair: when a two-machine request (delta, a
+        // partitioned sweep) spans ring owners, the router pulls the
+        // missing machine's *records* from its owner and pushes them to
+        // the serving node, so the single-node fitting path — and its
+        // byte-exact results — apply unchanged. The arch constants ride
+        // along as raw f64 bits so the re-fit is against the exact spec.
+        // Hidden from `help` like `pullsnap`/`pushsnap`: node-to-node
+        // plumbing, not client surface.
+        "pullrecs" => {
+            arity(1, "pullrecs <machine>")?;
+            let machine = parse_machine(words[1])?;
+            let (arch, records) = client.export_records(machine)?;
+            let mut arch_bytes = Vec::with_capacity(40);
+            for v in [arch.width, arch.fe_depth, arch.c_l2, arch.c_mem, arch.c_tlb] {
+                arch_bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            let csv = pmu::csv::to_csv(&records);
+            writeln!(
+                output,
+                "records {} {} {}",
+                machine.name(),
+                hex_encode(&arch_bytes),
+                hex_encode(csv.as_bytes())
+            )?;
+        }
+        "pushrecs" => {
+            arity(3, "pushrecs <machine> <hex-arch> <hex-csv>")?;
+            let machine = parse_machine(words[1])?;
+            let arch_bytes = hex_decode(words[2])
+                .filter(|b| b.len() == 40)
+                .ok_or_else(|| CommandError::Protocol("malformed arch hex".into()))?;
+            let mut constants = [0.0f64; 5];
+            for (slot, chunk) in constants.iter_mut().zip(arch_bytes.chunks(8)) {
+                *slot = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if constants.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+                return Err(CommandError::Protocol(
+                    "arch constants must be positive and finite".into(),
+                ));
+            }
+            let [width, depth, l2, mem, tlb] = constants;
+            let text = hex_decode(words[3])
+                .and_then(|b| String::from_utf8(b).ok())
+                .ok_or_else(|| CommandError::Protocol("malformed records hex".into()))?;
+            let records =
+                pmu::csv::from_csv(&text).map_err(|e| CommandError::Protocol(e.to_string()))?;
+            if records.iter().any(|r| r.machine() != machine) {
+                return Err(CommandError::Protocol(format!(
+                    "records are not all for `{}`",
+                    machine.name()
+                )));
+            }
+            let spec = MachineSpec::real(machine, MicroarchParams::new(width, depth, l2, mem, tlb));
+            let (installed, generation) = client.import_records(spec, records)?;
+            writeln!(output, "installed {installed} generation {generation}")?;
         }
         other => {
             return Err(CommandError::Protocol(format!(

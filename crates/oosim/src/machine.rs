@@ -304,13 +304,50 @@ impl MachineConfig {
         vec![Self::pentium4(), Self::core2(), Self::core_i7()]
     }
 
-    /// The preset for a given [`MachineId`].
+    /// The configuration for a given [`MachineId`].
+    ///
+    /// For the three presets this is the Table 1–2 machine. A design-space
+    /// variant id (e.g. `core2+rob192+mshr32`) decodes to its base preset
+    /// with the named axes overridden — the variant *name* is the full
+    /// recipe, so any process that can parse the id can rebuild the
+    /// machine. The decoded configuration is not validated here (sweep
+    /// expansion validates before interning ids); call
+    /// [`MachineConfig::validate`] before simulating untrusted ids.
     pub fn preset(id: MachineId) -> MachineConfig {
         match id {
             MachineId::Pentium4 => Self::pentium4(),
             MachineId::Core2 => Self::core2(),
             MachineId::CoreI7 => Self::core_i7(),
+            MachineId::Variant(_) => Self::decode_variant(id),
         }
+    }
+
+    /// Rebuilds a variant configuration from its interned name.
+    fn decode_variant(id: MachineId) -> MachineConfig {
+        let name = id.name();
+        let mut parts = name.split('+');
+        let base: MachineId = parts
+            .next()
+            .expect("split is non-empty")
+            .parse()
+            .expect("variant names start with a preset");
+        let mut config = Self::preset(base);
+        for tok in parts {
+            let digits = tok
+                .find(|c: char| c.is_ascii_digit())
+                .expect("variant tokens carry a value");
+            let (axis, value) = tok.split_at(digits);
+            match axis {
+                "rob" => config.rob_size = value.parse().expect("digits"),
+                "mshr" => config.mshrs = value.parse().expect("digits"),
+                "dw" => config.dispatch_width = value.parse().expect("digits"),
+                "pf" => config.prefetch_depth = value.parse().expect("digits"),
+                other => unreachable!("pmu validated the token grammar, got `{other}`"),
+            }
+        }
+        config.id = id;
+        config.name = name.to_string();
+        config
     }
 
     /// Starts a builder from this configuration (for ablations and design
@@ -533,5 +570,32 @@ mod tests {
         for id in MachineId::ALL {
             assert_eq!(MachineConfig::preset(id).id, id);
         }
+    }
+
+    #[test]
+    fn variant_ids_decode_to_overridden_presets() {
+        let id = MachineId::variant("core2+rob192+mshr32+dw6+pf0").unwrap();
+        let m = MachineConfig::preset(id);
+        assert_eq!(m.id, id);
+        assert_eq!(m.name, "core2+rob192+mshr32+dw6+pf0");
+        assert_eq!(m.rob_size, 192);
+        assert_eq!(m.mshrs, 32);
+        assert_eq!(m.dispatch_width, 6);
+        assert_eq!(m.prefetch_depth, 0);
+        // Untouched axes keep the base preset's values.
+        assert_eq!(m.l2, MachineConfig::core2().l2);
+        assert_eq!(m.lat, MachineConfig::core2().lat);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn variant_decode_roundtrips_through_name_parse() {
+        // A process that only ever saw the *name* (CSV, wire, snapshot
+        // filename) rebuilds the identical machine.
+        let id = MachineId::variant("corei7+pf0").unwrap();
+        let direct = MachineConfig::preset(id);
+        let reparsed = MachineConfig::preset("corei7+pf0".parse().unwrap());
+        assert_eq!(direct, reparsed);
+        assert_eq!(reparsed.prefetch_depth, 0);
     }
 }

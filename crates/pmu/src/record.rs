@@ -1,9 +1,10 @@
 //! Benchmark-run records: one benchmark, one machine, one counter bank.
 
 use crate::counters::CounterSet;
+use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which benchmark suite a workload belongs to.
 ///
@@ -67,8 +68,18 @@ impl FromStr for Suite {
     }
 }
 
-/// The three commercial machines the paper models (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// The three commercial machines the paper models (Table 1), plus named
+/// design-space variants of them.
+///
+/// A variant identifies a hypothetical machine derived from one of the
+/// presets by overriding sweep axes, and is spelled
+/// `<base>+<axis><value>...` with axes `rob` (ROB capacity), `mshr`
+/// (MSHR count), `dw` (dispatch width) and `pf` (prefetch depth) — e.g.
+/// `core2+rob192+mshr32`. Variant names are interned in a process-wide
+/// pool, so the id stays `Copy` and two ids are equal exactly when their
+/// names are equal. Parsing the same name twice (CSV, wire protocol,
+/// snapshot files) always yields the same id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineId {
     /// Intel Pentium 4 (Netburst, Prescott): deep 31-stage pipeline, 3-wide.
     Pentium4,
@@ -76,6 +87,36 @@ pub enum MachineId {
     Core2,
     /// Intel Core i7 (Nehalem, Bloomfield): 4-wide, 256 KiB L2 + 8 MiB L3.
     CoreI7,
+    /// A named design-space variant of one of the presets; the payload is
+    /// an index into the process-wide intern pool (see [`MachineId::variant`]).
+    Variant(u32),
+}
+
+/// Process-wide intern pool for variant names. Names are leaked to
+/// `&'static str` once and deduplicated, so index equality is name
+/// equality and `name()` can keep returning `&'static str`.
+fn variant_pool() -> &'static Mutex<Vec<&'static str>> {
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Is `s` a well-formed variant name: `<preset>+<axis><digits>...`?
+fn valid_variant_name(s: &str) -> bool {
+    let mut parts = s.split('+');
+    let base_ok = parts
+        .next()
+        .is_some_and(|base| MachineId::ALL.iter().any(|m| m.name() == base));
+    if !base_ok || !s.contains('+') {
+        return false;
+    }
+    parts.all(|tok| {
+        let digits = tok.find(|c: char| c.is_ascii_digit()).unwrap_or(tok.len());
+        let (axis, value) = tok.split_at(digits);
+        matches!(axis, "rob" | "mshr" | "dw" | "pf")
+            && !value.is_empty()
+            && value.len() <= 9
+            && value.bytes().all(|b| b.is_ascii_digit())
+    })
 }
 
 impl MachineId {
@@ -85,20 +126,97 @@ impl MachineId {
             MachineId::Pentium4 => "pentium4",
             MachineId::Core2 => "core2",
             MachineId::CoreI7 => "corei7",
+            MachineId::Variant(i) => variant_pool().lock().unwrap()[i as usize],
         }
     }
 
-    /// Marketing name, matching Table 1's header row.
+    /// Marketing name, matching Table 1's header row. Variants have no
+    /// marketing name; their stable identifier is used everywhere.
     pub fn display_name(self) -> &'static str {
         match self {
             MachineId::Pentium4 => "Pentium 4",
             MachineId::Core2 => "Core 2",
             MachineId::CoreI7 => "Core i7",
+            MachineId::Variant(_) => self.name(),
         }
+    }
+
+    /// Interns a design-space variant id, e.g. `core2+rob192+mshr32`.
+    ///
+    /// The name must be a preset name followed by one or more `+`-joined
+    /// axis tokens (`rob`/`mshr`/`dw`/`pf` + digits). Interning is
+    /// idempotent: the same name always returns the same id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseNameError`] when the name is not well-formed.
+    pub fn variant(name: &str) -> Result<MachineId, ParseNameError> {
+        if !valid_variant_name(name) {
+            return Err(ParseNameError {
+                kind: "machine",
+                unknown: name.to_owned(),
+            });
+        }
+        let mut pool = variant_pool().lock().unwrap();
+        let index = match pool.iter().position(|&n| n == name) {
+            Some(i) => i,
+            None => {
+                pool.push(Box::leak(name.to_owned().into_boxed_str()));
+                pool.len() - 1
+            }
+        };
+        Ok(MachineId::Variant(
+            u32::try_from(index).expect("intern pool outgrew u32"),
+        ))
+    }
+
+    /// The preset a variant was derived from (`self` for the presets).
+    pub fn base(self) -> MachineId {
+        match self {
+            MachineId::Variant(_) => {
+                let base = self.name().split('+').next().expect("split is non-empty");
+                base.parse().expect("variant names start with a preset")
+            }
+            preset => preset,
+        }
+    }
+
+    /// Whether this id names a design-space variant rather than a preset.
+    pub fn is_variant(self) -> bool {
+        matches!(self, MachineId::Variant(_))
     }
 
     /// All three machines, in generation order (the order Fig. 2–6 use).
     pub const ALL: [MachineId; 3] = [MachineId::Pentium4, MachineId::Core2, MachineId::CoreI7];
+}
+
+impl Ord for MachineId {
+    /// Presets sort in generation order before every variant; variants
+    /// sort by name, so the order is stable across processes (the intern
+    /// index is insertion order and would not be).
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(m: MachineId) -> u8 {
+            match m {
+                MachineId::Pentium4 => 0,
+                MachineId::Core2 => 1,
+                MachineId::CoreI7 => 2,
+                MachineId::Variant(_) => 3,
+            }
+        }
+        rank(*self)
+            .cmp(&rank(*other))
+            .then_with(|| match (self, other) {
+                (MachineId::Variant(a), MachineId::Variant(b)) if a == b => Ordering::Equal,
+                (MachineId::Variant(_), MachineId::Variant(_)) => self.name().cmp(other.name()),
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl PartialOrd for MachineId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl fmt::Display for MachineId {
@@ -115,10 +233,7 @@ impl FromStr for MachineId {
             .iter()
             .copied()
             .find(|m| m.name() == s)
-            .ok_or_else(|| ParseNameError {
-                kind: "machine",
-                unknown: s.to_owned(),
-            })
+            .map_or_else(|| MachineId::variant(s), Ok)
     }
 }
 
@@ -254,6 +369,50 @@ mod tests {
         }
         assert!("cpu99".parse::<Suite>().is_err());
         assert!("core9".parse::<MachineId>().is_err());
+    }
+
+    #[test]
+    fn variant_interning_round_trips() {
+        let v = MachineId::variant("core2+rob192+mshr32").unwrap();
+        assert!(v.is_variant());
+        assert_eq!(v.name(), "core2+rob192+mshr32");
+        assert_eq!(v.display_name(), "core2+rob192+mshr32");
+        assert_eq!(v.base(), MachineId::Core2);
+        // Idempotent: every path to the same name is the same id.
+        assert_eq!(MachineId::variant("core2+rob192+mshr32").unwrap(), v);
+        assert_eq!("core2+rob192+mshr32".parse::<MachineId>().unwrap(), v);
+        // A different spelling is a different machine.
+        assert_ne!(MachineId::variant("core2+rob192").unwrap(), v);
+    }
+
+    #[test]
+    fn variant_grammar_is_strict() {
+        for bad in [
+            "core9",               // unknown preset, no '+'
+            "core9+rob192",        // unknown base
+            "core2+",              // empty token
+            "core2+rob",           // axis without value
+            "core2+l2big",         // unknown axis
+            "core2+rob19x2",       // trailing garbage in value
+            "core2+rob1234567890", // value too long
+            "+rob192",             // missing base
+            "core2+ROB192",        // wrong case
+        ] {
+            assert!(bad.parse::<MachineId>().is_err(), "{bad} should not parse");
+        }
+        for good in ["core2+pf0", "pentium4+dw6", "corei7+rob256+mshr64+dw6+pf0"] {
+            assert!(good.parse::<MachineId>().is_ok(), "{good} should parse");
+        }
+    }
+
+    #[test]
+    fn variants_order_by_name_after_presets() {
+        let a = MachineId::variant("core2+rob192").unwrap();
+        let b = MachineId::variant("core2+mshr32").unwrap();
+        // Interned out of alphabetical order on purpose; Ord uses names.
+        assert!(b < a, "mshr32 sorts before rob192");
+        assert!(MachineId::CoreI7 < b, "presets sort before variants");
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
     }
 
     #[test]

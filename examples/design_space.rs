@@ -1,101 +1,87 @@
-//! Design-space exploration with the machine builder: what would the
-//! Core 2 gain from a larger ROB, more MSHRs, or a deeper prefetcher?
-//! The fitted model's CPI stacks say *where* each variant's time goes —
+//! Design-space exploration as a service: what would the Core 2 gain
+//! from a larger ROB, more MSHRs, a wider dispatch, or no prefetcher?
+//! The fitted models' CPI stacks say *where* each variant's time goes —
 //! the kind of what-if analysis the paper positions CPI stacks for
 //! ("opportunities for software and hardware optimization", §1).
 //!
-//! Each variant runs its own `Workbench` pipeline (they share the
-//! `MachineId`, so they cannot share one multi-machine collect).
+//! One `sweep` request replaces the per-variant `Workbench` loop this
+//! example used to run: the service expands the grid, simulates each
+//! *distinct* configuration exactly once on its work-stealing collect
+//! pool, fits every variant through the shared model cache, and ranks
+//! the results with delta stacks against the base and a Pareto front
+//! over (CPI, component of interest). Run it twice to see the warm
+//! path: the second sweep reports `simulated 0 configs` and serves
+//! every variant from cache.
 //!
 //! Run with `cargo run --release --example design_space`.
 
 use cpistack::model::FitOptions;
-use cpistack::sim::machine::MachineConfig;
-use cpistack::{PipelineError, SimSource, Workbench};
+use cpistack::service::sweep::{StackComponent, SweepGrid, SweepSpec};
+use cpistack::service::{CpiService, ServiceConfig, ServiceError};
+use pmu::{MachineId, Suite};
 
-fn main() -> Result<(), PipelineError> {
-    let base = MachineConfig::core2();
-    let variants = vec![
-        ("baseline Core 2", base.clone()),
-        (
-            "2x ROB (192)",
-            MachineConfig::builder(base.clone()).rob_size(192).build(),
-        ),
-        (
-            "2x MSHRs (32)",
-            MachineConfig::builder(base.clone()).mshrs(32).build(),
-        ),
-        (
-            "no prefetcher",
-            MachineConfig::builder(base.clone())
-                .prefetch_depth(0)
-                .build(),
-        ),
-        (
-            "6-wide dispatch",
-            MachineConfig::builder(base.clone())
-                .dispatch_width(6)
-                .build(),
-        ),
-    ];
+fn main() -> Result<(), ServiceError> {
+    // The paper's three-axis what-if grid, one request: ROB 96 (stock)
+    // vs 192, MSHRs 16 (stock) vs 32, dispatch 4 (stock) vs 6, and the
+    // prefetcher on (depth 4, stock) vs off. Stock values collapse into
+    // the base point, so the 16-point grid holds 16 *named* variants —
+    // `core2` itself plus every non-stock combination.
+    let grid = SweepGrid::new()
+        .rob([96, 192])
+        .mshrs([16, 32])
+        .dispatch([4, 6])
+        .prefetch([0, 4]);
+    let mut spec = SweepSpec::new(MachineId::Core2, grid, Suite::Cpu2006);
+    spec.options = FitOptions::quick();
+    spec.uops = 20_000;
+    spec.limit = Some(12); // a memory-heavy subset keeps the contrast visible
+    spec.component = StackComponent::LlcD; // long-latency loads: the paper's focus
 
-    // A memory-and-branch heavy subset keeps the contrast visible.
-    let suite: Vec<_> = cpistack::workloads::suites::cpu2006()
-        .into_iter()
-        .filter(|p| {
-            [
-                "mcf.inp",
-                "lbm.ref",
-                "milc.ref",
-                "gobmk.13x13",
-                "libquantum.ref",
-                "soplex.ref",
-                "sjeng.ref",
-                "omnetpp.ref",
-                "astar.rivers",
-                "gcc.166",
-                "calculix.hyperviscoplastic",
-                "namd.ref",
-            ]
-            .contains(&p.name.as_ref())
-        })
-        .collect();
+    let service = CpiService::start(ServiceConfig::new());
+    let client = service.client();
 
-    println!(
-        "{:<18} {:>8}  average CPI stack (per µop)",
-        "variant", "avg CPI"
-    );
-    for (name, machine) in variants {
-        let collected = Workbench::new()
-            .machine(machine)
-            .source(SimSource::new().suite(suite.clone()).uops(150_000).seed(42))
-            .fit_options(FitOptions::quick())
-            .collect()?;
-        let records: Vec<_> = collected.records().cloned().collect();
-        let avg_cpi: f64 = records.iter().map(|r| r.cpi()).sum::<f64>() / records.len() as f64;
-        match collected.fit() {
-            Ok(fitted) => {
-                let group = &fitted.groups()[0];
-                // Average the component estimates over the subset.
-                let mut acc = [0.0f64; 8];
-                for r in &group.records {
-                    for (k, (_, v)) in group.model.cpi_stack(r).components().iter().enumerate() {
-                        acc[k] += v / group.records.len() as f64;
-                    }
-                }
-                let named: Vec<String> = group
-                    .model
-                    .cpi_stack(&group.records[0])
-                    .components()
-                    .iter()
-                    .zip(acc)
-                    .filter(|(_, v)| *v > 0.01)
-                    .map(|((n, _), v)| format!("{n}:{v:.2}"))
-                    .collect();
-                println!("{name:<18} {avg_cpi:>8.3}  {}", named.join(" "));
-            }
-            Err(e) => println!("{name:<18} {avg_cpi:>8.3}  (model: {e})"),
+    for pass in ["cold sweep", "warm re-sweep"] {
+        let summary = client.sweep(spec.clone())?;
+        println!(
+            "{pass}: {} variants, simulated {} configs / {} runs",
+            summary.results.len(),
+            summary.simulated_configs,
+            summary.simulated_runs,
+        );
+        println!(
+            "{:<4} {:<28} {:>8} {:>9} {:>8}  front",
+            "rank", "variant", "cpi", "llc_d", "Δcpi"
+        );
+        for (rank, result) in summary.ranked().iter().enumerate() {
+            let front = if summary.pareto.contains(&result.id) {
+                "*"
+            } else {
+                ""
+            };
+            println!(
+                "{:<4} {:<28} {:>8.3} {:>9.3} {:>+8.3}  {front}",
+                rank + 1,
+                result.id.name(),
+                result.cpi,
+                result.component,
+                result.delta.overall.total(),
+            );
         }
+        // The delta stacks name the mechanism, not just the magnitude:
+        // print where the best variant's cycles went relative to stock.
+        if let Some(best) = summary.ranked().first() {
+            if best.id != summary.base {
+                println!(
+                    "best variant {} vs {}:",
+                    best.id.name(),
+                    summary.base.name()
+                );
+                println!("  {}", best.delta);
+            }
+        }
+        println!();
     }
+
+    service.shutdown();
     Ok(())
 }

@@ -93,6 +93,8 @@ pub enum CliError {
     /// The `loadgen` run saw protocol errors, dropped connections, or
     /// blew its `--budget-ms` latency budget.
     Loadgen(String),
+    /// The `sweep` run's service rejected the grid or a fit failed.
+    Sweep(ServiceError),
 }
 
 impl fmt::Display for CliError {
@@ -106,6 +108,7 @@ impl fmt::Display for CliError {
             CliError::Bench(msg) => write!(f, "bench regression gate: {msg}"),
             CliError::Watch(e) => write!(f, "watch stream: {e}"),
             CliError::Loadgen(msg) => write!(f, "loadgen gate: {msg}"),
+            CliError::Sweep(e) => write!(f, "sweep: {e}"),
         }
     }
 }
@@ -119,6 +122,7 @@ impl std::error::Error for CliError {
             CliError::State(e) => Some(e),
             CliError::Auth(e) => Some(e),
             CliError::Watch(e) => Some(e),
+            CliError::Sweep(e) => Some(e),
         }
     }
 }
@@ -143,6 +147,10 @@ USAGE:
   cpistack fit   --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack stack --counters <csv> --width <D> --depth <c_fe> --l2 <c_L2> --mem <c_mem> --tlb <c_TLB>
   cpistack demo  [--out <csv>]
+  cpistack sweep [--base <machine>] [--suite <s>] [--rob v,v] [--mshr v,v]
+                 [--dw v,v] [--pf v,v] [--uops <N>] [--seed <N>]
+                 [--benchmarks <N>] [--component <name>] [--quick]
+                 [--state-dir <dir>] [--workers <N>]
   cpistack serve [--workers <N>] [--cache <N>] [--quick] [--fit-threads <N>]
                  [--listen <addr>] [--state-dir <dir>] [--auth <token-file>]
                  [--idle-timeout <secs>] [--max-conns <N>] [--poll-interval <ms>]
@@ -171,6 +179,14 @@ SUBCOMMANDS:
          with --csv)
   demo   write an example counters CSV (generated by the built-in
          simulator's Core 2 preset) to adapt your own data from
+  sweep  expand a design-space grid against a base preset (--rob/--mshr/
+         --dw/--pf each take a comma-separated value list), simulate and
+         fit every distinct variant once, and print the ranked table:
+         per-variant mean CPI, the component of interest (--component,
+         default llc_d), the CPI delta vs the base, and the Pareto front
+         over (CPI, component). --state-dir persists the fitted models,
+         so re-sweeping the same grid refits nothing; --benchmarks caps
+         the suite for quick scans
   serve  start a long-lived CpiService session speaking a line protocol:
          register machines, ingest counter CSVs, and serve
          fits/stacks/deltas from a shared model cache (type `help` inside
@@ -214,7 +230,7 @@ SUBCOMMANDS:
          strictly sequential, asserting byte-identical records), cold fit
          (parallel vs sequential, asserting byte-identical parameters and
          equal objective-evaluation counts) and warm serve, then write a
-         machine-readable snapshot (default BENCH_9.json), including a
+         machine-readable snapshot (default BENCH_10.json), including a
          cluster section (router-hop overhead vs direct warm serve) and a
          connection-scaling section (readiness-loop front vs the legacy
          thread-per-connection engine under loadgen traffic). --threads
@@ -258,6 +274,8 @@ pub enum Command {
         /// Output path.
         out: String,
     },
+    /// Run a design-space sweep and print the ranked table.
+    Sweep(SweepCliArgs),
     /// Start a long-lived serve session (line protocol on stdin/stdout).
     Serve(ServeArgs),
     /// Start an in-process multi-node cluster (router + N serve nodes).
@@ -335,12 +353,43 @@ pub struct WatchArgs {
     pub benchmarks: Option<usize>,
 }
 
+/// Arguments for the `sweep` subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepCliArgs {
+    /// Base preset the grid expands against (`None` = `core2`).
+    pub base: Option<String>,
+    /// Suite to sweep over (`None` = `cpu2000`).
+    pub suite: Option<String>,
+    /// Comma-separated ROB sizes.
+    pub rob: Option<String>,
+    /// Comma-separated MSHR counts.
+    pub mshr: Option<String>,
+    /// Comma-separated dispatch widths.
+    pub dw: Option<String>,
+    /// Comma-separated prefetch depths.
+    pub pf: Option<String>,
+    /// Simulator µop budget per benchmark run (`None` = 20000).
+    pub uops: Option<u64>,
+    /// Simulator campaign seed (`None` = 42).
+    pub seed: Option<u64>,
+    /// Benchmarks per suite (`None` = the whole suite).
+    pub benchmarks: Option<usize>,
+    /// Component of interest for the Pareto front (`None` = `llc_d`).
+    pub component: Option<String>,
+    /// Use [`FitOptions::quick`] instead of the full-budget defaults.
+    pub quick: bool,
+    /// Persist fitted variant models here; re-sweeps then refit nothing.
+    pub state_dir: Option<String>,
+    /// Worker-shard count (`None` = one per hardware thread).
+    pub workers: Option<usize>,
+}
+
 /// Arguments for the `bench` subcommand.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchArgs {
     /// Reduced budgets (CI mode).
     pub smoke: bool,
-    /// Snapshot path (`None` = `BENCH_9.json`).
+    /// Snapshot path (`None` = `BENCH_10.json`).
     pub out: Option<String>,
     /// µop budget override.
     pub uops: Option<u64>,
@@ -482,6 +531,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map(|(_, v)| v.clone())
                 .unwrap_or_else(|| "demo_counters.csv".into()),
         }),
+        "sweep" => Ok(Command::Sweep(SweepCliArgs {
+            base: flag_text(&flags, "base"),
+            suite: flag_text(&flags, "suite"),
+            rob: flag_text(&flags, "rob"),
+            mshr: flag_text(&flags, "mshr"),
+            dw: flag_text(&flags, "dw"),
+            pf: flag_text(&flags, "pf"),
+            uops: flag_count(&flags, "uops")?,
+            seed: flag_count(&flags, "seed")?,
+            benchmarks: flag_count(&flags, "benchmarks")?,
+            component: flag_text(&flags, "component"),
+            quick: flags.iter().any(|(k, _)| k == "quick"),
+            state_dir: flag_text(&flags, "state-dir"),
+            workers: flag_count(&flags, "workers")?,
+        })),
         "serve" => Ok(Command::Serve(ServeArgs {
             workers: flag_count(&flags, "workers")?,
             cache: flag_count(&flags, "cache")?,
@@ -705,9 +769,104 @@ pub fn run(command: &Command) -> Result<String, CliError> {
              `cli::watch(...)` instead of `cli::run(...)`"
                 .into(),
         )),
+        Command::Sweep(args) => run_sweep_command(args),
         Command::Bench(args) => run_bench_command(args),
         Command::Loadgen(args) => run_loadgen_command(args),
     }
+}
+
+/// Runs the `sweep` subcommand: build the [`SweepSpec`] from the flags,
+/// drive it through a private warm service, and print the ranked table.
+///
+/// [`SweepSpec`]: crate::service::sweep::SweepSpec
+fn run_sweep_command(args: &SweepCliArgs) -> Result<String, CliError> {
+    use crate::service::sweep::{SweepGrid, SweepSpec};
+    let usage = |detail: String| CliError::Usage(detail);
+    let base: pmu::MachineId = args
+        .base
+        .as_deref()
+        .unwrap_or("core2")
+        .parse()
+        .map_err(|e| usage(format!("--base: {e}")))?;
+    let suite: pmu::Suite = args
+        .suite
+        .as_deref()
+        .unwrap_or("cpu2000")
+        .parse()
+        .map_err(|e| usage(format!("--suite: {e}")))?;
+    let mut grid = SweepGrid::new();
+    for (axis, values) in [
+        ("rob", &args.rob),
+        ("mshr", &args.mshr),
+        ("dw", &args.dw),
+        ("pf", &args.pf),
+    ] {
+        if let Some(values) = values {
+            grid.parse_arg(&format!("{axis}={values}"))
+                .map_err(|e| usage(format!("--{axis}: {e}")))?;
+        }
+    }
+    let mut spec = SweepSpec::new(base, grid, suite);
+    if args.quick {
+        spec.options = FitOptions::quick();
+    }
+    if let Some(uops) = args.uops {
+        spec.uops = uops;
+    }
+    if let Some(seed) = args.seed {
+        spec.seed = seed;
+    }
+    spec.limit = args.benchmarks;
+    if let Some(component) = &args.component {
+        spec.component = component
+            .parse()
+            .map_err(|e| usage(format!("--component: {e}")))?;
+    }
+
+    let mut config = ServiceConfig::new();
+    if let Some(workers) = args.workers {
+        config = config.with_workers(workers);
+    }
+    if let Some(dir) = &args.state_dir {
+        config = config.with_state_dir(dir);
+    }
+    let service = CpiService::start(config);
+    let summary = service.client().sweep(spec).map_err(CliError::Sweep);
+    service.shutdown();
+    let summary = summary?;
+
+    let mut out = format!(
+        "sweep {} over {}: {} variants, simulated {} configs / {} runs\n",
+        summary.base.name(),
+        summary.suite.name(),
+        summary.results.len(),
+        summary.simulated_configs,
+        summary.simulated_runs,
+    );
+    out.push_str(&format!(
+        "{:<4} {:<28} {:>8} {:>9} {:>8}  {}\n",
+        "rank", "variant", "cpi", summary.component, "Δcpi", "front"
+    ));
+    let ranked = summary.ranked();
+    for (rank, result) in ranked.iter().enumerate() {
+        let front = if summary.pareto.contains(&result.id) {
+            "*"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{:<4} {:<28} {:>8.4} {:>9.4} {:>+8.4}  {}\n",
+            rank + 1,
+            result.id.name(),
+            result.cpi,
+            result.component,
+            result.delta.overall.total(),
+            front
+        ));
+    }
+    let front: Vec<&str> = summary.pareto.iter().map(|id| id.name()).collect();
+    out.push_str(&format!("pareto front: {}\n", front.join(" ")));
+    Ok(out)
 }
 
 /// Runs the `loadgen` subcommand: resolve the target, build the request
@@ -958,7 +1117,7 @@ fn run_bench_command(args: &BenchArgs) -> Result<String, CliError> {
         config.threads = threads;
     }
     let report = crate::perf::run_bench(config);
-    let out = args.out.clone().unwrap_or_else(|| "BENCH_9.json".into());
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_10.json".into());
     std::fs::write(&out, report.to_json()).map_err(|error| {
         CliError::Pipeline(PipelineError::Export {
             path: out.clone().into(),

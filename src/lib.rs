@@ -246,6 +246,58 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
+//! ## Sweep a design space
+//!
+//! One [`CpiClient::sweep`](service::CpiClient::sweep) request explores
+//! a whole parameter grid — ROB × MSHRs × dispatch width × prefetch
+//! depth over a base machine — instead of one `delta` per hypothetical
+//! config. The grid expands into named variants
+//! (`core2+rob192+mshr32`, …), each **distinct** configuration
+//! simulates exactly once on the work-stealing collect pool, every
+//! variant fits through the shared model cache, and the summary ranks
+//! them: per-variant CPI, delta stacks against the base, and the Pareto
+//! front over (CPI, component-of-interest). Re-sweeping the same grid
+//! simulates and refits nothing:
+//!
+//! ```
+//! use cpistack::model::FitOptions;
+//! use cpistack::service::sweep::{SweepGrid, SweepSpec};
+//! use cpistack::service::{CpiService, ServiceConfig};
+//! use pmu::{MachineId, Suite};
+//!
+//! // A 2×2 grid over the Core 2: the stock point collapses into
+//! // `core2` itself, so four named variants come back. Doc scale —
+//! // real sweeps run the full suite at millions of µops.
+//! let grid = SweepGrid::new().rob([64, 96]).mshrs([8, 16]);
+//! let mut spec = SweepSpec::new(MachineId::Core2, grid, Suite::Cpu2000);
+//! spec.options = FitOptions::quick();
+//! spec.uops = 2_000;
+//! spec.limit = Some(12);
+//!
+//! let service = CpiService::start(ServiceConfig::new());
+//! let client = service.client();
+//!
+//! let cold = client.sweep(spec.clone()).unwrap();
+//! assert_eq!(cold.results.len(), 4);
+//! assert_eq!(cold.simulated_configs, 4, "once per distinct config");
+//!
+//! // The warm re-sweep serves the identical grid from cache.
+//! let warm = client.sweep(spec).unwrap();
+//! assert_eq!(warm.simulated_configs, 0);
+//! assert!(warm.results.iter().all(|r| r.cached));
+//! let best = &warm.ranked()[0];
+//! println!("best: {} cpi {:.3} ({})", best.id.name(), best.cpi, best.delta);
+//! assert!(warm.pareto.contains(&best.id), "lowest CPI is Pareto-optimal");
+//! service.shutdown();
+//! ```
+//!
+//! The `sweep` protocol verb exposes the same request on every front —
+//! stdio, TCP, and the cluster router, which partitions the grid by
+//! ring owner, fans the slices out in parallel, and reroutes a dead
+//! node's slice to its ring successor mid-sweep. See the `cpistack
+//! sweep` subcommand and `examples/design_space.rs` for the CLI and
+//! programmatic drivers.
+//!
 //! ## Watch live counters
 //!
 //! Static CSV ingest is one way to feed the service; a **live stream**
@@ -315,7 +367,7 @@
 //! <csv>` appends every streamed batch to a file that replays byte-exact
 //! later. The refit split shows up in `stats` as `refits full N
 //! incremental M`, and the steady-state saving is a tracked number in
-//! `BENCH_9.json` (`stream_speedup`). The `perf-events` backend is
+//! `BENCH_10.json` (`stream_speedup`). The `perf-events` backend is
 //! feature-gated (`cargo check --features perf-events`) so the default
 //! build never touches raw syscalls.
 //!
@@ -389,7 +441,7 @@
 //! (`--budget-ms` makes it a CI gate), and `cpistack bench` records the
 //! connection-scaling comparison — the readiness engine sustaining 4×
 //! the thread engine's connection count at equal-or-better p99 — in
-//! `BENCH_9.json`.
+//! `BENCH_10.json`.
 //!
 //! ## Performance: parallel cold paths, a tracked baseline
 //!
@@ -417,7 +469,7 @@
 //! serve on the paper campaign — plus the cluster tier's warm
 //! router-hop overhead, the streaming tier's incremental-vs-full refit
 //! split, and the connection-scaling loadgen campaigns — asserts the
-//! byte-identities, and writes the `BENCH_9.json` snapshot that CI
+//! byte-identities, and writes the `BENCH_10.json` snapshot that CI
 //! gates against (see the README's Performance section for current
 //! numbers):
 //!

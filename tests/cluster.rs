@@ -367,6 +367,230 @@ fn router_transcripts_match_single_node_byte_for_byte_for_two_tenants() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Writes a campaign CSV covering all three paper machines (same seed)
+/// so two-machine commands have real records on every side.
+fn three_machine_csv(dir: &std::path::Path) -> String {
+    let suite: Vec<_> = cpistack::workloads::suites::cpu2000()
+        .into_iter()
+        .take(12)
+        .collect();
+    let mut records = Vec::new();
+    for config in [
+        MachineConfig::pentium4(),
+        MachineConfig::core2(),
+        MachineConfig::core_i7(),
+    ] {
+        records.extend(
+            SimSource::new()
+                .suite(suite.clone())
+                .uops(3_000)
+                .seed(42)
+                .collect_config(&config),
+        );
+    }
+    let path = dir.join("trio.csv");
+    std::fs::write(&path, pmu::csv::to_csv(&records)).expect("write csv");
+    path.to_string_lossy().into_owned()
+}
+
+/// The single-node ground truth for a whole scripted session: the same
+/// banner and fit options the cluster nodes run with, so a router
+/// transcript can be compared byte-for-byte.
+fn solo_transcript(script: &str) -> Vec<u8> {
+    let service = CpiService::start(ServiceConfig::new().with_workers(2).with_cache_capacity(16));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = proto::serve_tcp(
+        listener,
+        proto::SessionSpec::open(service.client(), FitOptions::quick()),
+        proto::TcpServerConfig::new("cluster").with_poll_interval(Duration::from_millis(2)),
+    )
+    .expect("solo front");
+    let transcript = tcp_session(server.local_addr(), script);
+    server.shutdown();
+    service.shutdown();
+    transcript
+}
+
+/// Satellite regression: `delta <old> <new> <suite>` routes by a single
+/// `(tenant, machine)` key, so when the ring places the two machines on
+/// *different* owners the serving node used to know nothing about the
+/// new side and the command failed where a single node succeeds. The
+/// router must ship the missing machine's records over first; with that
+/// in place the whole session transcript — registration, ingest, and
+/// the delta stacks — is byte-identical to the same script against a
+/// single node. Replication is off so nothing reaches the old side's
+/// owner by accident: this is exactly the split that used to break.
+#[test]
+fn two_owner_delta_through_the_router_matches_a_single_node() {
+    let dir = scratch("two_owner_delta");
+    let csv = three_machine_csv(&dir);
+
+    let harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(3)
+        .with_router(test_router("cluster").with_replicas(0))
+        .start()
+        .expect("cluster boots");
+    // The scenario needs an old/new pair the ring places on different
+    // owners; with three presets over three nodes at least one of the
+    // ordered pairs must split.
+    let machines = ["pentium4", "core2", "corei7"];
+    let owner = |m: &str| harness.owner_index("local", m).expect("owner");
+    let (old, new) = machines
+        .iter()
+        .flat_map(|a| machines.iter().map(move |b| (*a, *b)))
+        .find(|(a, b)| a != b && owner(a) != owner(b))
+        .expect("ring placement must split at least one pair");
+
+    let script = format!(
+        "machine pentium4 3 20 24 206 35\n\
+         machine core2 4 14 19 169 30\n\
+         machine corei7 4 16 14 120 25\n\
+         ingest {csv}\n\
+         delta {old} {new} cpu2000\n\
+         quit\n"
+    );
+    let solo = solo_transcript(&script);
+    let solo_text = String::from_utf8_lossy(&solo);
+    assert!(
+        solo_text.contains("Δ") && !solo_text.contains("err:"),
+        "single-node baseline must serve the delta: {solo_text}"
+    );
+
+    let via = tcp_session(harness.router_addr(), &script);
+    assert!(
+        via == solo,
+        "a two-owner delta diverged through the router.\n--- solo ---\n{}\n--- router ---\n{}",
+        solo_text,
+        String::from_utf8_lossy(&via),
+    );
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole: a design-space sweep through the router fans each variant
+/// to its ring owner and merges the slices. Every `variant` line and
+/// the Pareto front must be byte-identical to the same sweep against a
+/// single node; only the summary's simulated-work tally may differ
+/// (each involved node fits the shared base once). A warm re-sweep
+/// through the router then serves entirely from the nodes' caches:
+/// zero simulated configs, zero runs, every variant a cache hit.
+#[test]
+fn partitioned_sweep_through_the_router_matches_a_single_node_and_resweeps_warm() {
+    let dir = scratch("router_sweep");
+    let script = "sweep core2 cpu2000 rob=64,96 mshr=8,16 uops=2000 seed=7 limit=12\nquit\n";
+    let solo = solo_transcript(script);
+    let solo_text = String::from_utf8_lossy(&solo).into_owned();
+    assert_eq!(
+        solo_text.matches("\nvariant ").count(),
+        4,
+        "grid must expand to 4 variants: {solo_text}"
+    );
+    assert!(!solo_text.contains("err:"), "{solo_text}");
+
+    let harness = ClusterHarness::builder(dir.join("state"))
+        .with_nodes(3)
+        .with_router(test_router("cluster"))
+        .start()
+        .expect("cluster boots");
+    let router = harness.router_addr();
+
+    // The scenario needs a genuinely partitioned grid: at least two
+    // distinct owners across the expanded variant names.
+    let owners: std::collections::HashSet<usize> =
+        ["core2", "core2+rob64", "core2+rob64+mshr8", "core2+mshr8"]
+            .iter()
+            .map(|name| harness.owner_index("local", name).expect("owner"))
+            .collect();
+    assert!(
+        owners.len() >= 2,
+        "ring placement must spread the variants for this scenario"
+    );
+
+    let via = tcp_session(router, script);
+    let via_text = String::from_utf8_lossy(&via);
+    // Byte-identical modulo the summary tally.
+    let strip_summary = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.starts_with("sweep:"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    assert_eq!(
+        strip_summary(&via_text),
+        strip_summary(&solo_text),
+        "partitioned sweep diverged from the single-node run"
+    );
+
+    // Warm re-sweep: every slice serves from cache, nothing simulates.
+    let warm = tcp_session(router, script);
+    let warm_text = String::from_utf8_lossy(&warm);
+    assert!(
+        warm_text.contains("simulated configs 0 runs 0"),
+        "a re-sweep must refit nothing: {warm_text}"
+    );
+    assert!(
+        !warm_text.contains("cache miss"),
+        "a re-sweep must be all cache hits: {warm_text}"
+    );
+    assert_eq!(strip_summary(&warm_text), strip_summary(&solo_text));
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A node dying between sweeps costs nothing but the re-fit: the ring
+/// reroutes the dead owner's slice to a survivor, which re-simulates
+/// deterministically — the re-sweep still serves the full grid with the
+/// same variant values and Pareto front, no in-band errors.
+#[test]
+fn sweep_reroutes_slices_to_survivors_after_a_node_death() {
+    let dir = scratch("sweep_failover");
+    let script = "sweep core2 cpu2000 rob=48,96 uops=2000 seed=11 limit=12\nquit\n";
+    let harness_dir = dir.join("state");
+    let mut harness = ClusterHarness::builder(harness_dir)
+        .with_nodes(3)
+        .with_router(test_router("cluster"))
+        .start()
+        .expect("cluster boots");
+    let router = harness.router_addr();
+
+    let cold = tcp_session(router, script);
+    let cold_text = String::from_utf8_lossy(&cold).into_owned();
+    assert!(!cold_text.contains("err:"), "{cold_text}");
+    assert_eq!(cold_text.matches("\nvariant ").count(), 2, "{cold_text}");
+    let pareto = cold_text
+        .lines()
+        .find(|l| l.starts_with("pareto "))
+        .expect("pareto line")
+        .to_owned();
+
+    // Kill the variant's owner; the base's owner may be the same node.
+    let owner = harness
+        .owner_index("local", "core2+rob48")
+        .expect("variant owner");
+    harness.kill(owner);
+
+    let after = tcp_session(router, script);
+    let after_text = String::from_utf8_lossy(&after);
+    assert!(
+        !after_text.contains("err:"),
+        "a dead owner must reroute, not fail the sweep: {after_text}"
+    );
+    assert_eq!(after_text.matches("\nvariant ").count(), 2, "{after_text}");
+    assert_eq!(
+        after_text
+            .lines()
+            .find(|l| l.starts_with("pareto "))
+            .expect("pareto line"),
+        pareto,
+        "rerouted slices must reproduce the same front"
+    );
+
+    harness.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Draining removes a node from rotation without touching it: its keys
 /// reroute, new work lands on survivors, and the drained node itself
 /// keeps serving direct connections.
